@@ -1,0 +1,63 @@
+// Regenerates Figure 7: (a) similarity-ranking NDCG per method on the CH
+// workload; (b) mean PreQR distance per query-pair category (logically
+// equivalent / same template / irrelevant) — the paper's evidence that
+// PreQR places equivalent rewrites closest, template-mates at a proper
+// middle distance, and irrelevant queries farthest.
+#include "bench/clustering_harness.h"
+
+#include "eval/metrics.h"
+#include "workload/ch.h"
+
+namespace preqr::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 7", "query similarity validation on the CH workload");
+  db::Database ch = workload::MakeChDatabase(42, DbScale());
+  auto wl = workload::MakeChSimilarityWorkload(ch, 7, Sized(12, 6));
+  auto methods = AllMethodDistances(wl.queries, ch.catalog(), &ch, 23);
+
+  std::printf("\n[(a) similarity ranking validation: NDCG@10]\n");
+  std::printf("%-14s %8s\n", "method", "NDCG");
+  for (const auto& m : methods) {
+    std::printf("%-14s %8.3f\n", m.method.c_str(),
+                eval::MeanNdcg(tasks::ToSimilarity(m.distance),
+                               wl.true_similarity, 10));
+  }
+
+  std::printf("\n[(b) mean pairwise distance per query-group category]\n");
+  std::printf("%-14s %12s %14s %12s\n", "method", "equivalent",
+              "same-template", "irrelevant");
+  for (const auto& m : methods) {
+    double sums[3] = {0, 0, 0};
+    int counts[3] = {0, 0, 0};
+    const size_t n = wl.queries.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (wl.family[i] != wl.family[j]) continue;
+        int bucket;
+        if (wl.category[i] == 0 && wl.category[j] == 0) {
+          bucket = 0;  // both equivalent to the base
+        } else if (wl.category[i] == 2 || wl.category[j] == 2) {
+          bucket = 2;  // involves the irrelevant member
+        } else {
+          bucket = 1;  // same template
+        }
+        sums[bucket] += m.distance[i][j];
+        ++counts[bucket];
+      }
+    }
+    std::printf("%-14s %12.3f %14.3f %12.3f\n", m.method.c_str(),
+                counts[0] ? sums[0] / counts[0] : 0,
+                counts[1] ? sums[1] / counts[1] : 0,
+                counts[2] ? sums[2] / counts[2] : 0);
+  }
+}
+
+}  // namespace
+}  // namespace preqr::bench
+
+int main() {
+  preqr::bench::Run();
+  return 0;
+}

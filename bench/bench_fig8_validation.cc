@@ -1,0 +1,90 @@
+// Regenerates Figure 8: validation mean q-error per training epoch on the
+// Synthetic workload, for cardinality (a) and cost (b), with and without
+// the bitmap-sampling optimization ("NS" prefix = no sampling). The paper's
+// claims: sampling helps every method, and PreQR wins even without it.
+#include "bench/harness.h"
+
+#include "baselines/feature_encoders.h"
+#include "baselines/onehot.h"
+#include "tasks/estimator.h"
+#include "tasks/preqr_encoder.h"
+
+namespace preqr::bench {
+namespace {
+
+void PrintCurve(const std::string& name, const std::vector<double>& curve) {
+  std::printf("%-14s", name.c_str());
+  for (double v : curve) std::printf(" %7.2f", v);
+  std::printf("\n");
+}
+
+void Run() {
+  PrintHeader("Figure 8",
+              "validation error per epoch on Synthetic (NS = no sampling)");
+  EstimationSetup s = BuildEstimationSetup(BenchConfig());
+  db::BitmapSampler sampler(s.imdb, 64);
+  baselines::BitmapFeatureEncoder bitmap(&sampler);
+  const auto train_sqls = Sqls(s.synthetic_train);
+  const auto val_sqls = Sqls(s.synthetic_eval);
+  const int epochs = Sized(8, 3);
+
+  for (const bool cost_task : {false, true}) {
+    std::printf("\n[(%c) %s validation mean q-error per epoch]\n",
+                cost_task ? 'b' : 'a', cost_task ? "cost" : "cardinality");
+    std::printf("%-14s", "epoch");
+    for (int e = 1; e <= epochs; ++e) std::printf(" %7d", e);
+    std::printf("\n");
+    const auto train_targets =
+        cost_task ? Costs(s.synthetic_train) : Cards(s.synthetic_train);
+    const auto val_targets =
+        cost_task ? Costs(s.synthetic_eval) : Cards(s.synthetic_eval);
+
+    // MSCN with and without bitmap sampling.
+    {
+      baselines::OneHotEncoder with_bm(s.imdb, &sampler);
+      tasks::EstimatorModel::Options opt;
+      opt.epochs = epochs;
+      tasks::EstimatorModel model(&with_bm, opt);
+      PrintCurve("MSCN", model.FitWithValidation(train_sqls, train_targets,
+                                                 val_sqls, val_targets));
+    }
+    {
+      baselines::OneHotEncoder no_bm(s.imdb, nullptr);
+      tasks::EstimatorModel::Options opt;
+      opt.epochs = epochs;
+      tasks::EstimatorModel model(&no_bm, opt);
+      PrintCurve("NS-MSCN", model.FitWithValidation(train_sqls, train_targets,
+                                                    val_sqls, val_targets));
+    }
+    // PreQR with and without bitmap sampling.
+    {
+      tasks::PreqrEncoder enc(s.model.get());
+      baselines::ConcatEncoder with_bm(&enc, &bitmap);
+      tasks::EstimatorModel::Options opt;
+      opt.epochs = epochs;
+      opt.hidden = 128;
+      opt.lr = 7e-4f;
+      tasks::EstimatorModel model(&with_bm, opt);
+      PrintCurve("PreQR", model.FitWithValidation(train_sqls, train_targets,
+                                                  val_sqls, val_targets));
+    }
+    {
+      tasks::PreqrEncoder enc(s.model.get());
+      tasks::EstimatorModel::Options opt;
+      opt.epochs = epochs;
+      opt.hidden = 128;
+      opt.lr = 7e-4f;
+      tasks::EstimatorModel model(&enc, opt);
+      PrintCurve("NS-PreQR", model.FitWithValidation(train_sqls, train_targets,
+                                                     val_sqls, val_targets));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace preqr::bench
+
+int main() {
+  preqr::bench::Run();
+  return 0;
+}

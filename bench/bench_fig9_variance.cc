@@ -1,0 +1,85 @@
+// Regenerates Figure 9: q-error dispersion on JOB-light (box-plot summary
+// statistics). The paper's claim: PreQR's errors stay within a small range
+// while the one-hot (MSCN) models are far more unstable.
+#include "bench/harness.h"
+
+#include "baselines/feature_encoders.h"
+#include "baselines/lstm_encoder.h"
+#include "baselines/onehot.h"
+#include "tasks/estimator.h"
+#include "tasks/preqr_encoder.h"
+
+namespace preqr::bench {
+namespace {
+
+void PrintBox(const std::string& name, std::vector<double> errs) {
+  std::sort(errs.begin(), errs.end());
+  const auto pct = [&](double p) {
+    return errs[static_cast<size_t>(p * (errs.size() - 1))];
+  };
+  std::printf("%-12s %8.2f %8.2f %8.2f %8.2f %9.2f\n", name.c_str(), pct(0.0),
+              pct(0.25), pct(0.5), pct(0.75), errs.back());
+}
+
+void Run() {
+  PrintHeader("Figure 9", "q-error dispersion on JOB-light (box stats)");
+  EstimationSetup s = BuildEstimationSetup(BenchConfig());
+  db::BitmapSampler sampler(s.imdb, 64);
+  baselines::BitmapFeatureEncoder bitmap(&sampler);
+  const auto train_sqls = Sqls(s.joblight_train);
+  const auto eval_sqls = Sqls(s.joblight_eval);
+
+  std::printf("\n%-12s %8s %8s %8s %8s %9s\n", "method", "min", "q1",
+              "median", "q3", "max");
+  for (const bool cost_task : {false, true}) {
+    std::printf("--- %s ---\n", cost_task ? "cost" : "cardinality");
+    const auto train_targets =
+        cost_task ? Costs(s.joblight_train) : Cards(s.joblight_train);
+    const auto truths =
+        cost_task ? Costs(s.joblight_eval) : Cards(s.joblight_eval);
+    const auto errors = [&](const std::vector<double>& est) {
+      std::vector<double> errs;
+      for (size_t i = 0; i < est.size(); ++i) {
+        errs.push_back(eval::QError(truths[i], est[i]));
+      }
+      return errs;
+    };
+    {
+      baselines::OneHotEncoder onehot(s.imdb, &sampler);
+      tasks::EstimatorModel::Options opt;
+      opt.epochs = Sized(20, 5);
+      tasks::EstimatorModel model(&onehot, opt);
+      model.Fit(train_sqls, train_targets);
+      PrintBox("MSCN", errors(model.PredictAll(eval_sqls)));
+    }
+    {
+      baselines::LstmQueryEncoder lstm(32, 24, 3);
+      lstm.BuildVocab(train_sqls);
+      baselines::ConcatEncoder enc(&lstm, &bitmap);
+      tasks::EstimatorModel::Options opt;
+      opt.epochs = Sized(4, 2);
+      tasks::EstimatorModel model(&enc, opt);
+      model.Fit(train_sqls, train_targets);
+      PrintBox("LSTM", errors(model.PredictAll(eval_sqls)));
+    }
+    {
+      tasks::PreqrEncoder enc(s.model.get());
+      baselines::ConcatEncoder enc_bm(&enc, &bitmap);
+      tasks::EstimatorModel::Options opt;
+      opt.epochs = Sized(8, 2);
+      opt.hidden = 128;
+      opt.lr = 7e-4f;
+      tasks::EstimatorModel model(&enc_bm, opt);
+      model.Fit(train_sqls, train_targets);
+      PrintBox("PreQR", errors(model.PredictAll(eval_sqls)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace preqr::bench
+
+int main() {
+  preqr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the hot components: SQL lexing /
+// parsing, automaton matching, tokenization, executor counting, and PreQR
+// encoding. These back the paper's claim that FA construction and matching
+// incur negligible cost (Section 3.3.1).
+#include <benchmark/benchmark.h>
+
+#include "automaton/template_extractor.h"
+#include "core/preqr_model.h"
+#include "db/executor.h"
+#include "db/stats.h"
+#include "schema/schema_graph.h"
+#include "sql/parser.h"
+#include "text/tokenizer.h"
+#include "workload/imdb.h"
+#include "workload/query_gen.h"
+
+namespace preqr {
+namespace {
+
+const char* kQuery =
+    "SELECT COUNT(*) FROM title t, movie_companies mc, movie_info mi "
+    "WHERE t.id = mc.movie_id AND t.id = mi.movie_id "
+    "AND t.production_year > 2010 AND mc.company_type_id = 1";
+
+struct Shared {
+  db::Database imdb = workload::MakeImdbDatabase(42, 0.1);
+  std::vector<db::TableStats> stats;
+  std::unique_ptr<text::SqlTokenizer> tokenizer;
+  automaton::Automaton fa;
+  schema::SchemaGraph graph;
+  std::unique_ptr<core::PreqrModel> model;
+  sql::SelectStatement stmt;
+
+  Shared() {
+    db::StatsCollector collector;
+    stats = collector.AnalyzeAll(imdb);
+    tokenizer = std::make_unique<text::SqlTokenizer>(imdb.catalog(), stats, 8);
+    workload::ImdbQueryGenerator gen(imdb, 1);
+    automaton::TemplateExtractor extractor(0.2);
+    fa = extractor.BuildAutomaton(
+        [&] {
+          std::vector<std::string> corpus;
+          for (const auto& q : gen.Synthetic(60, 2)) corpus.push_back(q.sql);
+          return corpus;
+        }());
+    graph = schema::SchemaGraph::Build(imdb.catalog());
+    core::PreqrConfig config;
+    config.d_model = 32;
+    model = std::make_unique<core::PreqrModel>(config, tokenizer.get(), &fa,
+                                               &graph);
+    stmt = sql::Parse(kQuery).value();
+  }
+};
+
+Shared& S() {
+  static Shared* shared = new Shared();
+  return *shared;
+}
+
+void BM_LexAndParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Parse(kQuery));
+  }
+}
+BENCHMARK(BM_LexAndParse);
+
+void BM_AutomatonMatch(benchmark::State& state) {
+  const auto symbols = automaton::StructuralSymbols(kQuery);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(S().fa.Match(symbols));
+  }
+}
+BENCHMARK(BM_AutomatonMatch);
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(S().tokenizer->Tokenize(kQuery));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ExecutorCount(benchmark::State& state) {
+  db::Executor exec(S().imdb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(S().stmt));
+  }
+}
+BENCHMARK(BM_ExecutorCount);
+
+void BM_PreqrEncode(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(S().model->Encode(kQuery));
+  }
+}
+BENCHMARK(BM_PreqrEncode);
+
+}  // namespace
+}  // namespace preqr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Regenerates Tables 10 and 11: cardinality and cost q-errors on the JOB
+// workload with string predicates (LIKE / IN / equality on satellite
+// tables, 4+ joins) for PG / LSTM / PreQR. MSCN is excluded (no string
+// support) and NeuroCard is excluded (per the paper) — matching Section
+// 4.5.2's comparison set. Models train on 90% of a multi-join string
+// workload and evaluate on the held-out 10%.
+#include "bench/harness.h"
+
+#include "baselines/feature_encoders.h"
+#include "baselines/lstm_encoder.h"
+#include "pg/pg_estimator.h"
+#include "tasks/estimator.h"
+#include "tasks/preqr_encoder.h"
+
+namespace preqr::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Tables 10+11", "errors on the JOB workload (with strings)");
+  EstimationSetup s = BuildEstimationSetup(BenchConfig());
+  workload::ImdbQueryGenerator gen(s.imdb, 77);
+  auto all = gen.JobStrings(Sized(300, 60), 4, 8);
+  const size_t train_n = all.size() * 9 / 10;
+  std::vector<workload::BenchQuery> train(all.begin(),
+                                          all.begin() + train_n);
+  std::vector<workload::BenchQuery> eval_set(all.begin() + train_n,
+                                             all.end());
+
+  pg::PgEstimator pg_est(s.imdb);
+  db::BitmapSampler sampler(s.imdb, 64);
+  baselines::BitmapFeatureEncoder bitmap(&sampler);
+  const auto train_sqls = Sqls(train);
+  const auto eval_sqls = Sqls(eval_set);
+
+  baselines::LstmQueryEncoder lstm(32, 24, 3);
+  lstm.BuildVocab(train_sqls);
+  baselines::ConcatEncoder lstm_bm(&lstm, &bitmap);
+  tasks::PreqrEncoder preqr_enc(s.model.get());
+  baselines::ConcatEncoder preqr_bm(&preqr_enc, &bitmap);
+
+  for (const bool cost_task : {false, true}) {
+    const auto train_targets = cost_task ? Costs(train) : Cards(train);
+    const auto truths = cost_task ? Costs(eval_set) : Cards(eval_set);
+    const char* suffix = cost_task ? "Cost" : "Card";
+    std::printf("\n--- Table %s: %s estimation ---\n",
+                cost_task ? "11" : "10", cost_task ? "cost" : "cardinality");
+    PrintQErrorHeader("JOB (strings)");
+    {
+      std::vector<double> est;
+      for (const auto& q : eval_set) {
+        est.push_back(cost_task ? pg_est.EstimateCost(q.stmt)
+                                : pg_est.EstimateCardinality(q.stmt));
+      }
+      PrintQErrorRow(std::string("PG") + suffix,
+                     eval::ComputeQErrors(truths, est));
+    }
+    {
+      tasks::EstimatorModel::Options lopt;
+      lopt.epochs = Sized(5, 2);
+      lopt.hidden = 96;
+      tasks::EstimatorModel model(&lstm_bm, lopt);
+      model.Fit(train_sqls, train_targets);
+      PrintQErrorRow(std::string("LSTM") + suffix,
+                     eval::ComputeQErrors(truths,
+                                          model.PredictAll(eval_sqls)));
+    }
+    {
+      tasks::EstimatorModel::Options popt;
+      popt.epochs = Sized(8, 2);
+      popt.hidden = 128;
+      popt.lr = 7e-4f;
+      tasks::EstimatorModel model(&preqr_bm, popt);
+      model.Fit(train_sqls, train_targets);
+      PrintQErrorRow(std::string("PreQR") + suffix,
+                     eval::ComputeQErrors(truths,
+                                          model.PredictAll(eval_sqls)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace preqr::bench
+
+int main() {
+  preqr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Regenerates Table 12: ablation over model composition. BERT = neither
+// automaton nor Trm_g; PreQRNT = no query-aware schema transformer;
+// PreQRNA = no automaton channel; PreQR = full model. Mean q-errors on
+// cardinality and cost for JOB-light / Synthetic / Scale / JOB.
+#include "bench/harness.h"
+
+#include "baselines/feature_encoders.h"
+#include "tasks/estimator.h"
+#include "tasks/preqr_encoder.h"
+
+namespace preqr::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool use_automaton;
+  bool use_schema;
+};
+
+void Run() {
+  PrintHeader("Table 12", "ablation over model composition (mean q-error)");
+  // Shared data/workloads; each variant pre-trains its own model.
+  EstimationSetup s =
+      BuildEstimationSetup(BenchConfig(), /*pretrain_epochs=*/0);
+  workload::ImdbQueryGenerator gen(s.imdb, 77);
+  auto job_all = gen.JobStrings(Sized(180, 40), 4, 8);
+  const size_t job_train_n = job_all.size() * 8 / 10;
+  std::vector<workload::BenchQuery> job_train(job_all.begin(),
+                                              job_all.begin() + job_train_n);
+  std::vector<workload::BenchQuery> job_eval(job_all.begin() + job_train_n,
+                                             job_all.end());
+  db::BitmapSampler sampler(s.imdb, 64);
+  baselines::BitmapFeatureEncoder bitmap(&sampler);
+
+  std::vector<std::string> corpus = Sqls(s.synthetic_train);
+  {
+    auto jl = Sqls(s.joblight_train);
+    corpus.insert(corpus.end(), jl.begin(), jl.end());
+    auto js = Sqls(job_train);
+    corpus.insert(corpus.end(), js.begin(), js.end());
+  }
+  if (corpus.size() > Sized(250u, 60u)) corpus.resize(Sized(250, 60));
+
+  const Variant variants[] = {
+      {"BERT", false, false},
+      {"PreQRNT", true, false},
+      {"PreQRNA", false, true},
+      {"PreQR", true, true},
+  };
+
+  struct Row {
+    std::string name;
+    double card[4];
+    double cost[4];
+  };
+  std::vector<Row> rows;
+
+  for (const auto& variant : variants) {
+    core::PreqrConfig config = BenchConfig();
+    config.d_model = Sized(48, 32);  // four pre-trainings; keep them cheap
+    config.ffn_hidden = 2 * config.d_model;
+    config.use_automaton = variant.use_automaton;
+    config.use_schema = variant.use_schema;
+    core::PreqrModel model(config, s.tokenizer.get(), &s.fa, &s.graph, 5);
+    core::Pretrainer::Options popt;
+    popt.epochs = Sized(2, 1);
+    core::Pretrainer pretrainer(model, popt);
+    pretrainer.Train(corpus);
+    tasks::PreqrEncoder enc(&model);
+    baselines::ConcatEncoder enc_bm(&enc, &bitmap);
+
+    Row row;
+    row.name = variant.name;
+    struct Eval {
+      const std::vector<workload::BenchQuery>* train;
+      const std::vector<workload::BenchQuery>* eval;
+    };
+    const Eval evals[] = {
+        {&s.joblight_train, &s.joblight_eval},
+        {&s.synthetic_train, &s.synthetic_eval},
+        {&s.synthetic_train, &s.scale_eval},
+        {&job_train, &job_eval},
+    };
+    for (int e = 0; e < 4; ++e) {
+      std::vector<workload::BenchQuery> capped(*evals[e].train);
+      if (capped.size() > 250) capped.resize(250);
+      for (const bool cost_task : {false, true}) {
+        tasks::EstimatorModel::Options opt;
+        opt.epochs = Sized(4, 2);
+        opt.hidden = 96;
+        opt.lr = 7e-4f;
+        tasks::EstimatorModel est(&enc_bm, opt);
+        est.Fit(Sqls(capped), cost_task ? Costs(capped) : Cards(capped));
+        const auto truths =
+            cost_task ? Costs(*evals[e].eval) : Cards(*evals[e].eval);
+        const double mean =
+            eval::ComputeQErrors(truths, est.PredictAll(Sqls(*evals[e].eval)))
+                .mean;
+        (cost_task ? row.cost : row.card)[e] = mean;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("\n[cardinality estimation, mean q-error]\n");
+  std::printf("%-12s %10s %10s %10s %10s\n", "method", "JOB-light",
+              "Synthetic", "Scale", "JOB");
+  for (const auto& row : rows) {
+    std::printf("%-12s %10.2f %10.2f %10.2f %10.2f\n",
+                (row.name + "Card").c_str(), row.card[0], row.card[1],
+                row.card[2], row.card[3]);
+  }
+  std::printf("\n[cost estimation, mean q-error]\n");
+  std::printf("%-12s %10s %10s %10s %10s\n", "method", "JOB-light",
+              "Synthetic", "Scale", "JOB");
+  for (const auto& row : rows) {
+    std::printf("%-12s %10.2f %10.2f %10.2f %10.2f\n",
+                (row.name + "Cost").c_str(), row.cost[0], row.cost[1],
+                row.cost[2], row.cost[3]);
+  }
+}
+
+}  // namespace
+}  // namespace preqr::bench
+
+int main() {
+  preqr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Regenerates Table 13: ablation over model size (#L layers, #H hidden,
+// #A attention heads) on the cost-estimation task. The paper's finding:
+// larger models are monotonically better, with diminishing returns.
+#include "bench/harness.h"
+
+#include "baselines/feature_encoders.h"
+#include "tasks/estimator.h"
+#include "tasks/preqr_encoder.h"
+
+namespace preqr::bench {
+namespace {
+
+struct SizeConfig {
+  int layers;
+  int hidden;
+  int heads;
+};
+
+void Run() {
+  PrintHeader("Table 13", "ablation over model size on cost estimation");
+  EstimationSetup s =
+      BuildEstimationSetup(BenchConfig(), /*pretrain_epochs=*/0);
+  db::BitmapSampler sampler(s.imdb, 64);
+  baselines::BitmapFeatureEncoder bitmap(&sampler);
+  std::vector<std::string> corpus = Sqls(s.synthetic_train);
+  {
+    auto jl = Sqls(s.joblight_train);
+    corpus.insert(corpus.end(), jl.begin(), jl.end());
+  }
+  if (corpus.size() > Sized(250u, 50u)) corpus.resize(Sized(250, 50));
+
+  // Paper sweeps {2,4,6,12} x 256 x {4,8}; scaled down proportionally.
+  const SizeConfig configs[] = {
+      {1, 32, 2},
+      {2, 48, 4},
+      {2, 64, 4},
+      {3, 96, 4},
+  };
+
+  std::printf("%4s %4s %4s   %10s %10s %10s\n", "#L", "#H", "#A", "JOB-light",
+              "Synthetic", "Scale");
+  for (const auto& size : configs) {
+    core::PreqrConfig config;
+    config.num_layers = size.layers;
+    config.d_model = size.hidden;
+    config.num_heads = size.heads;
+    config.ffn_hidden = 2 * size.hidden;
+    core::PreqrModel model(config, s.tokenizer.get(), &s.fa, &s.graph, 5);
+    core::Pretrainer::Options popt;
+    popt.epochs = Sized(2, 1);
+    core::Pretrainer pretrainer(model, popt);
+    pretrainer.Train(corpus);
+    tasks::PreqrEncoder enc(&model);
+    baselines::ConcatEncoder enc_bm(&enc, &bitmap);
+
+    double means[3];
+    struct Eval {
+      const std::vector<workload::BenchQuery>* train;
+      const std::vector<workload::BenchQuery>* eval;
+    };
+    const Eval evals[] = {
+        {&s.joblight_train, &s.joblight_eval},
+        {&s.synthetic_train, &s.synthetic_eval},
+        {&s.synthetic_train, &s.scale_eval},
+    };
+    for (int e = 0; e < 3; ++e) {
+      std::vector<workload::BenchQuery> capped(*evals[e].train);
+      if (capped.size() > 250) capped.resize(250);
+      tasks::EstimatorModel::Options opt;
+      opt.epochs = Sized(5, 2);
+      opt.hidden = 96;
+      opt.lr = 7e-4f;
+      tasks::EstimatorModel est(&enc_bm, opt);
+      est.Fit(Sqls(capped), Costs(capped));
+      means[e] = eval::ComputeQErrors(Costs(*evals[e].eval),
+                                      est.PredictAll(Sqls(*evals[e].eval)))
+                     .mean;
+    }
+    std::printf("%4d %4d %4d   %10.2f %10.2f %10.2f\n", size.layers,
+                size.hidden, size.heads, means[0], means[1], means[2]);
+  }
+}
+
+}  // namespace
+}  // namespace preqr::bench
+
+int main() {
+  preqr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Regenerates Table 5: relative update cost of the four model-maintenance
+// cases (Section 3.6). Wall-clock of one representative update round per
+// case; the paper's ordering (Case 1 << Case 2 < Case 3 < Case 4) is the
+// claim under test, not the absolute hours.
+#include <chrono>
+
+#include "bench/harness.h"
+
+#include "nn/optim.h"
+
+namespace preqr::bench {
+namespace {
+
+double Seconds(const std::chrono::steady_clock::time_point& a,
+               const std::chrono::steady_clock::time_point& b) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count() /
+         1000.0;
+}
+
+void Run() {
+  PrintHeader("Table 5", "update cost of the PreQR model");
+  core::PreqrConfig config = BenchConfig();
+  EstimationSetup s = BuildEstimationSetup(config, /*pretrain_epochs=*/0);
+  auto corpus = Sqls(s.synthetic_train);
+  if (corpus.size() > 200) corpus.resize(200);
+  const int sample_rounds = Sized(1, 1);
+
+  core::Pretrainer::Options opt;
+  opt.epochs = sample_rounds;
+  std::printf("%-8s %-52s %9s\n", "case", "description", "seconds");
+
+  // Case 4 first (from scratch): full pre-training pass over the corpus.
+  double case4;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::Pretrainer trainer(*s.model, opt);
+    trainer.Train(corpus);
+    case4 = Seconds(t0, std::chrono::steady_clock::now());
+  }
+
+  // Case 1: data distribution changed -> incremental training of the last
+  // SQLBERT layer only (a few samples).
+  double case1;
+  {
+    std::vector<std::string> samples(corpus.begin(),
+                                     corpus.begin() + corpus.size() / 8);
+    const auto t0 = std::chrono::steady_clock::now();
+    nn::Adam adam(s.model->LastLayerParameters(), 1e-3f);
+    nn::Tensor schema = s.model->EncodeSchemaNodes(/*with_grad=*/false);
+    for (const auto& sql : samples) {
+      auto tokenized = s.model->tokenizer().Tokenize(sql);
+      if (!tokenized.ok()) continue;
+      adam.ZeroGrad();
+      nn::Tensor prefix = s.model->EncodePrefix(tokenized.value(), schema);
+      auto enc = s.model->LastLayer(prefix, schema);
+      nn::Tensor logits = s.model->MlmLogits(enc.tokens);
+      std::vector<int> targets(tokenized.value().ids.begin(),
+                               tokenized.value().ids.begin() + logits.dim(0));
+      nn::CrossEntropy(logits, targets, -1).Backward();
+      adam.Step();
+    }
+    case1 = Seconds(t0, std::chrono::steady_clock::now());
+  }
+
+  // Case 2: schema updated -> incremental training of the Schema2Graph
+  // parameters (name encoder + R-GCN) against the MLM objective.
+  double case2;
+  {
+    std::vector<std::string> samples(corpus.begin(),
+                                     corpus.begin() + corpus.size() / 4);
+    const auto t0 = std::chrono::steady_clock::now();
+    nn::Adam adam(s.model->SchemaParameters(), 1e-3f);
+    for (size_t i = 0; i < samples.size(); i += 8) {
+      adam.ZeroGrad();
+      nn::Tensor schema = s.model->EncodeSchemaNodes(/*with_grad=*/true);
+      for (size_t j = i; j < std::min(samples.size(), i + 8); ++j) {
+        auto tokenized = s.model->tokenizer().Tokenize(samples[j]);
+        if (!tokenized.ok()) continue;
+        auto enc = s.model->Forward(tokenized.value(), schema);
+        nn::Tensor logits = s.model->MlmLogits(enc.tokens);
+        std::vector<int> targets(tokenized.value().ids.begin(),
+                                 tokenized.value().ids.begin() +
+                                     logits.dim(0));
+        nn::CrossEntropy(logits, targets, -1).Backward();
+      }
+      adam.Step();
+    }
+    case2 = Seconds(t0, std::chrono::steady_clock::now());
+  }
+
+  // Case 3: query patterns changed -> rebuild the FA and retrain the Input
+  // Embedding module (token/state/position embeddings + projection).
+  double case3;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    automaton::TemplateExtractor extractor(0.2);
+    automaton::Automaton fa = extractor.BuildAutomaton(corpus);
+    (void)fa;
+    nn::Adam adam(s.model->InputParameters(), 1e-3f);
+    nn::Tensor schema = s.model->EncodeSchemaNodes(/*with_grad=*/false);
+    for (size_t i = 0; i + 1 < corpus.size(); i += 1) {
+      auto tokenized = s.model->tokenizer().Tokenize(corpus[i]);
+      if (!tokenized.ok()) continue;
+      adam.ZeroGrad();
+      auto enc = s.model->Forward(tokenized.value(), schema);
+      nn::Tensor logits = s.model->MlmLogits(enc.tokens);
+      std::vector<int> targets(tokenized.value().ids.begin(),
+                               tokenized.value().ids.begin() + logits.dim(0));
+      nn::CrossEntropy(logits, targets, -1).Backward();
+      adam.Step();
+    }
+    case3 = Seconds(t0, std::chrono::steady_clock::now());
+  }
+
+  std::printf("%-8s %-52s %9.2f\n", "Case 1",
+              "incremental learning, last SQLBERT layer", case1);
+  std::printf("%-8s %-52s %9.2f\n", "Case 2",
+              "incremental learning, Schema2Graph part", case2);
+  std::printf("%-8s %-52s %9.2f\n", "Case 3",
+              "incremental learning, Input Embedding module", case3);
+  std::printf("%-8s %-52s %9.2f\n", "Case 4", "train from scratch", case4);
+}
+
+}  // namespace
+}  // namespace preqr::bench
+
+int main() {
+  preqr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Regenerates Table 6: distribution of joins in the Synthetic / Scale /
+// JOB-light workloads.
+#include "bench/harness.h"
+
+namespace preqr::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 6", "distribution of joins");
+  db::Database imdb = workload::MakeImdbDatabase(42, DbScale());
+  workload::ImdbQueryGenerator gen(imdb, 1);
+
+  const auto print_dist = [](const char* name,
+                             const std::vector<workload::BenchQuery>& qs) {
+    int counts[5] = {0, 0, 0, 0, 0};
+    for (const auto& q : qs) {
+      if (q.num_joins >= 0 && q.num_joins <= 4) ++counts[q.num_joins];
+    }
+    std::printf("%-12s", name);
+    for (int j = 0; j <= 4; ++j) std::printf(" %7d", counts[j]);
+    std::printf(" %9zu\n", qs.size());
+  };
+
+  std::printf("%-12s %7s %7s %7s %7s %7s %9s\n", "workload", "0", "1", "2",
+              "3", "4", "overall");
+  print_dist("Synthetic", gen.Synthetic(Sized(1000, 100), 2));
+  print_dist("Scale", gen.Scale(Sized(100, 10), 4));
+  print_dist("JOB-light", gen.JobLight());
+}
+
+}  // namespace
+}  // namespace preqr::bench
+
+int main() {
+  preqr::bench::Run();
+  return 0;
+}

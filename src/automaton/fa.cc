@@ -1,0 +1,86 @@
+#include "automaton/fa.h"
+
+#include "common/check.h"
+
+namespace preqr::automaton {
+
+Automaton::MatchResult Automaton::Match(
+    const std::vector<Symbol>& symbols) const {
+  MatchResult result;
+  result.states.reserve(symbols.size());
+  int cur = start_state();
+  bool ok = true;
+  for (Symbol s : symbols) {
+    const State& st = states_[static_cast<size_t>(cur)];
+    if (st.label == s && cur != start_state()) {
+      // Self-loop: token lists stay in the same state.
+      result.states.push_back(cur);
+      continue;
+    }
+    auto it = st.next.find(s);
+    if (it != st.next.end()) {
+      cur = it->second;
+      result.states.push_back(cur);
+      continue;
+    }
+    // No transition: degrade gracefully, stay put.
+    ok = false;
+    result.states.push_back(cur);
+  }
+  result.accepted =
+      ok && states_[static_cast<size_t>(cur)].is_final;
+  return result;
+}
+
+std::string Automaton::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    out += "a" + std::to_string(i) + "[" + SymbolName(states_[i].label) + "]";
+    if (states_[i].is_final) out += "(final)";
+    out += ":";
+    for (const auto& [sym, to] : states_[i].next) {
+      out += " ";
+      out += SymbolName(sym);
+      out += "->a" + std::to_string(to);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+AutomatonBuilder::AutomatonBuilder() {
+  Automaton::State start;
+  start.label = Symbol::kStart;
+  fa_.states_.push_back(start);
+}
+
+void AutomatonBuilder::AddTemplate(const std::vector<Symbol>& collapsed) {
+  ++num_templates_;
+  int cur = fa_.start_state();
+  int first_select = -1;
+  for (Symbol s : collapsed) {
+    // UNION loops back to the template's first SELECT state: the automaton
+    // consumes the UNIONed branch with the same states (maximal reuse).
+    auto& state = fa_.states_[static_cast<size_t>(cur)];
+    auto it = state.next.find(s);
+    if (it != state.next.end()) {
+      cur = it->second;
+    } else {
+      Automaton::State next_state;
+      next_state.label = s;
+      const int id = static_cast<int>(fa_.states_.size());
+      fa_.states_.push_back(next_state);
+      fa_.states_[static_cast<size_t>(cur)].next[s] = id;
+      cur = id;
+    }
+    if (s == Symbol::kSelect && first_select < 0) first_select = cur;
+    if (s == Symbol::kUnion && first_select >= 0) {
+      // After UNION, the next SELECT re-enters the shared chain.
+      fa_.states_[static_cast<size_t>(cur)].next[Symbol::kSelect] =
+          first_select;
+    }
+  }
+  fa_.states_[static_cast<size_t>(cur)].is_final = true;
+}
+
+}  // namespace preqr::automaton

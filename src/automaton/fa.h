@@ -1,0 +1,69 @@
+#ifndef PREQR_AUTOMATON_FA_H_
+#define PREQR_AUTOMATON_FA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "automaton/symbol.h"
+
+namespace preqr::automaton {
+
+// Deterministic finite automaton over structural symbols. Each state is
+// labeled with the symbol that loops on it (lists of tokens collapse into a
+// single state, cf. Figure 4 where the whole FROM list sits in state a4).
+// Sub-automata (one per query template) are merged with the maximal-prefix
+// strategy: templates sharing a prefix share the corresponding states.
+class Automaton {
+ public:
+  struct State {
+    Symbol label = Symbol::kStart;
+    std::map<Symbol, int> next;
+    bool is_final = false;
+  };
+
+  struct MatchResult {
+    // One automaton state per input symbol (i.e. per SQL token).
+    std::vector<int> states;
+    // True iff every symbol had a transition and we ended in a final state.
+    bool accepted = false;
+  };
+
+  // Walks the FA over a raw (uncollapsed) symbol sequence. Unknown
+  // transitions keep the current state and mark the match unaccepted
+  // (graceful degradation so the encoder always gets state features).
+  MatchResult Match(const std::vector<Symbol>& symbols) const;
+
+  int num_states() const { return static_cast<int>(states_.size()); }
+  int start_state() const { return 0; }
+  const State& state(int id) const { return states_[static_cast<size_t>(id)]; }
+
+  // Human-readable transition table (for docs/tests).
+  std::string ToString() const;
+
+ private:
+  friend class AutomatonBuilder;
+  std::vector<State> states_;
+};
+
+// Builds the merged automaton from collapsed template symbol sequences.
+class AutomatonBuilder {
+ public:
+  AutomatonBuilder();
+
+  // Adds one template (collapsed symbol sequence, typically ending in kEnd).
+  // A kUnion symbol loops back to the first kSelect state of this template
+  // so `q UNION q` re-uses the same states (Table 2, query q3).
+  void AddTemplate(const std::vector<Symbol>& collapsed);
+
+  int num_templates() const { return num_templates_; }
+  Automaton Build() const { return fa_; }
+
+ private:
+  Automaton fa_;
+  int num_templates_ = 0;
+};
+
+}  // namespace preqr::automaton
+
+#endif  // PREQR_AUTOMATON_FA_H_

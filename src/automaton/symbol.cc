@@ -1,0 +1,225 @@
+#include "automaton/symbol.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace preqr::automaton {
+
+const char* SymbolName(Symbol s) {
+  switch (s) {
+    case Symbol::kStart: return "START";
+    case Symbol::kSelect: return "SELECT";
+    case Symbol::kDistinct: return "DISTINCT";
+    case Symbol::kAgg: return "AGG";
+    case Symbol::kSelectItem: return "ITEM";
+    case Symbol::kFrom: return "FROM";
+    case Symbol::kTable: return "TAB";
+    case Symbol::kJoin: return "JOIN";
+    case Symbol::kWhere: return "WHERE";
+    case Symbol::kColumn: return "COL";
+    case Symbol::kOpEq: return "=";
+    case Symbol::kOpNe: return "<>";
+    case Symbol::kOpLt: return "<";
+    case Symbol::kOpLe: return "<=";
+    case Symbol::kOpGt: return ">";
+    case Symbol::kOpGe: return ">=";
+    case Symbol::kLike: return "LIKE";
+    case Symbol::kIn: return "IN";
+    case Symbol::kBetween: return "BETWEEN";
+    case Symbol::kAnd: return "AND";
+    case Symbol::kOr: return "OR";
+    case Symbol::kNot: return "NOT";
+    case Symbol::kValueNum: return "NUM";
+    case Symbol::kValueStr: return "STR";
+    case Symbol::kLParen: return "(";
+    case Symbol::kRParen: return ")";
+    case Symbol::kGroupBy: return "GROUPBY";
+    case Symbol::kOrderBy: return "ORDERBY";
+    case Symbol::kHaving: return "HAVING";
+    case Symbol::kLimit: return "LIMIT";
+    case Symbol::kAscDesc: return "DIR";
+    case Symbol::kUnion: return "UNION";
+    case Symbol::kEnd: return "END";
+    case Symbol::kNumSymbols: break;
+  }
+  return "?";
+}
+
+namespace {
+
+// Regions of a SELECT statement that change how identifiers are projected.
+enum class Region { kSelectList, kFromList, kWhere, kGroupOrder };
+
+bool IsAggKeyword(const std::string& kw) {
+  return kw == "COUNT" || kw == "SUM" || kw == "AVG" || kw == "MIN" ||
+         kw == "MAX";
+}
+
+}  // namespace
+
+std::vector<Symbol> StructuralSymbols(const std::vector<sql::Token>& tokens) {
+  using sql::TokenType;
+  std::vector<Symbol> out;
+  out.reserve(tokens.size());
+  Region region = Region::kSelectList;
+  // Parenthesis depth at which an aggregate argument list started; -1 = none.
+  int agg_paren = -1;
+  int paren_depth = 0;
+  for (const auto& t : tokens) {
+    switch (t.type) {
+      case TokenType::kEnd:
+        out.push_back(Symbol::kEnd);
+        continue;
+      case TokenType::kNumber:
+        out.push_back(Symbol::kValueNum);
+        continue;
+      case TokenType::kString:
+        out.push_back(Symbol::kValueStr);
+        continue;
+      case TokenType::kIdentifier:
+        if (agg_paren >= 0) {
+          out.push_back(Symbol::kAgg);
+        } else if (region == Region::kSelectList) {
+          out.push_back(Symbol::kSelectItem);
+        } else if (region == Region::kFromList) {
+          out.push_back(Symbol::kTable);
+        } else {
+          out.push_back(Symbol::kColumn);
+        }
+        continue;
+      case TokenType::kSymbol: {
+        const std::string& s = t.text;
+        if (s == "(") {
+          ++paren_depth;
+          out.push_back(agg_paren >= 0 ? Symbol::kAgg : Symbol::kLParen);
+          continue;
+        }
+        if (s == ")") {
+          --paren_depth;
+          if (agg_paren >= 0 && paren_depth <= agg_paren) {
+            agg_paren = -1;
+            out.push_back(Symbol::kAgg);
+          } else {
+            out.push_back(Symbol::kRParen);
+          }
+          continue;
+        }
+        if (s == "=") { out.push_back(Symbol::kOpEq); continue; }
+        if (s == "<>") { out.push_back(Symbol::kOpNe); continue; }
+        if (s == "<") { out.push_back(Symbol::kOpLt); continue; }
+        if (s == "<=") { out.push_back(Symbol::kOpLe); continue; }
+        if (s == ">") { out.push_back(Symbol::kOpGt); continue; }
+        if (s == ">=") { out.push_back(Symbol::kOpGe); continue; }
+        if (s == "*") {
+          out.push_back(agg_paren >= 0 ? Symbol::kAgg : Symbol::kSelectItem);
+          continue;
+        }
+        if (s == "." || s == "," || s == ";") {
+          // Dots and commas belong to the surrounding list region.
+          if (agg_paren >= 0) {
+            out.push_back(Symbol::kAgg);
+          } else if (region == Region::kSelectList) {
+            out.push_back(Symbol::kSelectItem);
+          } else if (region == Region::kFromList) {
+            out.push_back(Symbol::kTable);
+          } else {
+            out.push_back(Symbol::kColumn);
+          }
+          continue;
+        }
+        out.push_back(Symbol::kSelectItem);
+        continue;
+      }
+      case TokenType::kKeyword: {
+        const std::string& kw = t.text;
+        if (kw == "SELECT") {
+          region = Region::kSelectList;
+          out.push_back(Symbol::kSelect);
+        } else if (kw == "DISTINCT") {
+          out.push_back(Symbol::kDistinct);
+        } else if (IsAggKeyword(kw)) {
+          if (agg_paren < 0) agg_paren = paren_depth;
+          out.push_back(Symbol::kAgg);
+        } else if (kw == "FROM") {
+          region = Region::kFromList;
+          out.push_back(Symbol::kFrom);
+        } else if (kw == "JOIN" || kw == "INNER" || kw == "LEFT" ||
+                   kw == "RIGHT") {
+          region = Region::kFromList;
+          out.push_back(Symbol::kJoin);
+        } else if (kw == "ON") {
+          region = Region::kWhere;
+          out.push_back(Symbol::kJoin);
+        } else if (kw == "WHERE") {
+          region = Region::kWhere;
+          out.push_back(Symbol::kWhere);
+        } else if (kw == "AND") {
+          out.push_back(Symbol::kAnd);
+        } else if (kw == "OR") {
+          out.push_back(Symbol::kOr);
+        } else if (kw == "NOT") {
+          out.push_back(Symbol::kNot);
+        } else if (kw == "IN") {
+          out.push_back(Symbol::kIn);
+        } else if (kw == "BETWEEN") {
+          out.push_back(Symbol::kBetween);
+        } else if (kw == "LIKE") {
+          out.push_back(Symbol::kLike);
+        } else if (kw == "GROUP" || (kw == "BY" && !out.empty() &&
+                                     out.back() == Symbol::kGroupBy)) {
+          region = Region::kGroupOrder;
+          out.push_back(Symbol::kGroupBy);
+        } else if (kw == "ORDER") {
+          region = Region::kGroupOrder;
+          out.push_back(Symbol::kOrderBy);
+        } else if (kw == "BY") {
+          out.push_back(out.empty() ? Symbol::kOrderBy : out.back());
+        } else if (kw == "HAVING") {
+          region = Region::kWhere;
+          out.push_back(Symbol::kHaving);
+        } else if (kw == "LIMIT") {
+          out.push_back(Symbol::kLimit);
+        } else if (kw == "ASC" || kw == "DESC") {
+          out.push_back(Symbol::kAscDesc);
+        } else if (kw == "UNION") {
+          out.push_back(Symbol::kUnion);
+        } else if (kw == "AS") {
+          out.push_back(region == Region::kFromList ? Symbol::kTable
+                                                    : Symbol::kSelectItem);
+        } else if (kw == "IS" || kw == "NULL") {
+          out.push_back(Symbol::kValueStr);
+        } else {
+          out.push_back(Symbol::kSelectItem);
+        }
+        continue;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Symbol> StructuralSymbols(const std::string& sql) {
+  auto tokens = sql::Lex(sql);
+  if (!tokens.ok()) return {};
+  return StructuralSymbols(tokens.value());
+}
+
+std::vector<Symbol> Collapse(const std::vector<Symbol>& symbols) {
+  std::vector<Symbol> out;
+  for (Symbol s : symbols) {
+    if (out.empty() || out.back() != s) out.push_back(s);
+  }
+  return out;
+}
+
+std::string SymbolsToString(const std::vector<Symbol>& symbols) {
+  std::string out;
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (i > 0) out += " ";
+    out += SymbolName(symbols[i]);
+  }
+  return out;
+}
+
+}  // namespace preqr::automaton

@@ -1,0 +1,74 @@
+#ifndef PREQR_AUTOMATON_SYMBOL_H_
+#define PREQR_AUTOMATON_SYMBOL_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace preqr::automaton {
+
+// The abstract alphabet the query-structure automaton runs over. Concrete
+// identifiers/literals are projected to structural symbols so that queries
+// with the same shape produce the same symbol sequence (Section 3.3.1).
+enum class Symbol : int {
+  kStart = 0,   // [CLS]
+  kSelect,
+  kDistinct,
+  kAgg,         // COUNT/SUM/AVG/MIN/MAX and its (...) argument region
+  kSelectItem,  // plain projection column(s), commas, stars
+  kFrom,
+  kTable,       // table names, aliases and commas of the FROM list
+  kJoin,        // JOIN/INNER/LEFT/RIGHT/ON keywords
+  kWhere,
+  kColumn,      // a (qualified) column reference in predicates/group/order
+  kOpEq,
+  kOpNe,
+  kOpLt,
+  kOpLe,
+  kOpGt,
+  kOpGe,
+  kLike,
+  kIn,
+  kBetween,
+  kAnd,
+  kOr,
+  kNot,
+  kValueNum,    // numeric literal
+  kValueStr,    // string literal
+  kLParen,
+  kRParen,
+  kGroupBy,
+  kOrderBy,
+  kHaving,
+  kLimit,
+  kAscDesc,
+  kUnion,
+  kEnd,         // [END]
+  kNumSymbols,
+};
+
+constexpr int kNumSymbols = static_cast<int>(Symbol::kNumSymbols);
+
+// Short printable name, e.g. "TAB", "COL", "=".
+const char* SymbolName(Symbol s);
+
+// Projects a lexed SQL token stream onto structural symbols, 1:1 with the
+// input tokens (including the trailing kEnd token -> kEnd). A kStart symbol
+// is *not* prepended; callers decide how to model [CLS].
+std::vector<Symbol> StructuralSymbols(const std::vector<sql::Token>& tokens);
+
+// Convenience: lex + symbolize. Returns empty vector on lex failure.
+std::vector<Symbol> StructuralSymbols(const std::string& sql);
+
+// Run-length collapses consecutive identical symbols (the automaton models
+// token lists as states with self-loops).
+std::vector<Symbol> Collapse(const std::vector<Symbol>& symbols);
+
+// Renders a symbol sequence as a readable template string, e.g.
+// "SELECT AGG FROM TAB WHERE COL = NUM".
+std::string SymbolsToString(const std::vector<Symbol>& symbols);
+
+}  // namespace preqr::automaton
+
+#endif  // PREQR_AUTOMATON_SYMBOL_H_

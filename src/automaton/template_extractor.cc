@@ -1,0 +1,126 @@
+#include "automaton/template_extractor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace preqr::automaton {
+
+NormalizedQuery NormalizeForTemplate(const std::string& sql) {
+  NormalizedQuery out;
+  auto tokens = sql::Lex(sql);
+  if (!tokens.ok()) return out;
+  const auto symbols = StructuralSymbols(tokens.value());
+  std::string* cur = &out.select_clause;
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    const Symbol s = symbols[i];
+    switch (s) {
+      case Symbol::kSelect:
+        cur = &out.select_clause;
+        break;
+      case Symbol::kFrom:
+      case Symbol::kJoin:
+        if (s == Symbol::kFrom) cur = &out.from_clause;
+        break;
+      case Symbol::kWhere:
+        cur = &out.where_clause;
+        break;
+      case Symbol::kGroupBy:
+      case Symbol::kOrderBy:
+      case Symbol::kLimit:
+      case Symbol::kUnion:
+        cur = &out.tail_clause;
+        break;
+      default:
+        break;
+    }
+    if (!cur->empty()) *cur += " ";
+    *cur += SymbolName(s);
+  }
+  return out;
+}
+
+double TemplateDistance(const NormalizedQuery& a, const NormalizedQuery& b) {
+  // Per-clause similarities weighted by the paper's emphasis: selection and
+  // join structure matter most, then projections, then the tail.
+  const double s_sel = StringSimilarity(a.select_clause, b.select_clause);
+  const double s_from = StringSimilarity(a.from_clause, b.from_clause);
+  const double s_where = StringSimilarity(a.where_clause, b.where_clause);
+  const double s_tail = StringSimilarity(a.tail_clause, b.tail_clause);
+  // Cosine-style merge: treat similarities as a vector against the ideal
+  // (1,1,1,1), weighted.
+  const double w_sel = 0.2, w_from = 0.3, w_where = 0.4, w_tail = 0.1;
+  const double sim =
+      w_sel * s_sel + w_from * s_from + w_where * s_where + w_tail * s_tail;
+  return 1.0 - sim;
+}
+
+TemplateExtractor::Extraction TemplateExtractor::Extract(
+    const std::vector<std::string>& queries) const {
+  Extraction out;
+  out.assignment.assign(queries.size(), -1);
+  std::vector<NormalizedQuery> norms;
+  norms.reserve(queries.size());
+  for (const auto& q : queries) norms.push_back(NormalizeForTemplate(q));
+
+  // Leader clustering: first member of each cluster is its leader.
+  std::vector<int> leaders;
+  std::vector<std::vector<int>> members;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    int best = -1;
+    double best_d = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < leaders.size(); ++c) {
+      const double d =
+          TemplateDistance(norms[i], norms[static_cast<size_t>(leaders[c])]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best >= 0 && best_d <= epsilon_) {
+      out.assignment[i] = best;
+      members[static_cast<size_t>(best)].push_back(static_cast<int>(i));
+    } else {
+      out.assignment[i] = static_cast<int>(leaders.size());
+      leaders.push_back(static_cast<int>(i));
+      members.push_back({static_cast<int>(i)});
+    }
+  }
+
+  // Medoid per cluster: the member minimizing total distance to the others.
+  for (const auto& cluster : members) {
+    int medoid = cluster[0];
+    if (cluster.size() > 2) {
+      double best_total = std::numeric_limits<double>::max();
+      for (int i : cluster) {
+        double total = 0;
+        for (int j : cluster) {
+          if (i != j) {
+            total += TemplateDistance(norms[static_cast<size_t>(i)],
+                                      norms[static_cast<size_t>(j)]);
+          }
+        }
+        if (total < best_total) {
+          best_total = total;
+          medoid = i;
+        }
+      }
+    }
+    const auto symbols =
+        StructuralSymbols(queries[static_cast<size_t>(medoid)]);
+    out.templates.push_back(Collapse(symbols));
+  }
+  return out;
+}
+
+Automaton TemplateExtractor::BuildAutomaton(
+    const std::vector<std::string>& queries) const {
+  const Extraction extraction = Extract(queries);
+  AutomatonBuilder builder;
+  for (const auto& t : extraction.templates) builder.AddTemplate(t);
+  return builder.Build();
+}
+
+}  // namespace preqr::automaton

@@ -1,0 +1,45 @@
+#ifndef PREQR_BASELINES_ENCODER_H_
+#define PREQR_BASELINES_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace preqr::baselines {
+
+// A query encoder producing a fixed-size feature vector [1, dim] for
+// regression heads (cardinality / cost estimation). Implementations may be
+// trainable (LSTM, PreQR last layer) or static featurizers (one-hot).
+class QueryEncoder {
+ public:
+  virtual ~QueryEncoder() = default;
+  // Encodes one SQL query. `train` enables gradient recording through the
+  // encoder's trainable parameters (if any).
+  virtual nn::Tensor EncodeVector(const std::string& sql, bool train) = 0;
+  // Parameters updated during downstream fine-tuning (may be empty).
+  virtual std::vector<nn::Tensor> TrainableParameters() = 0;
+  virtual int dim() const = 0;
+  virtual std::string name() const = 0;
+  // Hook called once before each optimizer step (e.g. to refresh a shared
+  // schema encoding). Default: nothing.
+  virtual void BeginStep(bool /*train*/) {}
+};
+
+// A query encoder producing a per-token memory [S, dim] for attention-based
+// decoders (SQL-to-Text).
+class SequenceEncoder {
+ public:
+  virtual ~SequenceEncoder() = default;
+  virtual nn::Tensor EncodeSequence(const std::string& sql, bool train) = 0;
+  virtual std::vector<nn::Tensor> TrainableParameters() = 0;
+  virtual int dim() const = 0;
+  // Width of EncodeSequence rows; defaults to dim() but may differ when an
+  // encoder's fixed-vector read-out is wider than its token states.
+  virtual int sequence_dim() const { return dim(); }
+  virtual std::string name() const = 0;
+};
+
+}  // namespace preqr::baselines
+
+#endif  // PREQR_BASELINES_ENCODER_H_

@@ -1,0 +1,35 @@
+#include "baselines/feature_encoders.h"
+
+#include "nn/ops.h"
+#include "sql/parser.h"
+
+namespace preqr::baselines {
+
+nn::Tensor BitmapFeatureEncoder::EncodeVector(const std::string& sql,
+                                              bool /*train*/) {
+  auto parsed = sql::Parse(sql);
+  std::vector<float> v(static_cast<size_t>(sampler_->sample_size()), 0.0f);
+  if (parsed.ok() && !parsed.value().tables.empty()) {
+    const auto& stmt = parsed.value();
+    for (const auto& tref : stmt.tables) {
+      const auto bm = sampler_->Bitmap(tref.table, stmt);
+      for (size_t i = 0; i < bm.size(); ++i) v[i] += bm[i];
+    }
+    const float inv = 1.0f / static_cast<float>(stmt.tables.size());
+    for (auto& x : v) x *= inv;
+  }
+  return nn::Tensor::FromData({1, sampler_->sample_size()}, std::move(v));
+}
+
+nn::Tensor ConcatEncoder::EncodeVector(const std::string& sql, bool train) {
+  return nn::ConcatLastDim(
+      {a_->EncodeVector(sql, train), b_->EncodeVector(sql, train)});
+}
+
+std::vector<nn::Tensor> ConcatEncoder::TrainableParameters() {
+  std::vector<nn::Tensor> params = a_->TrainableParameters();
+  for (const auto& t : b_->TrainableParameters()) params.push_back(t);
+  return params;
+}
+
+}  // namespace preqr::baselines

@@ -1,0 +1,53 @@
+#ifndef PREQR_BASELINES_FEATURE_ENCODERS_H_
+#define PREQR_BASELINES_FEATURE_ENCODERS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "db/stats.h"
+
+namespace preqr::baselines {
+
+// Static bitmap-sample features: the mean per-table sample bitmap of the
+// query (Section 4.3.2's "bitmap sampling" optimization). Combined with any
+// learned encoder via ConcatEncoder.
+class BitmapFeatureEncoder : public QueryEncoder {
+ public:
+  explicit BitmapFeatureEncoder(const db::BitmapSampler* sampler)
+      : sampler_(sampler) {}
+
+  nn::Tensor EncodeVector(const std::string& sql, bool train) override;
+  std::vector<nn::Tensor> TrainableParameters() override { return {}; }
+  int dim() const override { return sampler_->sample_size(); }
+  std::string name() const override { return "Bitmap"; }
+
+ private:
+  const db::BitmapSampler* sampler_;
+};
+
+// Concatenation of two encoders' feature vectors (e.g. PreQR + bitmaps,
+// LSTM + bitmaps). Training flags and parameters pass through.
+class ConcatEncoder : public QueryEncoder {
+ public:
+  ConcatEncoder(QueryEncoder* a, QueryEncoder* b) : a_(a), b_(b) {}
+
+  nn::Tensor EncodeVector(const std::string& sql, bool train) override;
+  std::vector<nn::Tensor> TrainableParameters() override;
+  int dim() const override { return a_->dim() + b_->dim(); }
+  std::string name() const override {
+    return a_->name() + "+" + b_->name();
+  }
+  void BeginStep(bool train) override {
+    a_->BeginStep(train);
+    b_->BeginStep(train);
+  }
+
+ private:
+  QueryEncoder* a_;
+  QueryEncoder* b_;
+};
+
+}  // namespace preqr::baselines
+
+#endif  // PREQR_BASELINES_FEATURE_ENCODERS_H_

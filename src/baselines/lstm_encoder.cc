@@ -1,0 +1,114 @@
+#include "baselines/lstm_encoder.h"
+
+#include <algorithm>
+
+#include "sql/lexer.h"
+
+namespace preqr::baselines {
+
+namespace {
+constexpr int kUnk = 0;
+}  // namespace
+
+LstmQueryEncoder::LstmQueryEncoder(int embed_dim, int hidden_dim,
+                                   uint64_t seed)
+    : embed_(embed_dim), hidden_(hidden_dim), rng_(seed) {
+  vocab_["[UNK]"] = kUnk;
+}
+
+void LstmQueryEncoder::BuildVocab(const std::vector<std::string>& corpus) {
+  std::vector<double> numbers;
+  for (const auto& sql : corpus) {
+    auto lexed = sql::Lex(sql);
+    if (!lexed.ok()) continue;
+    for (const auto& tok : lexed.value()) {
+      switch (tok.type) {
+        case sql::TokenType::kNumber:
+          numbers.push_back(tok.number);
+          break;
+        case sql::TokenType::kString:
+          break;  // all strings collapse to [STR]
+        case sql::TokenType::kEnd:
+          break;
+        default:
+          if (vocab_.find(tok.text) == vocab_.end()) {
+            vocab_[tok.text] = static_cast<int>(vocab_.size());
+          }
+      }
+    }
+  }
+  vocab_.emplace("[STR]", static_cast<int>(vocab_.size()));
+  for (int d = 0; d < 10; ++d) {
+    vocab_.emplace("[NUM" + std::to_string(d) + "]",
+                   static_cast<int>(vocab_.size()));
+  }
+  // Global numeric deciles: one scale shared by every column.
+  std::sort(numbers.begin(), numbers.end());
+  global_quantiles_.clear();
+  for (int q = 1; q < 10 && !numbers.empty(); ++q) {
+    global_quantiles_.push_back(
+        numbers[static_cast<size_t>(q) * (numbers.size() - 1) / 10]);
+  }
+  embedding_ = std::make_unique<nn::Embedding>(
+      static_cast<int>(vocab_.size()), embed_, rng_);
+  lstm_ = std::make_unique<nn::BiLstm>(embed_, hidden_, rng_);
+}
+
+int LstmQueryEncoder::TokenId(const std::string& word) const {
+  auto it = vocab_.find(word);
+  return it == vocab_.end() ? kUnk : it->second;
+}
+
+std::string LstmQueryEncoder::NumberToken(double value) const {
+  int d = 0;
+  for (double q : global_quantiles_) {
+    if (value > q) ++d;
+  }
+  return "[NUM" + std::to_string(std::min(d, 9)) + "]";
+}
+
+std::vector<int> LstmQueryEncoder::TokenIds(const std::string& sql) const {
+  std::vector<int> ids;
+  auto lexed = sql::Lex(sql);
+  if (!lexed.ok()) return {kUnk};
+  for (const auto& tok : lexed.value()) {
+    switch (tok.type) {
+      case sql::TokenType::kNumber:
+        ids.push_back(TokenId(NumberToken(tok.number)));
+        break;
+      case sql::TokenType::kString:
+        ids.push_back(TokenId("[STR]"));
+        break;
+      case sql::TokenType::kEnd:
+        break;
+      default:
+        ids.push_back(TokenId(tok.text));
+    }
+  }
+  if (ids.empty()) ids.push_back(kUnk);
+  return ids;
+}
+
+nn::Tensor LstmQueryEncoder::EncodeSequence(const std::string& sql,
+                                            bool /*train*/) {
+  PREQR_CHECK_MSG(lstm_ != nullptr, "BuildVocab must be called first");
+  const std::vector<int> ids = TokenIds(sql);
+  nn::Tensor emb = embedding_->Forward(ids);
+  return lstm_->Forward(emb).per_step;  // [S, 2h]
+}
+
+nn::Tensor LstmQueryEncoder::EncodeVector(const std::string& sql,
+                                          bool /*train*/) {
+  PREQR_CHECK_MSG(lstm_ != nullptr, "BuildVocab must be called first");
+  const std::vector<int> ids = TokenIds(sql);
+  nn::Tensor emb = embedding_->Forward(ids);
+  return lstm_->Forward(emb).summary;  // [1, 2h]
+}
+
+std::vector<nn::Tensor> LstmQueryEncoder::TrainableParameters() {
+  std::vector<nn::Tensor> params = embedding_->Parameters();
+  for (const auto& t : lstm_->Parameters()) params.push_back(t);
+  return params;
+}
+
+}  // namespace preqr::baselines

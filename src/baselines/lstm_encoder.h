@@ -1,0 +1,52 @@
+#ifndef PREQR_BASELINES_LSTM_ENCODER_H_
+#define PREQR_BASELINES_LSTM_ENCODER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace preqr::baselines {
+
+// LSTM query encoder in the style of the learning-based cost estimator
+// (Sun & Li): the query is treated as *plain text* — no schema linking, no
+// structure channel — and numeric literals are mapped to globally
+// normalized decile tokens (one shared scale for all columns). Both
+// weaknesses are the ones Section 4.5 attributes to LSTM baselines.
+class LstmQueryEncoder : public QueryEncoder, public SequenceEncoder {
+ public:
+  LstmQueryEncoder(int embed_dim, int hidden_dim, uint64_t seed);
+
+  // Builds the word vocabulary and the global numeric quantiles from a
+  // training corpus. Must be called before encoding.
+  void BuildVocab(const std::vector<std::string>& corpus);
+
+  nn::Tensor EncodeVector(const std::string& sql, bool train) override;
+  nn::Tensor EncodeSequence(const std::string& sql, bool train) override;
+  std::vector<nn::Tensor> TrainableParameters() override;
+  int dim() const override { return 2 * hidden_; }
+  std::string name() const override { return "LSTM"; }
+
+  // Token ids for a query under this encoder's plain-text view.
+  std::vector<int> TokenIds(const std::string& sql) const;
+  int vocab_size() const { return static_cast<int>(vocab_.size()); }
+
+ private:
+  int TokenId(const std::string& word) const;
+  std::string NumberToken(double value) const;
+
+  int embed_, hidden_;
+  Rng rng_;
+  std::map<std::string, int> vocab_;
+  std::vector<double> global_quantiles_;  // 9 cut points -> 10 decile tokens
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::BiLstm> lstm_;
+};
+
+}  // namespace preqr::baselines
+
+#endif  // PREQR_BASELINES_LSTM_ENCODER_H_

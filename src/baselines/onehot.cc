@@ -1,0 +1,149 @@
+#include "baselines/onehot.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace preqr::baselines {
+
+namespace {
+constexpr int kNumOps = 9;  // CompareOp cardinality
+
+int OpIndex(sql::CompareOp op) { return static_cast<int>(op); }
+}  // namespace
+
+OneHotEncoder::OneHotEncoder(const db::Database& db,
+                             const db::BitmapSampler* sampler)
+    : db_(db), sampler_(sampler) {
+  const auto& catalog = db.catalog();
+  for (const auto& table : catalog.tables()) {
+    table_index_[table.name] = num_tables_++;
+    for (const auto& col : table.columns) {
+      column_index_[table.name + "." + col.name] = num_columns_++;
+    }
+  }
+  for (const auto& fk : catalog.foreign_keys()) {
+    const std::string key = fk.from_table + "." + fk.from_column + "=" +
+                            fk.to_table + "." + fk.to_column;
+    join_index_[key] = static_cast<int>(join_index_.size());
+  }
+  // Equi-width per-column ranges from the data.
+  for (const auto& table : db.tables()) {
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      const db::Column& col = table->column(static_cast<int>(c));
+      if (col.type == sql::ColumnType::kString || col.size() == 0) continue;
+      double lo = col.AsDouble(0), hi = col.AsDouble(0);
+      for (size_t r = 1; r < col.size(); ++r) {
+        lo = std::min(lo, col.AsDouble(r));
+        hi = std::max(hi, col.AsDouble(r));
+      }
+      ranges_[table->name() + "." + table->def().columns[c].name] = {lo, hi};
+    }
+  }
+  dim_ = num_tables_ + static_cast<int>(join_index_.size()) + num_columns_ +
+         kNumOps + 1 + (sampler_ != nullptr ? sampler_->sample_size() : 0);
+}
+
+std::vector<float> OneHotEncoder::Featurize(
+    const sql::SelectStatement& stmt) const {
+  std::vector<float> v(static_cast<size_t>(dim_), 0.0f);
+  const int join_base = num_tables_;
+  const int col_base = join_base + static_cast<int>(join_index_.size());
+  const int op_base = col_base + num_columns_;
+  const int val_slot = op_base + kNumOps;
+
+  // Table set.
+  for (const auto& tref : stmt.tables) {
+    auto it = table_index_.find(tref.table);
+    if (it != table_index_.end()) v[static_cast<size_t>(it->second)] = 1.0f;
+  }
+  // Join set (canonicalized in both directions against the FK universe).
+  for (const auto& pred : stmt.predicates) {
+    if (!pred.IsJoin()) continue;
+    const std::string lt = stmt.ResolveTable(pred.lhs.qualifier);
+    const std::string rt = stmt.ResolveTable(pred.rhs_column.qualifier);
+    const std::string a = lt + "." + pred.lhs.column;
+    const std::string b = rt + "." + pred.rhs_column.column;
+    auto it = join_index_.find(a + "=" + b);
+    if (it == join_index_.end()) it = join_index_.find(b + "=" + a);
+    if (it != join_index_.end()) {
+      v[static_cast<size_t>(join_base + it->second)] = 1.0f;
+    }
+  }
+  // Predicate set: mean-pooled (column one-hot, op one-hot, norm. value).
+  int preds = 0;
+  for (const auto& pred : stmt.predicates) {
+    if (pred.IsJoin()) continue;
+    ++preds;
+    std::string table = stmt.ResolveTable(pred.lhs.qualifier);
+    if (table.empty()) {
+      // Unqualified: find the owning table among the FROM list.
+      for (const auto& tref : stmt.tables) {
+        const sql::TableDef* def = db_.catalog().FindTable(tref.table);
+        if (def != nullptr && def->ColumnIndex(pred.lhs.column) >= 0) {
+          table = tref.table;
+          break;
+        }
+      }
+    }
+    const std::string key = table + "." + pred.lhs.column;
+    auto cit = column_index_.find(key);
+    if (cit != column_index_.end()) {
+      v[static_cast<size_t>(col_base + cit->second)] += 1.0f;
+    }
+    v[static_cast<size_t>(op_base + OpIndex(pred.op))] += 1.0f;
+    // Value normalized to [0,1] by the column's (min, max) — the paper's
+    // "distribution variance ignored" drawback. Strings hash to [0,1].
+    double value = 0.5;
+    if (!pred.values.empty()) {
+      const auto& lit = pred.values[0];
+      if (lit.kind == sql::Literal::Kind::kString) {
+        value = static_cast<double>(
+                    std::hash<std::string>{}(lit.string_value) % 1000) /
+                1000.0;
+      } else {
+        auto rit = ranges_.find(key);
+        if (rit != ranges_.end() && rit->second.second > rit->second.first) {
+          value = (lit.AsDouble() - rit->second.first) /
+                  (rit->second.second - rit->second.first);
+          value = std::clamp(value, 0.0, 1.0);
+        }
+      }
+    }
+    v[static_cast<size_t>(val_slot)] += static_cast<float>(value);
+  }
+  if (preds > 0) {
+    const float inv = 1.0f / static_cast<float>(preds);
+    for (int i = col_base; i <= val_slot; ++i) {
+      v[static_cast<size_t>(i)] *= inv;
+    }
+  }
+  // Bitmap sample features: mean over the query's tables.
+  if (sampler_ != nullptr) {
+    const int bm_base = val_slot + 1;
+    for (const auto& tref : stmt.tables) {
+      const auto bm = sampler_->Bitmap(tref.table, stmt);
+      for (size_t i = 0; i < bm.size(); ++i) {
+        v[static_cast<size_t>(bm_base) + i] += bm[i];
+      }
+    }
+    if (!stmt.tables.empty()) {
+      const float inv = 1.0f / static_cast<float>(stmt.tables.size());
+      for (int i = 0; i < sampler_->sample_size(); ++i) {
+        v[static_cast<size_t>(bm_base + i)] *= inv;
+      }
+    }
+  }
+  return v;
+}
+
+nn::Tensor OneHotEncoder::EncodeVector(const std::string& sql, bool /*train*/) {
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok()) {
+    return nn::Tensor::Zeros({1, dim_});
+  }
+  std::vector<float> v = Featurize(parsed.value());
+  return nn::Tensor::FromData({1, dim_}, std::move(v));
+}
+
+}  // namespace preqr::baselines

@@ -1,0 +1,49 @@
+#ifndef PREQR_BASELINES_ONEHOT_H_
+#define PREQR_BASELINES_ONEHOT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "db/stats.h"
+#include "sql/ast.h"
+
+namespace preqr::baselines {
+
+// MSCN-style one-hot featurization (Kipf et al.), reproducing the drawbacks
+// Figure 1 criticizes on purpose:
+//  * table set one-hot, join set one-hot (over the FK universe),
+//  * predicate set: column one-hot + operator one-hot + value min-max
+//    normalized to [0,1] with *equi-width* per-column ranges (ignoring the
+//    value distribution), mean-pooled over predicates,
+//  * optional per-table bitmap sample features (mean-pooled).
+class OneHotEncoder : public QueryEncoder {
+ public:
+  // `sampler` may be null (the "NS" no-sampling variants of Figure 8).
+  OneHotEncoder(const db::Database& db, const db::BitmapSampler* sampler);
+
+  nn::Tensor EncodeVector(const std::string& sql, bool train) override;
+  std::vector<nn::Tensor> TrainableParameters() override { return {}; }
+  int dim() const override { return dim_; }
+  std::string name() const override { return "OneHot"; }
+
+  // Featurizes an already-parsed statement (exposed for tests).
+  std::vector<float> Featurize(const sql::SelectStatement& stmt) const;
+
+ private:
+  const db::Database& db_;
+  const db::BitmapSampler* sampler_;
+  int dim_ = 0;
+  int num_tables_ = 0;
+  int num_columns_ = 0;
+  std::map<std::string, int> table_index_;
+  std::map<std::string, int> column_index_;  // "table.column"
+  std::map<std::string, int> join_index_;    // "t1.c1=t2.c2" canonical
+  // Per-column [min, max] for equi-width value normalization.
+  std::map<std::string, std::pair<double, double>> ranges_;
+};
+
+}  // namespace preqr::baselines
+
+#endif  // PREQR_BASELINES_ONEHOT_H_

@@ -1,0 +1,159 @@
+#include "baselines/sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace preqr::baselines {
+
+namespace {
+
+// Collects tagged terms from a statement (recursing into subqueries/UNION).
+void CollectTerms(const sql::SelectStatement& stmt,
+                  std::set<std::string>* selection,
+                  std::set<std::string>* joins,
+                  std::set<std::string>* group_by,
+                  std::set<std::string>* tables) {
+  for (const auto& t : stmt.tables) tables->insert(t.table);
+  for (const auto& item : stmt.items) {
+    if (!item.star) selection->insert(item.column.column);
+  }
+  for (const auto& pred : stmt.predicates) {
+    if (pred.IsJoin()) {
+      std::string a = pred.lhs.column, b = pred.rhs_column.column;
+      if (b < a) std::swap(a, b);
+      joins->insert(a + "=" + b);
+    } else {
+      selection->insert(pred.lhs.column + std::string(
+                            sql::CompareOpSymbol(pred.op)));
+      if (pred.subquery) {
+        CollectTerms(*pred.subquery, selection, joins, group_by, tables);
+      }
+    }
+  }
+  for (const auto& g : stmt.group_by) group_by->insert(g.column);
+  if (stmt.union_next) {
+    CollectTerms(*stmt.union_next, selection, joins, group_by, tables);
+  }
+}
+
+double JaccardSets(const std::set<std::string>& a,
+                   const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& x : a) inter += b.count(x);
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace
+
+std::vector<std::string> AouicheFeatures(const sql::SelectStatement& stmt) {
+  std::set<std::string> selection, joins, group_by, tables;
+  CollectTerms(stmt, &selection, &joins, &group_by, &tables);
+  std::vector<std::string> out;
+  for (const auto& s : selection) out.push_back("s:" + s);
+  for (const auto& j : joins) out.push_back("j:" + j);
+  for (const auto& g : group_by) out.push_back("g:" + g);
+  return out;
+}
+
+double AouicheDistance(const sql::SelectStatement& a,
+                       const sql::SelectStatement& b) {
+  // Normalized Hamming distance over the union of observed features.
+  const auto fa = AouicheFeatures(a);
+  const auto fb = AouicheFeatures(b);
+  std::set<std::string> universe(fa.begin(), fa.end());
+  universe.insert(fb.begin(), fb.end());
+  if (universe.empty()) return 0.0;
+  std::set<std::string> sa(fa.begin(), fa.end());
+  std::set<std::string> sb(fb.begin(), fb.end());
+  size_t differing = 0;
+  for (const auto& f : universe) {
+    if (sa.count(f) != sb.count(f)) ++differing;
+  }
+  return static_cast<double>(differing) / static_cast<double>(universe.size());
+}
+
+double AligonDistance(const sql::SelectStatement& a,
+                      const sql::SelectStatement& b) {
+  std::set<std::string> sel_a, join_a, group_a, tab_a;
+  std::set<std::string> sel_b, join_b, group_b, tab_b;
+  CollectTerms(a, &sel_a, &join_a, &group_a, &tab_a);
+  CollectTerms(b, &sel_b, &join_b, &group_b, &tab_b);
+  // Aligon et al. weight selection and joins highest, then group-by.
+  const double sim = 0.4 * JaccardSets(sel_a, sel_b) +
+                     0.4 * JaccardSets(join_a, join_b) +
+                     0.2 * JaccardSets(group_a, group_b);
+  return 1.0 - sim;
+}
+
+std::map<std::string, double> MakiyamaVector(
+    const sql::SelectStatement& stmt) {
+  std::map<std::string, double> tf;
+  for (const auto& item : stmt.items) {
+    if (item.star) {
+      tf["select:*"] += 1;
+    } else {
+      tf["select:" + item.column.column] += 1;
+    }
+    if (item.agg != sql::AggFunc::kNone) {
+      tf[std::string("agg:") + sql::AggFuncName(item.agg)] += 1;
+    }
+  }
+  for (const auto& t : stmt.tables) tf["from:" + t.table] += 1;
+  for (const auto& pred : stmt.predicates) {
+    if (pred.IsJoin()) {
+      std::string a = pred.lhs.column, b = pred.rhs_column.column;
+      if (b < a) std::swap(a, b);
+      tf["join:" + a + "=" + b] += 1;
+    } else {
+      tf["where:" + pred.lhs.column] += 1;
+      tf[std::string("op:") + sql::CompareOpSymbol(pred.op)] += 1;
+      if (pred.subquery) {
+        for (const auto& [k, v] : MakiyamaVector(*pred.subquery)) {
+          tf[k] += v;
+        }
+      }
+    }
+  }
+  for (const auto& g : stmt.group_by) tf["groupby:" + g.column] += 1;
+  for (const auto& o : stmt.order_by) tf["orderby:" + o.first.column] += 1;
+  if (stmt.union_next) {
+    for (const auto& [k, v] : MakiyamaVector(*stmt.union_next)) tf[k] += v;
+  }
+  return tf;
+}
+
+double MakiyamaDistance(const sql::SelectStatement& a,
+                        const sql::SelectStatement& b) {
+  const auto va = MakiyamaVector(a);
+  const auto vb = MakiyamaVector(b);
+  double dot = 0, na = 0, nb = 0;
+  for (const auto& [k, v] : va) {
+    na += v * v;
+    auto it = vb.find(k);
+    if (it != vb.end()) dot += v * it->second;
+  }
+  for (const auto& [k, v] : vb) nb += v * v;
+  if (na == 0 || nb == 0) return 1.0;
+  const double cos = dot / (std::sqrt(na) * std::sqrt(nb));
+  return 1.0 - cos;
+}
+
+double CosineDistance(const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  double dot = 0, na = 0, nb = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0 || nb == 0) return 1.0;
+  const double cos = dot / (std::sqrt(na) * std::sqrt(nb));
+  // cos in [-1, 1] -> distance in [0, 1].
+  return std::clamp((1.0 - cos) / 2.0, 0.0, 1.0);
+}
+
+}  // namespace preqr::baselines

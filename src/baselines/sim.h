@@ -1,0 +1,38 @@
+#ifndef PREQR_BASELINES_SIM_H_
+#define PREQR_BASELINES_SIM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace preqr::baselines {
+
+// Pairwise SQL-similarity baselines of Section 4.3.1. All distances are in
+// [0, 1]; 0 = identical under the metric.
+
+// Aouiche et al.: binary vector over (selection attrs | join attrs |
+// group-by attrs), compared with normalized Hamming distance.
+std::vector<std::string> AouicheFeatures(const sql::SelectStatement& stmt);
+double AouicheDistance(const sql::SelectStatement& a,
+                       const sql::SelectStatement& b);
+
+// Aligon et al.: {selection, join, group-by} term sets compared with the
+// Jaccard coefficient (join/selection weighted highest).
+double AligonDistance(const sql::SelectStatement& a,
+                      const sql::SelectStatement& b);
+
+// Makiyama et al.: term-frequency vector over tagged query terms
+// (select:, from:, where:, join:, groupby:, orderby:), cosine distance.
+std::map<std::string, double> MakiyamaVector(const sql::SelectStatement& stmt);
+double MakiyamaDistance(const sql::SelectStatement& a,
+                        const sql::SelectStatement& b);
+
+// Cosine distance between two dense vectors (used by One-hotDis /
+// Seq2SeqDis / PreQRDis): 1 - cos(a, b), mapped into [0, 1].
+double CosineDistance(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace preqr::baselines
+
+#endif  // PREQR_BASELINES_SIM_H_

@@ -1,0 +1,164 @@
+#include "baselines/tree2seq.h"
+
+#include <functional>
+
+#include "automaton/symbol.h"
+#include "nn/ops.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace preqr::baselines {
+
+namespace {
+int HashId(const std::string& token, int vocab) {
+  return static_cast<int>(std::hash<std::string>{}(token) %
+                          static_cast<size_t>(vocab));
+}
+}  // namespace
+
+Tree2SeqEncoder::Tree2SeqEncoder(int dim, uint64_t seed)
+    : dim_(dim),
+      rng_(seed),
+      embedding_(kHashVocab, dim, rng_),
+      combine_(2 * dim, dim, rng_) {}
+
+nn::Tensor Tree2SeqEncoder::EncodeSequence(const std::string& sql,
+                                           bool /*train*/) {
+  auto parsed = sql::Parse(sql);
+  std::vector<nn::Tensor> memory;
+
+  // Encodes one labeled node given its children vectors.
+  std::function<nn::Tensor(const std::string&, const std::vector<nn::Tensor>&)>
+      encode_node = [&](const std::string& label,
+                        const std::vector<nn::Tensor>& children) {
+        nn::Tensor emb = embedding_.Forward({HashId(label, kHashVocab)});
+        nn::Tensor child_mean;
+        if (children.empty()) {
+          child_mean = nn::Tensor::Zeros({1, dim_});
+        } else {
+          child_mean = nn::Reshape(
+              nn::MeanRows(nn::ConcatRows(children)), {1, dim_});
+        }
+        nn::Tensor out =
+            nn::Tanh(combine_.Forward(nn::ConcatLastDim({emb, child_mean})));
+        memory.push_back(out);
+        return out;
+      };
+
+  std::function<nn::Tensor(const sql::SelectStatement&)> encode_stmt =
+      [&](const sql::SelectStatement& stmt) -> nn::Tensor {
+    std::vector<nn::Tensor> top_children;
+    for (const auto& item : stmt.items) {
+      std::vector<nn::Tensor> kids;
+      if (!item.star) kids.push_back(encode_node(item.column.column, {}));
+      top_children.push_back(encode_node(
+          item.agg != sql::AggFunc::kNone ? sql::AggFuncName(item.agg)
+                                          : "ITEM",
+          kids));
+    }
+    for (const auto& t : stmt.tables) {
+      top_children.push_back(encode_node(t.table, {}));
+    }
+    for (const auto& pred : stmt.predicates) {
+      std::vector<nn::Tensor> kids;
+      kids.push_back(encode_node(pred.lhs.column, {}));
+      if (pred.rhs_is_column) {
+        kids.push_back(encode_node(pred.rhs_column.column, {}));
+      }
+      for (const auto& v : pred.values) {
+        kids.push_back(encode_node(v.ToString(), {}));
+      }
+      if (pred.subquery) kids.push_back(encode_stmt(*pred.subquery));
+      top_children.push_back(
+          encode_node(sql::CompareOpSymbol(pred.op), kids));
+    }
+    for (const auto& g : stmt.group_by) {
+      top_children.push_back(encode_node("GROUPBY:" + g.column, {}));
+    }
+    if (stmt.union_next) top_children.push_back(encode_stmt(*stmt.union_next));
+    return encode_node("SELECT", top_children);
+  };
+
+  if (parsed.ok()) {
+    encode_stmt(parsed.value());
+  } else {
+    encode_node("[BAD]", {});
+  }
+  return nn::ConcatRows(memory);  // [num_nodes, dim]
+}
+
+std::vector<nn::Tensor> Tree2SeqEncoder::TrainableParameters() {
+  std::vector<nn::Tensor> params = embedding_.Parameters();
+  for (const auto& t : combine_.Parameters()) params.push_back(t);
+  return params;
+}
+
+Graph2SeqEncoder::Graph2SeqEncoder(int dim, uint64_t seed)
+    : dim_(dim),
+      rng_(seed),
+      embedding_(kHashVocab, dim, rng_),
+      gcn1_(dim, dim, kRelations, rng_),
+      gcn2_(dim, dim, kRelations, rng_) {}
+
+nn::Tensor Graph2SeqEncoder::EncodeSequence(const std::string& sql,
+                                            bool /*train*/) {
+  auto lexed = sql::Lex(sql);
+  std::vector<int> ids;
+  std::vector<int> clause;  // clause id per token for same-clause edges
+  int cur_clause = 0;
+  if (lexed.ok()) {
+    for (const auto& tok : lexed.value()) {
+      if (tok.type == sql::TokenType::kEnd) break;
+      if (tok.IsKeyword("SELECT") || tok.IsKeyword("FROM") ||
+          tok.IsKeyword("WHERE") || tok.IsKeyword("GROUP") ||
+          tok.IsKeyword("ORDER") || tok.IsKeyword("UNION")) {
+        ++cur_clause;
+      }
+      ids.push_back(HashId(tok.text, kHashVocab));
+      clause.push_back(cur_clause);
+    }
+  }
+  if (ids.empty()) {
+    ids.push_back(0);
+    clause.push_back(0);
+  }
+  const int n = static_cast<int>(ids.size());
+  std::vector<std::vector<nn::Edge>> rel(kRelations);
+  for (int i = 0; i + 1 < n; ++i) {
+    rel[0].push_back({i, i + 1});      // next
+    rel[1].push_back({i + 1, i});      // prev
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n && j <= i + 8; ++j) {
+      if (clause[static_cast<size_t>(i)] == clause[static_cast<size_t>(j)]) {
+        rel[2].push_back({i, j});
+        rel[2].push_back({j, i});
+      }
+    }
+  }
+  std::vector<std::vector<float>> norms(kRelations);
+  for (int r = 0; r < kRelations; ++r) {
+    std::vector<int> indeg(static_cast<size_t>(n), 0);
+    for (const auto& e : rel[static_cast<size_t>(r)]) {
+      ++indeg[static_cast<size_t>(e.dst)];
+    }
+    for (const auto& e : rel[static_cast<size_t>(r)]) {
+      norms[static_cast<size_t>(r)].push_back(
+          1.0f / static_cast<float>(indeg[static_cast<size_t>(e.dst)]));
+    }
+  }
+  nn::Tensor h = embedding_.Forward(ids);
+  h = gcn1_.Forward(h, rel, norms);
+  h = gcn2_.Forward(h, rel, norms);
+  return h;  // [S, dim]
+}
+
+std::vector<nn::Tensor> Graph2SeqEncoder::TrainableParameters() {
+  std::vector<nn::Tensor> params = embedding_.Parameters();
+  for (const auto& t : gcn1_.Parameters()) params.push_back(t);
+  for (const auto& t : gcn2_.Parameters()) params.push_back(t);
+  return params;
+}
+
+}  // namespace preqr::baselines

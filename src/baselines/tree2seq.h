@@ -1,0 +1,59 @@
+#ifndef PREQR_BASELINES_TREE2SEQ_H_
+#define PREQR_BASELINES_TREE2SEQ_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace preqr::baselines {
+
+// Tree-to-sequence encoder (Eriguchi et al. flavor): the SQL AST is encoded
+// bottom-up — each node's vector is a nonlinear function of its type/token
+// embedding and the *mean* of its children. As the paper notes, this
+// aggregation keeps descendants but loses sibling relations. The memory is
+// the set of node vectors in pre-order.
+class Tree2SeqEncoder : public SequenceEncoder {
+ public:
+  Tree2SeqEncoder(int dim, uint64_t seed);
+
+  nn::Tensor EncodeSequence(const std::string& sql, bool train) override;
+  std::vector<nn::Tensor> TrainableParameters() override;
+  int dim() const override { return dim_; }
+  std::string name() const override { return "Tree2Seq"; }
+
+ private:
+  static constexpr int kHashVocab = 512;
+  int dim_;
+  Rng rng_;
+  nn::Embedding embedding_;  // hashed token/type embedding
+  nn::Linear combine_;       // [emb ; children-mean] -> dim
+};
+
+// Graph-to-sequence encoder (Xu et al. flavor): the query is a token graph
+// with next/prev/same-clause relations, propagated by a 2-layer relational
+// GCN; node states form the decoder memory.
+class Graph2SeqEncoder : public SequenceEncoder {
+ public:
+  Graph2SeqEncoder(int dim, uint64_t seed);
+
+  nn::Tensor EncodeSequence(const std::string& sql, bool train) override;
+  std::vector<nn::Tensor> TrainableParameters() override;
+  int dim() const override { return dim_; }
+  std::string name() const override { return "Graph2Seq"; }
+
+ private:
+  static constexpr int kHashVocab = 512;
+  static constexpr int kRelations = 3;  // next, prev, same-clause
+  int dim_;
+  Rng rng_;
+  nn::Embedding embedding_;
+  nn::RgcnLayer gcn1_, gcn2_;
+};
+
+}  // namespace preqr::baselines
+
+#endif  // PREQR_BASELINES_TREE2SEQ_H_

@@ -1,0 +1,83 @@
+#ifndef PREQR_COMMON_RNG_H_
+#define PREQR_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace preqr {
+
+// Deterministic, fast PRNG (splitmix64-seeded xoshiro256**). All randomized
+// components in the library take an Rng so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t NextUint64(uint64_t n) { return n == 0 ? 0 : NextUint64() % n; }
+  int NextInt(int lo, int hi_exclusive) {
+    return lo + static_cast<int>(NextUint64(
+                    static_cast<uint64_t>(hi_exclusive - lo)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-12) u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958648 * u2);
+  }
+
+  // Zipf-distributed value in [1, n] with exponent `s` (rejection-free
+  // inverse-CDF over a precomputed-free approximation; O(log n) harmonic
+  // sampling is overkill, we use the standard rejection method).
+  uint64_t NextZipf(uint64_t n, double s) {
+    // Rejection sampling (Devroye). Good enough for workload generation.
+    const double b = std::pow(2.0, s - 1.0);
+    while (true) {
+      const double u = NextDouble();
+      const double v = NextDouble();
+      const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+      const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+      if (v * x * (t - 1.0) / (b - 1.0) <= t / b && x <= static_cast<double>(n)) {
+        return static_cast<uint64_t>(x);
+      }
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace preqr
+
+#endif  // PREQR_COMMON_RNG_H_

@@ -1,0 +1,34 @@
+#ifndef PREQR_COMMON_STRING_UTIL_H_
+#define PREQR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace preqr {
+
+// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+// Splits on any character from `delims`, dropping empty pieces.
+std::vector<std::string> SplitAny(std::string_view s, std::string_view delims);
+
+// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// Levenshtein edit distance (used by template clustering).
+int EditDistance(std::string_view a, std::string_view b);
+
+// Normalized string similarity in [0,1]: 1 - dist/max(len).
+double StringSimilarity(std::string_view a, std::string_view b);
+
+// Jaccard coefficient between two string sets.
+double Jaccard(const std::vector<std::string>& a,
+               const std::vector<std::string>& b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace preqr
+
+#endif  // PREQR_COMMON_STRING_UTIL_H_

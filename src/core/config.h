@@ -1,0 +1,31 @@
+#ifndef PREQR_CORE_CONFIG_H_
+#define PREQR_CORE_CONFIG_H_
+
+namespace preqr::core {
+
+// Hyper-parameters of the PreQR model. The paper's reference configuration
+// is L=4, H=256, A=4 (~40M parameters); the defaults here are scaled down
+// so CPU pre-training finishes in seconds while preserving the
+// architecture. Table 13 sweeps L/H/A through this config.
+struct PreqrConfig {
+  int d_model = 64;        // H: hidden size of every sub-layer output
+  int num_layers = 2;      // L: number of Trm_g blocks
+  int num_heads = 4;       // A: attention heads
+  int ffn_hidden = 128;    // position-wise FFN inner size
+  int state_dim = 16;      // SQL state (automaton) embedding size
+  int pos_dim = 16;        // position embedding size
+  int max_seq_len = 256;   // longest tokenized query
+  int name_lstm_hidden = 32;  // BiLSTM hidden for schema node names
+  int rgcn_layers = 2;     // R-GCN depth over the schema graph
+  float dropout = 0.1f;
+  float mask_prob = 0.15f;  // MLM masking rate
+
+  // Ablation switches (Table 12): PreQRNA disables the automaton channel,
+  // PreQRNT disables the query-aware schema transformer, BERT disables both.
+  bool use_automaton = true;
+  bool use_schema = true;
+};
+
+}  // namespace preqr::core
+
+#endif  // PREQR_CORE_CONFIG_H_

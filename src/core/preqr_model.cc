@@ -1,0 +1,230 @@
+#include "core/preqr_model.h"
+
+#include <algorithm>
+
+namespace preqr::core {
+
+using nn::Tensor;
+
+TrmGLayer::TrmGLayer(const PreqrConfig& config, Rng& rng)
+    : trm_(config.d_model, config.num_heads, config.ffn_hidden, rng),
+      graph_attention_(config.d_model, config.num_heads, rng),
+      graph_ffn_(config.d_model, config.ffn_hidden, rng),
+      graph_ln1_(config.d_model),
+      graph_ln2_(config.d_model),
+      fuse_(2 * config.d_model, config.d_model, rng),
+      fuse_ln_(config.d_model) {
+  RegisterChild("trm", &trm_);
+  RegisterChild("graph_attn", &graph_attention_);
+  RegisterChild("graph_ffn", &graph_ffn_);
+  RegisterChild("graph_ln1", &graph_ln1_);
+  RegisterChild("graph_ln2", &graph_ln2_);
+  RegisterChild("fuse", &fuse_);
+  RegisterChild("fuse_ln", &fuse_ln_);
+}
+
+Tensor TrmGLayer::Forward(const Tensor& e_q,
+                          const Tensor& schema_nodes) const {
+  // Original transformer (Eq. 6).
+  Tensor q = trm_.Forward(e_q);
+  if (!schema_nodes.defined()) return q;
+  // Query-aware sub-graph transformer (Eq. 5, 7): scaled dot-product
+  // attention from query tokens onto the schema graph representation e_G,
+  // residual + layer norms + FFN.
+  Tensor attended = graph_attention_.Forward(q, schema_nodes);
+  Tensor e_g = graph_ln1_.Forward(nn::Add(q, attended));
+  e_g = graph_ln2_.Forward(nn::Add(e_g, graph_ffn_.Forward(e_g)));
+  // y = Concat(e_q, e_g) (Eq. 8), projected back to d_model so every
+  // sub-layer keeps output dimension d_model; normalized so downstream
+  // heads see a stable scale across sequence lengths.
+  return fuse_ln_.Forward(fuse_.Forward(nn::ConcatLastDim({q, e_g})));
+}
+
+PreqrModel::PreqrModel(PreqrConfig config, const text::SqlTokenizer* tokenizer,
+                       const automaton::Automaton* fa,
+                       const schema::SchemaGraph* graph, uint64_t seed)
+    : config_(config),
+      tokenizer_(tokenizer),
+      fa_(fa),
+      graph_(graph),
+      rng_(seed),
+      token_embedding_(tokenizer->vocab().size(), config.d_model, rng_),
+      state_embedding_(fa->num_states() + 1, config.state_dim, rng_),
+      position_embedding_(config.max_seq_len, config.pos_dim, rng_),
+      composite_proj_(config.d_model + config.state_dim + config.pos_dim + 1,
+                      config.d_model, rng_),
+      name_lstm_(config.d_model, config.name_lstm_hidden, rng_),
+      name_proj_(2 * config.name_lstm_hidden, config.d_model, rng_),
+      mlm_head_(config.d_model, tokenizer->vocab().size(), rng_) {
+  RegisterChild("token_embedding", &token_embedding_);
+  RegisterChild("state_embedding", &state_embedding_);
+  RegisterChild("position_embedding", &position_embedding_);
+  RegisterChild("composite_proj", &composite_proj_);
+  RegisterChild("name_lstm", &name_lstm_);
+  RegisterChild("name_proj", &name_proj_);
+  for (int l = 0; l < config.rgcn_layers; ++l) {
+    rgcn_.push_back(std::make_unique<nn::RgcnLayer>(
+        config.d_model, config.d_model, schema::kNumEdgeTypes, rng_));
+    RegisterChild("rgcn" + std::to_string(l), rgcn_.back().get());
+  }
+  for (int l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(std::make_unique<TrmGLayer>(config, rng_));
+    RegisterChild("trm_g" + std::to_string(l), layers_.back().get());
+  }
+  RegisterChild("mlm_head", &mlm_head_);
+
+  graph->RelationalEdges(&rel_edges_, &rel_norms_);
+  for (const auto& node : graph->nodes()) {
+    std::vector<int> ids;
+    for (const auto& tok : node.name_tokens) {
+      ids.push_back(tokenizer_->vocab().Id(tok));
+    }
+    if (ids.empty()) ids.push_back(text::Vocab::kUnkId);
+    node_name_ids_.push_back(std::move(ids));
+  }
+}
+
+Tensor PreqrModel::EncodeSchemaNodes(bool with_grad) {
+  // Eq. 1-2: BiLSTM over the name tokens of each vertex, summary =
+  // Concat(fwd last, rev first); then R-GCN propagation (Eq. 3).
+  std::vector<Tensor> summaries;
+  summaries.reserve(node_name_ids_.size());
+  for (const auto& ids : node_name_ids_) {
+    Tensor name_emb = token_embedding_.Forward(ids);  // [T, d]
+    if (!with_grad) {
+      name_emb = Tensor::FromData(name_emb.shape(), name_emb.vec());
+    }
+    summaries.push_back(name_lstm_.Forward(name_emb).summary);  // [1, 2h]
+  }
+  Tensor h = name_proj_.Forward(nn::ConcatRows(summaries));  // [N, d]
+  for (const auto& layer : rgcn_) {
+    h = layer->Forward(h, rel_edges_, rel_norms_);
+  }
+  if (!with_grad) {
+    // Detach: copy values into a fresh constant tensor.
+    h = Tensor::FromData(h.shape(), h.vec());
+  }
+  return h;
+}
+
+Tensor PreqrModel::EmbedInput(const text::SqlTokenizer::Tokenized& tokenized,
+                              const std::vector<int>& override_ids) const {
+  const std::vector<int>& ids =
+      override_ids.empty() ? tokenized.ids : override_ids;
+  const int s = std::min<int>(static_cast<int>(ids.size()),
+                              config_.max_seq_len);
+  std::vector<int> tok_ids(ids.begin(), ids.begin() + s);
+  // SQL state ids via the automaton (Section 3.3.1). [CLS] is the start
+  // state; matching degrades gracefully for unknown structures.
+  std::vector<int> state_ids(static_cast<size_t>(s), 0);
+  if (config_.use_automaton) {
+    std::vector<automaton::Symbol> symbols(
+        tokenized.symbols.begin() + 1,
+        tokenized.symbols.begin() + static_cast<long>(tokenized.symbols.size()));
+    const auto match = fa_->Match(symbols);
+    for (int i = 1; i < s; ++i) {
+      state_ids[static_cast<size_t>(i)] =
+          match.states[static_cast<size_t>(i - 1)] + 1;
+    }
+    state_ids[0] = fa_->start_state() + 1;
+  }
+  std::vector<int> pos_ids(static_cast<size_t>(s));
+  for (int i = 0; i < s; ++i) pos_ids[static_cast<size_t>(i)] = i;
+
+  Tensor tok = token_embedding_.Forward(tok_ids);        // [S, d]
+  Tensor state = state_embedding_.Forward(state_ids);    // [S, ds]
+  Tensor pos = position_embedding_.Forward(pos_ids);     // [S, dp]
+  // Continuous refinement of the range tokens: the value's empirical
+  // quantile in its column's distribution (0 for non-value positions).
+  std::vector<float> quantiles(static_cast<size_t>(s), 0.0f);
+  for (int i = 0; i < s && i < static_cast<int>(tokenized.quantiles.size());
+       ++i) {
+    quantiles[static_cast<size_t>(i)] =
+        tokenized.quantiles[static_cast<size_t>(i)];
+  }
+  Tensor quant = Tensor::FromData({s, 1}, std::move(quantiles));
+  // Composite embedding e(t_i) = (b(t_i), a(t_i), pos(t_i)) (Section 3.3.2).
+  Tensor composite = nn::ConcatLastDim({tok, state, pos, quant});
+  return composite_proj_.Forward(composite);  // [S, d]
+}
+
+PreqrModel::Encoding PreqrModel::Forward(
+    const text::SqlTokenizer::Tokenized& tokenized, const Tensor& schema_nodes,
+    const std::vector<int>& masked_ids) {
+  Tensor h = EmbedInput(tokenized, masked_ids);
+  h = nn::Dropout(h, config_.dropout, rng_, train_mode());
+  const Tensor schema =
+      config_.use_schema ? schema_nodes : Tensor();
+  for (const auto& layer : layers_) {
+    h = layer->Forward(h, schema);
+  }
+  Encoding enc;
+  enc.tokens = h;
+  enc.cls = nn::SliceRows(h, 0, 1);
+  return enc;
+}
+
+Tensor PreqrModel::MlmLogits(const Tensor& token_states) const {
+  return mlm_head_.Forward(token_states);
+}
+
+Tensor PreqrModel::EncodePrefix(
+    const text::SqlTokenizer::Tokenized& tokenized,
+    const Tensor& schema_nodes_detached) {
+  Tensor h = EmbedInput(tokenized, {});
+  // Detach after the embedding + first L-1 layers: copy out of the tape.
+  const Tensor schema = config_.use_schema ? schema_nodes_detached : Tensor();
+  for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+    h = layers_[l]->Forward(h, schema);
+  }
+  return Tensor::FromData(h.shape(), h.vec());
+}
+
+PreqrModel::Encoding PreqrModel::LastLayer(const Tensor& prefix_states,
+                                           const Tensor& schema_nodes) {
+  const Tensor schema = config_.use_schema ? schema_nodes : Tensor();
+  Tensor h = layers_.back()->Forward(prefix_states, schema);
+  Encoding enc;
+  enc.tokens = h;
+  enc.cls = nn::SliceRows(h, 0, 1);
+  return enc;
+}
+
+Result<PreqrModel::Encoding> PreqrModel::Encode(const std::string& sql) {
+  auto tokenized = tokenizer_->Tokenize(sql);
+  if (!tokenized.ok()) return tokenized.status();
+  if (!cached_schema_.defined() && config_.use_schema) {
+    cached_schema_ = EncodeSchemaNodes(/*with_grad=*/false);
+  }
+  const bool was_training = train_mode();
+  set_train(false);
+  Encoding enc = Forward(tokenized.value(), cached_schema_);
+  set_train(was_training);
+  // Detach outputs for inference use.
+  enc.tokens = Tensor::FromData(enc.tokens.shape(), enc.tokens.vec());
+  enc.cls = Tensor::FromData(enc.cls.shape(), enc.cls.vec());
+  return enc;
+}
+
+std::vector<Tensor> PreqrModel::LastLayerParameters() const {
+  return layers_.back()->Parameters();
+}
+
+std::vector<Tensor> PreqrModel::SchemaParameters() const {
+  std::vector<Tensor> out = name_lstm_.Parameters();
+  for (const auto& t : name_proj_.Parameters()) out.push_back(t);
+  for (const auto& layer : rgcn_) {
+    for (const auto& t : layer->Parameters()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<Tensor> PreqrModel::InputParameters() const {
+  std::vector<Tensor> out = token_embedding_.Parameters();
+  for (const auto& t : state_embedding_.Parameters()) out.push_back(t);
+  for (const auto& t : position_embedding_.Parameters()) out.push_back(t);
+  for (const auto& t : composite_proj_.Parameters()) out.push_back(t);
+  return out;
+}
+
+}  // namespace preqr::core

@@ -1,0 +1,153 @@
+#include "core/pretrain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "nn/ops.h"
+
+namespace preqr::core {
+
+Pretrainer::Pretrainer(PreqrModel& model, Options options)
+    : model_(model), options_(options), rng_(options.seed) {}
+
+Pretrainer::MaskedExample Pretrainer::MaskTokens(const std::vector<int>& ids) {
+  MaskedExample ex;
+  ex.input_ids = ids;
+  ex.targets.assign(ids.size(), -1);
+  const int vocab = model_.vocab_size();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    // Never mask the special [CLS]/[END] anchors.
+    if (ids[i] == text::Vocab::kClsId || ids[i] == text::Vocab::kEndId) {
+      continue;
+    }
+    if (rng_.NextFloat() >= model_.config().mask_prob) continue;
+    ex.targets[i] = ids[i];
+    const float dice = rng_.NextFloat();
+    if (dice < 0.8f) {
+      ex.input_ids[i] = text::Vocab::kMaskId;
+    } else if (dice < 0.9f) {
+      ex.input_ids[i] = static_cast<int>(rng_.NextUint64(
+          static_cast<uint64_t>(vocab)));
+    }  // else: keep the original token
+  }
+  return ex;
+}
+
+std::vector<Pretrainer::EpochStats> Pretrainer::Train(
+    const std::vector<std::string>& queries) {
+  // Tokenize once.
+  std::vector<text::SqlTokenizer::Tokenized> tokenized;
+  tokenized.reserve(queries.size());
+  for (const auto& q : queries) {
+    auto t = model_.tokenizer().Tokenize(q);
+    if (t.ok()) tokenized.push_back(std::move(t.value()));
+  }
+  PREQR_CHECK(!tokenized.empty());
+
+  nn::Adam opt(model_.Parameters(), options_.lr);
+  std::vector<EpochStats> history;
+  std::vector<size_t> order(tokenized.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  model_.set_train(true);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Deterministic shuffle.
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.NextUint64(i)]);
+    }
+    double loss_sum = 0;
+    double correct = 0, masked = 0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(options_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(options_.batch_size));
+      opt.ZeroGrad();
+      // One schema encoding per step, shared across the batch (gradients
+      // flow into the Schema2Graph parameters through every query).
+      nn::Tensor schema = model_.config().use_schema
+                              ? model_.EncodeSchemaNodes(/*with_grad=*/true)
+                              : nn::Tensor();
+      nn::Tensor batch_loss;
+      for (size_t bi = start; bi < end; ++bi) {
+        const auto& tok = tokenized[order[bi]];
+        MaskedExample ex = MaskTokens(tok.ids);
+        auto enc = model_.Forward(tok, schema, ex.input_ids);
+        nn::Tensor logits = model_.MlmLogits(enc.tokens);
+        // Truncate targets to the (possibly clipped) sequence length.
+        std::vector<int> targets(
+            ex.targets.begin(),
+            ex.targets.begin() + logits.dim(0));
+        nn::Tensor loss = nn::CrossEntropy(logits, targets, -1);
+        batch_loss = batch_loss.defined() ? nn::Add(batch_loss, loss) : loss;
+        // Accuracy bookkeeping.
+        const int vocab = model_.vocab_size();
+        for (int i = 0; i < logits.dim(0); ++i) {
+          if (targets[static_cast<size_t>(i)] < 0) continue;
+          masked += 1;
+          const float* row = logits.data() + static_cast<size_t>(i) * vocab;
+          int best = 0;
+          for (int v = 1; v < vocab; ++v) {
+            if (row[v] > row[best]) best = v;
+          }
+          if (best == targets[static_cast<size_t>(i)]) correct += 1;
+        }
+      }
+      batch_loss = nn::Scale(batch_loss, 1.0f / static_cast<float>(end - start));
+      batch_loss.Backward();
+      opt.Step();
+      loss_sum += batch_loss.item();
+      ++batches;
+    }
+    EpochStats stats;
+    stats.mlm_loss = loss_sum / std::max(1, batches);
+    stats.masked_accuracy = masked > 0 ? correct / masked : 0;
+    history.push_back(stats);
+    if (options_.verbose) {
+      std::fprintf(stderr, "[pretrain] epoch %d loss=%.4f acc=%.3f\n", epoch,
+                   stats.mlm_loss, stats.masked_accuracy);
+    }
+  }
+  model_.set_train(false);
+  model_.InvalidateSchemaCache();
+  return history;
+}
+
+Pretrainer::EpochStats Pretrainer::Evaluate(
+    const std::vector<std::string>& queries) {
+  model_.set_train(false);
+  nn::Tensor schema = model_.config().use_schema
+                          ? model_.EncodeSchemaNodes(/*with_grad=*/false)
+                          : nn::Tensor();
+  double loss_sum = 0, correct = 0, masked = 0;
+  int n = 0;
+  for (const auto& q : queries) {
+    auto t = model_.tokenizer().Tokenize(q);
+    if (!t.ok()) continue;
+    MaskedExample ex = MaskTokens(t.value().ids);
+    auto enc = model_.Forward(t.value(), schema, ex.input_ids);
+    nn::Tensor logits = model_.MlmLogits(enc.tokens);
+    std::vector<int> targets(ex.targets.begin(),
+                             ex.targets.begin() + logits.dim(0));
+    loss_sum += nn::CrossEntropy(logits, targets, -1).item();
+    const int vocab = model_.vocab_size();
+    for (int i = 0; i < logits.dim(0); ++i) {
+      if (targets[static_cast<size_t>(i)] < 0) continue;
+      masked += 1;
+      const float* row = logits.data() + static_cast<size_t>(i) * vocab;
+      int best = 0;
+      for (int v = 1; v < vocab; ++v) {
+        if (row[v] > row[best]) best = v;
+      }
+      if (best == targets[static_cast<size_t>(i)]) correct += 1;
+    }
+    ++n;
+  }
+  EpochStats stats;
+  stats.mlm_loss = n > 0 ? loss_sum / n : 0;
+  stats.masked_accuracy = masked > 0 ? correct / masked : 0;
+  return stats;
+}
+
+}  // namespace preqr::core

@@ -1,0 +1,52 @@
+#ifndef PREQR_CORE_PRETRAIN_H_
+#define PREQR_CORE_PRETRAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/preqr_model.h"
+#include "nn/optim.h"
+
+namespace preqr::core {
+
+// Masked-language-model pre-training (Section 3.5.2): 15% of tokens are
+// selected; 80% become [MASK], 10% a random vocabulary token, 10% stay, and
+// the model predicts the originals with cross-entropy.
+class Pretrainer {
+ public:
+  struct Options {
+    int epochs = 2;
+    int batch_size = 8;      // queries per schema-encoding/optimizer step
+    float lr = 1e-3f;
+    uint64_t seed = 99;
+    bool verbose = false;
+  };
+
+  Pretrainer(PreqrModel& model, Options options);
+
+  struct EpochStats {
+    double mlm_loss = 0;
+    double masked_accuracy = 0;
+  };
+
+  // Pre-trains on the workload; returns per-epoch stats.
+  std::vector<EpochStats> Train(const std::vector<std::string>& queries);
+
+  // One MLM loss evaluation without updates (validation).
+  EpochStats Evaluate(const std::vector<std::string>& queries);
+
+ private:
+  struct MaskedExample {
+    std::vector<int> input_ids;   // with [MASK]/random substitutions
+    std::vector<int> targets;     // original id at masked slots, -1 elsewhere
+  };
+  MaskedExample MaskTokens(const std::vector<int>& ids);
+
+  PreqrModel& model_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace preqr::core
+
+#endif  // PREQR_CORE_PRETRAIN_H_

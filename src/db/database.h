@@ -1,0 +1,54 @@
+#ifndef PREQR_DB_DATABASE_H_
+#define PREQR_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "sql/catalog.h"
+
+namespace preqr::db {
+
+// An in-memory database: catalog + tables. Move-only (tables can be large).
+class Database {
+ public:
+  Database() = default;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Adds the table to both storage and catalog.
+  Table& AddTable(sql::TableDef def) {
+    catalog_.AddTable(def);
+    tables_.push_back(std::make_unique<Table>(std::move(def)));
+    return *tables_.back();
+  }
+
+  sql::Catalog& catalog() { return catalog_; }
+  const sql::Catalog& catalog() const { return catalog_; }
+
+  const Table* FindTable(const std::string& name) const {
+    for (const auto& t : tables_) {
+      if (t->name() == name) return t.get();
+    }
+    return nullptr;
+  }
+  Table* FindTable(const std::string& name) {
+    for (const auto& t : tables_) {
+      if (t->name() == name) return t.get();
+    }
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<Table>>& tables() const { return tables_; }
+
+ private:
+  sql::Catalog catalog_;
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace preqr::db
+
+#endif  // PREQR_DB_DATABASE_H_

@@ -1,0 +1,55 @@
+#ifndef PREQR_DB_EXECUTOR_H_
+#define PREQR_DB_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "sql/ast.h"
+
+namespace preqr::db {
+
+// Result of executing a (COUNT-style) query.
+struct ExecResult {
+  // Exact number of joined rows satisfying all predicates.
+  double cardinality = 0;
+  // Deterministic work units: tuples scanned + hash build entries +
+  // per-subtree intermediate join sizes + output emission. Serves as the
+  // ground-truth "cost" the cost-estimation task predicts.
+  double cost = 0;
+  // Row ids of the first (root) table that contribute at least one join
+  // result; populated when `collect_root_rows` is set. Used as the
+  // result-set identity for the CH similarity ground truth.
+  std::vector<int> root_row_ids;
+};
+
+// Executes SELECT statements against the in-memory database. Joins must be
+// acyclic (tree-shaped), which holds for all generated workloads; join
+// columns must be integers (FK ids). Counting is performed bottom-up over
+// the join tree (weights per key), so cardinalities in the billions are
+// computed without materialization.
+class Executor {
+ public:
+  explicit Executor(const Database& db) : db_(db) {}
+
+  Result<ExecResult> Execute(const sql::SelectStatement& stmt,
+                             bool collect_root_rows = false) const;
+
+  // True if the pattern (SQL LIKE with % and _) matches the text.
+  static bool LikeMatch(const std::string& text, const std::string& pattern);
+
+ private:
+  const Database& db_;
+};
+
+// Evaluates one filter predicate (no join, no subquery) against row `row`
+// of `table`, where `col` is the index of the predicate's column. Exposed
+// for samplers/estimators that scan rows directly.
+bool PredicatePasses(const Table& table, int col, const sql::Predicate& pred,
+                     size_t row);
+
+}  // namespace preqr::db
+
+#endif  // PREQR_DB_EXECUTOR_H_

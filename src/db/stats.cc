@@ -1,0 +1,233 @@
+#include "db/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "db/executor.h"
+
+namespace preqr::db {
+
+namespace {
+constexpr double kDefaultEqSel = 0.005;
+}  // namespace
+
+double ColumnStats::EstimateEqualitySelectivity(double value) const {
+  for (const auto& [v, freq] : mcv_numeric) {
+    if (v == value) return freq;
+  }
+  // Not an MCV: remaining mass spread over remaining distinct values.
+  double mcv_mass = 0;
+  for (const auto& [v, freq] : mcv_numeric) mcv_mass += freq;
+  const double remaining =
+      static_cast<double>(num_distinct) - static_cast<double>(mcv_numeric.size());
+  if (remaining <= 0) return kDefaultEqSel;
+  return std::max(0.0, (1.0 - mcv_mass) / remaining);
+}
+
+double ColumnStats::EstimateRangeSelectivity(double lo, double hi) const {
+  if (histogram_bounds.size() < 2) {
+    if (max <= min) return lo <= min && min <= hi ? 1.0 : kDefaultEqSel;
+    const double clipped_lo = std::max(lo, min);
+    const double clipped_hi = std::min(hi, max);
+    if (clipped_hi < clipped_lo) return 0.0;
+    return (clipped_hi - clipped_lo) / (max - min);
+  }
+  // Fraction of equi-depth buckets overlapped (with linear interpolation
+  // inside partially covered buckets).
+  const size_t nb = histogram_bounds.size() - 1;
+  double covered = 0;
+  for (size_t b = 0; b < nb; ++b) {
+    const double blo = histogram_bounds[b];
+    const double bhi = histogram_bounds[b + 1];
+    const double olo = std::max(lo, blo);
+    const double ohi = std::min(hi, bhi);
+    if (ohi <= olo) continue;
+    covered += bhi > blo ? (ohi - olo) / (bhi - blo) : 1.0;
+  }
+  return std::min(1.0, covered / static_cast<double>(nb));
+}
+
+double ColumnStats::EstimateNumericSelectivity(sql::CompareOp op,
+                                               double value) const {
+  switch (op) {
+    case sql::CompareOp::kEq:
+      return EstimateEqualitySelectivity(value);
+    case sql::CompareOp::kNe:
+      return 1.0 - EstimateEqualitySelectivity(value);
+    case sql::CompareOp::kLt:
+    case sql::CompareOp::kLe:
+      return EstimateRangeSelectivity(min - 1.0, value);
+    case sql::CompareOp::kGt:
+    case sql::CompareOp::kGe:
+      return EstimateRangeSelectivity(value, max + 1.0);
+    default:
+      return kDefaultEqSel;
+  }
+}
+
+double ColumnStats::EstimateStringEquality(const std::string& value) const {
+  for (const auto& [v, freq] : mcv_string) {
+    if (v == value) return freq;
+  }
+  double mcv_mass = 0;
+  for (const auto& [v, freq] : mcv_string) mcv_mass += freq;
+  const double remaining =
+      static_cast<double>(num_distinct) - static_cast<double>(mcv_string.size());
+  if (remaining <= 0) return kDefaultEqSel;
+  return std::max(0.0, (1.0 - mcv_mass) / remaining);
+}
+
+double ColumnStats::EstimateLikeSelectivity(const std::string& pattern) {
+  // PG heuristic flavor: selectivity shrinks with the number of fixed
+  // characters; leading % is less selective.
+  int fixed = 0;
+  for (char c : pattern) {
+    if (c != '%' && c != '_') ++fixed;
+  }
+  double sel = std::pow(0.5, std::min(fixed, 10));
+  if (!pattern.empty() && pattern.front() == '%') sel *= 2.0;
+  return std::min(0.5, std::max(1e-4, sel));
+}
+
+ColumnStats StatsCollector::AnalyzeColumn(const Column& column) const {
+  ColumnStats stats;
+  stats.type = column.type;
+  stats.row_count = column.size();
+  if (column.size() == 0) return stats;
+
+  if (column.type == sql::ColumnType::kString) {
+    std::unordered_map<std::string, size_t> counts;
+    for (const auto& s : column.strings) ++counts[s];
+    stats.num_distinct = static_cast<int64_t>(counts.size());
+    std::vector<std::pair<std::string, size_t>> by_freq(counts.begin(),
+                                                        counts.end());
+    std::sort(by_freq.begin(), by_freq.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    const size_t k = std::min<size_t>(static_cast<size_t>(num_mcv_),
+                                      by_freq.size());
+    for (size_t i = 0; i < k; ++i) {
+      stats.mcv_string.emplace_back(
+          by_freq[i].first,
+          static_cast<double>(by_freq[i].second) /
+              static_cast<double>(column.size()));
+    }
+    return stats;
+  }
+
+  std::vector<double> values;
+  values.reserve(column.size());
+  for (size_t i = 0; i < column.size(); ++i) values.push_back(column.AsDouble(i));
+  std::sort(values.begin(), values.end());
+  stats.min = values.front();
+  stats.max = values.back();
+
+  // Distinct count + MCVs from value frequencies.
+  std::unordered_map<int64_t, size_t> counts;  // quantized for floats
+  for (double v : values) ++counts[static_cast<int64_t>(v * 1000.0)];
+  stats.num_distinct = static_cast<int64_t>(counts.size());
+  std::vector<std::pair<int64_t, size_t>> by_freq(counts.begin(), counts.end());
+  std::sort(by_freq.begin(), by_freq.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  const size_t k =
+      std::min<size_t>(static_cast<size_t>(num_mcv_), by_freq.size());
+  for (size_t i = 0; i < k; ++i) {
+    stats.mcv_numeric.emplace_back(
+        static_cast<double>(by_freq[i].first) / 1000.0,
+        static_cast<double>(by_freq[i].second) /
+            static_cast<double>(column.size()));
+  }
+
+  // Equi-depth histogram bounds over the sorted values.
+  const int nb = num_buckets_;
+  stats.histogram_bounds.reserve(static_cast<size_t>(nb) + 1);
+  for (int b = 0; b <= nb; ++b) {
+    const size_t idx = std::min(
+        values.size() - 1,
+        static_cast<size_t>(static_cast<double>(b) / nb *
+                            static_cast<double>(values.size() - 1)));
+    stats.histogram_bounds.push_back(values[idx]);
+  }
+  return stats;
+}
+
+TableStats StatsCollector::Analyze(const Table& table) const {
+  TableStats stats;
+  stats.row_count = table.num_rows();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    stats.columns.push_back(AnalyzeColumn(table.column(static_cast<int>(c))));
+  }
+  return stats;
+}
+
+std::vector<TableStats> StatsCollector::AnalyzeAll(const Database& db) const {
+  std::vector<TableStats> out;
+  for (const auto& t : db.tables()) out.push_back(Analyze(*t));
+  return out;
+}
+
+BitmapSampler::BitmapSampler(const Database& db, int sample_size,
+                             uint64_t seed)
+    : db_(db), sample_size_(sample_size) {
+  Rng rng(seed);
+  for (const auto& table : db.tables()) {
+    std::vector<int>& rows = samples_[table->name()];
+    const size_t n = table->num_rows();
+    rows.reserve(static_cast<size_t>(sample_size));
+    for (int i = 0; i < sample_size; ++i) {
+      rows.push_back(n == 0 ? 0 : static_cast<int>(rng.NextUint64(n)));
+    }
+  }
+}
+
+std::vector<float> BitmapSampler::Bitmap(
+    const std::string& table_name, const sql::SelectStatement& stmt) const {
+  std::vector<float> bitmap(static_cast<size_t>(sample_size_), 0.0f);
+  const Table* table = db_.FindTable(table_name);
+  auto it = samples_.find(table_name);
+  if (table == nullptr || it == samples_.end() || table->num_rows() == 0) {
+    return bitmap;
+  }
+  // Find this table's binding name in the query.
+  std::string binding;
+  for (const auto& tref : stmt.tables) {
+    if (tref.table == table_name) binding = tref.BindingName();
+  }
+  // Evaluate each filter predicate that targets this table. We reuse the
+  // Executor by building a tiny single-table statement.
+  sql::SelectStatement single;
+  sql::SelectItem item;
+  item.agg = sql::AggFunc::kCount;
+  item.star = true;
+  single.items.push_back(item);
+  sql::TableRef tref;
+  tref.table = table_name;
+  tref.alias = binding == table_name ? "" : binding;
+  single.tables.push_back(tref);
+  for (const auto& pred : stmt.predicates) {
+    if (pred.IsJoin() || pred.subquery) continue;
+    const std::string& q = pred.lhs.qualifier;
+    if (q == binding || q == table_name ||
+        (q.empty() && table->def().ColumnIndex(pred.lhs.column) >= 0)) {
+      single.predicates.push_back(pred);
+    }
+  }
+  // Mark sample rows passing all single-table filters.
+  Executor exec(db_);
+  auto res = exec.Execute(single, /*collect_root_rows=*/true);
+  if (!res.ok()) return bitmap;
+  std::vector<char> pass(table->num_rows(), 0);
+  for (int row : res.value().root_row_ids) {
+    pass[static_cast<size_t>(row)] = 1;
+  }
+  const std::vector<int>& rows = it->second;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bitmap[i] = pass[static_cast<size_t>(rows[i])] != 0 ? 1.0f : 0.0f;
+  }
+  return bitmap;
+}
+
+}  // namespace preqr::db

@@ -1,0 +1,82 @@
+#ifndef PREQR_DB_STATS_H_
+#define PREQR_DB_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "sql/ast.h"
+
+namespace preqr::db {
+
+// PostgreSQL-style per-column statistics: equi-depth histogram over
+// non-MCV values, most-common-value list, distinct count, min/max.
+struct ColumnStats {
+  sql::ColumnType type = sql::ColumnType::kInt;
+  double min = 0;
+  double max = 0;
+  int64_t num_distinct = 0;
+  // Equi-depth histogram bucket boundaries (ascending, size num_buckets+1).
+  std::vector<double> histogram_bounds;
+  // Most common values with their frequencies (fraction of rows).
+  std::vector<std::pair<double, double>> mcv_numeric;
+  std::vector<std::pair<std::string, double>> mcv_string;
+  // For string columns: distinct count only (plus MCVs).
+  size_t row_count = 0;
+
+  // Estimated selectivity of `col op value` under PG assumptions.
+  double EstimateNumericSelectivity(sql::CompareOp op, double value) const;
+  double EstimateRangeSelectivity(double lo, double hi) const;
+  double EstimateEqualitySelectivity(double value) const;
+  double EstimateStringEquality(const std::string& value) const;
+  // LIKE selectivity: PG-style heuristic from pattern shape.
+  static double EstimateLikeSelectivity(const std::string& pattern);
+};
+
+struct TableStats {
+  size_t row_count = 0;
+  std::vector<ColumnStats> columns;  // aligned with TableDef::columns
+};
+
+// Computes statistics for all tables (ANALYZE).
+class StatsCollector {
+ public:
+  explicit StatsCollector(int num_buckets = 32, int num_mcv = 16)
+      : num_buckets_(num_buckets), num_mcv_(num_mcv) {}
+
+  TableStats Analyze(const Table& table) const;
+  // All tables; result indexed like db.tables().
+  std::vector<TableStats> AnalyzeAll(const Database& db) const;
+
+ private:
+  ColumnStats AnalyzeColumn(const Column& column) const;
+  int num_buckets_;
+  int num_mcv_;
+};
+
+// Per-table materialized row samples, used for the MSCN-style bitmap
+// feature: Bitmap(query, table) marks which sample rows satisfy the query's
+// filter predicates on that table.
+class BitmapSampler {
+ public:
+  BitmapSampler(const Database& db, int sample_size, uint64_t seed = 7);
+
+  // Bitmap of the sample rows of `table_name` passing the given filter
+  // predicates (only predicates on this table are applied).
+  std::vector<float> Bitmap(const std::string& table_name,
+                            const sql::SelectStatement& stmt) const;
+
+  int sample_size() const { return sample_size_; }
+
+ private:
+  const Database& db_;
+  int sample_size_;
+  // table name -> sampled row ids
+  std::map<std::string, std::vector<int>> samples_;
+};
+
+}  // namespace preqr::db
+
+#endif  // PREQR_DB_STATS_H_

@@ -1,0 +1,73 @@
+#ifndef PREQR_DB_TABLE_H_
+#define PREQR_DB_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "sql/catalog.h"
+
+namespace preqr::db {
+
+// Columnar storage for one column. Only the vector matching `type` is used.
+struct Column {
+  sql::ColumnType type = sql::ColumnType::kInt;
+  std::vector<int64_t> ints;
+  std::vector<double> floats;
+  std::vector<std::string> strings;
+
+  size_t size() const {
+    switch (type) {
+      case sql::ColumnType::kInt:
+        return ints.size();
+      case sql::ColumnType::kFloat:
+        return floats.size();
+      case sql::ColumnType::kString:
+        return strings.size();
+    }
+    return 0;
+  }
+  double AsDouble(size_t row) const {
+    return type == sql::ColumnType::kFloat ? floats[row]
+                                           : static_cast<double>(ints[row]);
+  }
+};
+
+// An in-memory table with columnar layout.
+class Table {
+ public:
+  explicit Table(sql::TableDef def) : def_(std::move(def)) {
+    columns_.resize(def_.columns.size());
+    for (size_t i = 0; i < def_.columns.size(); ++i) {
+      columns_[i].type = def_.columns[i].type;
+    }
+  }
+
+  const sql::TableDef& def() const { return def_; }
+  const std::string& name() const { return def_.name; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  Column& column(int i) { return columns_[static_cast<size_t>(i)]; }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const Column* FindColumn(const std::string& name) const {
+    const int idx = def_.ColumnIndex(name);
+    return idx < 0 ? nullptr : &columns_[static_cast<size_t>(idx)];
+  }
+
+  // Call once after filling all column vectors; validates equal lengths.
+  void Seal() {
+    num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+    for (const auto& c : columns_) PREQR_CHECK_EQ(c.size(), num_rows_);
+  }
+
+ private:
+  sql::TableDef def_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace preqr::db
+
+#endif  // PREQR_DB_TABLE_H_

@@ -1,0 +1,162 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace preqr::eval {
+
+double QError(double truth, double estimate) {
+  const double y = std::max(1.0, truth);
+  const double yhat = std::max(1.0, estimate);
+  return std::max(y, yhat) / std::min(y, yhat);
+}
+
+namespace {
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+QErrorStats ComputeQErrors(const std::vector<double>& truths,
+                           const std::vector<double>& estimates) {
+  PREQR_CHECK_EQ(truths.size(), estimates.size());
+  std::vector<double> errs;
+  errs.reserve(truths.size());
+  double sum = 0;
+  for (size_t i = 0; i < truths.size(); ++i) {
+    errs.push_back(QError(truths[i], estimates[i]));
+    sum += errs.back();
+  }
+  std::sort(errs.begin(), errs.end());
+  QErrorStats stats;
+  if (errs.empty()) return stats;
+  stats.median = Percentile(errs, 0.5);
+  stats.p90 = Percentile(errs, 0.9);
+  stats.p95 = Percentile(errs, 0.95);
+  stats.p99 = Percentile(errs, 0.99);
+  stats.max = errs.back();
+  stats.mean = sum / static_cast<double>(errs.size());
+  return stats;
+}
+
+double BetaCV(const std::vector<std::vector<double>>& distance,
+              const std::vector<int>& labels) {
+  const size_t n = labels.size();
+  PREQR_CHECK_EQ(distance.size(), n);
+  double intra_sum = 0, inter_sum = 0;
+  size_t intra_cnt = 0, inter_cnt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (labels[i] == labels[j]) {
+        intra_sum += distance[i][j];
+        ++intra_cnt;
+      } else {
+        inter_sum += distance[i][j];
+        ++inter_cnt;
+      }
+    }
+  }
+  if (intra_cnt == 0 || inter_cnt == 0) return 0;
+  const double intra = intra_sum / static_cast<double>(intra_cnt);
+  const double inter = inter_sum / static_cast<double>(inter_cnt);
+  return inter <= 0 ? 0 : intra / inter;
+}
+
+double MeanNdcg(const std::vector<std::vector<double>>& predicted_similarity,
+                const std::vector<std::vector<double>>& true_similarity,
+                int k) {
+  const size_t n = predicted_similarity.size();
+  PREQR_CHECK_EQ(true_similarity.size(), n);
+  double total = 0;
+  size_t counted = 0;
+  for (size_t q = 0; q < n; ++q) {
+    // Rank all other items by predicted similarity.
+    std::vector<size_t> order;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != q) order.push_back(j);
+    }
+    const size_t cutoff =
+        k > 0 ? std::min<size_t>(static_cast<size_t>(k), order.size())
+              : order.size();
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return predicted_similarity[q][a] > predicted_similarity[q][b];
+    });
+    double dcg = 0;
+    for (size_t r = 0; r < cutoff; ++r) {
+      dcg += true_similarity[q][order[r]] / std::log2(2.0 + r);
+    }
+    // Ideal ordering by true similarity.
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return true_similarity[q][a] > true_similarity[q][b];
+    });
+    double idcg = 0;
+    for (size_t r = 0; r < cutoff; ++r) {
+      idcg += true_similarity[q][order[r]] / std::log2(2.0 + r);
+    }
+    if (idcg > 0) {
+      total += dcg / idcg;
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0 : total / static_cast<double>(counted);
+}
+
+double Bleu(const std::vector<std::vector<std::string>>& references,
+            const std::vector<std::vector<std::string>>& candidates,
+            int max_n) {
+  PREQR_CHECK_EQ(references.size(), candidates.size());
+  double log_precision_sum = 0;
+  int effective_n = 0;
+  size_t ref_len = 0, cand_len = 0;
+  for (size_t i = 0; i < references.size(); ++i) {
+    ref_len += references[i].size();
+    cand_len += candidates[i].size();
+  }
+  for (int n = 1; n <= max_n; ++n) {
+    size_t matched = 0, total = 0;
+    for (size_t i = 0; i < references.size(); ++i) {
+      const auto& ref = references[i];
+      const auto& cand = candidates[i];
+      if (cand.size() < static_cast<size_t>(n)) continue;
+      std::map<std::vector<std::string>, int> ref_ngrams;
+      for (size_t s = 0; s + n <= ref.size(); ++s) {
+        ++ref_ngrams[std::vector<std::string>(ref.begin() + s,
+                                              ref.begin() + s + n)];
+      }
+      for (size_t s = 0; s + n <= cand.size(); ++s) {
+        std::vector<std::string> gram(cand.begin() + s, cand.begin() + s + n);
+        ++total;
+        auto it = ref_ngrams.find(gram);
+        if (it != ref_ngrams.end() && it->second > 0) {
+          --it->second;
+          ++matched;
+        }
+      }
+    }
+    if (total == 0) continue;
+    ++effective_n;
+    // Laplace smoothing avoids log(0) for sparse high-order n-grams.
+    const double precision =
+        (static_cast<double>(matched) + (n > 1 ? 1.0 : 0.0)) /
+        (static_cast<double>(total) + (n > 1 ? 1.0 : 0.0));
+    log_precision_sum += std::log(std::max(precision, 1e-12));
+  }
+  if (effective_n == 0 || cand_len == 0) return 0;
+  const double geo = std::exp(log_precision_sum / effective_n);
+  const double bp =
+      cand_len >= ref_len
+          ? 1.0
+          : std::exp(1.0 - static_cast<double>(ref_len) /
+                               static_cast<double>(cand_len));
+  return bp * geo;
+}
+
+}  // namespace preqr::eval

@@ -1,0 +1,46 @@
+#ifndef PREQR_EVAL_METRICS_H_
+#define PREQR_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace preqr::eval {
+
+// Q-error distribution over a workload (Eq. 9 reports the mean; Tables 8-11
+// also report median/90th/95th/99th/max).
+struct QErrorStats {
+  double median = 0;
+  double p90 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+  double mean = 0;
+};
+
+// qerror(y, yhat) = max(y, yhat) / min(y, yhat), inputs clamped to >= 1.
+double QError(double truth, double estimate);
+QErrorStats ComputeQErrors(const std::vector<double>& truths,
+                           const std::vector<double>& estimates);
+
+// BetaCV: mean intra-cluster distance / mean inter-cluster distance over a
+// labeled clustering; smaller is better. `distance(i, j)` entries come from
+// a full pairwise matrix.
+double BetaCV(const std::vector<std::vector<double>>& distance,
+              const std::vector<int>& labels);
+
+// NDCG@k of a ranking induced by predicted similarities against ground-truth
+// relevance scores. For each query item, the remaining items are ranked by
+// predicted similarity; gains are the true similarities. Returns the mean
+// NDCG over all items. k <= 0 means "all".
+double MeanNdcg(const std::vector<std::vector<double>>& predicted_similarity,
+                const std::vector<std::vector<double>>& true_similarity,
+                int k = -1);
+
+// Corpus BLEU with up-to-4-gram precision and brevity penalty (Eq. 10).
+double Bleu(const std::vector<std::vector<std::string>>& references,
+            const std::vector<std::vector<std::string>>& candidates,
+            int max_n = 4);
+
+}  // namespace preqr::eval
+
+#endif  // PREQR_EVAL_METRICS_H_

@@ -1,0 +1,166 @@
+#ifndef PREQR_NN_MODULE_H_
+#define PREQR_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace preqr::nn {
+
+// Base class for trainable components. Parameters are registered with names
+// so they can be serialized and fed to an optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Named parameters of this module (and registered children).
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+  std::vector<Tensor> Parameters() const;
+  void ZeroGrad();
+  // Total number of scalar parameters.
+  Index NumParameters() const;
+
+  void set_train(bool train) { train_ = train; }
+  bool train_mode() const { return train_; }
+
+ protected:
+  Tensor RegisterParameter(std::string name, Tensor t);
+  void RegisterChild(std::string name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool train_ = true;
+};
+
+// y = x W + b. x: [N, in], W: [in, out], b: [out].
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng& rng, bool bias = true);
+  Tensor Forward(const Tensor& x) const;
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+ private:
+  int in_, out_;
+  Tensor weight_, bias_;
+  bool has_bias_;
+};
+
+// ids -> rows of the embedding matrix. weight: [vocab, dim].
+class Embedding : public Module {
+ public:
+  Embedding(int vocab_size, int dim, Rng& rng);
+  Tensor Forward(const std::vector<int>& ids) const;
+  Tensor weight() const { return weight_; }
+  int vocab_size() const { return vocab_; }
+  int dim() const { return dim_; }
+
+ private:
+  int vocab_, dim_;
+  Tensor weight_;
+};
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim);
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_, beta_;
+};
+
+// Multi-head scaled dot-product attention (post-norm residual handled by the
+// caller). Queries may differ from keys/values (cross attention).
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int dim, int num_heads, Rng& rng);
+  // q: [Sq, d]; kv: [Skv, d] -> [Sq, d].
+  Tensor Forward(const Tensor& q, const Tensor& kv) const;
+  int num_heads() const { return heads_; }
+
+ private:
+  int dim_, heads_, head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+// Two-layer position-wise feed-forward with GELU.
+class FeedForward : public Module {
+ public:
+  FeedForward(int dim, int hidden, Rng& rng);
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Linear fc1_, fc2_;
+};
+
+// Standard post-norm transformer encoder layer:
+//   x = LN(x + SelfAttn(x)); x = LN(x + FFN(x))
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int dim, int num_heads, int ffn_hidden, Rng& rng);
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  MultiHeadAttention attn_;
+  FeedForward ffn_;
+  LayerNorm ln1_, ln2_;
+};
+
+// Single-layer bidirectional LSTM over a short token sequence.
+// Input: [T, in]; output per step: [T, 2*hidden]; also exposes the paper's
+// Concat(fwd_last, rev_first) summary used for schema node names (Eq. 2).
+class BiLstm : public Module {
+ public:
+  BiLstm(int input_dim, int hidden_dim, Rng& rng);
+  struct Output {
+    Tensor per_step;  // [T, 2*hidden]
+    Tensor summary;   // [1, 2*hidden] = Concat(h_fwd[T-1], h_rev[0])
+  };
+  Output Forward(const Tensor& x) const;
+  int hidden_dim() const { return hidden_; }
+
+ private:
+  // One directional pass; returns [T, hidden] hidden states.
+  Tensor RunDirection(const Tensor& x, bool reverse, const Linear& wx,
+                      const Linear& wh) const;
+  int input_, hidden_;
+  Linear fwd_x_, fwd_h_, rev_x_, rev_h_;
+};
+
+// GRU cell for sequence decoders (SQL-to-Text).
+class GruCell : public Module {
+ public:
+  GruCell(int input_dim, int hidden_dim, Rng& rng);
+  // x: [1, in], h: [1, hidden] -> new h [1, hidden].
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+  int hidden_dim() const { return hidden_; }
+
+ private:
+  int input_, hidden_;
+  Linear wx_, wh_;  // produce 3*hidden gates each
+};
+
+// One relational GCN layer (Eq. 3): per-relation weight matrices plus a
+// self-connection, mean-normalized neighborhood sums, sigma = ReLU.
+class RgcnLayer : public Module {
+ public:
+  RgcnLayer(int in_dim, int out_dim, int num_relations, Rng& rng);
+  // h: [N, in]; per relation r an edge list (src->dst) with 1/|N_e(i)| norms.
+  Tensor Forward(const Tensor& h,
+                 const std::vector<std::vector<Edge>>& rel_edges,
+                 const std::vector<std::vector<float>>& rel_norms) const;
+
+ private:
+  int num_relations_;
+  std::vector<Linear> rel_weights_;
+  Linear self_weight_;
+};
+
+}  // namespace preqr::nn
+
+#endif  // PREQR_NN_MODULE_H_

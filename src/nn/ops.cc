@@ -1,0 +1,779 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace preqr::nn {
+
+namespace {
+
+bool AnyRequiresGrad(const std::vector<Tensor>& parents) {
+  for (const auto& p : parents) {
+    if (p.requires_grad()) return true;
+  }
+  return false;
+}
+
+// Builds the result tensor and wires the tape if any parent needs grads.
+Tensor MakeOp(Shape shape, std::vector<float> data, std::vector<Tensor> parents,
+              std::function<void(TensorImpl*)> grad_fn) {
+  Tensor out = Tensor::FromData(std::move(shape), std::move(data));
+  if (AnyRequiresGrad(parents)) {
+    out.impl()->requires_grad = true;
+    out.impl()->parents.reserve(parents.size());
+    for (auto& p : parents) out.impl()->parents.push_back(p.impl());
+    out.impl()->grad_fn = std::move(grad_fn);
+  }
+  return out;
+}
+
+// True if gradients should flow into `t`: it is a parameter/leaf that
+// requires grad, or an intermediate whose own grad_fn needs them.
+bool Wants(const std::shared_ptr<TensorImpl>& t) {
+  return t->requires_grad || !t->parents.empty();
+}
+
+void AccumulateGrad(const std::shared_ptr<TensorImpl>& t, const float* g,
+                    size_t n) {
+  if (!Wants(t)) return;
+  t->EnsureGrad();
+  float* dst = t->grad.data();
+  for (size_t i = 0; i < n; ++i) dst[i] += g[i];
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  PREQR_CHECK(a.shape() == b.shape());
+  std::vector<float> out(a.vec());
+  const float* pb = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] += pb[i];
+  auto ai = a.impl(), bi = b.impl();
+  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl* self) {
+    AccumulateGrad(ai, self->grad.data(), self->grad.size());
+    AccumulateGrad(bi, self->grad.data(), self->grad.size());
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  PREQR_CHECK(a.shape() == b.shape());
+  std::vector<float> out(a.vec());
+  const float* pb = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] -= pb[i];
+  auto ai = a.impl(), bi = b.impl();
+  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl* self) {
+    AccumulateGrad(ai, self->grad.data(), self->grad.size());
+    if (!Wants(bi)) return;
+    bi->EnsureGrad();
+    for (size_t i = 0; i < self->grad.size(); ++i) bi->grad[i] -= self->grad[i];
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  PREQR_CHECK(a.shape() == b.shape());
+  std::vector<float> out(a.vec());
+  const float* pb = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= pb[i];
+  auto ai = a.impl(), bi = b.impl();
+  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl* self) {
+    const size_t n = self->grad.size();
+    if (Wants(ai)) {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) ai->grad[i] += self->grad[i] * bi->data[i];
+    }
+    if (Wants(bi)) {
+      bi->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) bi->grad[i] += self->grad[i] * ai->data[i];
+    }
+  });
+}
+
+Tensor Scale(const Tensor& a, float c) {
+  std::vector<float> out(a.vec());
+  for (auto& x : out) x *= c;
+  auto ai = a.impl();
+  return MakeOp(a.shape(), std::move(out), {a}, [ai, c](TensorImpl* self) {
+    if (!Wants(ai)) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      ai->grad[i] += self->grad[i] * c;
+    }
+  });
+}
+
+Tensor AddScalar(const Tensor& a, float c) {
+  std::vector<float> out(a.vec());
+  for (auto& x : out) x += c;
+  auto ai = a.impl();
+  return MakeOp(a.shape(), std::move(out), {a}, [ai](TensorImpl* self) {
+    AccumulateGrad(ai, self->grad.data(), self->grad.size());
+  });
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  PREQR_CHECK_EQ(bias.ndim(), 1);
+  const int d = bias.dim(0);
+  PREQR_CHECK_EQ(x.dim(x.ndim() - 1), d);
+  std::vector<float> out(x.vec());
+  const float* pb = bias.data();
+  const size_t rows = out.size() / static_cast<size_t>(d);
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * static_cast<size_t>(d);
+    for (int j = 0; j < d; ++j) row[j] += pb[j];
+  }
+  auto xi = x.impl(), bi = bias.impl();
+  return MakeOp(x.shape(), std::move(out), {x, bias},
+                [xi, bi, d](TensorImpl* self) {
+                  AccumulateGrad(xi, self->grad.data(), self->grad.size());
+                  if (!Wants(bi)) return;
+                  bi->EnsureGrad();
+                  const size_t rows =
+                      self->grad.size() / static_cast<size_t>(d);
+                  for (size_t r = 0; r < rows; ++r) {
+                    const float* g =
+                        self->grad.data() + r * static_cast<size_t>(d);
+                    for (int j = 0; j < d; ++j) bi->grad[j] += g[j];
+                  }
+                });
+}
+
+namespace {
+template <typename Fwd, typename Bwd>
+Tensor Unary(const Tensor& x, Fwd fwd, Bwd bwd_from_xy) {
+  std::vector<float> out(x.vec().size());
+  const float* px = x.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(px[i]);
+  auto xi = x.impl();
+  return MakeOp(x.shape(), std::move(out), {x},
+                [xi, bwd_from_xy](TensorImpl* self) {
+                  if (!Wants(xi)) return;
+                  xi->EnsureGrad();
+                  for (size_t i = 0; i < self->grad.size(); ++i) {
+                    xi->grad[i] +=
+                        self->grad[i] * bwd_from_xy(xi->data[i], self->data[i]);
+                  }
+                });
+}
+}  // namespace
+
+Tensor Relu(const Tensor& x) {
+  return Unary(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& x) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return Unary(
+      x,
+      [](float v) {
+        const float u = kC * (v + 0.044715f * v * v * v);
+        return 0.5f * v * (1.0f + std::tanh(u));
+      },
+      [](float v, float) {
+        const float u = kC * (v + 0.044715f * v * v * v);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * 0.044715f * v * v);
+        return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+      });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return Unary(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return Unary(
+      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PREQR_CHECK_EQ(a.ndim(), 2);
+  PREQR_CHECK_EQ(b.ndim(), 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  PREQR_CHECK_EQ(b.dim(0), k);
+  std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  // ikj loop order: streaming access on b and out.
+  for (int i = 0; i < m; ++i) {
+    float* orow = out.data() + static_cast<size_t>(i) * n;
+    const float* arow = pa + static_cast<size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  auto ai = a.impl(), bi = b.impl();
+  return MakeOp({m, n}, std::move(out), {a, b},
+                [ai, bi, m, k, n](TensorImpl* self) {
+                  const float* g = self->grad.data();
+                  // dA = G * B^T
+                  if (Wants(ai)) {
+                  ai->EnsureGrad();
+                  for (int i = 0; i < m; ++i) {
+                    float* da = ai->grad.data() + static_cast<size_t>(i) * k;
+                    const float* grow = g + static_cast<size_t>(i) * n;
+                    for (int kk = 0; kk < k; ++kk) {
+                      const float* brow =
+                          bi->data.data() + static_cast<size_t>(kk) * n;
+                      float acc = 0.0f;
+                      for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+                      da[kk] += acc;
+                    }
+                  }
+                  }
+                  // dB = A^T * G
+                  if (Wants(bi)) {
+                  bi->EnsureGrad();
+                  for (int kk = 0; kk < k; ++kk) {
+                    float* db = bi->grad.data() + static_cast<size_t>(kk) * n;
+                    for (int i = 0; i < m; ++i) {
+                      const float av =
+                          ai->data[static_cast<size_t>(i) * k + kk];
+                      if (av == 0.0f) continue;
+                      const float* grow = g + static_cast<size_t>(i) * n;
+                      for (int j = 0; j < n; ++j) db[j] += av * grow[j];
+                    }
+                  }
+                  }
+                });
+}
+
+Tensor Transpose(const Tensor& a) {
+  PREQR_CHECK_EQ(a.ndim(), 2);
+  const int m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(static_cast<size_t>(m) * n);
+  const float* pa = a.data();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[static_cast<size_t>(j) * m + i] = pa[static_cast<size_t>(i) * n + j];
+    }
+  }
+  auto ai = a.impl();
+  return MakeOp({n, m}, std::move(out), {a}, [ai, m, n](TensorImpl* self) {
+    if (!Wants(ai)) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        ai->grad[static_cast<size_t>(i) * n + j] +=
+            self->grad[static_cast<size_t>(j) * m + i];
+      }
+    }
+  });
+}
+
+Tensor SoftmaxLastDim(const Tensor& x) {
+  const int d = x.dim(x.ndim() - 1);
+  std::vector<float> out(x.vec().size());
+  const float* px = x.data();
+  const size_t rows = out.size() / static_cast<size_t>(d);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* in = px + r * static_cast<size_t>(d);
+    float* o = out.data() + r * static_cast<size_t>(d);
+    float mx = in[0];
+    for (int j = 1; j < d; ++j) mx = std::max(mx, in[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      o[j] = std::exp(in[j] - mx);
+      sum += o[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < d; ++j) o[j] *= inv;
+  }
+  auto xi = x.impl();
+  return MakeOp(x.shape(), std::move(out), {x}, [xi, d](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    const size_t rows = self->grad.size() / static_cast<size_t>(d);
+    for (size_t r = 0; r < rows; ++r) {
+      const float* y = self->data.data() + r * static_cast<size_t>(d);
+      const float* g = self->grad.data() + r * static_cast<size_t>(d);
+      float dot = 0.0f;
+      for (int j = 0; j < d; ++j) dot += y[j] * g[j];
+      float* dx = xi->grad.data() + r * static_cast<size_t>(d);
+      for (int j = 0; j < d; ++j) dx[j] += y[j] * (g[j] - dot);
+    }
+  });
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  PREQR_CHECK_EQ(x.ndim(), 2);
+  const int n = x.dim(0), d = x.dim(1);
+  PREQR_CHECK_EQ(gamma.dim(0), d);
+  PREQR_CHECK_EQ(beta.dim(0), d);
+  std::vector<float> out(static_cast<size_t>(n) * d);
+  std::vector<float> xhat(out.size());
+  std::vector<float> inv_std(static_cast<size_t>(n));
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  for (int i = 0; i < n; ++i) {
+    const float* row = px + static_cast<size_t>(i) * d;
+    float mean = 0.0f;
+    for (int j = 0; j < d; ++j) mean += row[j];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      const float c = row[j] - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    inv_std[static_cast<size_t>(i)] = istd;
+    float* xh = xhat.data() + static_cast<size_t>(i) * d;
+    float* o = out.data() + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) {
+      xh[j] = (row[j] - mean) * istd;
+      o[j] = xh[j] * pg[j] + pb[j];
+    }
+  }
+  auto xi = x.impl(), gi = gamma.impl(), bi = beta.impl();
+  auto xhat_s = std::make_shared<std::vector<float>>(std::move(xhat));
+  auto istd_s = std::make_shared<std::vector<float>>(std::move(inv_std));
+  return MakeOp(
+      x.shape(), std::move(out), {x, gamma, beta},
+      [xi, gi, bi, xhat_s, istd_s, n, d](TensorImpl* self) {
+        xi->EnsureGrad();
+        gi->EnsureGrad();
+        bi->EnsureGrad();
+        const bool want_x = Wants(xi);
+        for (int i = 0; i < n; ++i) {
+          const float* g = self->grad.data() + static_cast<size_t>(i) * d;
+          const float* xh = xhat_s->data() + static_cast<size_t>(i) * d;
+          const float istd = (*istd_s)[static_cast<size_t>(i)];
+          // dgamma, dbeta
+          for (int j = 0; j < d; ++j) {
+            gi->grad[j] += g[j] * xh[j];
+            bi->grad[j] += g[j];
+          }
+          // dxhat = g * gamma; dx via standard layernorm backward.
+          float sum_dxh = 0.0f, sum_dxh_xh = 0.0f;
+          for (int j = 0; j < d; ++j) {
+            const float dxh = g[j] * gi->data[j];
+            sum_dxh += dxh;
+            sum_dxh_xh += dxh * xh[j];
+          }
+          if (!want_x) continue;
+          float* dx = xi->grad.data() + static_cast<size_t>(i) * d;
+          const float invd = 1.0f / static_cast<float>(d);
+          for (int j = 0; j < d; ++j) {
+            const float dxh = g[j] * gi->data[j];
+            dx[j] += istd * (dxh - invd * sum_dxh - xh[j] * invd * sum_dxh_xh);
+          }
+        }
+      });
+}
+
+Tensor Sum(const Tensor& x) {
+  float s = 0.0f;
+  for (float v : x.vec()) s += v;
+  auto xi = x.impl();
+  return MakeOp({1}, {s}, {x}, [xi](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    const float g = self->grad[0];
+    for (auto& v : xi->grad) v += g;
+  });
+}
+
+Tensor Mean(const Tensor& x) {
+  const float invn = 1.0f / static_cast<float>(x.size());
+  float s = 0.0f;
+  for (float v : x.vec()) s += v;
+  auto xi = x.impl();
+  return MakeOp({1}, {s * invn}, {x}, [xi, invn](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    const float g = self->grad[0] * invn;
+    for (auto& v : xi->grad) v += g;
+  });
+}
+
+Tensor MeanRows(const Tensor& x) {
+  PREQR_CHECK_EQ(x.ndim(), 2);
+  const int n = x.dim(0), d = x.dim(1);
+  std::vector<float> out(static_cast<size_t>(d), 0.0f);
+  const float* px = x.data();
+  for (int i = 0; i < n; ++i) {
+    const float* row = px + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) out[static_cast<size_t>(j)] += row[j];
+  }
+  const float invn = 1.0f / static_cast<float>(n);
+  for (auto& v : out) v *= invn;
+  auto xi = x.impl();
+  return MakeOp({d}, std::move(out), {x}, [xi, n, d, invn](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    for (int i = 0; i < n; ++i) {
+      float* dx = xi->grad.data() + static_cast<size_t>(i) * d;
+      for (int j = 0; j < d; ++j) dx[j] += self->grad[static_cast<size_t>(j)] * invn;
+    }
+  });
+}
+
+Tensor MaxRows(const Tensor& x) {
+  PREQR_CHECK_EQ(x.ndim(), 2);
+  const int n = x.dim(0), d = x.dim(1);
+  PREQR_CHECK_GT(n, 0);
+  std::vector<float> out(static_cast<size_t>(d));
+  auto argmax = std::make_shared<std::vector<int>>(static_cast<size_t>(d), 0);
+  const float* px = x.data();
+  for (int j = 0; j < d; ++j) {
+    float best = px[j];
+    int best_i = 0;
+    for (int i = 1; i < n; ++i) {
+      const float v = px[static_cast<size_t>(i) * d + j];
+      if (v > best) {
+        best = v;
+        best_i = i;
+      }
+    }
+    out[static_cast<size_t>(j)] = best;
+    (*argmax)[static_cast<size_t>(j)] = best_i;
+  }
+  auto xi = x.impl();
+  return MakeOp({d}, std::move(out), {x}, [xi, argmax, d](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    for (int j = 0; j < d; ++j) {
+      xi->grad[static_cast<size_t>((*argmax)[static_cast<size_t>(j)]) * d +
+               j] += self->grad[static_cast<size_t>(j)];
+    }
+  });
+}
+
+Tensor MeanRowsSubset(const Tensor& x, const std::vector<int>& rows) {
+  PREQR_CHECK_EQ(x.ndim(), 2);
+  const int d = x.dim(1);
+  if (rows.empty()) return Tensor::Zeros({d});
+  std::vector<float> out(static_cast<size_t>(d), 0.0f);
+  const float* px = x.data();
+  for (int r : rows) {
+    const float* row = px + static_cast<size_t>(r) * d;
+    for (int j = 0; j < d; ++j) out[static_cast<size_t>(j)] += row[j];
+  }
+  const float inv = 1.0f / static_cast<float>(rows.size());
+  for (auto& v : out) v *= inv;
+  auto xi = x.impl();
+  return MakeOp({d}, std::move(out), {x}, [xi, rows, d, inv](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    for (int r : rows) {
+      float* dx = xi->grad.data() + static_cast<size_t>(r) * d;
+      for (int j = 0; j < d; ++j) dx[j] += self->grad[static_cast<size_t>(j)] * inv;
+    }
+  });
+}
+
+Tensor Reshape(const Tensor& x, Shape new_shape) {
+  Index n = 1;
+  for (int d : new_shape) n *= d;
+  PREQR_CHECK_EQ(n, x.size());
+  auto xi = x.impl();
+  return MakeOp(std::move(new_shape), std::vector<float>(x.vec()), {x},
+                [xi](TensorImpl* self) {
+                  AccumulateGrad(xi, self->grad.data(), self->grad.size());
+                });
+}
+
+Tensor ConcatLastDim(const std::vector<Tensor>& xs) {
+  PREQR_CHECK(!xs.empty());
+  const int nd = xs[0].ndim();
+  size_t rows = 1;
+  for (int i = 0; i + 1 < nd; ++i) rows *= static_cast<size_t>(xs[0].dim(i));
+  int total_d = 0;
+  for (const auto& t : xs) {
+    PREQR_CHECK_EQ(t.ndim(), nd);
+    size_t r = 1;
+    for (int i = 0; i + 1 < nd; ++i) r *= static_cast<size_t>(t.dim(i));
+    PREQR_CHECK_EQ(r, rows);
+    total_d += t.dim(nd - 1);
+  }
+  Shape shape = xs[0].shape();
+  shape[static_cast<size_t>(nd - 1)] = total_d;
+  std::vector<float> out(rows * static_cast<size_t>(total_d));
+  std::vector<int> widths;
+  widths.reserve(xs.size());
+  int off = 0;
+  for (const auto& t : xs) {
+    const int d = t.dim(nd - 1);
+    widths.push_back(d);
+    const float* p = t.data();
+    for (size_t r = 0; r < rows; ++r) {
+      std::copy(p + r * static_cast<size_t>(d),
+                p + (r + 1) * static_cast<size_t>(d),
+                out.data() + r * static_cast<size_t>(total_d) + off);
+    }
+    off += d;
+  }
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  impls.reserve(xs.size());
+  for (const auto& t : xs) impls.push_back(t.impl());
+  return MakeOp(
+      std::move(shape), std::move(out), xs,
+      [impls, widths, rows, total_d](TensorImpl* self) {
+        int off2 = 0;
+        for (size_t t = 0; t < impls.size(); ++t) {
+          const int d = widths[t];
+          auto& ti = impls[t];
+          if (!Wants(ti)) {
+            off2 += d;
+            continue;
+          }
+          ti->EnsureGrad();
+          for (size_t r = 0; r < rows; ++r) {
+            const float* g =
+                self->grad.data() + r * static_cast<size_t>(total_d) + off2;
+            float* dst = ti->grad.data() + r * static_cast<size_t>(d);
+            for (int j = 0; j < d; ++j) dst[j] += g[j];
+          }
+          off2 += d;
+        }
+      });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& xs) {
+  PREQR_CHECK(!xs.empty());
+  size_t inner = xs[0].vec().size() / static_cast<size_t>(xs[0].dim(0));
+  int total_rows = 0;
+  for (const auto& t : xs) {
+    PREQR_CHECK_EQ(t.vec().size() / static_cast<size_t>(t.dim(0)), inner);
+    total_rows += t.dim(0);
+  }
+  Shape shape = xs[0].shape();
+  shape[0] = total_rows;
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(total_rows) * inner);
+  for (const auto& t : xs) {
+    out.insert(out.end(), t.vec().begin(), t.vec().end());
+  }
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  std::vector<size_t> sizes;
+  for (const auto& t : xs) {
+    impls.push_back(t.impl());
+    sizes.push_back(t.vec().size());
+  }
+  return MakeOp(std::move(shape), std::move(out), xs,
+                [impls, sizes](TensorImpl* self) {
+                  size_t off = 0;
+                  for (size_t t = 0; t < impls.size(); ++t) {
+                    AccumulateGrad(impls[t], self->grad.data() + off, sizes[t]);
+                    off += sizes[t];
+                  }
+                });
+}
+
+Tensor SliceLastDim(const Tensor& x, int start, int len) {
+  const int nd = x.ndim();
+  const int d = x.dim(nd - 1);
+  PREQR_CHECK_GE(start, 0);
+  PREQR_CHECK_LE(start + len, d);
+  const size_t rows = x.vec().size() / static_cast<size_t>(d);
+  Shape shape = x.shape();
+  shape[static_cast<size_t>(nd - 1)] = len;
+  std::vector<float> out(rows * static_cast<size_t>(len));
+  const float* px = x.data();
+  for (size_t r = 0; r < rows; ++r) {
+    std::copy(px + r * static_cast<size_t>(d) + start,
+              px + r * static_cast<size_t>(d) + start + len,
+              out.data() + r * static_cast<size_t>(len));
+  }
+  auto xi = x.impl();
+  return MakeOp(std::move(shape), std::move(out), {x},
+                [xi, start, len, d, rows](TensorImpl* self) {
+                  if (!Wants(xi)) return;
+                  xi->EnsureGrad();
+                  for (size_t r = 0; r < rows; ++r) {
+                    const float* g =
+                        self->grad.data() + r * static_cast<size_t>(len);
+                    float* dst =
+                        xi->grad.data() + r * static_cast<size_t>(d) + start;
+                    for (int j = 0; j < len; ++j) dst[j] += g[j];
+                  }
+                });
+}
+
+Tensor SliceRows(const Tensor& x, int start, int len) {
+  const int n = x.dim(0);
+  PREQR_CHECK_GE(start, 0);
+  PREQR_CHECK_LE(start + len, n);
+  const size_t inner = x.vec().size() / static_cast<size_t>(n);
+  Shape shape = x.shape();
+  shape[0] = len;
+  std::vector<float> out(
+      x.vec().begin() + static_cast<long>(static_cast<size_t>(start) * inner),
+      x.vec().begin() +
+          static_cast<long>(static_cast<size_t>(start + len) * inner));
+  auto xi = x.impl();
+  return MakeOp(std::move(shape), std::move(out), {x},
+                [xi, start, inner](TensorImpl* self) {
+                  if (!Wants(xi)) return;
+                  xi->EnsureGrad();
+                  float* dst =
+                      xi->grad.data() + static_cast<size_t>(start) * inner;
+                  for (size_t i = 0; i < self->grad.size(); ++i) {
+                    dst[i] += self->grad[i];
+                  }
+                });
+}
+
+Tensor Gather(const Tensor& weight, const std::vector<int>& ids) {
+  PREQR_CHECK_EQ(weight.ndim(), 2);
+  const int v = weight.dim(0), d = weight.dim(1);
+  const int n = static_cast<int>(ids.size());
+  std::vector<float> out(static_cast<size_t>(n) * d);
+  const float* pw = weight.data();
+  for (int i = 0; i < n; ++i) {
+    PREQR_CHECK_GE(ids[static_cast<size_t>(i)], 0);
+    PREQR_CHECK_LT(ids[static_cast<size_t>(i)], v);
+    std::copy(pw + static_cast<size_t>(ids[static_cast<size_t>(i)]) * d,
+              pw + static_cast<size_t>(ids[static_cast<size_t>(i)] + 1) * d,
+              out.data() + static_cast<size_t>(i) * d);
+  }
+  auto wi = weight.impl();
+  return MakeOp({n, d}, std::move(out), {weight},
+                [wi, ids, d](TensorImpl* self) {
+                  if (!Wants(wi)) return;
+                  wi->EnsureGrad();
+                  for (size_t i = 0; i < ids.size(); ++i) {
+                    const float* g = self->grad.data() + i * static_cast<size_t>(d);
+                    float* dst = wi->grad.data() +
+                                 static_cast<size_t>(ids[i]) * d;
+                    for (int j = 0; j < d; ++j) dst[j] += g[j];
+                  }
+                });
+}
+
+Tensor SparseAggregate(const Tensor& h, const std::vector<Edge>& edges,
+                       const std::vector<float>& norm) {
+  PREQR_CHECK_EQ(h.ndim(), 2);
+  PREQR_CHECK_EQ(edges.size(), norm.size());
+  const int n = h.dim(0), d = h.dim(1);
+  std::vector<float> out(static_cast<size_t>(n) * d, 0.0f);
+  const float* ph = h.data();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const float w = norm[e];
+    const float* src = ph + static_cast<size_t>(edges[e].src) * d;
+    float* dst = out.data() + static_cast<size_t>(edges[e].dst) * d;
+    for (int j = 0; j < d; ++j) dst[j] += w * src[j];
+  }
+  auto hi = h.impl();
+  return MakeOp({n, d}, std::move(out), {h},
+                [hi, edges, norm, d](TensorImpl* self) {
+                  if (!Wants(hi)) return;
+                  hi->EnsureGrad();
+                  for (size_t e = 0; e < edges.size(); ++e) {
+                    const float w = norm[e];
+                    const float* g = self->grad.data() +
+                                     static_cast<size_t>(edges[e].dst) * d;
+                    float* dst = hi->grad.data() +
+                                 static_cast<size_t>(edges[e].src) * d;
+                    for (int j = 0; j < d; ++j) dst[j] += w * g[j];
+                  }
+                });
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                    int ignore_index) {
+  PREQR_CHECK_EQ(logits.ndim(), 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  PREQR_CHECK_EQ(static_cast<int>(targets.size()), n);
+  // Softmax probabilities (saved for backward).
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(n) * c);
+  const float* pl = logits.data();
+  int valid = 0;
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = pl + static_cast<size_t>(i) * c;
+    float* pr = probs->data() + static_cast<size_t>(i) * c;
+    float mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      pr[j] = std::exp(row[j] - mx);
+      sum += pr[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < c; ++j) pr[j] *= inv;
+    const int t = targets[static_cast<size_t>(i)];
+    if (t == ignore_index) continue;
+    PREQR_CHECK_GE(t, 0);
+    PREQR_CHECK_LT(t, c);
+    ++valid;
+    loss -= std::log(std::max(pr[t], 1e-12f));
+  }
+  const float mean_loss =
+      valid > 0 ? static_cast<float>(loss / valid) : 0.0f;
+  auto li = logits.impl();
+  return MakeOp(
+      {1}, {mean_loss}, {logits},
+      [li, probs, targets, ignore_index, n, c, valid](TensorImpl* self) {
+        if (valid == 0 || !Wants(li)) return;
+        li->EnsureGrad();
+        const float g = self->grad[0] / static_cast<float>(valid);
+        for (int i = 0; i < n; ++i) {
+          const int t = targets[static_cast<size_t>(i)];
+          if (t == ignore_index) continue;
+          const float* pr = probs->data() + static_cast<size_t>(i) * c;
+          float* dl = li->grad.data() + static_cast<size_t>(i) * c;
+          for (int j = 0; j < c; ++j) {
+            dl[j] += g * (pr[j] - (j == t ? 1.0f : 0.0f));
+          }
+        }
+      });
+}
+
+Tensor MseLoss(const Tensor& pred, const std::vector<float>& target) {
+  PREQR_CHECK_EQ(pred.vec().size(), target.size());
+  const size_t n = target.size();
+  double loss = 0.0;
+  const float* pp = pred.data();
+  for (size_t i = 0; i < n; ++i) {
+    const double diff = pp[i] - target[i];
+    loss += diff * diff;
+  }
+  const float mean_loss = static_cast<float>(loss / static_cast<double>(n));
+  auto pi = pred.impl();
+  return MakeOp({1}, {mean_loss}, {pred},
+                [pi, target, n](TensorImpl* self) {
+                  if (!Wants(pi)) return;
+                  pi->EnsureGrad();
+                  const float g =
+                      self->grad[0] * 2.0f / static_cast<float>(n);
+                  for (size_t i = 0; i < n; ++i) {
+                    pi->grad[i] += g * (pi->data[i] - target[i]);
+                  }
+                });
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng& rng, bool train) {
+  if (!train || p <= 0.0f) return x;
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(x.vec().size());
+  std::vector<float> out(x.vec().size());
+  const float* px = x.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float m = rng.NextFloat() < p ? 0.0f : scale;
+    (*mask)[i] = m;
+    out[i] = px[i] * m;
+  }
+  auto xi = x.impl();
+  return MakeOp(x.shape(), std::move(out), {x}, [xi, mask](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      xi->grad[i] += self->grad[i] * (*mask)[i];
+    }
+  });
+}
+
+}  // namespace preqr::nn

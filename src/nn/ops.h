@@ -1,0 +1,83 @@
+#ifndef PREQR_NN_OPS_H_
+#define PREQR_NN_OPS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace preqr::nn {
+
+// All ops are differentiable (reverse-mode) unless noted. Tensors are
+// row-major float32; shapes are asserted with PREQR_CHECK.
+
+// --- Elementwise ------------------------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);        // same shape
+Tensor Sub(const Tensor& a, const Tensor& b);        // same shape
+Tensor Mul(const Tensor& a, const Tensor& b);        // same shape
+Tensor Scale(const Tensor& a, float c);
+Tensor AddScalar(const Tensor& a, float c);
+// x: [..., d], bias: [d] broadcast over leading dims.
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+
+Tensor Relu(const Tensor& x);
+Tensor Gelu(const Tensor& x);  // tanh approximation
+Tensor Tanh(const Tensor& x);
+Tensor Sigmoid(const Tensor& x);
+
+// --- Linear algebra ---------------------------------------------------
+Tensor MatMul(const Tensor& a, const Tensor& b);  // [m,k] x [k,n] -> [m,n]
+Tensor Transpose(const Tensor& a);                // [m,n] -> [n,m]
+
+// --- Normalization / activation over rows ------------------------------
+Tensor SoftmaxLastDim(const Tensor& x);
+// x: [N,d]; gamma,beta: [d].
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps = 1e-5f);
+
+// --- Reductions --------------------------------------------------------
+Tensor Sum(const Tensor& x);   // -> scalar
+Tensor Mean(const Tensor& x);  // -> scalar
+// [N,d] -> [d]: average over rows (avg-pool over graph nodes / tokens).
+Tensor MeanRows(const Tensor& x);
+// [N,d] -> [d]: max over rows; gradient flows to the argmax row.
+Tensor MaxRows(const Tensor& x);
+// [N,d] -> [d]: average over the given subset of rows (empty -> zeros,
+// no gradient).
+Tensor MeanRowsSubset(const Tensor& x, const std::vector<int>& rows);
+
+// --- Shape manipulation -------------------------------------------------
+Tensor Reshape(const Tensor& x, Shape new_shape);
+Tensor ConcatLastDim(const std::vector<Tensor>& xs);  // same leading dims
+Tensor ConcatRows(const std::vector<Tensor>& xs);     // along dim 0
+// x: [..., d] -> [..., len] taking columns [start, start+len).
+Tensor SliceLastDim(const Tensor& x, int start, int len);
+// x: [N, ...] -> [len, ...] taking rows [start, start+len).
+Tensor SliceRows(const Tensor& x, int start, int len);
+
+// --- Lookup / graph ------------------------------------------------------
+// weight: [V,d], ids: N indices -> [N,d]. Gradient scatters into weight.
+Tensor Gather(const Tensor& weight, const std::vector<int>& ids);
+// Edge list aggregation: out[dst] += norm[e] * h[src] for each edge e.
+// h: [N,d] -> out [N,d]. Used by the relational GCN.
+struct Edge {
+  int src;
+  int dst;
+};
+Tensor SparseAggregate(const Tensor& h, const std::vector<Edge>& edges,
+                       const std::vector<float>& norm);
+
+// --- Losses --------------------------------------------------------------
+// logits: [N,C]; targets: N class ids; entries with target==ignore_index are
+// skipped. Returns mean cross-entropy over non-ignored rows.
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                    int ignore_index = -1);
+// Mean squared error against a constant target vector.
+Tensor MseLoss(const Tensor& pred, const std::vector<float>& target);
+
+// --- Regularization -------------------------------------------------------
+Tensor Dropout(const Tensor& x, float p, Rng& rng, bool train);
+
+}  // namespace preqr::nn
+
+#endif  // PREQR_NN_OPS_H_

@@ -1,0 +1,80 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace preqr::nn {
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float clip_norm)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      clip_norm_(clip_norm) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(static_cast<size_t>(p.size()), 0.0f);
+    v_.emplace_back(static_cast<size_t>(p.size()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  // Global-norm clipping.
+  if (clip_norm_ > 0.0f) {
+    double total = 0.0;
+    for (auto& p : params_) {
+      const auto& g = p.grad_vec();
+      for (float x : g) total += static_cast<double>(x) * x;
+    }
+    const double norm = std::sqrt(total);
+    if (norm > clip_norm_) {
+      const float scale = clip_norm_ / static_cast<float>(norm);
+      for (auto& p : params_) {
+        float* g = p.grad_data();
+        for (Index i = 0; i < p.size(); ++i) g[i] *= scale;
+      }
+    }
+  }
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    if (p.grad_vec().empty()) continue;
+    float* w = p.data();
+    const float* g = p.grad_vec().data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    for (Index i = 0; i < p.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr)
+    : params_(std::move(params)), lr_(lr) {}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    if (p.grad_vec().empty()) continue;
+    float* w = p.data();
+    const float* g = p.grad_vec().data();
+    for (Index i = 0; i < p.size(); ++i) w[i] -= lr_ * g[i];
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+}  // namespace preqr::nn

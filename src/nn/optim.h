@@ -1,0 +1,43 @@
+#ifndef PREQR_NN_OPTIM_H_
+#define PREQR_NN_OPTIM_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace preqr::nn {
+
+// Adam optimizer with optional gradient clipping (global L2 norm).
+class Adam {
+ public:
+  explicit Adam(std::vector<Tensor> params, float lr = 1e-3f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+                float clip_norm = 5.0f);
+
+  void Step();
+  void ZeroGrad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_, v_;
+  float lr_, beta1_, beta2_, eps_, clip_norm_;
+  int t_ = 0;
+};
+
+// Plain SGD (used by a few baselines).
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Tensor> params, float lr = 1e-2f);
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Tensor> params_;
+  float lr_;
+};
+
+}  // namespace preqr::nn
+
+#endif  // PREQR_NN_OPTIM_H_

@@ -1,0 +1,104 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace preqr::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x50524d31;  // "PRM1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+}  // namespace
+
+Status SaveModule(const Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  const auto named = module.NamedParameters();
+  if (!WriteU32(f.get(), kMagic) ||
+      !WriteU32(f.get(), static_cast<uint32_t>(named.size()))) {
+    return Status::Internal("write failed: " + path);
+  }
+  for (const auto& [name, t] : named) {
+    if (!WriteU32(f.get(), static_cast<uint32_t>(name.size()))) {
+      return Status::Internal("write failed: " + path);
+    }
+    if (std::fwrite(name.data(), 1, name.size(), f.get()) != name.size()) {
+      return Status::Internal("write failed: " + path);
+    }
+    if (!WriteU32(f.get(), static_cast<uint32_t>(t.shape().size()))) {
+      return Status::Internal("write failed: " + path);
+    }
+    for (int d : t.shape()) {
+      if (!WriteU32(f.get(), static_cast<uint32_t>(d))) {
+        return Status::Internal("write failed: " + path);
+      }
+    }
+    const size_t n = t.vec().size();
+    if (std::fwrite(t.data(), sizeof(float), n, f.get()) != n) {
+      return Status::Internal("write failed: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadModule(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open for read: " + path);
+  uint32_t magic = 0, count = 0;
+  if (!ReadU32(f.get(), &magic) || magic != kMagic) {
+    return Status::ParseError("bad magic in " + path);
+  }
+  if (!ReadU32(f.get(), &count)) return Status::ParseError("truncated header");
+  auto named = module.NamedParameters();
+  std::map<std::string, Tensor> by_name(named.begin(), named.end());
+  if (count != named.size()) {
+    return Status::InvalidArgument("parameter count mismatch in " + path);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(f.get(), &name_len)) return Status::ParseError("truncated");
+    std::string name(name_len, '\0');
+    if (std::fread(name.data(), 1, name_len, f.get()) != name_len) {
+      return Status::ParseError("truncated name");
+    }
+    uint32_t ndim = 0;
+    if (!ReadU32(f.get(), &ndim)) return Status::ParseError("truncated");
+    Shape shape(ndim);
+    size_t n = 1;
+    for (uint32_t d = 0; d < ndim; ++d) {
+      uint32_t dim = 0;
+      if (!ReadU32(f.get(), &dim)) return Status::ParseError("truncated");
+      shape[d] = static_cast<int>(dim);
+      n *= dim;
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::InvalidArgument("unknown parameter " + name);
+    }
+    if (it->second.shape() != shape) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    if (std::fread(it->second.data(), sizeof(float), n, f.get()) != n) {
+      return Status::ParseError("truncated data for " + name);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace preqr::nn

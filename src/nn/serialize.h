@@ -1,0 +1,21 @@
+#ifndef PREQR_NN_SERIALIZE_H_
+#define PREQR_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace preqr::nn {
+
+// Writes all named parameters of `module` to a simple binary container
+// (magic, count, per-entry: name, shape, float data).
+Status SaveModule(const Module& module, const std::string& path);
+
+// Loads parameters by name into an already-constructed module with
+// identical architecture. Unknown/missing names are errors.
+Status LoadModule(Module& module, const std::string& path);
+
+}  // namespace preqr::nn
+
+#endif  // PREQR_NN_SERIALIZE_H_

@@ -1,0 +1,85 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace preqr::nn {
+
+namespace {
+std::shared_ptr<TensorImpl> NewImpl(Shape shape, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(impl->size()), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+}  // namespace
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  return Tensor(NewImpl(std::move(shape), requires_grad));
+}
+
+Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
+  auto impl = NewImpl(std::move(shape), requires_grad);
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromData(Shape shape, std::vector<float> data,
+                        bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  PREQR_CHECK_EQ(impl->size(), static_cast<Index>(impl->data.size()));
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({1}, {value}, requires_grad);
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
+  auto impl = NewImpl(std::move(shape), requires_grad);
+  for (auto& x : impl->data) {
+    x = static_cast<float>(rng.NextGaussian()) * stddev;
+  }
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Uniform(Shape shape, Rng& rng, float bound, bool requires_grad) {
+  auto impl = NewImpl(std::move(shape), requires_grad);
+  for (auto& x : impl->data) {
+    x = (rng.NextFloat() * 2.0f - 1.0f) * bound;
+  }
+  return Tensor(std::move(impl));
+}
+
+void Tensor::Backward() {
+  PREQR_CHECK_MSG(size() == 1, "Backward() requires a scalar loss");
+  // Topological order via iterative DFS.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      TensorImpl* parent = node->parents[idx].get();
+      ++idx;
+      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->grad_fn && !node->grad.empty()) node->grad_fn(node);
+  }
+}
+
+}  // namespace preqr::nn

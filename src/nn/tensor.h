@@ -1,0 +1,103 @@
+#ifndef PREQR_NN_TENSOR_H_
+#define PREQR_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace preqr::nn {
+
+using Index = int64_t;
+using Shape = std::vector<int>;
+
+// Shared storage + autograd metadata for a Tensor. The tape is implicit:
+// each op produces a new TensorImpl whose `grad_fn` knows how to push its
+// gradient into `parents`. Children hold strong references to parents only,
+// so the graph is acyclic and freed when the last downstream Tensor dies.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily, same length as data
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  // Propagates this node's grad into the parents' grads.
+  std::function<void(TensorImpl*)> grad_fn;
+
+  Index size() const {
+    Index n = 1;
+    for (int d : shape) n *= d;
+    return n;
+  }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+// Value-semantic handle to a shared tensor. Float32, row-major.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // --- Factories ------------------------------------------------------
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+  static Tensor FromData(Shape shape, std::vector<float> data,
+                         bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+  // Gaussian init with the given stddev.
+  static Tensor Randn(Shape shape, Rng& rng, float stddev,
+                      bool requires_grad = false);
+  // Uniform in [-bound, bound].
+  static Tensor Uniform(Shape shape, Rng& rng, float bound,
+                        bool requires_grad = false);
+
+  // --- Introspection ---------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl_->shape; }
+  int ndim() const { return static_cast<int>(impl_->shape.size()); }
+  int dim(int i) const { return impl_->shape[static_cast<size_t>(i)]; }
+  Index size() const { return impl_->size(); }
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  std::vector<float>& vec() { return impl_->data; }
+  const std::vector<float>& vec() const { return impl_->data; }
+  float item() const {
+    PREQR_CHECK_EQ(size(), 1);
+    return impl_->data[0];
+  }
+  float at(Index i) const { return impl_->data[static_cast<size_t>(i)]; }
+  float& at(Index i) { return impl_->data[static_cast<size_t>(i)]; }
+
+  bool requires_grad() const { return impl_->requires_grad; }
+  Tensor& set_requires_grad(bool v) {
+    impl_->requires_grad = v;
+    return *this;
+  }
+  float* grad_data() {
+    impl_->EnsureGrad();
+    return impl_->grad.data();
+  }
+  const std::vector<float>& grad_vec() const { return impl_->grad; }
+  void ZeroGrad() {
+    if (!impl_->grad.empty()) std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+
+  // Runs reverse-mode autodiff from this (scalar) tensor.
+  void Backward();
+
+  std::shared_ptr<TensorImpl>& impl() { return impl_; }
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+}  // namespace preqr::nn
+
+#endif  // PREQR_NN_TENSOR_H_

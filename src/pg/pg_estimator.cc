@@ -1,0 +1,189 @@
+#include "pg/pg_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace preqr::pg {
+
+namespace {
+using sql::ColumnType;
+using sql::CompareOp;
+using sql::Literal;
+using sql::Predicate;
+using sql::SelectStatement;
+
+constexpr double kDefaultSel = 0.005;
+
+// Resolves `ref` to (table name, column index); empty table on failure.
+std::pair<std::string, int> Resolve(const sql::Catalog& catalog,
+                                    const SelectStatement& stmt,
+                                    const sql::ColumnRef& ref) {
+  std::string table;
+  if (!ref.qualifier.empty()) {
+    table = stmt.ResolveTable(ref.qualifier);
+  } else {
+    for (const auto& tref : stmt.tables) {
+      const sql::TableDef* def = catalog.FindTable(tref.table);
+      if (def != nullptr && def->ColumnIndex(ref.column) >= 0) {
+        table = tref.table;
+        break;
+      }
+    }
+  }
+  if (table.empty()) return {"", -1};
+  const sql::TableDef* def = catalog.FindTable(table);
+  if (def == nullptr) return {"", -1};
+  return {table, def->ColumnIndex(ref.column)};
+}
+
+}  // namespace
+
+PgEstimator::PgEstimator(const db::Database& db) : db_(db) {
+  db::StatsCollector collector(32, 16);
+  stats_ = collector.AnalyzeAll(db);
+}
+
+const db::TableStats* PgEstimator::StatsFor(const std::string& table) const {
+  const int idx = db_.catalog().TableIndex(table);
+  return idx < 0 ? nullptr : &stats_[static_cast<size_t>(idx)];
+}
+
+double PgEstimator::PredicateSelectivity(const SelectStatement& stmt,
+                                         const Predicate& pred) const {
+  const auto [table, col] = Resolve(db_.catalog(), stmt, pred.lhs);
+  if (table.empty() || col < 0) return kDefaultSel;
+  const db::TableStats* ts = StatsFor(table);
+  if (ts == nullptr || static_cast<size_t>(col) >= ts->columns.size()) {
+    return kDefaultSel;
+  }
+  const db::ColumnStats& cs = ts->columns[static_cast<size_t>(col)];
+
+  if (pred.subquery) {
+    // PG plans IN-subqueries as semi-joins; approximate with the subquery's
+    // estimated cardinality over this column's distinct count.
+    const double sub_card = EstimateCardinality(*pred.subquery);
+    const double nd = std::max<double>(1.0, static_cast<double>(cs.num_distinct));
+    return std::min(1.0, sub_card / nd);
+  }
+
+  if (cs.type == ColumnType::kString) {
+    switch (pred.op) {
+      case CompareOp::kEq:
+        return cs.EstimateStringEquality(pred.values[0].string_value);
+      case CompareOp::kNe:
+        return 1.0 - cs.EstimateStringEquality(pred.values[0].string_value);
+      case CompareOp::kLike:
+        return db::ColumnStats::EstimateLikeSelectivity(
+            pred.values[0].string_value);
+      case CompareOp::kIn: {
+        double sel = 0;
+        for (const auto& v : pred.values) {
+          sel += cs.EstimateStringEquality(v.string_value);
+        }
+        return std::min(1.0, sel);
+      }
+      default:
+        return kDefaultSel;
+    }
+  }
+
+  switch (pred.op) {
+    case CompareOp::kIn: {
+      double sel = 0;
+      for (const auto& v : pred.values) {
+        sel += cs.EstimateEqualitySelectivity(v.AsDouble());
+      }
+      return std::min(1.0, sel);
+    }
+    case CompareOp::kBetween:
+      return cs.EstimateRangeSelectivity(pred.values[0].AsDouble(),
+                                         pred.values[1].AsDouble());
+    default:
+      return cs.EstimateNumericSelectivity(pred.op, pred.values[0].AsDouble());
+  }
+}
+
+double PgEstimator::EstimateCardinality(const SelectStatement& stmt) const {
+  if (stmt.union_next) {
+    SelectStatement head = stmt;
+    head.union_next = nullptr;
+    return EstimateCardinality(head) + EstimateCardinality(*stmt.union_next);
+  }
+  // Cross product of base tables.
+  double card = 1.0;
+  for (const auto& tref : stmt.tables) {
+    const db::TableStats* ts = StatsFor(tref.table);
+    card *= ts != nullptr ? std::max<double>(1.0, static_cast<double>(
+                                                      ts->row_count))
+                          : 1000.0;
+  }
+  // Independence across all predicates.
+  for (const auto& pred : stmt.predicates) {
+    if (pred.IsJoin()) {
+      // 1 / max(nd_left, nd_right).
+      const auto [ta, ca] = Resolve(db_.catalog(), stmt, pred.lhs);
+      const auto [tb, cb] = Resolve(db_.catalog(), stmt, pred.rhs_column);
+      double nd_a = 100, nd_b = 100;
+      if (!ta.empty() && ca >= 0) {
+        nd_a = std::max<double>(
+            1.0, static_cast<double>(
+                     StatsFor(ta)->columns[static_cast<size_t>(ca)]
+                         .num_distinct));
+      }
+      if (!tb.empty() && cb >= 0) {
+        nd_b = std::max<double>(
+            1.0, static_cast<double>(
+                     StatsFor(tb)->columns[static_cast<size_t>(cb)]
+                         .num_distinct));
+      }
+      card /= std::max(nd_a, nd_b);
+    } else {
+      card *= PredicateSelectivity(stmt, pred);
+    }
+  }
+  return std::max(1.0, card);
+}
+
+double PgEstimator::EstimateCost(const SelectStatement& stmt) const {
+  if (stmt.union_next) {
+    SelectStatement head = stmt;
+    head.union_next = nullptr;
+    return EstimateCost(head) + EstimateCost(*stmt.union_next);
+  }
+  // Scan cost.
+  double cost = 0;
+  for (const auto& tref : stmt.tables) {
+    const db::TableStats* ts = StatsFor(tref.table);
+    cost += ts != nullptr ? static_cast<double>(ts->row_count) : 1000.0;
+  }
+  // Left-deep hash-join pipeline over the FROM order: accumulate estimated
+  // intermediate cardinalities.
+  SelectStatement prefix;
+  prefix.items = stmt.items;
+  for (size_t i = 0; i < stmt.tables.size(); ++i) {
+    prefix.tables.push_back(stmt.tables[i]);
+    prefix.predicates.clear();
+    // All predicates whose tables are within the prefix.
+    for (const auto& pred : stmt.predicates) {
+      const auto in_prefix = [&](const sql::ColumnRef& ref) {
+        const auto [t, c] = Resolve(db_.catalog(), stmt, ref);
+        for (const auto& tref : prefix.tables) {
+          if (tref.table == t) return true;
+        }
+        return false;
+      };
+      if (pred.IsJoin()) {
+        if (in_prefix(pred.lhs) && in_prefix(pred.rhs_column)) {
+          prefix.predicates.push_back(pred);
+        }
+      } else if (in_prefix(pred.lhs)) {
+        prefix.predicates.push_back(pred);
+      }
+    }
+    if (i > 0) cost += EstimateCardinality(prefix);
+  }
+  cost += EstimateCardinality(stmt) * 0.1;
+  return cost;
+}
+
+}  // namespace preqr::pg

@@ -1,0 +1,41 @@
+#ifndef PREQR_PG_PG_ESTIMATOR_H_
+#define PREQR_PG_PG_ESTIMATOR_H_
+
+#include <vector>
+
+#include "db/database.h"
+#include "db/stats.h"
+#include "sql/ast.h"
+
+namespace preqr::pg {
+
+// PostgreSQL-style cardinality and cost estimation: per-column statistics
+// (equi-depth histograms + MCVs), attribute-independence across predicates,
+// and 1/max(nd_a, nd_b) equi-join selectivity. This is the PG baseline of
+// Tables 7-11 — it fails exactly where real PostgreSQL fails: correlated
+// predicates and multi-way joins compound the independence error.
+class PgEstimator {
+ public:
+  explicit PgEstimator(const db::Database& db);
+
+  // Estimated number of result rows.
+  double EstimateCardinality(const sql::SelectStatement& stmt) const;
+
+  // Estimated cost in the same work units the executor reports
+  // (scan + build + intermediate + emit), driven by estimated
+  // cardinalities instead of true ones.
+  double EstimateCost(const sql::SelectStatement& stmt) const;
+
+  // Selectivity of a single (non-join) predicate; exposed for tests.
+  double PredicateSelectivity(const sql::SelectStatement& stmt,
+                              const sql::Predicate& pred) const;
+
+ private:
+  const db::TableStats* StatsFor(const std::string& table) const;
+  const db::Database& db_;
+  std::vector<db::TableStats> stats_;
+};
+
+}  // namespace preqr::pg
+
+#endif  // PREQR_PG_PG_ESTIMATOR_H_

@@ -1,0 +1,206 @@
+#include "schema/schema_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace preqr::schema {
+
+const char* EdgeTypeName(EdgeType type) {
+  switch (type) {
+    case EdgeType::kSameTable: return "Same-Table";
+    case EdgeType::kForeignKeyColumnLeft: return "Foreign-Key-Column-Left";
+    case EdgeType::kForeignKeyColumnRight: return "Foreign-Key-Column-Right";
+    case EdgeType::kPrimaryKeyLeft: return "Primary-Key-Left";
+    case EdgeType::kBelongsToLeft: return "Belongs-To-Left";
+    case EdgeType::kPrimaryKeyRight: return "Primary-Key-Right";
+    case EdgeType::kBelongsToRight: return "Belongs-To-Right";
+    case EdgeType::kForeignKeyTableLeft: return "Foreign-Key-Table-Left";
+    case EdgeType::kForeignKeyTableRight: return "Foreign-Key-Table-Right";
+    case EdgeType::kForeignKeyTableBoth: return "Foreign-Key-Table-Both";
+    case EdgeType::kNumEdgeTypes: break;
+  }
+  return "?";
+}
+
+std::vector<std::string> SplitIdentifier(const std::string& name) {
+  return SplitAny(ToLower(name), "_.");
+}
+
+int SchemaGraph::TableNode(const std::string& table) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_table && nodes_[i].name == table) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int SchemaGraph::ColumnNode(const std::string& table,
+                            const std::string& column) const {
+  const std::string full = table + "." + column;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].is_table && nodes_[i].name == full) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void SchemaGraph::AddEdgesForTable(const sql::Catalog& catalog,
+                                   int table_idx) {
+  const sql::TableDef& table =
+      catalog.tables()[static_cast<size_t>(table_idx)];
+  const int t_node = TableNode(table.name);
+  std::vector<int> col_nodes;
+  for (const auto& col : table.columns) {
+    col_nodes.push_back(ColumnNode(table.name, col.name));
+  }
+  // (Column, Table) and (Table, Column) membership edges.
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    const bool pk = table.columns[c].is_primary_key;
+    edges_.push_back({col_nodes[c], t_node,
+                      pk ? EdgeType::kPrimaryKeyLeft : EdgeType::kBelongsToLeft});
+    edges_.push_back({t_node, col_nodes[c],
+                      pk ? EdgeType::kPrimaryKeyRight
+                         : EdgeType::kBelongsToRight});
+  }
+  // (Column, Column) Same-Table edges, both directions.
+  for (size_t a = 0; a < table.columns.size(); ++a) {
+    for (size_t b = a + 1; b < table.columns.size(); ++b) {
+      edges_.push_back({col_nodes[a], col_nodes[b], EdgeType::kSameTable});
+      edges_.push_back({col_nodes[b], col_nodes[a], EdgeType::kSameTable});
+    }
+  }
+}
+
+void SchemaGraph::AddFkEdges(const sql::Catalog& catalog) {
+  // Column-level FK edges.
+  for (const auto& fk : catalog.foreign_keys()) {
+    const int from = ColumnNode(fk.from_table, fk.from_column);
+    const int to = ColumnNode(fk.to_table, fk.to_column);
+    if (from < 0 || to < 0) continue;
+    edges_.push_back({from, to, EdgeType::kForeignKeyColumnLeft});
+    edges_.push_back({to, from, EdgeType::kForeignKeyColumnRight});
+  }
+  // Table-level FK edges (Left / Right / Both).
+  std::set<std::pair<std::string, std::string>> has_fk;
+  for (const auto& fk : catalog.foreign_keys()) {
+    has_fk.emplace(fk.from_table, fk.to_table);
+  }
+  std::set<std::pair<std::string, std::string>> emitted;
+  for (const auto& [from, to] : has_fk) {
+    if (emitted.count({from, to}) || emitted.count({to, from})) continue;
+    const bool both = has_fk.count({to, from}) > 0 && from != to;
+    const int from_node = TableNode(from);
+    const int to_node = TableNode(to);
+    if (from_node < 0 || to_node < 0) continue;
+    if (both) {
+      edges_.push_back({from_node, to_node, EdgeType::kForeignKeyTableBoth});
+      edges_.push_back({to_node, from_node, EdgeType::kForeignKeyTableBoth});
+    } else {
+      edges_.push_back({from_node, to_node, EdgeType::kForeignKeyTableLeft});
+      edges_.push_back({to_node, from_node, EdgeType::kForeignKeyTableRight});
+    }
+    emitted.emplace(from, to);
+  }
+}
+
+SchemaGraph SchemaGraph::Build(const sql::Catalog& catalog) {
+  SchemaGraph g;
+  // Table nodes first, then column nodes, per catalog order.
+  for (size_t t = 0; t < catalog.tables().size(); ++t) {
+    const auto& table = catalog.tables()[t];
+    SchemaNode node;
+    node.is_table = true;
+    node.table_idx = static_cast<int>(t);
+    node.name = table.name;
+    node.name_tokens = SplitIdentifier(table.name);
+    g.nodes_.push_back(std::move(node));
+  }
+  for (size_t t = 0; t < catalog.tables().size(); ++t) {
+    const auto& table = catalog.tables()[t];
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      SchemaNode node;
+      node.is_table = false;
+      node.table_idx = static_cast<int>(t);
+      node.column_idx = static_cast<int>(c);
+      node.name = table.name + "." + table.columns[c].name;
+      // First token is the column type (Section 3.4.2).
+      node.name_tokens.push_back(
+          ToLower(sql::ColumnTypeName(table.columns[c].type)));
+      for (auto& tok : SplitIdentifier(table.columns[c].name)) {
+        node.name_tokens.push_back(std::move(tok));
+      }
+      g.nodes_.push_back(std::move(node));
+    }
+  }
+  for (size_t t = 0; t < catalog.tables().size(); ++t) {
+    g.AddEdgesForTable(catalog, static_cast<int>(t));
+  }
+  g.AddFkEdges(catalog);
+  return g;
+}
+
+void SchemaGraph::AddTable(const sql::Catalog& catalog,
+                           const std::string& table_name) {
+  const int t_idx = catalog.TableIndex(table_name);
+  PREQR_CHECK_GE(t_idx, 0);
+  const sql::TableDef& table = catalog.tables()[static_cast<size_t>(t_idx)];
+  SchemaNode tnode;
+  tnode.is_table = true;
+  tnode.table_idx = t_idx;
+  tnode.name = table.name;
+  tnode.name_tokens = SplitIdentifier(table.name);
+  nodes_.push_back(std::move(tnode));
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    SchemaNode node;
+    node.is_table = false;
+    node.table_idx = t_idx;
+    node.column_idx = static_cast<int>(c);
+    node.name = table.name + "." + table.columns[c].name;
+    node.name_tokens.push_back(
+        ToLower(sql::ColumnTypeName(table.columns[c].type)));
+    for (auto& tok : SplitIdentifier(table.columns[c].name)) {
+      node.name_tokens.push_back(std::move(tok));
+    }
+    nodes_.push_back(std::move(node));
+  }
+  AddEdgesForTable(catalog, t_idx);
+  // Re-derive FK edges touching the new table.
+  for (const auto& fk : catalog.foreign_keys()) {
+    if (fk.from_table != table_name && fk.to_table != table_name) continue;
+    const int from = ColumnNode(fk.from_table, fk.from_column);
+    const int to = ColumnNode(fk.to_table, fk.to_column);
+    if (from < 0 || to < 0) continue;
+    edges_.push_back({from, to, EdgeType::kForeignKeyColumnLeft});
+    edges_.push_back({to, from, EdgeType::kForeignKeyColumnRight});
+    const int from_t = TableNode(fk.from_table);
+    const int to_t = TableNode(fk.to_table);
+    edges_.push_back({from_t, to_t, EdgeType::kForeignKeyTableLeft});
+    edges_.push_back({to_t, from_t, EdgeType::kForeignKeyTableRight});
+  }
+}
+
+void SchemaGraph::RelationalEdges(
+    std::vector<std::vector<nn::Edge>>* rel_edges,
+    std::vector<std::vector<float>>* rel_norms) const {
+  rel_edges->assign(static_cast<size_t>(kNumEdgeTypes), {});
+  rel_norms->assign(static_cast<size_t>(kNumEdgeTypes), {});
+  // In-degree per (node, relation) for 1/|N_e(i)| normalization.
+  std::vector<std::vector<int>> indegree(
+      static_cast<size_t>(kNumEdgeTypes),
+      std::vector<int>(nodes_.size(), 0));
+  for (const auto& e : edges_) {
+    ++indegree[static_cast<size_t>(e.type)][static_cast<size_t>(e.dst)];
+  }
+  for (const auto& e : edges_) {
+    const auto r = static_cast<size_t>(e.type);
+    (*rel_edges)[r].push_back({e.src, e.dst});
+    (*rel_norms)[r].push_back(
+        1.0f / static_cast<float>(indegree[r][static_cast<size_t>(e.dst)]));
+  }
+}
+
+}  // namespace preqr::schema

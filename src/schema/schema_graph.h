@@ -1,0 +1,85 @@
+#ifndef PREQR_SCHEMA_SCHEMA_GRAPH_H_
+#define PREQR_SCHEMA_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/ops.h"
+#include "sql/catalog.h"
+
+namespace preqr::schema {
+
+// The ten labeled edge types of the directed schema graph (Table 4).
+// Self-connections (the paper's 11th, implicit relation) are modeled by the
+// R-GCN layer's dedicated self-weight rather than explicit edges.
+enum class EdgeType : int {
+  kSameTable = 0,
+  kForeignKeyColumnLeft,   // src column is a foreign key for dst column
+  kForeignKeyColumnRight,  // dst column is a foreign key for src column
+  kPrimaryKeyLeft,         // src column is the primary key of dst table
+  kBelongsToLeft,          // src column is a (non-PK) column of dst table
+  kPrimaryKeyRight,        // dst column is the primary key of src table
+  kBelongsToRight,         // dst column is a (non-PK) column of src table
+  kForeignKeyTableLeft,    // src table has a FK column referencing dst table
+  kForeignKeyTableRight,   // dst table has a FK column referencing src table
+  kForeignKeyTableBoth,    // FKs in both directions
+  kNumEdgeTypes,
+};
+
+constexpr int kNumEdgeTypes = static_cast<int>(EdgeType::kNumEdgeTypes);
+
+const char* EdgeTypeName(EdgeType type);
+
+// One vertex: a table or a column.
+struct SchemaNode {
+  bool is_table = false;
+  int table_idx = -1;   // index into catalog tables
+  int column_idx = -1;  // valid for column nodes
+  std::string name;     // "title" or "title.production_year"
+  // Name tokens for the BiLSTM name encoder; for column nodes the first
+  // token is the column type (INT/FLOAT/VARCHAR), per Section 3.4.2.
+  std::vector<std::string> name_tokens;
+};
+
+// Directed labeled schema graph G_s = (V, E, R).
+class SchemaGraph {
+ public:
+  struct Edge {
+    int src = -1;
+    int dst = -1;
+    EdgeType type = EdgeType::kSameTable;
+  };
+
+  // Builds the graph from a catalog following Table 4.
+  static SchemaGraph Build(const sql::Catalog& catalog);
+
+  const std::vector<SchemaNode>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // Node index of a table / column; -1 when absent.
+  int TableNode(const std::string& table) const;
+  int ColumnNode(const std::string& table, const std::string& column) const;
+
+  // Splits edges by relation and computes 1/|N_e(i)| normalization, in the
+  // format RgcnLayer consumes.
+  void RelationalEdges(std::vector<std::vector<nn::Edge>>* rel_edges,
+                       std::vector<std::vector<float>>* rel_norms) const;
+
+  // Incrementally extends the graph when the schema gains a table (Case 2
+  // of Section 3.6). Rebuilds edges touching the new table only.
+  void AddTable(const sql::Catalog& catalog, const std::string& table);
+
+ private:
+  void AddEdgesForTable(const sql::Catalog& catalog, int table_idx);
+  void AddFkEdges(const sql::Catalog& catalog);
+  std::vector<SchemaNode> nodes_;
+  std::vector<Edge> edges_;
+};
+
+// Splits an identifier into lowercase word tokens on '_' boundaries.
+std::vector<std::string> SplitIdentifier(const std::string& name);
+
+}  // namespace preqr::schema
+
+#endif  // PREQR_SCHEMA_SCHEMA_GRAPH_H_

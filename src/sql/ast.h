@@ -1,0 +1,118 @@
+#ifndef PREQR_SQL_AST_H_
+#define PREQR_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace preqr::sql {
+
+// A (possibly alias-qualified) column reference, e.g. `t.production_year`.
+struct ColumnRef {
+  std::string qualifier;  // table name or alias; may be empty
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+  friend bool operator==(const ColumnRef& a, const ColumnRef& b) {
+    return a.qualifier == b.qualifier && a.column == b.column;
+  }
+};
+
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+// One item of the SELECT list: `COUNT(*)`, `SUM(a.balance)`, `t.id`, `*`.
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  bool star = false;  // `*` (possibly inside an aggregate)
+  ColumnRef column;   // valid when !star
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty when not aliased
+
+  std::string BindingName() const { return alias.empty() ? table : alias; }
+};
+
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kIn,       // IN (value list) or IN (subquery)
+  kBetween,  // BETWEEN v1 AND v2
+};
+
+const char* CompareOpSymbol(CompareOp op);
+
+struct Literal {
+  enum class Kind { kInt, kFloat, kString };
+  Kind kind = Kind::kInt;
+  int64_t int_value = 0;
+  double float_value = 0;
+  std::string string_value;
+
+  static Literal Int(int64_t v);
+  static Literal Float(double v);
+  static Literal String(std::string v);
+  double AsDouble() const {
+    return kind == Kind::kFloat ? float_value
+                                : static_cast<double>(int_value);
+  }
+  std::string ToString() const;
+  friend bool operator==(const Literal& a, const Literal& b);
+};
+
+struct SelectStatement;
+
+// One conjunct of the WHERE clause. Either a join predicate
+// (`lhs op rhs_column`), a filter against literals, or an IN-subquery.
+struct Predicate {
+  ColumnRef lhs;
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_column = false;
+  ColumnRef rhs_column;             // valid when rhs_is_column
+  std::vector<Literal> values;      // 1 (compare/LIKE), 2 (BETWEEN), n (IN)
+  std::shared_ptr<SelectStatement> subquery;  // IN (SELECT ...)
+
+  bool IsJoin() const { return rhs_is_column; }
+};
+
+// A SELECT statement with conjunctive WHERE. UNION chains link through
+// `union_next`. shared_ptr keeps the AST copyable.
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> tables;
+  std::vector<Predicate> predicates;  // ANDed
+  std::vector<ColumnRef> group_by;
+  std::vector<std::pair<ColumnRef, bool>> order_by;  // (column, ascending)
+  int64_t limit = -1;                                // -1 = none
+  std::shared_ptr<SelectStatement> union_next;
+
+  // Number of join predicates (column-column equality conjuncts).
+  int NumJoins() const {
+    int n = 0;
+    for (const auto& p : predicates) n += p.IsJoin() ? 1 : 0;
+    return n;
+  }
+  // Resolves a binding name (alias or table name) to the table name;
+  // returns empty string if not found.
+  std::string ResolveTable(const std::string& qualifier) const {
+    for (const auto& t : tables) {
+      if (t.BindingName() == qualifier || t.table == qualifier) return t.table;
+    }
+    return "";
+  }
+};
+
+}  // namespace preqr::sql
+
+#endif  // PREQR_SQL_AST_H_

@@ -1,0 +1,92 @@
+#include "sql/catalog.h"
+
+#include <algorithm>
+
+namespace preqr::sql {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kFloat:
+      return "FLOAT";
+    case ColumnType::kString:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+int TableDef::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int TableDef::PrimaryKeyIndex() const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].is_primary_key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Catalog::AddTable(TableDef table) { tables_.push_back(std::move(table)); }
+
+Status Catalog::AddForeignKey(ForeignKey fk) {
+  const TableDef* from = FindTable(fk.from_table);
+  const TableDef* to = FindTable(fk.to_table);
+  if (from == nullptr || to == nullptr) {
+    return Status::NotFound("FK references unknown table");
+  }
+  if (from->ColumnIndex(fk.from_column) < 0 ||
+      to->ColumnIndex(fk.to_column) < 0) {
+    return Status::NotFound("FK references unknown column");
+  }
+  fks_.push_back(std::move(fk));
+  return Status::Ok();
+}
+
+const TableDef* Catalog::FindTable(const std::string& name) const {
+  const int idx = TableIndex(name);
+  return idx < 0 ? nullptr : &tables_[static_cast<size_t>(idx)];
+}
+
+int Catalog::TableIndex(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Catalog::IsJoinableFk(const std::string& table_a, const std::string& col_a,
+                           const std::string& table_b,
+                           const std::string& col_b) const {
+  for (const auto& fk : fks_) {
+    if (fk.from_table == table_a && fk.from_column == col_a &&
+        fk.to_table == table_b && fk.to_column == col_b) {
+      return true;
+    }
+    if (fk.from_table == table_b && fk.from_column == col_b &&
+        fk.to_table == table_a && fk.to_column == col_a) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ForeignKey> Catalog::ForeignKeysFrom(
+    const std::string& table) const {
+  std::vector<ForeignKey> out;
+  for (const auto& fk : fks_) {
+    if (fk.from_table == table) out.push_back(fk);
+  }
+  return out;
+}
+
+int Catalog::TotalColumns() const {
+  int n = 0;
+  for (const auto& t : tables_) n += static_cast<int>(t.columns.size());
+  return n;
+}
+
+}  // namespace preqr::sql

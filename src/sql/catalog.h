@@ -1,0 +1,72 @@
+#ifndef PREQR_SQL_CATALOG_H_
+#define PREQR_SQL_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace preqr::sql {
+
+enum class ColumnType { kInt, kFloat, kString };
+
+const char* ColumnTypeName(ColumnType type);
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+  bool is_primary_key = false;
+};
+
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  // Index of a column by name, or -1.
+  int ColumnIndex(const std::string& column) const;
+  // Index of the primary key column, or -1.
+  int PrimaryKeyIndex() const;
+};
+
+// A foreign-key relationship: from_table.from_column references
+// to_table.to_column (the referenced column is a primary key).
+struct ForeignKey {
+  std::string from_table;
+  std::string from_column;
+  std::string to_table;
+  std::string to_column;
+};
+
+// Database schema: tables + PK/FK relationships. This is the `S` of the
+// paper's F : Q x S -> Y.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  void AddTable(TableDef table);
+  Status AddForeignKey(ForeignKey fk);
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+
+  // Lookup by table name; nullptr if absent.
+  const TableDef* FindTable(const std::string& name) const;
+  int TableIndex(const std::string& name) const;
+
+  // True if (a.col_a, b.col_b) is a PK-FK pair in either direction.
+  bool IsJoinableFk(const std::string& table_a, const std::string& col_a,
+                    const std::string& table_b, const std::string& col_b) const;
+
+  // All FKs where `table` is on the referencing ("from") side.
+  std::vector<ForeignKey> ForeignKeysFrom(const std::string& table) const;
+
+  int TotalColumns() const;
+
+ private:
+  std::vector<TableDef> tables_;
+  std::vector<ForeignKey> fks_;
+};
+
+}  // namespace preqr::sql
+
+#endif  // PREQR_SQL_CATALOG_H_

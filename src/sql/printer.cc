@@ -1,0 +1,186 @@
+#include "sql/printer.h"
+
+#include <cstdio>
+
+namespace preqr::sql {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "";
+}
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLike:
+      return "LIKE";
+    case CompareOp::kIn:
+      return "IN";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+
+Literal Literal::Int(int64_t v) {
+  Literal l;
+  l.kind = Kind::kInt;
+  l.int_value = v;
+  return l;
+}
+
+Literal Literal::Float(double v) {
+  Literal l;
+  l.kind = Kind::kFloat;
+  l.float_value = v;
+  return l;
+}
+
+Literal Literal::String(std::string v) {
+  Literal l;
+  l.kind = Kind::kString;
+  l.string_value = std::move(v);
+  return l;
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kInt:
+      return std::to_string(int_value);
+    case Kind::kFloat: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", float_value);
+      return buf;
+    }
+    case Kind::kString:
+      return "'" + string_value + "'";
+  }
+  return "";
+}
+
+bool operator==(const Literal& a, const Literal& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Literal::Kind::kInt:
+      return a.int_value == b.int_value;
+    case Literal::Kind::kFloat:
+      return a.float_value == b.float_value;
+    case Literal::Kind::kString:
+      return a.string_value == b.string_value;
+  }
+  return false;
+}
+
+namespace {
+
+void AppendSelectItem(const SelectItem& item, std::string& out) {
+  if (item.agg != AggFunc::kNone) {
+    out += AggFuncName(item.agg);
+    out += "(";
+    out += item.star ? "*" : item.column.ToString();
+    out += ")";
+  } else if (item.star) {
+    out += "*";
+  } else {
+    out += item.column.ToString();
+  }
+}
+
+void AppendPredicate(const Predicate& p, std::string& out) {
+  out += p.lhs.ToString();
+  switch (p.op) {
+    case CompareOp::kBetween:
+      out += " BETWEEN " + p.values[0].ToString() + " AND " +
+             p.values[1].ToString();
+      return;
+    case CompareOp::kIn:
+      out += " IN (";
+      if (p.subquery) {
+        out += ToSql(*p.subquery);
+      } else {
+        for (size_t i = 0; i < p.values.size(); ++i) {
+          if (i > 0) out += ",";
+          out += p.values[i].ToString();
+        }
+      }
+      out += ")";
+      return;
+    default:
+      break;
+  }
+  out += " ";
+  out += CompareOpSymbol(p.op);
+  out += " ";
+  if (p.rhs_is_column) {
+    out += p.rhs_column.ToString();
+  } else {
+    out += p.values[0].ToString();
+  }
+}
+
+}  // namespace
+
+std::string ToSql(const SelectStatement& stmt) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendSelectItem(stmt.items[i], out);
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < stmt.tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += stmt.tables[i].table;
+    if (!stmt.tables[i].alias.empty()) out += " " + stmt.tables[i].alias;
+  }
+  if (!stmt.predicates.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < stmt.predicates.size(); ++i) {
+      if (i > 0) out += " AND ";
+      AppendPredicate(stmt.predicates[i], out);
+    }
+  }
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.group_by[i].ToString();
+    }
+  }
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.order_by[i].first.ToString();
+      if (!stmt.order_by[i].second) out += " DESC";
+    }
+  }
+  if (stmt.limit >= 0) out += " LIMIT " + std::to_string(stmt.limit);
+  if (stmt.union_next) out += " UNION " + ToSql(*stmt.union_next);
+  return out;
+}
+
+}  // namespace preqr::sql

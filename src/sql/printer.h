@@ -1,0 +1,15 @@
+#ifndef PREQR_SQL_PRINTER_H_
+#define PREQR_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace preqr::sql {
+
+// Renders the AST back to canonical SQL text (round-trips with Parse).
+std::string ToSql(const SelectStatement& stmt);
+
+}  // namespace preqr::sql
+
+#endif  // PREQR_SQL_PRINTER_H_

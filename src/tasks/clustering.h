@@ -1,0 +1,34 @@
+#ifndef PREQR_TASKS_CLUSTERING_H_
+#define PREQR_TASKS_CLUSTERING_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "sql/ast.h"
+
+namespace preqr::tasks {
+
+// AST-based similarity baselines for the clustering task.
+enum class AstMetric { kAouiche, kAligon, kMakiyama };
+
+// Parses all queries (malformed queries become empty statements).
+std::vector<sql::SelectStatement> ParseAll(
+    const std::vector<std::string>& queries);
+
+// Full pairwise distance matrix under an AST metric.
+std::vector<std::vector<double>> AstDistanceMatrix(
+    const std::vector<sql::SelectStatement>& stmts, AstMetric metric);
+
+// Full pairwise cosine-distance matrix over encoder embeddings
+// (One-hotDis / Seq2SeqDis / PreQRDis).
+std::vector<std::vector<double>> EmbeddingDistanceMatrix(
+    const std::vector<std::string>& queries, baselines::QueryEncoder& encoder);
+
+// Converts a distance matrix into similarities (1 - d).
+std::vector<std::vector<double>> ToSimilarity(
+    const std::vector<std::vector<double>>& distance);
+
+}  // namespace preqr::tasks
+
+#endif  // PREQR_TASKS_CLUSTERING_H_

@@ -1,0 +1,71 @@
+#include "tasks/correction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/ops.h"
+
+namespace preqr::tasks {
+
+CorrectionModel::CorrectionModel(baselines::QueryEncoder* encoder,
+                                 EstimatorModel::Options options)
+    : encoder_(encoder), options_(options), rng_(options.seed) {
+  head_ = std::make_unique<Mlp3>(encoder->dim(), options.hidden, rng_);
+  std::vector<nn::Tensor> params = head_->Parameters();
+  for (const auto& t : encoder->TrainableParameters()) params.push_back(t);
+  opt_ = std::make_unique<nn::Adam>(params, options.lr);
+}
+
+void CorrectionModel::Fit(const std::vector<std::string>& sqls,
+                          const std::vector<double>& base_estimates,
+                          const std::vector<double>& truths) {
+  PREQR_CHECK_EQ(sqls.size(), base_estimates.size());
+  PREQR_CHECK_EQ(sqls.size(), truths.size());
+  std::vector<float> targets;
+  targets.reserve(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    const double ratio =
+        std::max(1.0, truths[i]) / std::max(1.0, base_estimates[i]);
+    // Clamp extreme residuals so single outliers do not dominate.
+    targets.push_back(static_cast<float>(
+        std::clamp(std::log(ratio), -8.0, 8.0)));
+  }
+  std::vector<size_t> order(sqls.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.NextUint64(i)]);
+    }
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(options_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), start + static_cast<size_t>(options_.batch_size));
+      opt_->ZeroGrad();
+      encoder_->BeginStep(/*train=*/true);
+      nn::Tensor batch_loss;
+      for (size_t bi = start; bi < end; ++bi) {
+        const size_t qi = order[bi];
+        nn::Tensor pred =
+            head_->Forward(encoder_->EncodeVector(sqls[qi], true));
+        nn::Tensor loss = nn::MseLoss(pred, {targets[qi]});
+        batch_loss = batch_loss.defined() ? nn::Add(batch_loss, loss) : loss;
+      }
+      batch_loss =
+          nn::Scale(batch_loss, 1.0f / static_cast<float>(end - start));
+      batch_loss.Backward();
+      opt_->Step();
+    }
+  }
+}
+
+double CorrectionModel::Correct(const std::string& sql,
+                                double base_estimate) {
+  encoder_->BeginStep(/*train=*/false);
+  nn::Tensor pred = head_->Forward(encoder_->EncodeVector(sql, false));
+  const double factor = std::exp(std::clamp(
+      static_cast<double>(pred.item()), -8.0, 8.0));
+  return std::max(1.0, base_estimate * factor);
+}
+
+}  // namespace preqr::tasks

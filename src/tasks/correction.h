@@ -1,0 +1,40 @@
+#ifndef PREQR_TASKS_CORRECTION_H_
+#define PREQR_TASKS_CORRECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "nn/optim.h"
+#include "tasks/estimator.h"
+
+namespace preqr::tasks {
+
+// Error-correction model for data-driven estimators (the NeuroCard+PreQR
+// row of Table 8): "our prediction model is used to learn the gap between
+// NeuroCard's results and their ground truths". Trains an MLP over the
+// query encoding to predict log(truth / base_estimate); the corrected
+// estimate is base * exp(prediction).
+class CorrectionModel {
+ public:
+  CorrectionModel(baselines::QueryEncoder* encoder,
+                  EstimatorModel::Options options);
+
+  void Fit(const std::vector<std::string>& sqls,
+           const std::vector<double>& base_estimates,
+           const std::vector<double>& truths);
+
+  double Correct(const std::string& sql, double base_estimate);
+
+ private:
+  baselines::QueryEncoder* encoder_;
+  EstimatorModel::Options options_;
+  Rng rng_;
+  std::unique_ptr<Mlp3> head_;
+  std::unique_ptr<nn::Adam> opt_;
+};
+
+}  // namespace preqr::tasks
+
+#endif  // PREQR_TASKS_CORRECTION_H_

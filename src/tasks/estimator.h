@@ -1,0 +1,77 @@
+#ifndef PREQR_TASKS_ESTIMATOR_H_
+#define PREQR_TASKS_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/optim.h"
+
+namespace preqr::tasks {
+
+// The paper's downstream prediction model: "a very simple 3-layer
+// fully-connected model" on top of the query encoding (Section 4.3.2).
+class Mlp3 : public nn::Module {
+ public:
+  Mlp3(int in_dim, int hidden, Rng& rng);
+  nn::Tensor Forward(const nn::Tensor& x) const;  // [1, in] -> [1, 1]
+
+ private:
+  nn::Linear fc1_, fc2_, fc3_;
+};
+
+// Encoder + MLP regression on log1p(target); predictions are expm1'd back.
+// Used for both cardinality and cost estimation.
+class EstimatorModel {
+ public:
+  struct Options {
+    int epochs = 12;
+    int batch_size = 16;
+    float lr = 1e-3f;
+    int hidden = 64;
+    uint64_t seed = 5;
+    bool verbose = false;
+  };
+
+  EstimatorModel(baselines::QueryEncoder* encoder, Options options);
+
+  // Trains on (sql, target); returns final training loss.
+  double Fit(const std::vector<std::string>& sqls,
+             const std::vector<double>& targets);
+
+  // Trains while recording mean validation q-error after each epoch
+  // (Figure 8's validation curves).
+  std::vector<double> FitWithValidation(
+      const std::vector<std::string>& train_sqls,
+      const std::vector<double>& train_targets,
+      const std::vector<std::string>& val_sqls,
+      const std::vector<double>& val_targets);
+
+  double Predict(const std::string& sql);
+  std::vector<double> PredictAll(const std::vector<std::string>& sqls);
+
+ private:
+  nn::Tensor Features(const std::string& sql, bool train);
+  double ClampedExpm1(float log_pred) const;
+
+  baselines::QueryEncoder* encoder_;
+  Options options_;
+  Rng rng_;
+  std::unique_ptr<Mlp3> head_;
+  std::unique_ptr<nn::Adam> opt_;
+  bool encoder_static_;
+  double last_train_loss_ = 0;
+  // Largest log1p(target) seen during training; predictions are clamped to
+  // this range (+margin) so out-of-distribution extrapolation cannot
+  // dominate the tail statistics.
+  float max_log_target_ = 25.0f;
+  std::unordered_map<std::string, nn::Tensor> feature_cache_;
+};
+
+}  // namespace preqr::tasks
+
+#endif  // PREQR_TASKS_ESTIMATOR_H_

@@ -1,0 +1,128 @@
+#include "tasks/preqr_encoder.h"
+
+#include "automaton/symbol.h"
+#include "nn/ops.h"
+
+namespace preqr::tasks {
+
+PreqrEncoder::PreqrEncoder(core::PreqrModel* model) : model_(model) {
+  if (model_->config().use_schema) {
+    schema_ = model_->EncodeSchemaNodes(/*with_grad=*/false);
+  }
+}
+
+void PreqrEncoder::BeginStep(bool /*train*/) {
+  // The schema branch is below the fine-tuned layer boundary, so it stays
+  // frozen; nothing to refresh.
+}
+
+void PreqrEncoder::InvalidateCache() {
+  prefix_cache_.clear();
+  if (model_->config().use_schema) {
+    schema_ = model_->EncodeSchemaNodes(/*with_grad=*/false);
+  }
+}
+
+const PreqrEncoder::CachedQuery& PreqrEncoder::Prefix(const std::string& sql) {
+  auto it = prefix_cache_.find(sql);
+  if (it != prefix_cache_.end()) return it->second;
+  auto tokenized = model_->tokenizer().Tokenize(sql);
+  if (!tokenized.ok()) {
+    // Malformed query: a single zero row keeps downstream shapes valid.
+    empty_.prefix = nn::Tensor::Zeros({1, model_->config().d_model});
+    empty_.predicate_spans.clear();
+    empty_.table_rows.clear();
+    return empty_;
+  }
+  CachedQuery entry;
+  entry.prefix = model_->EncodePrefix(tokenized.value(), schema_);
+  using automaton::Symbol;
+  const int s = entry.prefix.dim(0);
+  // Predicate spans: maximal runs of predicate-body symbols (a column, its
+  // operator, and its literals / rhs column) inside the WHERE region.
+  auto is_pred_symbol = [](Symbol sym) {
+    switch (sym) {
+      case Symbol::kColumn:
+      case Symbol::kOpEq:
+      case Symbol::kOpNe:
+      case Symbol::kOpLt:
+      case Symbol::kOpLe:
+      case Symbol::kOpGt:
+      case Symbol::kOpGe:
+      case Symbol::kLike:
+      case Symbol::kIn:
+      case Symbol::kBetween:
+      case Symbol::kNot:
+      case Symbol::kValueNum:
+      case Symbol::kValueStr:
+      case Symbol::kLParen:
+      case Symbol::kRParen:
+        return true;
+      default:
+        return false;
+    }
+  };
+  std::vector<int> current;
+  const auto& symbols = tokenized.value().symbols;
+  for (int i = 0; i < s && i < static_cast<int>(symbols.size()); ++i) {
+    const Symbol sym = symbols[static_cast<size_t>(i)];
+    if (is_pred_symbol(sym)) {
+      current.push_back(i);
+    } else {
+      if (!current.empty()) entry.predicate_spans.push_back(current);
+      current.clear();
+      if (sym == Symbol::kTable) entry.table_rows.push_back(i);
+    }
+  }
+  if (!current.empty()) entry.predicate_spans.push_back(current);
+  return prefix_cache_.emplace(sql, std::move(entry)).first->second;
+}
+
+nn::Tensor PreqrEncoder::EncodeVector(const std::string& sql, bool train) {
+  model_->set_train(train);
+  const CachedQuery& cached = Prefix(sql);
+  auto enc = model_->LastLayer(cached.prefix, schema_);
+  model_->set_train(false);
+  // Structured read-out over the final token states: the aggregate [CLS],
+  // the global mean, mean/max pools over per-predicate span means (set
+  // pooling that keeps each predicate's column-op-value binding), and the
+  // FROM-list pool. The automaton provides the span structure.
+  const int d = model_->config().d_model;
+  nn::Tensor mean = nn::Reshape(nn::MeanRows(enc.tokens), {1, d});
+  nn::Tensor span_mean, span_max;
+  if (cached.predicate_spans.empty()) {
+    span_mean = nn::Tensor::Zeros({1, d});
+    span_max = nn::Tensor::Zeros({1, d});
+  } else {
+    std::vector<nn::Tensor> spans;
+    spans.reserve(cached.predicate_spans.size());
+    for (const auto& rows : cached.predicate_spans) {
+      spans.push_back(
+          nn::Reshape(nn::MeanRowsSubset(enc.tokens, rows), {1, d}));
+    }
+    nn::Tensor stacked = nn::ConcatRows(spans);  // [P, d]
+    // Sum pooling over spans: per-conjunct contributions add up, matching
+    // the log-additive structure of join/filter cardinality factors.
+    span_mean = nn::Scale(
+        nn::Reshape(nn::MeanRows(stacked), {1, d}),
+        static_cast<float>(cached.predicate_spans.size()));
+    span_max = nn::Reshape(nn::MaxRows(stacked), {1, d});
+  }
+  nn::Tensor tabs = nn::Scale(
+      nn::Reshape(nn::MeanRowsSubset(enc.tokens, cached.table_rows), {1, d}),
+      static_cast<float>(cached.table_rows.size()));
+  return nn::ConcatLastDim({enc.cls, mean, span_mean, span_max, tabs});
+}
+
+nn::Tensor PreqrEncoder::EncodeSequence(const std::string& sql, bool train) {
+  model_->set_train(train);
+  auto enc = model_->LastLayer(Prefix(sql).prefix, schema_);
+  model_->set_train(false);
+  return enc.tokens;  // [S, d]
+}
+
+std::vector<nn::Tensor> PreqrEncoder::TrainableParameters() {
+  return model_->LastLayerParameters();
+}
+
+}  // namespace preqr::tasks

@@ -1,0 +1,54 @@
+#ifndef PREQR_TASKS_PREQR_ENCODER_H_
+#define PREQR_TASKS_PREQR_ENCODER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "core/preqr_model.h"
+
+namespace preqr::tasks {
+
+// Adapts a pre-trained PreqrModel to the downstream encoder interfaces.
+// Fine-tuning follows the paper: only the *last* SQLBERT (Trm_g) layer
+// trains together with the task head; everything below is frozen, so the
+// frozen prefix of each query is computed once and cached.
+class PreqrEncoder : public baselines::QueryEncoder,
+                     public baselines::SequenceEncoder {
+ public:
+  explicit PreqrEncoder(core::PreqrModel* model);
+
+  nn::Tensor EncodeVector(const std::string& sql, bool train) override;
+  nn::Tensor EncodeSequence(const std::string& sql, bool train) override;
+  std::vector<nn::Tensor> TrainableParameters() override;
+  // Structured read-out: [CLS ; mean(all) ; mean-of-span-means ;
+  // max-of-span-means ; mean(tables)] over the final token states.
+  int dim() const override { return 5 * model_->config().d_model; }
+  int sequence_dim() const override { return model_->config().d_model; }
+  std::string name() const override { return "PreQR"; }
+  void BeginStep(bool train) override;
+
+  // Drops cached prefixes (e.g. after further pre-training of the model).
+  void InvalidateCache();
+
+ private:
+  struct CachedQuery {
+    nn::Tensor prefix;  // frozen-prefix token states [S, d]
+    // Predicate spans (each join/filter conjunct's token positions) and the
+    // FROM-list positions, from the automaton symbolization. Pooling per
+    // span keeps each predicate's column-op-value binding intact.
+    std::vector<std::vector<int>> predicate_spans;
+    std::vector<int> table_rows;
+  };
+  const CachedQuery& Prefix(const std::string& sql);
+
+  core::PreqrModel* model_;
+  nn::Tensor schema_;  // detached schema node encodings
+  std::unordered_map<std::string, CachedQuery> prefix_cache_;
+  CachedQuery empty_;
+};
+
+}  // namespace preqr::tasks
+
+#endif  // PREQR_TASKS_PREQR_ENCODER_H_

@@ -1,0 +1,162 @@
+#include "tasks/sql2text.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "eval/metrics.h"
+#include "nn/ops.h"
+
+namespace preqr::tasks {
+
+TextVocab::TextVocab() {
+  for (const char* w : {"[UNK]", "[BOS]", "[EOS]"}) {
+    index_[w] = static_cast<int>(words_.size());
+    words_.push_back(w);
+  }
+}
+
+void TextVocab::Build(const std::vector<workload::TextPair>& pairs) {
+  for (const auto& pair : pairs) {
+    for (const auto& w : pair.text) {
+      if (index_.find(w) == index_.end()) {
+        index_[w] = static_cast<int>(words_.size());
+        words_.push_back(w);
+      }
+    }
+  }
+}
+
+int TextVocab::Id(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? kUnk : it->second;
+}
+
+TextDecoder::TextDecoder(int vocab_size, int dim, int enc_dim, Rng& rng)
+    : dim_(dim),
+      embedding_(vocab_size, dim, rng),
+      memory_proj_(enc_dim, dim, rng),
+      gru_(dim, dim, rng),
+      attn_combine_(2 * dim, dim, rng),
+      out_(dim, vocab_size, rng) {
+  RegisterChild("embedding", &embedding_);
+  RegisterChild("memory_proj", &memory_proj_);
+  RegisterChild("gru", &gru_);
+  RegisterChild("attn_combine", &attn_combine_);
+  RegisterChild("out", &out_);
+}
+
+std::pair<nn::Tensor, nn::Tensor> TextDecoder::Step(
+    const nn::Tensor& memory_proj, int prev_id,
+    const nn::Tensor& state) const {
+  nn::Tensor x = embedding_.Forward({prev_id});        // [1, dim]
+  nn::Tensor h = gru_.Forward(x, state);               // [1, dim]
+  // Attention: softmax(h M^T / sqrt(d)) M.
+  nn::Tensor scores = nn::Scale(
+      nn::MatMul(h, nn::Transpose(memory_proj)),
+      1.0f / std::sqrt(static_cast<float>(dim_)));     // [1, S]
+  nn::Tensor context = nn::MatMul(nn::SoftmaxLastDim(scores), memory_proj);
+  nn::Tensor combined =
+      nn::Tanh(attn_combine_.Forward(nn::ConcatLastDim({h, context})));
+  return {out_.Forward(combined), h};
+}
+
+nn::Tensor TextDecoder::TrainLoss(const nn::Tensor& memory,
+                                  const std::vector<int>& target_ids) const {
+  nn::Tensor memory_proj = memory_proj_.Forward(memory);
+  nn::Tensor state = nn::Reshape(nn::MeanRows(memory_proj), {1, dim_});
+  std::vector<nn::Tensor> logits;
+  std::vector<int> targets;
+  int prev = TextVocab::kBos;
+  for (int t : target_ids) {
+    auto [step_logits, new_state] = Step(memory_proj, prev, state);
+    logits.push_back(step_logits);
+    targets.push_back(t);
+    state = new_state;
+    prev = t;
+  }
+  auto [eos_logits, final_state] = Step(memory_proj, prev, state);
+  logits.push_back(eos_logits);
+  targets.push_back(TextVocab::kEos);
+  return nn::CrossEntropy(nn::ConcatRows(logits), targets, -1);
+}
+
+std::vector<int> TextDecoder::Generate(const nn::Tensor& memory,
+                                       int max_len) const {
+  nn::Tensor memory_proj = memory_proj_.Forward(memory);
+  nn::Tensor state = nn::Reshape(nn::MeanRows(memory_proj), {1, dim_});
+  std::vector<int> out;
+  int prev = TextVocab::kBos;
+  for (int step = 0; step < max_len; ++step) {
+    auto [logits, new_state] = Step(memory_proj, prev, state);
+    state = new_state;
+    int best = 0;
+    for (int v = 1; v < logits.dim(1); ++v) {
+      if (logits.at(v) > logits.at(best)) best = v;
+    }
+    if (best == TextVocab::kEos) break;
+    out.push_back(best);
+    prev = best;
+  }
+  return out;
+}
+
+Sql2TextModel::Sql2TextModel(baselines::SequenceEncoder* encoder,
+                             Options options)
+    : encoder_(encoder), options_(options), rng_(options.seed) {}
+
+void Sql2TextModel::Fit(const std::vector<workload::TextPair>& train_pairs) {
+  vocab_.Build(train_pairs);
+  decoder_ = std::make_unique<TextDecoder>(vocab_.size(), options_.dim,
+                                           encoder_->sequence_dim(), rng_);
+  std::vector<nn::Tensor> params = decoder_->Parameters();
+  for (const auto& t : encoder_->TrainableParameters()) params.push_back(t);
+  opt_ = std::make_unique<nn::Adam>(params, options_.lr);
+
+  std::vector<size_t> order(train_pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.NextUint64(i)]);
+    }
+    double loss_sum = 0;
+    for (size_t qi : order) {
+      const auto& pair = train_pairs[qi];
+      std::vector<int> target;
+      for (const auto& w : pair.text) target.push_back(vocab_.Id(w));
+      opt_->ZeroGrad();
+      nn::Tensor memory = encoder_->EncodeSequence(pair.sql, /*train=*/true);
+      nn::Tensor loss = decoder_->TrainLoss(memory, target);
+      loss.Backward();
+      opt_->Step();
+      loss_sum += loss.item();
+    }
+    if (options_.verbose) {
+      std::fprintf(stderr, "[sql2text %s] epoch %d loss=%.4f\n",
+                   encoder_->name().c_str(), epoch,
+                   loss_sum / static_cast<double>(order.size()));
+    }
+  }
+}
+
+std::vector<std::string> Sql2TextModel::Generate(const std::string& sql) {
+  PREQR_CHECK(decoder_ != nullptr);
+  nn::Tensor memory = encoder_->EncodeSequence(sql, /*train=*/false);
+  std::vector<std::string> out;
+  for (int id : decoder_->Generate(memory, options_.max_len)) {
+    out.push_back(vocab_.Word(id));
+  }
+  return out;
+}
+
+double Sql2TextModel::EvalBleu(
+    const std::vector<workload::TextPair>& eval_pairs) {
+  std::vector<std::vector<std::string>> refs, cands;
+  for (const auto& pair : eval_pairs) {
+    refs.push_back(pair.text);
+    cands.push_back(Generate(pair.sql));
+  }
+  return eval::Bleu(refs, cands);
+}
+
+}  // namespace preqr::tasks

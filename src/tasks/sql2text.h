@@ -1,0 +1,91 @@
+#ifndef PREQR_TASKS_SQL2TEXT_H_
+#define PREQR_TASKS_SQL2TEXT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/optim.h"
+#include "workload/sql2text.h"
+
+namespace preqr::tasks {
+
+// Word vocabulary for the natural-language side.
+class TextVocab {
+ public:
+  static constexpr int kUnk = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+
+  TextVocab();
+  void Build(const std::vector<workload::TextPair>& pairs);
+  int Id(const std::string& word) const;
+  const std::string& Word(int id) const {
+    return words_[static_cast<size_t>(id)];
+  }
+  int size() const { return static_cast<int>(words_.size()); }
+
+ private:
+  std::vector<std::string> words_;
+  std::map<std::string, int> index_;
+};
+
+// GRU decoder with Luong-style attention over the encoder memory.
+class TextDecoder : public nn::Module {
+ public:
+  TextDecoder(int vocab_size, int dim, int enc_dim, Rng& rng);
+
+  // Teacher-forcing loss over one (memory, target) pair.
+  nn::Tensor TrainLoss(const nn::Tensor& memory,
+                       const std::vector<int>& target_ids) const;
+  // Greedy decoding (stops at EOS or max_len).
+  std::vector<int> Generate(const nn::Tensor& memory, int max_len) const;
+
+ private:
+  // One step: consumes prev token id and state; returns (logits, new state).
+  std::pair<nn::Tensor, nn::Tensor> Step(const nn::Tensor& memory_proj,
+                                         int prev_id,
+                                         const nn::Tensor& state) const;
+  int dim_;
+  nn::Embedding embedding_;
+  nn::Linear memory_proj_;
+  nn::GruCell gru_;
+  nn::Linear attn_combine_;  // [h ; context] -> dim
+  nn::Linear out_;           // dim -> vocab
+};
+
+// End-to-end SQL-to-Text model: any SequenceEncoder + the attention decoder.
+// Replaces only the encoder across baselines, as in Section 4.6.
+class Sql2TextModel {
+ public:
+  struct Options {
+    int dim = 48;
+    int epochs = 6;
+    float lr = 2e-3f;
+    int max_len = 24;
+    uint64_t seed = 77;
+    bool verbose = false;
+  };
+
+  Sql2TextModel(baselines::SequenceEncoder* encoder, Options options);
+
+  void Fit(const std::vector<workload::TextPair>& train_pairs);
+  double EvalBleu(const std::vector<workload::TextPair>& eval_pairs);
+  std::vector<std::string> Generate(const std::string& sql);
+
+ private:
+  baselines::SequenceEncoder* encoder_;
+  Options options_;
+  Rng rng_;
+  TextVocab vocab_;
+  std::unique_ptr<TextDecoder> decoder_;
+  std::unique_ptr<nn::Adam> opt_;
+};
+
+}  // namespace preqr::tasks
+
+#endif  // PREQR_TASKS_SQL2TEXT_H_

@@ -1,0 +1,290 @@
+#include "workload/ch.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "db/executor.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/rewrites.h"
+
+namespace preqr::workload {
+
+namespace {
+using db::Database;
+using db::Table;
+using sql::ColumnType;
+using sql::TableDef;
+
+TableDef Def(const std::string& name, std::vector<sql::ColumnDef> columns) {
+  TableDef def;
+  def.name = name;
+  def.columns = std::move(columns);
+  return def;
+}
+}  // namespace
+
+db::Database MakeChDatabase(uint64_t seed, double scale) {
+  Rng rng(seed);
+  Database db;
+  const auto scaled = [scale](int base) {
+    return std::max(4, static_cast<int>(base * scale));
+  };
+  const int n_customer = scaled(1500);
+  const int n_orders = scaled(6000);
+  const int n_item = scaled(400);
+  const int n_supplier = scaled(60);
+
+  Table& nation = db.AddTable(Def(
+      "nation", {{"id", ColumnType::kInt, true},
+                 {"name", ColumnType::kString, false},
+                 {"region_id", ColumnType::kInt, false}}));
+  static const char* kNations[] = {"usa", "uk", "france", "germany", "japan",
+                                   "india", "china", "brazil", "canada",
+                                   "spain"};
+  for (int i = 0; i < 10; ++i) {
+    nation.column(0).ints.push_back(i);
+    nation.column(1).strings.push_back(kNations[i]);
+    nation.column(2).ints.push_back(i % 4);
+  }
+  nation.Seal();
+
+  Table& supplier = db.AddTable(Def(
+      "supplier", {{"id", ColumnType::kInt, true},
+                   {"name", ColumnType::kString, false},
+                   {"nation_id", ColumnType::kInt, false}}));
+  for (int i = 0; i < n_supplier; ++i) {
+    supplier.column(0).ints.push_back(i);
+    supplier.column(1).strings.push_back("supplier_" + std::to_string(i));
+    supplier.column(2).ints.push_back(static_cast<int>(rng.NextUint64(10)));
+  }
+  supplier.Seal();
+
+  Table& item = db.AddTable(Def(
+      "item", {{"id", ColumnType::kInt, true},
+               {"name", ColumnType::kString, false},
+               {"price", ColumnType::kInt, false},
+               {"supplier_id", ColumnType::kInt, false}}));
+  for (int i = 0; i < n_item; ++i) {
+    item.column(0).ints.push_back(i);
+    item.column(1).strings.push_back("item_" + std::to_string(i));
+    item.column(2).ints.push_back(
+        1 + static_cast<int>(rng.NextZipf(500, 1.3)));
+    item.column(3).ints.push_back(
+        static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n_supplier))));
+  }
+  item.Seal();
+
+  Table& customer = db.AddTable(Def(
+      "customer", {{"id", ColumnType::kInt, true},
+                   {"name", ColumnType::kString, false},
+                   {"nation_id", ColumnType::kInt, false},
+                   {"segment", ColumnType::kString, false},
+                   {"balance", ColumnType::kInt, false}}));
+  static const char* kSegments[] = {"automobile", "building", "furniture",
+                                    "household", "machinery"};
+  for (int i = 0; i < n_customer; ++i) {
+    customer.column(0).ints.push_back(i);
+    customer.column(1).strings.push_back("customer_" + std::to_string(i));
+    const int nat = static_cast<int>(rng.NextZipf(10, 1.3)) - 1;
+    customer.column(2).ints.push_back(nat);
+    // Segment correlates with nation.
+    customer.column(3).strings.push_back(
+        kSegments[(nat + static_cast<int>(rng.NextUint64(3))) % 5]);
+    customer.column(4).ints.push_back(
+        static_cast<int>(rng.NextUint64(10000)));
+  }
+  customer.Seal();
+
+  Table& orders = db.AddTable(Def(
+      "orders", {{"id", ColumnType::kInt, true},
+                 {"customer_id", ColumnType::kInt, false},
+                 {"order_year", ColumnType::kInt, false},
+                 {"status", ColumnType::kString, false},
+                 {"total", ColumnType::kInt, false}}));
+  for (int i = 0; i < n_orders; ++i) {
+    orders.column(0).ints.push_back(i);
+    const int cust =
+        static_cast<int>(rng.NextZipf(static_cast<uint64_t>(n_customer),
+                                      1.15)) - 1;
+    orders.column(1).ints.push_back(cust);
+    orders.column(2).ints.push_back(2015 + static_cast<int>(rng.NextUint64(8)));
+    const double dice = rng.NextDouble();
+    orders.column(3).strings.push_back(
+        dice < 0.6 ? "delivered" : (dice < 0.85 ? "pending" : "cancelled"));
+    orders.column(4).ints.push_back(
+        10 + static_cast<int>(rng.NextZipf(5000, 1.2)));
+  }
+  orders.Seal();
+
+  Table& order_line = db.AddTable(Def(
+      "order_line", {{"id", ColumnType::kInt, true},
+                     {"order_id", ColumnType::kInt, false},
+                     {"item_id", ColumnType::kInt, false},
+                     {"quantity", ColumnType::kInt, false}}));
+  {
+    int row = 0;
+    for (int o = 0; o < n_orders; ++o) {
+      const int lines = 1 + static_cast<int>(rng.NextUint64(5));
+      for (int l = 0; l < lines; ++l) {
+        order_line.column(0).ints.push_back(row++);
+        order_line.column(1).ints.push_back(o);
+        order_line.column(2).ints.push_back(static_cast<int>(
+            rng.NextZipf(static_cast<uint64_t>(n_item), 1.3)) - 1);
+        order_line.column(3).ints.push_back(
+            1 + static_cast<int>(rng.NextUint64(20)));
+      }
+    }
+    order_line.Seal();
+  }
+
+  auto fk = [&db](const char* ft, const char* fc, const char* tt,
+                  const char* tc) {
+    PREQR_CHECK(db.catalog().AddForeignKey({ft, fc, tt, tc}).ok());
+  };
+  fk("supplier", "nation_id", "nation", "id");
+  fk("customer", "nation_id", "nation", "id");
+  fk("item", "supplier_id", "supplier", "id");
+  fk("orders", "customer_id", "customer", "id");
+  fk("order_line", "order_id", "orders", "id");
+  fk("order_line", "item_id", "item", "id");
+  return db;
+}
+
+ChSimilarityWorkload MakeChSimilarityWorkload(const db::Database& ch,
+                                              uint64_t seed,
+                                              int num_families) {
+  Rng rng(seed);
+  db::Executor exec(ch);
+  ChSimilarityWorkload wl;
+
+  // Base templates rooted at `orders` so result row ids are comparable.
+  const auto base_query = [&](int family) {
+    sql::SelectStatement stmt;
+    sql::SelectItem item;
+    item.column = {"o", "id"};
+    stmt.items.push_back(item);
+    stmt.tables.push_back({"orders", "o"});
+    const int year = 2015 + family % 8;
+    sql::Predicate year_pred;
+    year_pred.lhs = {"o", "order_year"};
+    switch (family % 3) {
+      case 0:
+        year_pred.op = sql::CompareOp::kBetween;
+        year_pred.values = {sql::Literal::Int(year),
+                            sql::Literal::Int(year + 2)};
+        break;
+      case 1: {
+        year_pred.op = sql::CompareOp::kGe;
+        year_pred.values = {sql::Literal::Int(year)};
+        break;
+      }
+      default:
+        year_pred.op = sql::CompareOp::kEq;
+        year_pred.values = {sql::Literal::Int(year)};
+    }
+    stmt.predicates.push_back(year_pred);
+    sql::Predicate status;
+    status.lhs = {"o", "status"};
+    status.op = sql::CompareOp::kIn;
+    status.values = {sql::Literal::String("delivered"),
+                     sql::Literal::String("pending")};
+    if (family % 2 == 0) stmt.predicates.push_back(status);
+    if (family % 4 == 3) {
+      // Join variant: orders x customer with a nation filter.
+      stmt.tables.push_back({"customer", "c"});
+      sql::Predicate join;
+      join.lhs = {"o", "customer_id"};
+      join.op = sql::CompareOp::kEq;
+      join.rhs_is_column = true;
+      join.rhs_column = {"c", "id"};
+      stmt.predicates.push_back(join);
+      sql::Predicate nat;
+      nat.lhs = {"c", "nation_id"};
+      nat.op = sql::CompareOp::kLt;
+      nat.values = {sql::Literal::Int(3 + family % 5)};
+      stmt.predicates.push_back(nat);
+    }
+    return stmt;
+  };
+
+  for (int f = 0; f < num_families; ++f) {
+    sql::SelectStatement base = base_query(f);
+    const std::string base_sql = sql::ToSql(base);
+    // Category 0: the base + two equivalent rewrites.
+    wl.queries.push_back(base_sql);
+    wl.family.push_back(f);
+    wl.category.push_back(0);
+    for (int r = 0; r < 2; ++r) {
+      wl.queries.push_back(EquivalentRewrite(base, f + r, rng));
+      wl.family.push_back(f);
+      wl.category.push_back(0);
+    }
+    // Category 1: same template, literals shifted far enough to move the
+    // predicate into a different region of the value distribution.
+    for (int r = 0; r < 2; ++r) {
+      sql::SelectStatement variant = base;
+      for (auto& p : variant.predicates) {
+        for (auto& v : p.values) {
+          if (v.kind == sql::Literal::Kind::kInt) {
+            if (v.int_value >= 2000) {
+              v.int_value += 2 + 2 * r;  // years: jump several buckets
+            } else {
+              v.int_value = v.int_value * (2 + r) + 37;
+            }
+          } else if (v.kind == sql::Literal::Kind::kString &&
+                     v.string_value == "delivered") {
+            v.string_value = "cancelled";  // different MCV token
+          }
+        }
+      }
+      wl.queries.push_back(sql::ToSql(variant));
+      wl.family.push_back(f);
+      wl.category.push_back(1);
+    }
+    // Category 2: irrelevant query (different filter column & shape).
+    {
+      sql::SelectStatement other;
+      sql::SelectItem item;
+      item.agg = sql::AggFunc::kCount;
+      item.star = true;
+      other.items.push_back(item);
+      other.tables.push_back({"orders", "o"});
+      sql::Predicate p;
+      p.lhs = {"o", "total"};
+      p.op = sql::CompareOp::kGt;
+      p.values = {sql::Literal::Int(100 + 50 * f)};
+      other.predicates.push_back(p);
+      wl.queries.push_back(sql::ToSql(other));
+      wl.family.push_back(f);
+      wl.category.push_back(2);
+    }
+  }
+
+  // Ground-truth similarity from result row-id overlap.
+  std::vector<std::vector<int>> results;
+  for (const auto& q : wl.queries) {
+    auto parsed = sql::Parse(q);
+    PREQR_CHECK(parsed.ok());
+    auto res = exec.Execute(parsed.value(), /*collect_root_rows=*/true);
+    PREQR_CHECK_MSG(res.ok(), res.status().message().c_str());
+    results.push_back(res.value().root_row_ids);
+  }
+  const size_t n = wl.queries.size();
+  wl.true_similarity.assign(n, std::vector<double>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    std::unordered_set<int> set_i(results[i].begin(), results[i].end());
+    for (size_t j = 0; j < n; ++j) {
+      size_t inter = 0;
+      for (int r : results[j]) inter += set_i.count(r);
+      const size_t uni = set_i.size() + results[j].size() - inter;
+      wl.true_similarity[i][j] =
+          uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+    }
+  }
+  return wl;
+}
+
+}  // namespace preqr::workload

@@ -1,0 +1,38 @@
+#ifndef PREQR_WORKLOAD_CH_H_
+#define PREQR_WORKLOAD_CH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace preqr::workload {
+
+// A CH-benCHmark-flavored database (TPC-C transactional tables joined with
+// TPC-H analytic dimensions), used for the query-similarity ground truth
+// (Section 4.1.1, second workload).
+db::Database MakeChDatabase(uint64_t seed = 42, double scale = 1.0);
+
+// The CH similarity workload: queries in three categories per family —
+// logically equivalent rewrites, same-template variants, and irrelevant
+// queries — with ground-truth pairwise similarity defined as the overlap
+// ratio of result row-id sets (computed by the executor).
+struct ChSimilarityWorkload {
+  std::vector<std::string> queries;
+  // Family id per query; queries within a family share the base query.
+  std::vector<int> family;
+  // Category per query: 0 = equivalent to family base, 1 = same template,
+  // 2 = irrelevant.
+  std::vector<int> category;
+  // Ground-truth pairwise similarity (|A∩B| / |A∪B| over result row ids).
+  std::vector<std::vector<double>> true_similarity;
+};
+
+ChSimilarityWorkload MakeChSimilarityWorkload(const db::Database& ch,
+                                              uint64_t seed = 7,
+                                              int num_families = 12);
+
+}  // namespace preqr::workload
+
+#endif  // PREQR_WORKLOAD_CH_H_

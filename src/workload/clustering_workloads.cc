@@ -1,0 +1,174 @@
+#include "workload/clustering_workloads.h"
+
+#include "common/rng.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/rewrites.h"
+
+namespace preqr::workload {
+
+namespace {
+
+// Expands base queries into clusters of logically equivalent rewrites.
+ClusteringWorkload ExpandClusters(std::string name,
+                                  const std::vector<std::string>& bases,
+                                  int variants_per_cluster, uint64_t seed) {
+  Rng rng(seed);
+  ClusteringWorkload wl;
+  wl.name = std::move(name);
+  for (size_t c = 0; c < bases.size(); ++c) {
+    auto parsed = sql::Parse(bases[c]);
+    PREQR_CHECK_MSG(parsed.ok(), bases[c].c_str());
+    wl.queries.push_back(sql::ToSql(parsed.value()));
+    wl.labels.push_back(static_cast<int>(c));
+    for (int v = 0; v < variants_per_cluster - 1; ++v) {
+      wl.queries.push_back(
+          EquivalentRewrite(parsed.value(), v + static_cast<int>(c), rng));
+      wl.labels.push_back(static_cast<int>(c));
+    }
+  }
+  return wl;
+}
+
+sql::TableDef Tab(const char* name,
+                  std::vector<std::pair<const char*, sql::ColumnType>> cols,
+                  const char* pk = "id") {
+  sql::TableDef def;
+  def.name = name;
+  for (const auto& [cname, type] : cols) {
+    def.columns.push_back({cname, type, std::string(cname) == pk});
+  }
+  return def;
+}
+
+}  // namespace
+
+ClusteringWorkload MakeIitBombayWorkload(uint64_t seed) {
+  // Student-authored queries over a university schema.
+  const std::vector<std::string> bases = {
+      "SELECT name FROM student WHERE dept IN ('cs','ee')",
+      "SELECT COUNT(*) FROM student s, takes t WHERE s.id = t.student_id "
+      "AND t.grade BETWEEN 6 AND 8",
+      "SELECT name FROM instructor WHERE salary > 80000 AND dept = 'cs'",
+      "SELECT c.title FROM course c, takes t WHERE c.id = t.course_id "
+      "AND t.year = 2019 AND t.semester = 'fall'",
+      "SELECT AVG(salary) FROM instructor WHERE dept IN ('math','physics')",
+      "SELECT s.name FROM student s WHERE s.tot_cred BETWEEN 90 AND 120 "
+      "AND s.dept = 'cs'",
+  };
+  ClusteringWorkload wl = ExpandClusters("IIT Bombay", bases, 8, seed);
+  using sql::ColumnType;
+  wl.catalog.AddTable(Tab("student", {{"id", ColumnType::kInt},
+                                      {"name", ColumnType::kString},
+                                      {"dept", ColumnType::kString},
+                                      {"tot_cred", ColumnType::kInt}}));
+  wl.catalog.AddTable(Tab("takes", {{"id", ColumnType::kInt},
+                                    {"student_id", ColumnType::kInt},
+                                    {"course_id", ColumnType::kInt},
+                                    {"grade", ColumnType::kInt},
+                                    {"year", ColumnType::kInt},
+                                    {"semester", ColumnType::kString}}));
+  wl.catalog.AddTable(Tab("instructor", {{"id", ColumnType::kInt},
+                                         {"name", ColumnType::kString},
+                                         {"salary", ColumnType::kInt},
+                                         {"dept", ColumnType::kString}}));
+  wl.catalog.AddTable(Tab("course", {{"id", ColumnType::kInt},
+                                     {"title", ColumnType::kString}}));
+  PREQR_CHECK(wl.catalog.AddForeignKey({"takes", "student_id", "student", "id"}).ok());
+  PREQR_CHECK(wl.catalog.AddForeignKey({"takes", "course_id", "course", "id"}).ok());
+  return wl;
+}
+
+ClusteringWorkload MakeUbExamWorkload(uint64_t seed) {
+  // Exam answers: heavier on joins and aggregates.
+  const std::vector<std::string> bases = {
+      "SELECT COUNT(*) FROM employee e, works_on w WHERE e.id = w.emp_id "
+      "AND w.hours > 20 AND e.dept_id IN (1,2)",
+      "SELECT d.name FROM department d, employee e WHERE e.dept_id = d.id "
+      "AND e.salary BETWEEN 50000 AND 90000",
+      "SELECT MAX(salary) FROM employee WHERE dept_id = 4",
+      "SELECT e.name FROM employee e WHERE e.id IN "
+      "(SELECT emp_id FROM works_on WHERE hours > 30)",
+      "SELECT p.name FROM project p, works_on w, employee e WHERE "
+      "p.id = w.project_id AND e.id = w.emp_id AND e.salary > 60000 "
+      "AND p.budget BETWEEN 10000 AND 50000",
+      "SELECT COUNT(*) FROM employee GROUP BY dept_id",
+      "SELECT SUM(w.hours) FROM works_on w WHERE w.project_id IN (3,7)",
+      "SELECT name FROM project WHERE budget > 100000",
+  };
+  ClusteringWorkload wl = ExpandClusters("UB Exam", bases, 8, seed);
+  using sql::ColumnType;
+  wl.catalog.AddTable(Tab("employee", {{"id", ColumnType::kInt},
+                                       {"name", ColumnType::kString},
+                                       {"salary", ColumnType::kInt},
+                                       {"dept_id", ColumnType::kInt}}));
+  wl.catalog.AddTable(Tab("department", {{"id", ColumnType::kInt},
+                                         {"name", ColumnType::kString}}));
+  wl.catalog.AddTable(Tab("works_on", {{"id", ColumnType::kInt},
+                                       {"emp_id", ColumnType::kInt},
+                                       {"project_id", ColumnType::kInt},
+                                       {"hours", ColumnType::kInt}}));
+  wl.catalog.AddTable(Tab("project", {{"id", ColumnType::kInt},
+                                      {"name", ColumnType::kString},
+                                      {"budget", ColumnType::kInt}}));
+  PREQR_CHECK(wl.catalog.AddForeignKey({"employee", "dept_id", "department", "id"}).ok());
+  PREQR_CHECK(wl.catalog.AddForeignKey({"works_on", "emp_id", "employee", "id"}).ok());
+  PREQR_CHECK(wl.catalog.AddForeignKey({"works_on", "project_id", "project", "id"}).ok());
+  return wl;
+}
+
+ClusteringWorkload MakePocketDataWorkload(uint64_t seed) {
+  // Mobile key-value style log: few shapes, many LIMIT lookups.
+  const std::vector<std::string> bases = {
+      "SELECT value FROM properties WHERE key = 'locale' LIMIT 1",
+      "SELECT * FROM accounts WHERE account_id = 12 AND status IN (0,1)",
+      "SELECT body FROM messages m WHERE m.thread_id = 7 "
+      "ORDER BY m.timestamp DESC LIMIT 20",
+      "SELECT COUNT(*) FROM contacts WHERE starred = 1",
+      "SELECT c.name FROM contacts c, raw_contacts r WHERE "
+      "c.raw_id = r.id AND r.deleted = 0 AND r.account_id BETWEEN 1 AND 3",
+      "SELECT photo FROM profile WHERE user_id = 42 LIMIT 1",
+      "SELECT * FROM events WHERE calendar_id IN (1,2) AND "
+      "start_time > 1500000000",
+      "SELECT id FROM sync_state WHERE dirty = 1 ORDER BY id",
+      "SELECT COUNT(*) FROM notifications WHERE seen = 0 AND kind = 'plus'",
+      "SELECT data FROM cache WHERE url = 'https:' LIMIT 1",
+  };
+  ClusteringWorkload wl = ExpandClusters("PocketData", bases, 7, seed);
+  using sql::ColumnType;
+  wl.catalog.AddTable(Tab("properties", {{"id", ColumnType::kInt},
+                                         {"key", ColumnType::kString},
+                                         {"value", ColumnType::kString}}));
+  wl.catalog.AddTable(Tab("accounts", {{"account_id", ColumnType::kInt},
+                                       {"status", ColumnType::kInt}},
+                          "account_id"));
+  wl.catalog.AddTable(Tab("messages", {{"id", ColumnType::kInt},
+                                       {"thread_id", ColumnType::kInt},
+                                       {"timestamp", ColumnType::kInt},
+                                       {"body", ColumnType::kString}}));
+  wl.catalog.AddTable(Tab("contacts", {{"id", ColumnType::kInt},
+                                       {"name", ColumnType::kString},
+                                       {"starred", ColumnType::kInt},
+                                       {"raw_id", ColumnType::kInt}}));
+  wl.catalog.AddTable(Tab("raw_contacts", {{"id", ColumnType::kInt},
+                                           {"deleted", ColumnType::kInt},
+                                           {"account_id", ColumnType::kInt}}));
+  wl.catalog.AddTable(Tab("profile", {{"user_id", ColumnType::kInt},
+                                      {"photo", ColumnType::kString}},
+                          "user_id"));
+  wl.catalog.AddTable(Tab("events", {{"id", ColumnType::kInt},
+                                     {"calendar_id", ColumnType::kInt},
+                                     {"start_time", ColumnType::kInt}}));
+  wl.catalog.AddTable(Tab("sync_state", {{"id", ColumnType::kInt},
+                                         {"dirty", ColumnType::kInt}}));
+  wl.catalog.AddTable(Tab("notifications", {{"id", ColumnType::kInt},
+                                            {"seen", ColumnType::kInt},
+                                            {"kind", ColumnType::kString}}));
+  wl.catalog.AddTable(Tab("cache", {{"id", ColumnType::kInt},
+                                    {"url", ColumnType::kString},
+                                    {"data", ColumnType::kString}}));
+  PREQR_CHECK(wl.catalog.AddForeignKey({"contacts", "raw_id", "raw_contacts", "id"}).ok());
+  return wl;
+}
+
+}  // namespace preqr::workload

@@ -1,0 +1,36 @@
+#ifndef PREQR_WORKLOAD_CLUSTERING_WORKLOADS_H_
+#define PREQR_WORKLOAD_CLUSTERING_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/catalog.h"
+
+namespace preqr::workload {
+
+// A query-clustering workload with ground-truth logical-equality clusters
+// (Section 4.1.1, first workload kind): all queries with the same label are
+// logically equivalent rewrites of a cluster's base query.
+struct ClusteringWorkload {
+  std::string name;
+  std::vector<std::string> queries;
+  std::vector<int> labels;
+  // Schema of the workload's database (needed by schema-aware encoders).
+  sql::Catalog catalog;
+};
+
+// Student-authored queries over a university schema (IIT Bombay flavor):
+// simple projections/filters with rewrite variety.
+ClusteringWorkload MakeIitBombayWorkload(uint64_t seed = 21);
+
+// Exam queries (UB Exam flavor): heavier on aggregates and joins.
+ClusteringWorkload MakeUbExamWorkload(uint64_t seed = 22);
+
+// Mobile app query log (PocketData / Google+ flavor): many near-identical
+// key-value lookups with LIMIT/ORDER BY, few distinct shapes.
+ClusteringWorkload MakePocketDataWorkload(uint64_t seed = 23);
+
+}  // namespace preqr::workload
+
+#endif  // PREQR_WORKLOAD_CLUSTERING_WORKLOADS_H_

@@ -1,0 +1,494 @@
+#include "workload/imdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace preqr::workload {
+
+namespace {
+
+using db::Database;
+using db::Table;
+using sql::ColumnType;
+using sql::TableDef;
+
+// Deterministic pseudo-word generator (syllable composition with a Zipf'd
+// pool) so string predicates have varied selectivities.
+class WordPool {
+ public:
+  explicit WordPool(Rng& rng) : rng_(rng) {}
+
+  std::string Word() {
+    static const char* kSyllables[] = {"ka", "ro", "mi", "ta", "lu", "ven",
+                                       "dor", "sel", "an", "bel", "cor", "din",
+                                       "el", "far", "gol", "har"};
+    const int n = 2 + static_cast<int>(rng_.NextUint64(3));
+    std::string w;
+    for (int i = 0; i < n; ++i) {
+      w += kSyllables[rng_.NextUint64(16)];
+    }
+    return w;
+  }
+
+  std::string Phrase(int words) {
+    std::string p;
+    for (int i = 0; i < words; ++i) {
+      if (i > 0) p += " ";
+      p += Word();
+    }
+    return p;
+  }
+
+ private:
+  Rng& rng_;
+};
+
+TableDef Def(const std::string& name,
+             std::vector<sql::ColumnDef> columns) {
+  TableDef def;
+  def.name = name;
+  def.columns = std::move(columns);
+  return def;
+}
+
+// Small dimension table with an id and one string column.
+void FillDimension(Table& t, const std::vector<std::string>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    t.column(0).ints.push_back(static_cast<int64_t>(i));
+    t.column(1).strings.push_back(values[i]);
+  }
+  t.Seal();
+}
+
+}  // namespace
+
+db::Database MakeImdbDatabase(uint64_t seed, double scale) {
+  Rng rng(seed);
+  WordPool words(rng);
+  Database db;
+
+  const auto scaled = [scale](int base) {
+    return std::max(4, static_cast<int>(base * scale));
+  };
+  const int n_title = scaled(12000);
+  const int n_company = scaled(800);
+  const int n_keyword = scaled(1200);
+  const int n_name = scaled(6000);
+  const int n_char = scaled(3000);
+
+  // --- Dimension tables -------------------------------------------------
+  Table& kind_type = db.AddTable(Def(
+      "kind_type", {{"id", ColumnType::kInt, true},
+                    {"kind", ColumnType::kString, false}}));
+  FillDimension(kind_type, {"movie", "tv_series", "tv_movie", "video_movie",
+                            "tv_mini_series", "video_game", "episode"});
+
+  Table& company_type = db.AddTable(Def(
+      "company_type", {{"id", ColumnType::kInt, true},
+                       {"kind", ColumnType::kString, false}}));
+  FillDimension(company_type, {"distributors", "production_companies",
+                               "special_effects", "miscellaneous"});
+
+  Table& info_type = db.AddTable(Def(
+      "info_type", {{"id", ColumnType::kInt, true},
+                    {"info", ColumnType::kString, false}}));
+  {
+    std::vector<std::string> infos;
+    static const char* kInfos[] = {"budget", "genres", "rating", "votes",
+                                   "runtimes", "languages", "countries",
+                                   "color", "sound", "locations"};
+    for (int i = 0; i < 20; ++i) {
+      infos.push_back(i < 10 ? kInfos[i] : "info_" + std::to_string(i));
+    }
+    FillDimension(info_type, infos);
+  }
+
+  Table& role_type = db.AddTable(Def(
+      "role_type", {{"id", ColumnType::kInt, true},
+                    {"role", ColumnType::kString, false}}));
+  FillDimension(role_type, {"actor", "actress", "producer", "writer",
+                            "cinematographer", "composer", "costume_designer",
+                            "director", "editor", "miscellaneous_crew",
+                            "production_designer", "guest"});
+
+  Table& comp_cast_type = db.AddTable(Def(
+      "comp_cast_type", {{"id", ColumnType::kInt, true},
+                         {"kind", ColumnType::kString, false}}));
+  FillDimension(comp_cast_type, {"cast", "crew", "complete", "complete_cast"});
+
+  Table& link_type = db.AddTable(Def(
+      "link_type", {{"id", ColumnType::kInt, true},
+                    {"link", ColumnType::kString, false}}));
+  FillDimension(link_type, {"follows", "followed_by", "remake_of", "remade_as",
+                            "references", "referenced_in", "spoofs",
+                            "spoofed_in", "features", "featured_in",
+                            "spin_off_from", "spin_off", "version_of",
+                            "similar_to", "edited_into", "edited_from",
+                            "alternate_language_version_of", "unknown"});
+
+  // --- Entity tables ------------------------------------------------------
+  Table& company_name = db.AddTable(Def(
+      "company_name", {{"id", ColumnType::kInt, true},
+                       {"name", ColumnType::kString, false},
+                       {"country_code", ColumnType::kString, false}}));
+  {
+    static const char* kCountries[] = {"us", "uk", "fr", "de", "jp", "in",
+                                       "cn", "it", "es", "ca"};
+    for (int i = 0; i < n_company; ++i) {
+      company_name.column(0).ints.push_back(i);
+      company_name.column(1).strings.push_back(words.Phrase(2));
+      // Country Zipf: US-heavy like real IMDB.
+      company_name.column(2).strings.push_back(
+          kCountries[rng.NextZipf(10, 1.6) - 1]);
+    }
+    company_name.Seal();
+  }
+
+  Table& keyword = db.AddTable(Def(
+      "keyword", {{"id", ColumnType::kInt, true},
+                  {"keyword", ColumnType::kString, false}}));
+  for (int i = 0; i < n_keyword; ++i) {
+    keyword.column(0).ints.push_back(i);
+    keyword.column(1).strings.push_back(words.Word());
+  }
+  keyword.Seal();
+
+  Table& name = db.AddTable(Def(
+      "name", {{"id", ColumnType::kInt, true},
+               {"name", ColumnType::kString, false},
+               {"gender", ColumnType::kString, false}}));
+  for (int i = 0; i < n_name; ++i) {
+    name.column(0).ints.push_back(i);
+    name.column(1).strings.push_back(words.Phrase(2));
+    name.column(2).strings.push_back(rng.NextDouble() < 0.62 ? "m" : "f");
+  }
+  name.Seal();
+
+  Table& char_name = db.AddTable(Def(
+      "char_name", {{"id", ColumnType::kInt, true},
+                    {"name", ColumnType::kString, false}}));
+  for (int i = 0; i < n_char; ++i) {
+    char_name.column(0).ints.push_back(i);
+    char_name.column(1).strings.push_back(words.Phrase(1));
+  }
+  char_name.Seal();
+
+  // --- title (the hub) ----------------------------------------------------
+  Table& title = db.AddTable(Def(
+      "title", {{"id", ColumnType::kInt, true},
+                {"title", ColumnType::kString, false},
+                {"kind_id", ColumnType::kInt, false},
+                {"production_year", ColumnType::kInt, false},
+                {"season_nr", ColumnType::kInt, false},
+                {"episode_nr", ColumnType::kInt, false}}));
+  std::vector<int> title_year(static_cast<size_t>(n_title));
+  std::vector<int> title_kind(static_cast<size_t>(n_title));
+  for (int i = 0; i < n_title; ++i) {
+    // Year density rises toward the present (1900..2020).
+    const double u = rng.NextDouble();
+    const int year = 1900 + static_cast<int>(120.0 * std::pow(u, 0.45));
+    // Kind correlates with the era: tv content is mostly post-1960.
+    int kind;
+    if (year < 1960) {
+      kind = rng.NextDouble() < 0.85 ? 0 : static_cast<int>(rng.NextUint64(7));
+    } else {
+      kind = static_cast<int>(rng.NextZipf(7, 1.3)) - 1;
+    }
+    title_year[static_cast<size_t>(i)] = year;
+    title_kind[static_cast<size_t>(i)] = kind;
+    title.column(0).ints.push_back(i);
+    title.column(1).strings.push_back(words.Phrase(3));
+    title.column(2).ints.push_back(kind);
+    title.column(3).ints.push_back(year);
+    title.column(4).ints.push_back(
+        kind == 1 ? 1 + static_cast<int>(rng.NextUint64(12)) : 0);
+    title.column(5).ints.push_back(
+        kind == 1 ? 1 + static_cast<int>(rng.NextUint64(24)) : 0);
+  }
+  title.Seal();
+
+  // Per-title activity level: newer titles have more satellite rows, and a
+  // Zipf popularity factor creates heavy hitters (blockbusters).
+  std::vector<double> activity(static_cast<size_t>(n_title));
+  for (int i = 0; i < n_title; ++i) {
+    const double recency =
+        (title_year[static_cast<size_t>(i)] - 1900) / 120.0;  // 0..1
+    // Heavy-tailed popularity: a few blockbusters have order-of-magnitude
+    // larger satellite fan-out, and recency amplifies it. This is what
+    // breaks independence-assumption estimators on multi-join queries.
+    const double pop = 30.0 / static_cast<double>(rng.NextZipf(200, 1.25));
+    activity[static_cast<size_t>(i)] =
+        0.3 + 2.0 * recency + pop * (0.3 + 1.2 * recency);
+  }
+
+  // --- movie_companies -----------------------------------------------------
+  Table& movie_companies = db.AddTable(Def(
+      "movie_companies", {{"id", ColumnType::kInt, true},
+                          {"movie_id", ColumnType::kInt, false},
+                          {"company_id", ColumnType::kInt, false},
+                          {"company_type_id", ColumnType::kInt, false}}));
+  {
+    int row = 0;
+    for (int i = 0; i < n_title; ++i) {
+      const int cnt = static_cast<int>(activity[static_cast<size_t>(i)] *
+                                       (0.5 + rng.NextDouble()));
+      for (int c = 0; c < cnt; ++c) {
+        const int company =
+            static_cast<int>(rng.NextZipf(static_cast<uint64_t>(n_company),
+                                          1.3)) - 1;
+        // Company type correlates with company rank: big studios produce,
+        // small ones distribute/miscellaneous.
+        int ctype;
+        if (company < n_company / 10) {
+          ctype = rng.NextDouble() < 0.7 ? 1 : 0;
+        } else {
+          ctype = static_cast<int>(rng.NextUint64(4));
+        }
+        movie_companies.column(0).ints.push_back(row++);
+        movie_companies.column(1).ints.push_back(i);
+        movie_companies.column(2).ints.push_back(company);
+        movie_companies.column(3).ints.push_back(ctype);
+      }
+    }
+    movie_companies.Seal();
+  }
+
+  // --- movie_info / movie_info_idx ------------------------------------------
+  Table& movie_info = db.AddTable(Def(
+      "movie_info", {{"id", ColumnType::kInt, true},
+                     {"movie_id", ColumnType::kInt, false},
+                     {"info_type_id", ColumnType::kInt, false},
+                     {"info", ColumnType::kString, false}}));
+  Table& movie_info_idx = db.AddTable(Def(
+      "movie_info_idx", {{"id", ColumnType::kInt, true},
+                         {"movie_id", ColumnType::kInt, false},
+                         {"info_type_id", ColumnType::kInt, false},
+                         {"info", ColumnType::kString, false}}));
+  {
+    int row = 0, row_idx = 0;
+    for (int i = 0; i < n_title; ++i) {
+      const int cnt = 1 + static_cast<int>(activity[static_cast<size_t>(i)]);
+      for (int c = 0; c < cnt; ++c) {
+        const int itype = static_cast<int>(rng.NextZipf(20, 1.2)) - 1;
+        movie_info.column(0).ints.push_back(row++);
+        movie_info.column(1).ints.push_back(i);
+        movie_info.column(2).ints.push_back(itype);
+        movie_info.column(3).strings.push_back(words.Word());
+      }
+      if (rng.NextDouble() <
+          0.25 + 0.5 * (title_year[static_cast<size_t>(i)] - 1900) / 120.0) {
+        const int itype = 2 + static_cast<int>(rng.NextUint64(2));  // rating/votes
+        movie_info_idx.column(0).ints.push_back(row_idx++);
+        movie_info_idx.column(1).ints.push_back(i);
+        movie_info_idx.column(2).ints.push_back(itype);
+        movie_info_idx.column(3).strings.push_back(
+            std::to_string(1 + rng.NextUint64(10)));
+      }
+    }
+    movie_info.Seal();
+    movie_info_idx.Seal();
+  }
+
+  // --- movie_keyword ---------------------------------------------------------
+  Table& movie_keyword = db.AddTable(Def(
+      "movie_keyword", {{"id", ColumnType::kInt, true},
+                        {"movie_id", ColumnType::kInt, false},
+                        {"keyword_id", ColumnType::kInt, false}}));
+  {
+    int row = 0;
+    for (int i = 0; i < n_title; ++i) {
+      const int cnt =
+          static_cast<int>(activity[static_cast<size_t>(i)] * 1.2);
+      for (int c = 0; c < cnt; ++c) {
+        movie_keyword.column(0).ints.push_back(row++);
+        movie_keyword.column(1).ints.push_back(i);
+        movie_keyword.column(2).ints.push_back(
+            static_cast<int>(rng.NextZipf(static_cast<uint64_t>(n_keyword),
+                                          1.25)) - 1);
+      }
+    }
+    movie_keyword.Seal();
+  }
+
+  // --- cast_info ---------------------------------------------------------------
+  Table& cast_info = db.AddTable(Def(
+      "cast_info", {{"id", ColumnType::kInt, true},
+                    {"movie_id", ColumnType::kInt, false},
+                    {"person_id", ColumnType::kInt, false},
+                    {"person_role_id", ColumnType::kInt, false},
+                    {"role_id", ColumnType::kInt, false}}));
+  {
+    int row = 0;
+    for (int i = 0; i < n_title; ++i) {
+      const int cnt =
+          1 + static_cast<int>(activity[static_cast<size_t>(i)] * 2.0);
+      for (int c = 0; c < cnt; ++c) {
+        const int person =
+            static_cast<int>(rng.NextZipf(static_cast<uint64_t>(n_name),
+                                          1.2)) - 1;
+        const int role = static_cast<int>(rng.NextZipf(12, 1.4)) - 1;
+        cast_info.column(0).ints.push_back(row++);
+        cast_info.column(1).ints.push_back(i);
+        cast_info.column(2).ints.push_back(person);
+        cast_info.column(3).ints.push_back(
+            static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n_char))));
+        cast_info.column(4).ints.push_back(role);
+      }
+    }
+    cast_info.Seal();
+  }
+
+  // --- aka_name / aka_title ------------------------------------------------------
+  Table& aka_name = db.AddTable(Def(
+      "aka_name", {{"id", ColumnType::kInt, true},
+                   {"person_id", ColumnType::kInt, false},
+                   {"name", ColumnType::kString, false}}));
+  {
+    const int n = scaled(1500);
+    for (int i = 0; i < n; ++i) {
+      aka_name.column(0).ints.push_back(i);
+      aka_name.column(1).ints.push_back(
+          static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n_name))));
+      aka_name.column(2).strings.push_back(words.Phrase(2));
+    }
+    aka_name.Seal();
+  }
+  Table& aka_title = db.AddTable(Def(
+      "aka_title", {{"id", ColumnType::kInt, true},
+                    {"movie_id", ColumnType::kInt, false},
+                    {"title", ColumnType::kString, false}}));
+  {
+    const int n = scaled(1200);
+    for (int i = 0; i < n; ++i) {
+      aka_title.column(0).ints.push_back(i);
+      aka_title.column(1).ints.push_back(
+          static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n_title))));
+      aka_title.column(2).strings.push_back(words.Phrase(3));
+    }
+    aka_title.Seal();
+  }
+
+  // --- person_info -----------------------------------------------------------------
+  Table& person_info = db.AddTable(Def(
+      "person_info", {{"id", ColumnType::kInt, true},
+                      {"person_id", ColumnType::kInt, false},
+                      {"info_type_id", ColumnType::kInt, false},
+                      {"info", ColumnType::kString, false}}));
+  {
+    const int n = scaled(4000);
+    for (int i = 0; i < n; ++i) {
+      person_info.column(0).ints.push_back(i);
+      person_info.column(1).ints.push_back(
+          static_cast<int>(rng.NextZipf(static_cast<uint64_t>(n_name), 1.2)) -
+          1);
+      person_info.column(2).ints.push_back(
+          static_cast<int>(rng.NextUint64(20)));
+      person_info.column(3).strings.push_back(words.Phrase(2));
+    }
+    person_info.Seal();
+  }
+
+  // --- complete_cast ------------------------------------------------------------------
+  Table& complete_cast = db.AddTable(Def(
+      "complete_cast", {{"id", ColumnType::kInt, true},
+                        {"movie_id", ColumnType::kInt, false},
+                        {"subject_id", ColumnType::kInt, false},
+                        {"status_id", ColumnType::kInt, false}}));
+  {
+    const int n = scaled(1500);
+    for (int i = 0; i < n; ++i) {
+      complete_cast.column(0).ints.push_back(i);
+      complete_cast.column(1).ints.push_back(
+          static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n_title))));
+      complete_cast.column(2).ints.push_back(
+          static_cast<int>(rng.NextUint64(2)));
+      complete_cast.column(3).ints.push_back(
+          2 + static_cast<int>(rng.NextUint64(2)));
+    }
+    complete_cast.Seal();
+  }
+
+  // --- movie_link -----------------------------------------------------------------------
+  Table& movie_link = db.AddTable(Def(
+      "movie_link", {{"id", ColumnType::kInt, true},
+                     {"movie_id", ColumnType::kInt, false},
+                     {"linked_movie_id", ColumnType::kInt, false},
+                     {"link_type_id", ColumnType::kInt, false}}));
+  {
+    const int n = scaled(900);
+    for (int i = 0; i < n; ++i) {
+      movie_link.column(0).ints.push_back(i);
+      movie_link.column(1).ints.push_back(
+          static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n_title))));
+      movie_link.column(2).ints.push_back(
+          static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n_title))));
+      movie_link.column(3).ints.push_back(
+          static_cast<int>(rng.NextUint64(18)));
+    }
+    movie_link.Seal();
+  }
+
+  // --- movie_budget (numeric-heavy; strong cross-table correlation) ---------
+  Table& movie_budget = db.AddTable(Def(
+      "movie_budget", {{"id", ColumnType::kInt, true},
+                       {"movie_id", ColumnType::kInt, false},
+                       {"budget", ColumnType::kInt, false},
+                       {"gross", ColumnType::kInt, false}}));
+  {
+    int row = 0;
+    for (int i = 0; i < n_title; ++i) {
+      if (rng.NextDouble() > 0.6) continue;
+      // Budget correlates with recency and activity (company count).
+      const double recency =
+          (title_year[static_cast<size_t>(i)] - 1900) / 120.0;
+      const int64_t budget = static_cast<int64_t>(
+          1e5 + 2e8 * recency * activity[static_cast<size_t>(i)] *
+                    rng.NextDouble() / 6.0);
+      movie_budget.column(0).ints.push_back(row++);
+      movie_budget.column(1).ints.push_back(i);
+      movie_budget.column(2).ints.push_back(budget);
+      movie_budget.column(3).ints.push_back(static_cast<int64_t>(
+          budget * (0.2 + 2.5 * rng.NextDouble())));
+    }
+    movie_budget.Seal();
+  }
+
+  // --- Foreign keys --------------------------------------------------------
+  auto fk = [&db](const char* from_t, const char* from_c, const char* to_t,
+                  const char* to_c) {
+    PREQR_CHECK(db.catalog().AddForeignKey({from_t, from_c, to_t, to_c}).ok());
+  };
+  fk("title", "kind_id", "kind_type", "id");
+  fk("movie_companies", "movie_id", "title", "id");
+  fk("movie_companies", "company_id", "company_name", "id");
+  fk("movie_companies", "company_type_id", "company_type", "id");
+  fk("movie_info", "movie_id", "title", "id");
+  fk("movie_info", "info_type_id", "info_type", "id");
+  fk("movie_info_idx", "movie_id", "title", "id");
+  fk("movie_info_idx", "info_type_id", "info_type", "id");
+  fk("movie_keyword", "movie_id", "title", "id");
+  fk("movie_keyword", "keyword_id", "keyword", "id");
+  fk("cast_info", "movie_id", "title", "id");
+  fk("cast_info", "person_id", "name", "id");
+  fk("cast_info", "person_role_id", "char_name", "id");
+  fk("cast_info", "role_id", "role_type", "id");
+  fk("aka_name", "person_id", "name", "id");
+  fk("aka_title", "movie_id", "title", "id");
+  fk("person_info", "person_id", "name", "id");
+  fk("person_info", "info_type_id", "info_type", "id");
+  fk("complete_cast", "movie_id", "title", "id");
+  fk("complete_cast", "subject_id", "comp_cast_type", "id");
+  fk("complete_cast", "status_id", "comp_cast_type", "id");
+  fk("movie_link", "movie_id", "title", "id");
+  fk("movie_link", "linked_movie_id", "title", "id");
+  fk("movie_link", "link_type_id", "link_type", "id");
+  fk("movie_budget", "movie_id", "title", "id");
+
+  return db;
+}
+
+}  // namespace preqr::workload

@@ -1,0 +1,22 @@
+#ifndef PREQR_WORKLOAD_IMDB_H_
+#define PREQR_WORKLOAD_IMDB_H_
+
+#include <cstdint>
+
+#include "db/database.h"
+
+namespace preqr::workload {
+
+// Builds the synthetic IMDB database: the 22-table schema used by the
+// paper's estimation tasks (JOB/JOB-light topology), populated with
+// correlated synthetic data. Correlations are injected on purpose —
+// production_year drives company counts, budgets, keyword counts and cast
+// sizes — so that independence-assumption estimators (the PG baseline)
+// mis-estimate multi-join queries the same way they do on real IMDB.
+//
+// `scale` multiplies base row counts (1.0 ≈ 12k titles / ~170k total rows).
+db::Database MakeImdbDatabase(uint64_t seed = 42, double scale = 1.0);
+
+}  // namespace preqr::workload
+
+#endif  // PREQR_WORKLOAD_IMDB_H_

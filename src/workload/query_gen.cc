@@ -1,0 +1,393 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "sql/printer.h"
+
+namespace preqr::workload {
+
+namespace {
+
+using sql::ColumnRef;
+using sql::CompareOp;
+using sql::Literal;
+using sql::Predicate;
+using sql::SelectItem;
+using sql::SelectStatement;
+using sql::TableRef;
+
+// A possible FK join step: child.child_col = parent.parent_col.
+struct JoinSpec {
+  const char* child;
+  const char* child_col;
+  const char* parent;
+  const char* parent_col;
+};
+
+// Level-1 edges hang satellites off `title`; level-2 edges extend to the
+// dimension tables (snowflake). All generated join graphs are trees.
+constexpr std::array<JoinSpec, 17> kJoinSpecs = {{
+    {"movie_companies", "movie_id", "title", "id"},
+    {"movie_info", "movie_id", "title", "id"},
+    {"movie_info_idx", "movie_id", "title", "id"},
+    {"movie_keyword", "movie_id", "title", "id"},
+    {"cast_info", "movie_id", "title", "id"},
+    {"aka_title", "movie_id", "title", "id"},
+    {"complete_cast", "movie_id", "title", "id"},
+    {"movie_link", "movie_id", "title", "id"},
+    {"movie_budget", "movie_id", "title", "id"},
+    {"company_name", "id", "movie_companies", "company_id"},
+    {"company_type", "id", "movie_companies", "company_type_id"},
+    {"info_type", "id", "movie_info", "info_type_id"},
+    {"name", "id", "cast_info", "person_id"},
+    {"role_type", "id", "cast_info", "role_id"},
+    {"char_name", "id", "cast_info", "person_role_id"},
+    {"keyword", "id", "movie_keyword", "keyword_id"},
+    {"kind_type", "id", "title", "kind_id"},
+}};
+
+// Short canonical aliases (JOB style).
+const char* AliasOf(const std::string& table) {
+  if (table == "title") return "t";
+  if (table == "movie_companies") return "mc";
+  if (table == "movie_info") return "mi";
+  if (table == "movie_info_idx") return "mi_idx";
+  if (table == "movie_keyword") return "mk";
+  if (table == "cast_info") return "ci";
+  if (table == "aka_title") return "at";
+  if (table == "aka_name") return "an";
+  if (table == "complete_cast") return "cc";
+  if (table == "movie_link") return "ml";
+  if (table == "movie_budget") return "mb";
+  if (table == "company_name") return "cn";
+  if (table == "company_type") return "ct";
+  if (table == "info_type") return "it";
+  if (table == "name") return "n";
+  if (table == "role_type") return "rt";
+  if (table == "char_name") return "chn";
+  if (table == "keyword") return "k";
+  if (table == "kind_type") return "kt";
+  if (table == "person_info") return "pi";
+  if (table == "link_type") return "lt";
+  if (table == "comp_cast_type") return "cct";
+  return "x";
+}
+
+// A filterable column: table, column, allowed ops, numeric/string.
+struct FilterSpec {
+  const char* table;
+  const char* column;
+  bool is_string;
+  bool range_ops;  // allow < >, otherwise = / IN only
+};
+
+constexpr std::array<FilterSpec, 12> kNumericFilters = {{
+    {"title", "production_year", false, true},
+    {"title", "kind_id", false, false},
+    {"title", "season_nr", false, true},
+    {"title", "episode_nr", false, true},
+    {"movie_companies", "company_type_id", false, false},
+    {"movie_companies", "company_id", false, true},
+    {"movie_info", "info_type_id", false, false},
+    {"movie_info_idx", "info_type_id", false, false},
+    {"cast_info", "role_id", false, false},
+    {"movie_keyword", "keyword_id", false, true},
+    {"movie_budget", "budget", false, true},
+    {"movie_budget", "gross", false, true},
+}};
+
+// JOB-light regime: broad range predicates and small-domain equalities only
+// (the real JOB-light filters on production_year and *_type_id columns).
+constexpr std::array<FilterSpec, 7> kBroadNumericFilters = {{
+    {"title", "production_year", false, true},
+    {"title", "kind_id", false, false},
+    {"movie_companies", "company_type_id", false, false},
+    {"movie_info", "info_type_id", false, false},
+    {"movie_info_idx", "info_type_id", false, false},
+    {"cast_info", "role_id", false, false},
+    {"movie_budget", "budget", false, true},
+}};
+
+constexpr std::array<FilterSpec, 9> kStringFilters = {{
+    {"company_name", "name", true, false},
+    {"company_name", "country_code", true, false},
+    {"keyword", "keyword", true, false},
+    {"name", "gender", true, false},
+    {"name", "name", true, false},
+    {"kind_type", "kind", true, false},
+    {"role_type", "role", true, false},
+    {"title", "title", true, false},
+    {"movie_info", "info", true, false},
+}};
+
+}  // namespace
+
+ImdbQueryGenerator::ImdbQueryGenerator(const db::Database& db, uint64_t seed)
+    : db_(db), executor_(db), rng_(seed) {
+  // Fan-out indexes (title id -> satellite rows) for anchored sampling.
+  for (const auto& fk : db.catalog().foreign_keys()) {
+    if (fk.to_table != "title") continue;
+    const db::Table* sat = db.FindTable(fk.from_table);
+    if (sat == nullptr || fk.from_column != "movie_id") continue;
+    auto& index = fanout_index_[fk.from_table];
+    const int col = sat->def().ColumnIndex(fk.from_column);
+    const auto& vals = sat->column(col).ints;
+    for (size_t r = 0; r < vals.size(); ++r) {
+      index[vals[r]].push_back(static_cast<int>(r));
+    }
+  }
+}
+
+std::map<std::string, size_t> ImdbQueryGenerator::AnchorRows() {
+  std::map<std::string, size_t> anchors;
+  const db::Table* title = db_.FindTable("title");
+  if (title == nullptr || title->num_rows() == 0) return anchors;
+  const size_t title_row = rng_.NextUint64(title->num_rows());
+  anchors["title"] = title_row;
+  const int64_t title_id = title->column(0).ints[title_row];
+  for (const auto& [sat_name, index] : fanout_index_) {
+    auto it = index.find(title_id);
+    const db::Table* sat = db_.FindTable(sat_name);
+    if (it == index.end() || it->second.empty()) {
+      if (sat->num_rows() > 0) {
+        anchors[sat_name] = rng_.NextUint64(sat->num_rows());
+      }
+      continue;
+    }
+    const size_t sat_row = static_cast<size_t>(
+        it->second[rng_.NextUint64(it->second.size())]);
+    anchors[sat_name] = sat_row;
+    // Dimensions hanging off this satellite: follow the FK values.
+    for (const auto& fk : db_.catalog().ForeignKeysFrom(sat_name)) {
+      if (fk.to_table == "title") continue;
+      const db::Table* dim = db_.FindTable(fk.to_table);
+      const int col = sat->def().ColumnIndex(fk.from_column);
+      const int64_t key = sat->column(col).ints[sat_row];
+      if (dim != nullptr && key >= 0 &&
+          static_cast<size_t>(key) < dim->num_rows()) {
+        anchors[fk.to_table] = static_cast<size_t>(key);
+      }
+    }
+  }
+  // Root dimensions (kind_type via title.kind_id).
+  const db::Table* kind = db_.FindTable("kind_type");
+  if (kind != nullptr) {
+    const int col = title->def().ColumnIndex("kind_id");
+    const int64_t key = title->column(col).ints[title_row];
+    if (key >= 0 && static_cast<size_t>(key) < kind->num_rows()) {
+      anchors["kind_type"] = static_cast<size_t>(key);
+    }
+  }
+  return anchors;
+}
+
+bool ImdbQueryGenerator::TryGenerate(int num_joins, FilterMode mode,
+                                     BenchQuery* out) {
+  const bool allow_strings = mode == FilterMode::kStrings;
+  SelectStatement stmt;
+  SelectItem item;
+  item.agg = sql::AggFunc::kCount;
+  item.star = true;
+  stmt.items.push_back(item);
+
+  // Pick the join tree.
+  std::set<std::string> tables = {"title"};
+  TableRef troot;
+  troot.table = "title";
+  troot.alias = "t";
+  stmt.tables.push_back(troot);
+  int added = 0;
+  int guard = 0;
+  while (added < num_joins && guard++ < 200) {
+    const JoinSpec& spec = kJoinSpecs[rng_.NextUint64(kJoinSpecs.size())];
+    if (tables.count(spec.child) || !tables.count(spec.parent)) continue;
+    tables.insert(spec.child);
+    TableRef tref;
+    tref.table = spec.child;
+    tref.alias = AliasOf(spec.child);
+    stmt.tables.push_back(tref);
+    Predicate join;
+    join.lhs = ColumnRef{AliasOf(spec.child), spec.child_col};
+    join.op = CompareOp::kEq;
+    join.rhs_is_column = true;
+    join.rhs_column = ColumnRef{AliasOf(spec.parent), spec.parent_col};
+    stmt.predicates.push_back(join);
+    ++added;
+  }
+  if (added < num_joins) return false;
+
+  // Filter predicates on the involved tables.
+  std::vector<FilterSpec> candidates;
+  if (mode == FilterMode::kBroadNumeric) {
+    for (const auto& f : kBroadNumericFilters) {
+      if (tables.count(f.table)) candidates.push_back(f);
+    }
+  } else {
+    for (const auto& f : kNumericFilters) {
+      if (tables.count(f.table)) candidates.push_back(f);
+    }
+  }
+  std::vector<FilterSpec> string_candidates;
+  if (allow_strings) {
+    for (const auto& f : kStringFilters) {
+      if (tables.count(f.table)) string_candidates.push_back(f);
+    }
+  }
+  if (candidates.empty() && string_candidates.empty()) return false;
+
+  const int want_preds =
+      1 + static_cast<int>(rng_.NextUint64(3));  // 1..3 filters
+  // Correlated mode (60%): all filter values come from one consistent
+  // anchor tuple of the join, so they co-occur in the data.
+  const bool anchored = rng_.NextDouble() < 0.6;
+  const std::map<std::string, size_t> anchors =
+      anchored ? AnchorRows() : std::map<std::string, size_t>();
+  std::set<std::pair<std::string, std::string>> used;
+  int made = 0;
+  bool made_string = false;
+  for (int attempt = 0; attempt < 30 && made < want_preds; ++attempt) {
+    const bool pick_string =
+        !string_candidates.empty() &&
+        (!made_string || rng_.NextDouble() < 0.4);
+    const FilterSpec& f =
+        pick_string
+            ? string_candidates[rng_.NextUint64(string_candidates.size())]
+            : (candidates.empty()
+                   ? string_candidates[rng_.NextUint64(
+                         string_candidates.size())]
+                   : candidates[rng_.NextUint64(candidates.size())]);
+    if (used.count({f.table, f.column})) continue;
+    const db::Table* table = db_.FindTable(f.table);
+    const int col = table->def().ColumnIndex(f.column);
+    if (table->num_rows() == 0) continue;
+    size_t row = rng_.NextUint64(table->num_rows());
+    auto anchor_it = anchors.find(f.table);
+    if (anchor_it != anchors.end()) row = anchor_it->second;
+    used.insert({f.table, f.column});
+    Predicate pred;
+    pred.lhs = ColumnRef{AliasOf(f.table), f.column};
+    if (f.is_string) {
+      const std::string& v = table->column(col).strings[row];
+      const double dice = rng_.NextDouble();
+      if (dice < 0.4) {
+        pred.op = CompareOp::kEq;
+        pred.values.push_back(Literal::String(v));
+      } else if (dice < 0.75 && v.size() >= 3) {
+        pred.op = CompareOp::kLike;
+        const size_t start = rng_.NextUint64(v.size() - 2);
+        pred.values.push_back(
+            Literal::String("%" + v.substr(start, 3) + "%"));
+      } else {
+        pred.op = CompareOp::kIn;
+        pred.values.push_back(Literal::String(v));
+        const size_t row2 = rng_.NextUint64(table->num_rows());
+        const std::string& v2 = table->column(col).strings[row2];
+        if (v2 != v) pred.values.push_back(Literal::String(v2));
+      }
+      made_string = true;
+    } else {
+      const int64_t v = table->column(col).ints[row];
+      const double dice = rng_.NextDouble();
+      if (!f.range_ops || dice < 0.34) {
+        pred.op = CompareOp::kEq;
+        pred.values.push_back(Literal::Int(v));
+      } else if (dice < 0.67) {
+        pred.op = CompareOp::kLt;
+        pred.values.push_back(Literal::Int(v));
+      } else {
+        pred.op = CompareOp::kGt;
+        pred.values.push_back(Literal::Int(v));
+      }
+    }
+    stmt.predicates.push_back(std::move(pred));
+    ++made;
+  }
+  if (made == 0) return false;
+  if (allow_strings && !made_string) return false;
+
+  auto res = executor_.Execute(stmt);
+  if (!res.ok() || res.value().cardinality < 1.0) return false;
+  out->stmt = stmt;
+  out->sql = sql::ToSql(stmt);
+  out->true_card = res.value().cardinality;
+  out->true_cost = res.value().cost;
+  out->num_joins = num_joins;
+  return true;
+}
+
+BenchQuery ImdbQueryGenerator::Generate(int num_joins, FilterMode mode) {
+  BenchQuery q;
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    if (TryGenerate(num_joins, mode, &q)) return q;
+  }
+  // Fall back: numeric-only filters (never string-empty).
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (TryGenerate(num_joins, FilterMode::kNumeric, &q)) return q;
+  }
+  PREQR_CHECK_MSG(false, "query generation failed repeatedly");
+  return q;
+}
+
+std::vector<BenchQuery> ImdbQueryGenerator::Synthetic(int n, int max_joins) {
+  std::vector<BenchQuery> out;
+  out.reserve(static_cast<size_t>(n));
+  std::set<std::string> seen;
+  while (static_cast<int>(out.size()) < n) {
+    const int joins = static_cast<int>(rng_.NextUint64(
+        static_cast<uint64_t>(max_joins) + 1));
+    BenchQuery q = Generate(joins, FilterMode::kNumeric);
+    if (seen.insert(q.sql).second) out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<BenchQuery> ImdbQueryGenerator::Scale(int per_join_count,
+                                                  int max_joins) {
+  std::vector<BenchQuery> out;
+  for (int joins = 0; joins <= max_joins; ++joins) {
+    for (int i = 0; i < per_join_count; ++i) {
+      out.push_back(Generate(joins, FilterMode::kNumeric));
+    }
+  }
+  return out;
+}
+
+std::vector<BenchQuery> ImdbQueryGenerator::JobLight() {
+  // Table 6: {1 join: 3, 2 joins: 32, 3 joins: 23, 4 joins: 12}.
+  std::vector<BenchQuery> out;
+  const std::array<std::pair<int, int>, 4> dist = {
+      {{1, 3}, {2, 32}, {3, 23}, {4, 12}}};
+  for (const auto& [joins, count] : dist) {
+    for (int i = 0; i < count; ++i) {
+      out.push_back(Generate(joins, FilterMode::kBroadNumeric));
+    }
+  }
+  return out;
+}
+
+std::vector<BenchQuery> ImdbQueryGenerator::JobLightTrain(int n) {
+  std::vector<BenchQuery> out;
+  out.reserve(static_cast<size_t>(n));
+  while (static_cast<int>(out.size()) < n) {
+    const int joins = 1 + static_cast<int>(rng_.NextUint64(4));
+    out.push_back(Generate(joins, FilterMode::kBroadNumeric));
+  }
+  return out;
+}
+
+std::vector<BenchQuery> ImdbQueryGenerator::JobStrings(int n, int min_joins,
+                                                       int max_joins) {
+  std::vector<BenchQuery> out;
+  out.reserve(static_cast<size_t>(n));
+  while (static_cast<int>(out.size()) < n) {
+    const int joins =
+        min_joins + static_cast<int>(rng_.NextUint64(
+                        static_cast<uint64_t>(max_joins - min_joins) + 1));
+    out.push_back(Generate(joins, FilterMode::kStrings));
+  }
+  return out;
+}
+
+}  // namespace preqr::workload

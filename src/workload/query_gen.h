@@ -1,0 +1,77 @@
+#ifndef PREQR_WORKLOAD_QUERY_GEN_H_
+#define PREQR_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "sql/ast.h"
+
+namespace preqr::workload {
+
+// One generated benchmark query with its ground truth.
+struct BenchQuery {
+  std::string sql;
+  sql::SelectStatement stmt;
+  double true_card = 0;
+  double true_cost = 0;
+  int num_joins = 0;
+};
+
+// Generates the paper's estimation workloads over the synthetic IMDB
+// database (Section 4.1.2):
+//  - Synthetic: unique COUNT(*) queries with conjunctive equality/range
+//    predicates on non-key numeric columns, 0-2 joins.
+//  - Scale: fixed per-join-count buckets to probe join generalization.
+//  - JOB-light: 70 queries, numeric predicates only, join distribution
+//    {1:3, 2:32, 3:23, 4:12} (Table 6).
+//  - JOB (strings): multi-join queries (4+) with string predicates
+//    (LIKE / IN / equality) on satellite tables.
+class ImdbQueryGenerator {
+ public:
+  ImdbQueryGenerator(const db::Database& db, uint64_t seed = 1);
+
+  std::vector<BenchQuery> Synthetic(int n, int max_joins = 2);
+  std::vector<BenchQuery> Scale(int per_join_count = 100, int max_joins = 4);
+  std::vector<BenchQuery> JobLight();
+  // Training workload matched to JOB-light's regime: broad numeric
+  // predicates, 1-4 joins (the paper trains its models on a multi-join
+  // query workload before evaluating on JOB/JOB-light).
+  std::vector<BenchQuery> JobLightTrain(int n);
+  std::vector<BenchQuery> JobStrings(int n, int min_joins = 4,
+                                     int max_joins = 8);
+
+ private:
+  // Which filter columns a workload may use. kBroadNumeric restricts to
+  // small-domain / range columns (the JOB-light regime); kNumeric adds
+  // selective high-cardinality columns; kStrings adds string predicates.
+  enum class FilterMode { kNumeric, kBroadNumeric, kStrings };
+
+  // Builds one query with the given join count; retries until the true
+  // cardinality is >= 1 (q-error is undefined on empty results).
+  BenchQuery Generate(int num_joins, FilterMode mode);
+  // Attempts one query; returns false if execution failed or empty.
+  bool TryGenerate(int num_joins, FilterMode mode, BenchQuery* out);
+
+  // Picks the anchor rows for correlated predicates: one random root
+  // (title) row, and per satellite/dimension a row consistent with the
+  // join path. Filter values drawn from anchor rows co-occur in the data,
+  // which is exactly what breaks attribute-independence estimators.
+  std::map<std::string, size_t> AnchorRows();
+
+  const db::Database& db_;
+  db::Executor executor_;
+  Rng rng_;
+  // Per satellite table: title id -> matching row ids (built lazily).
+  std::map<std::string, std::unordered_map<int64_t, std::vector<int>>>
+      fanout_index_;
+};
+
+}  // namespace preqr::workload
+
+#endif  // PREQR_WORKLOAD_QUERY_GEN_H_

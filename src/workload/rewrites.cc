@@ -1,0 +1,101 @@
+#include "workload/rewrites.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sql/printer.h"
+
+namespace preqr::workload {
+
+namespace {
+
+std::string ShuffleFilters(sql::SelectStatement stmt, Rng& rng) {
+  std::vector<sql::Predicate> joins, filters;
+  for (const auto& p : stmt.predicates) {
+    (p.IsJoin() ? joins : filters).push_back(p);
+  }
+  for (size_t i = filters.size(); i > 1; --i) {
+    std::swap(filters[i - 1], filters[rng.NextUint64(i)]);
+  }
+  stmt.predicates = joins;
+  for (auto& f : filters) stmt.predicates.push_back(f);
+  return sql::ToSql(stmt);
+}
+
+}  // namespace
+
+std::string EquivalentRewrite(const sql::SelectStatement& base, int which,
+                              Rng& rng) {
+  sql::SelectStatement stmt = base;
+  switch (which % 5) {
+    case 0: {
+      bool applied = false;
+      std::vector<sql::Predicate> preds;
+      for (const auto& p : stmt.predicates) {
+        if (p.op == sql::CompareOp::kBetween) {
+          applied = true;
+          sql::Predicate lo = p, hi = p;
+          lo.op = sql::CompareOp::kGe;
+          lo.values = {p.values[0]};
+          hi.op = sql::CompareOp::kLe;
+          hi.values = {p.values[1]};
+          preds.push_back(lo);
+          preds.push_back(hi);
+        } else {
+          preds.push_back(p);
+        }
+      }
+      if (!applied) return ShuffleFilters(std::move(stmt), rng);
+      stmt.predicates = std::move(preds);
+      return sql::ToSql(stmt);
+    }
+    case 1: {
+      for (size_t i = 0; i < stmt.predicates.size(); ++i) {
+        const auto& p = stmt.predicates[i];
+        if (p.op == sql::CompareOp::kIn && !p.subquery &&
+            p.values.size() == 2) {
+          sql::SelectStatement left = stmt, right = stmt;
+          left.union_next = nullptr;
+          right.union_next = nullptr;
+          left.predicates[i].op = sql::CompareOp::kEq;
+          left.predicates[i].values = {p.values[0]};
+          right.predicates[i].op = sql::CompareOp::kEq;
+          right.predicates[i].values = {p.values[1]};
+          left.union_next =
+              std::make_shared<sql::SelectStatement>(std::move(right));
+          return sql::ToSql(left);
+        }
+      }
+      return ShuffleFilters(std::move(stmt), rng);
+    }
+    case 2:
+      return ShuffleFilters(std::move(stmt), rng);
+    case 3: {
+      for (auto& t : stmt.tables) {
+        if (!t.alias.empty()) t.alias += "x";
+      }
+      auto rename = [](sql::ColumnRef& ref) {
+        if (!ref.qualifier.empty()) ref.qualifier += "x";
+      };
+      for (auto& p : stmt.predicates) {
+        rename(p.lhs);
+        if (p.rhs_is_column) rename(p.rhs_column);
+      }
+      for (auto& item : stmt.items) {
+        if (!item.star) rename(item.column);
+      }
+      for (auto& g : stmt.group_by) rename(g);
+      return sql::ToSql(stmt);
+    }
+    default: {
+      if (stmt.tables.size() > 2) {
+        // Reorder the non-root tables (the join graph is unchanged).
+        std::reverse(stmt.tables.begin() + 1, stmt.tables.end());
+        return sql::ToSql(stmt);
+      }
+      return ShuffleFilters(std::move(stmt), rng);
+    }
+  }
+}
+
+}  // namespace preqr::workload

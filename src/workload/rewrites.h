@@ -1,0 +1,24 @@
+#ifndef PREQR_WORKLOAD_REWRITES_H_
+#define PREQR_WORKLOAD_REWRITES_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "sql/ast.h"
+
+namespace preqr::workload {
+
+// Produces a logically equivalent rewrite of `base` (same result set):
+//  which % 5 == 0: BETWEEN  -> explicit >= / <= bounds
+//  which % 5 == 1: IN(a, b) -> UNION of equality branches
+//  which % 5 == 2: filter-conjunct order shuffle
+//  which % 5 == 3: alias renaming
+//  which % 5 == 4: implicit comma join <-> the same query with reordered
+//                  non-root tables (join graph unchanged)
+// Falls back to a shuffle when the chosen rewrite does not apply.
+std::string EquivalentRewrite(const sql::SelectStatement& base, int which,
+                              Rng& rng);
+
+}  // namespace preqr::workload
+
+#endif  // PREQR_WORKLOAD_REWRITES_H_

@@ -1,0 +1,156 @@
+#include "workload/sql2text.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace preqr::workload {
+
+namespace {
+
+struct WebTable {
+  const char* name;
+  std::vector<const char*> columns;
+  std::vector<const char*> values;  // candidate literal values
+};
+
+const std::vector<WebTable>& WikiTables() {
+  static const std::vector<WebTable>* tables = new std::vector<WebTable>{
+      {"olympics",
+       {"athlete", "country", "medals", "year"},
+       {"'usa'", "'china'", "'kenya'", "2008", "2012", "3"}},
+      {"albums",
+       {"artist", "album", "sales", "year"},
+       {"'queen'", "'abba'", "1990", "2001", "500000"}},
+      {"players",
+       {"player", "team", "points", "season"},
+       {"'lakers'", "'bulls'", "1996", "2010", "30"}},
+      {"films",
+       {"film", "director", "budget", "year"},
+       {"'nolan'", "'scott'", "1999", "2015", "100"}},
+      {"cities",
+       {"city", "country", "population", "area"},
+       {"'france'", "'japan'", "1000000", "500"}},
+  };
+  return *tables;
+}
+
+std::vector<std::string> Words(const std::string& s) {
+  return SplitAny(ToLower(s), " '");
+}
+
+}  // namespace
+
+std::vector<TextPair> MakeWikiSqlDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TextPair> out;
+  out.reserve(static_cast<size_t>(n));
+  const auto& tables = WikiTables();
+  while (static_cast<int>(out.size()) < n) {
+    const WebTable& t = tables[rng.NextUint64(tables.size())];
+    const size_t ci = rng.NextUint64(t.columns.size());
+    size_t cj = rng.NextUint64(t.columns.size());
+    if (cj == ci) cj = (cj + 1) % t.columns.size();
+    const std::string col = t.columns[ci];
+    const std::string cond_col = t.columns[cj];
+    const std::string value = t.values[rng.NextUint64(t.values.size())];
+    const int shape = static_cast<int>(rng.NextUint64(4));
+    TextPair pair;
+    switch (shape) {
+      case 0:
+        pair.sql = "SELECT " + col + " FROM " + t.name + " WHERE " +
+                   cond_col + " = " + value;
+        pair.text = Words("what is the " + col + " when " + cond_col +
+                          " is " + value);
+        break;
+      case 1:
+        pair.sql = "SELECT COUNT(*) FROM " + std::string(t.name) +
+                   " WHERE " + cond_col + " = " + value;
+        pair.text = Words("how many rows have " + cond_col + " equal to " +
+                          value);
+        break;
+      case 2:
+        pair.sql = "SELECT MAX(" + col + ") FROM " + t.name + " WHERE " +
+                   cond_col + " = " + value;
+        pair.text = Words("what is the largest " + col + " when " +
+                          cond_col + " is " + value);
+        break;
+      default:
+        pair.sql = "SELECT " + col + " FROM " + t.name + " WHERE " +
+                   cond_col + " > " + value;
+        pair.text = Words("list the " + col + " where " + cond_col +
+                          " is greater than " + value);
+    }
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+std::vector<TextPair> MakeStackOverflowDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TextPair> out;
+  out.reserve(static_cast<size_t>(n));
+  static const char* kTags[] = {"'sql'", "'python'", "'java'", "'cpp'",
+                                "'rust'"};
+  while (static_cast<int>(out.size()) < n) {
+    const int rep = 50 * (1 + static_cast<int>(rng.NextUint64(20)));
+    const std::string tag = kTags[rng.NextUint64(5)];
+    const int score = static_cast<int>(rng.NextUint64(10));
+    const int shape = static_cast<int>(rng.NextUint64(5));
+    const bool alt = rng.NextUint64(2) == 0;  // two NL styles per shape
+    TextPair pair;
+    switch (shape) {
+      case 0:
+        pair.sql =
+            "SELECT COUNT(*) FROM users u, posts p WHERE u.id = p.owner_id "
+            "AND u.reputation > " + std::to_string(rep);
+        pair.text = Words(
+            alt ? "count the posts owned by users with reputation above " +
+                      std::to_string(rep)
+                : "how many posts belong to users whose reputation is "
+                  "greater than " + std::to_string(rep));
+        break;
+      case 1:
+        pair.sql =
+            "SELECT u.name FROM users u, badges b WHERE u.id = b.user_id "
+            "AND b.kind = " + tag;
+        pair.text = Words(
+            alt ? "get the names of users holding the " + tag + " badge"
+                : "which users have a badge of kind " + tag);
+        break;
+      case 2:
+        pair.sql =
+            "SELECT COUNT(*) FROM posts p, tags t WHERE p.id = t.post_id "
+            "AND t.name = " + tag + " AND p.score > " + std::to_string(score);
+        pair.text = Words(
+            alt ? "count posts tagged " + tag + " scoring more than " +
+                      std::to_string(score)
+                : "how many posts with tag " + tag +
+                      " have score greater than " + std::to_string(score));
+        break;
+      case 3:
+        pair.sql =
+            "SELECT AVG(p.score) FROM posts p WHERE p.owner_id IN "
+            "(SELECT id FROM users WHERE reputation > " +
+            std::to_string(rep) + ")";
+        pair.text = Words(
+            alt ? "average score of posts from users with reputation over " +
+                      std::to_string(rep)
+                : "what is the mean post score for users whose reputation "
+                  "exceeds " + std::to_string(rep));
+        break;
+      default:
+        pair.sql =
+            "SELECT u.name FROM users u WHERE u.reputation BETWEEN " +
+            std::to_string(rep) + " AND " + std::to_string(rep * 2);
+        pair.text = Words(
+            alt ? "names of users with reputation between " +
+                      std::to_string(rep) + " and " + std::to_string(rep * 2)
+                : "list users whose reputation lies from " +
+                      std::to_string(rep) + " to " + std::to_string(rep * 2));
+    }
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+}  // namespace preqr::workload

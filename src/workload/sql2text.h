@@ -1,0 +1,28 @@
+#ifndef PREQR_WORKLOAD_SQL2TEXT_H_
+#define PREQR_WORKLOAD_SQL2TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace preqr::workload {
+
+// One SQL-to-Text example: a query and its natural-language description
+// (already word-tokenized, the BLEU unit).
+struct TextPair {
+  std::string sql;
+  std::vector<std::string> text;
+};
+
+// WikiSQL-flavored dataset: single-table lookup/aggregate questions over a
+// handful of small web-table schemas, with templated NL realizations
+// ("what is the <col> when <col2> is <val>").
+std::vector<TextPair> MakeWikiSqlDataset(int n, uint64_t seed = 31);
+
+// StackOverflow-flavored dataset: join/aggregate developer questions over a
+// Q&A schema with noisier, longer NL (two realization styles per shape).
+std::vector<TextPair> MakeStackOverflowDataset(int n, uint64_t seed = 32);
+
+}  // namespace preqr::workload
+
+#endif  // PREQR_WORKLOAD_SQL2TEXT_H_

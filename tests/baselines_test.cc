@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "baselines/feature_encoders.h"
+#include "baselines/lstm_encoder.h"
+#include "baselines/onehot.h"
+#include "baselines/sim.h"
+#include "baselines/tree2seq.h"
+#include "db/stats.h"
+#include "sql/parser.h"
+#include "workload/imdb.h"
+
+namespace preqr::baselines {
+namespace {
+
+const db::Database& TestDb() {
+  static const db::Database* db =
+      new db::Database(workload::MakeImdbDatabase(3, 0.02));
+  return *db;
+}
+
+// --- Similarity metrics -------------------------------------------------
+
+sql::SelectStatement Q(const std::string& sql) {
+  auto r = sql::Parse(sql);
+  EXPECT_TRUE(r.ok()) << sql;
+  return r.value();
+}
+
+TEST(SimTest, IdenticalQueriesZeroDistance) {
+  auto a = Q("SELECT name FROM user WHERE rank = 'adm'");
+  EXPECT_DOUBLE_EQ(AouicheDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(AligonDistance(a, a), 0.0);
+  EXPECT_NEAR(MakiyamaDistance(a, a), 0.0, 1e-12);
+}
+
+TEST(SimTest, DisjointQueriesLargeDistance) {
+  auto a = Q("SELECT name FROM user WHERE rank = 'adm'");
+  auto b = Q("SELECT SUM(balance) FROM accounts WHERE owner > 5");
+  EXPECT_GT(AouicheDistance(a, b), 0.9);
+  EXPECT_GT(AligonDistance(a, b), 0.35);
+  EXPECT_GT(MakiyamaDistance(a, b), 0.9);
+}
+
+TEST(SimTest, SharedJoinReducesDistance) {
+  auto a = Q("SELECT COUNT(*) FROM t1 a, t2 b WHERE a.x = b.y AND a.k = 1");
+  auto b = Q("SELECT COUNT(*) FROM t1 a, t2 b WHERE a.x = b.y AND a.k = 9");
+  auto c = Q("SELECT COUNT(*) FROM t3 q WHERE q.z < 4");
+  EXPECT_LT(AligonDistance(a, b), AligonDistance(a, c));
+  EXPECT_LT(MakiyamaDistance(a, b), MakiyamaDistance(a, c));
+}
+
+TEST(SimTest, CosineDistanceBounds) {
+  EXPECT_NEAR(CosineDistance({1, 0}, {1, 0}), 0.0, 1e-6);
+  EXPECT_NEAR(CosineDistance({1, 0}, {-1, 0}), 1.0, 1e-6);
+  EXPECT_NEAR(CosineDistance({1, 0}, {0, 1}), 0.5, 1e-6);
+  EXPECT_DOUBLE_EQ(CosineDistance({}, {}), 1.0);  // degenerate
+}
+
+// --- One-hot -----------------------------------------------------------
+
+TEST(OneHotTest, DimensionAndDeterminism) {
+  db::BitmapSampler sampler(TestDb(), 16);
+  OneHotEncoder enc(TestDb(), &sampler);
+  EXPECT_GT(enc.dim(), 0);
+  const char* sql =
+      "SELECT COUNT(*) FROM title t WHERE t.production_year > 2000";
+  auto a = enc.EncodeVector(sql, false);
+  auto b = enc.EncodeVector(sql, false);
+  EXPECT_EQ(a.vec(), b.vec());
+  EXPECT_EQ(a.dim(1), enc.dim());
+}
+
+TEST(OneHotTest, TablesSetOneHot) {
+  OneHotEncoder enc(TestDb(), nullptr);
+  auto stmt = Q("SELECT COUNT(*) FROM title t, movie_companies mc WHERE "
+                "t.id = mc.movie_id");
+  auto v = enc.Featurize(stmt);
+  float sum = 0;
+  const int num_tables = static_cast<int>(TestDb().catalog().tables().size());
+  for (int i = 0; i < num_tables; ++i) sum += v[static_cast<size_t>(i)];
+  EXPECT_FLOAT_EQ(sum, 2.0f);  // exactly two tables set
+}
+
+TEST(OneHotTest, ValueNormalizedToUnitInterval) {
+  OneHotEncoder enc(TestDb(), nullptr);
+  auto lo = enc.Featurize(
+      Q("SELECT COUNT(*) FROM title WHERE production_year < 1900"));
+  auto hi = enc.Featurize(
+      Q("SELECT COUNT(*) FROM title WHERE production_year < 2020"));
+  // The value slot differs and stays within [0,1].
+  bool diff = false;
+  for (size_t i = 0; i < lo.size(); ++i) {
+    EXPECT_GE(lo[i], 0.0f);
+    EXPECT_LE(lo[i], 1.0f);
+    if (lo[i] != hi[i]) diff = true;
+  }
+  EXPECT_TRUE(diff);
+}
+
+TEST(OneHotTest, MalformedSqlGivesZeros) {
+  OneHotEncoder enc(TestDb(), nullptr);
+  auto v = enc.EncodeVector("not sql at all", false);
+  for (float x : v.vec()) EXPECT_EQ(x, 0.0f);
+}
+
+// --- LSTM encoder ---------------------------------------------------------
+
+TEST(LstmEncoderTest, VocabAndShapes) {
+  LstmQueryEncoder enc(16, 12, 1);
+  enc.BuildVocab({"SELECT a FROM t WHERE b > 10",
+                  "SELECT c FROM s WHERE d = 'x'"});
+  EXPECT_GT(enc.vocab_size(), 5);
+  auto vec = enc.EncodeVector("SELECT a FROM t WHERE b > 5", false);
+  EXPECT_EQ(vec.dim(1), 24);
+  auto seq = enc.EncodeSequence("SELECT a FROM t WHERE b > 5", false);
+  EXPECT_EQ(seq.dim(1), 24);
+  EXPECT_GT(seq.dim(0), 5);
+}
+
+TEST(LstmEncoderTest, NumbersShareGlobalScale) {
+  LstmQueryEncoder enc(16, 12, 1);
+  std::vector<std::string> corpus;
+  for (int i = 1; i <= 20; ++i) {
+    corpus.push_back("SELECT a FROM t WHERE b > " +
+                     std::to_string(i * i * i * 250));
+  }
+  enc.BuildVocab(corpus);
+  // Two queries differing only in far-apart numbers tokenize differently...
+  auto ids_lo = enc.TokenIds("SELECT a FROM t WHERE b > 2");
+  auto ids_hi = enc.TokenIds("SELECT a FROM t WHERE b > 999999");
+  EXPECT_NE(ids_lo, ids_hi);
+  // ...but nearby numbers collapse to the same decile token (the global
+  // normalization drawback the paper criticizes).
+  auto ids_lo2 = enc.TokenIds("SELECT a FROM t WHERE b > 3");
+  EXPECT_EQ(ids_lo, ids_lo2);
+}
+
+TEST(LstmEncoderTest, HasTrainableParameters) {
+  LstmQueryEncoder enc(16, 12, 1);
+  enc.BuildVocab({"SELECT a FROM t"});
+  EXPECT_FALSE(enc.TrainableParameters().empty());
+}
+
+// --- Feature encoders --------------------------------------------------------
+
+TEST(FeatureEncodersTest, BitmapAndConcat) {
+  db::BitmapSampler sampler(TestDb(), 16);
+  BitmapFeatureEncoder bitmap(&sampler);
+  EXPECT_EQ(bitmap.dim(), 16);
+  OneHotEncoder onehot(TestDb(), nullptr);
+  ConcatEncoder both(&onehot, &bitmap);
+  EXPECT_EQ(both.dim(), onehot.dim() + 16);
+  auto v = both.EncodeVector(
+      "SELECT COUNT(*) FROM title t WHERE t.production_year > 2000", false);
+  EXPECT_EQ(v.dim(1), both.dim());
+  EXPECT_EQ(both.name(), "OneHot+Bitmap");
+}
+
+// --- Tree2Seq / Graph2Seq -------------------------------------------------------
+
+TEST(Tree2SeqTest, EncodesTreeNodes) {
+  Tree2SeqEncoder enc(16, 1);
+  auto mem = enc.EncodeSequence(
+      "SELECT COUNT(*) FROM t1 a, t2 b WHERE a.x = b.y AND a.k > 1", false);
+  EXPECT_EQ(mem.dim(1), 16);
+  EXPECT_GT(mem.dim(0), 4);  // several AST nodes
+  EXPECT_FALSE(enc.TrainableParameters().empty());
+}
+
+TEST(Tree2SeqTest, MalformedSqlStillEncodes) {
+  Tree2SeqEncoder enc(16, 1);
+  auto mem = enc.EncodeSequence("garbage ((", false);
+  EXPECT_EQ(mem.dim(0), 1);
+}
+
+TEST(Graph2SeqTest, TokenGraphEncoding) {
+  Graph2SeqEncoder enc(16, 2);
+  auto mem = enc.EncodeSequence(
+      "SELECT a FROM t WHERE b = 1 AND c < 5", false);
+  EXPECT_EQ(mem.dim(1), 16);
+  EXPECT_GT(mem.dim(0), 8);  // one node per token
+  EXPECT_FALSE(enc.TrainableParameters().empty());
+}
+
+}  // namespace
+}  // namespace preqr::baselines

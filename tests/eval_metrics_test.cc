@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace preqr::eval {
+namespace {
+
+TEST(QErrorTest, SymmetricAndClamped) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10);
+  EXPECT_DOUBLE_EQ(QError(5, 5), 1);
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1);   // clamped to >= 1
+  EXPECT_DOUBLE_EQ(QError(0.5, 2), 2); // truth clamped to 1
+}
+
+TEST(QErrorTest, StatsPercentiles) {
+  std::vector<double> truths(100, 100.0);
+  std::vector<double> estimates;
+  for (int i = 1; i <= 100; ++i) estimates.push_back(100.0 * i);
+  auto s = ComputeQErrors(truths, estimates);
+  EXPECT_NEAR(s.median, 50.5, 1.0);
+  EXPECT_NEAR(s.p90, 90.1, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 0.5);
+}
+
+TEST(QErrorTest, EmptyInput) {
+  auto s = ComputeQErrors({}, {});
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+}
+
+TEST(BetaCvTest, PerfectClusteringNearZero) {
+  // Two tight clusters far apart.
+  std::vector<std::vector<double>> d = {
+      {0.0, 0.1, 1.0, 1.0},
+      {0.1, 0.0, 1.0, 1.0},
+      {1.0, 1.0, 0.0, 0.1},
+      {1.0, 1.0, 0.1, 0.0},
+  };
+  const double betacv = BetaCV(d, {0, 0, 1, 1});
+  EXPECT_NEAR(betacv, 0.1, 1e-9);
+}
+
+TEST(BetaCvTest, BadClusteringLarger) {
+  std::vector<std::vector<double>> d = {
+      {0.0, 1.0, 0.1, 1.0},
+      {1.0, 0.0, 1.0, 0.1},
+      {0.1, 1.0, 0.0, 1.0},
+      {1.0, 0.1, 1.0, 0.0},
+  };
+  // Labels group the DISTANT points together.
+  EXPECT_GT(BetaCV(d, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<std::vector<double>> truth = {
+      {0, 0.9, 0.5, 0.1},
+      {0.9, 0, 0.4, 0.2},
+      {0.5, 0.4, 0, 0.3},
+      {0.1, 0.2, 0.3, 0},
+  };
+  EXPECT_NEAR(MeanNdcg(truth, truth), 1.0, 1e-9);
+}
+
+TEST(NdcgTest, WorseRankingBelowOne) {
+  std::vector<std::vector<double>> truth = {
+      {0, 0.9, 0.1},
+      {0.9, 0, 0.1},
+      {0.1, 0.1, 0},
+  };
+  std::vector<std::vector<double>> inverted = {
+      {0, 0.1, 0.9},
+      {0.1, 0, 0.9},
+      {0.9, 0.9, 0},
+  };
+  EXPECT_LT(MeanNdcg(inverted, truth), MeanNdcg(truth, truth));
+}
+
+TEST(BleuTest, ExactMatchIsOne) {
+  std::vector<std::vector<std::string>> refs = {
+      {"the", "movie", "was", "great"}};
+  EXPECT_NEAR(Bleu(refs, refs), 1.0, 1e-9);
+}
+
+TEST(BleuTest, NoOverlapNearZero) {
+  std::vector<std::vector<std::string>> refs = {{"a", "b", "c", "d"}};
+  std::vector<std::vector<std::string>> cands = {{"w", "x", "y", "z"}};
+  EXPECT_LT(Bleu(refs, cands), 0.05);
+}
+
+TEST(BleuTest, PartialOverlapInBetween) {
+  std::vector<std::vector<std::string>> refs = {
+      {"what", "is", "the", "year", "of", "the", "film"}};
+  std::vector<std::vector<std::string>> cands = {
+      {"what", "is", "the", "name", "of", "a", "film"}};
+  const double bleu = Bleu(refs, cands);
+  EXPECT_GT(bleu, 0.1);
+  EXPECT_LT(bleu, 0.9);
+}
+
+TEST(BleuTest, BrevityPenaltyApplies) {
+  std::vector<std::vector<std::string>> refs = {
+      {"a", "b", "c", "d", "e", "f"}};
+  std::vector<std::vector<std::string>> short_cand = {{"a", "b"}};
+  std::vector<std::vector<std::string>> long_cand = {
+      {"a", "b", "c", "d", "e", "f"}};
+  EXPECT_LT(Bleu(refs, short_cand), Bleu(refs, long_cand));
+}
+
+}  // namespace
+}  // namespace preqr::eval

@@ -1,0 +1,243 @@
+// Numerical gradient checks for every differentiable op.
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace preqr::nn {
+namespace {
+
+// Checks d(scalar fn)/d(input) against central finite differences.
+void CheckGrad(Tensor& input, const std::function<Tensor()>& fn,
+               float eps = 1e-3f, float tol = 2e-2f) {
+  Tensor loss = fn();
+  ASSERT_EQ(loss.size(), 1);
+  input.ZeroGrad();
+  loss.Backward();
+  const std::vector<float> analytic = input.grad_vec();
+  ASSERT_EQ(analytic.size(), static_cast<size_t>(input.size()));
+  for (Index i = 0; i < input.size(); ++i) {
+    const float orig = input.at(i);
+    input.at(i) = orig + eps;
+    const float up = fn().item();
+    input.at(i) = orig - eps;
+    const float down = fn().item();
+    input.at(i) = orig;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(analytic[static_cast<size_t>(i)], numeric,
+                tol * std::max(1.0f, std::abs(numeric)))
+        << "at flat index " << i;
+  }
+}
+
+Tensor MakeInput(Shape shape, uint64_t seed = 3) {
+  Rng rng(seed);
+  Tensor t = Tensor::Randn(std::move(shape), rng, 0.7f, true);
+  return t;
+}
+
+TEST(OpsGradTest, Add) {
+  Tensor a = MakeInput({2, 3});
+  Tensor b = MakeInput({2, 3}, 4);
+  CheckGrad(a, [&] { return Sum(Add(a, b)); });
+  CheckGrad(b, [&] { return Sum(Add(a, b)); });
+}
+
+TEST(OpsGradTest, Sub) {
+  Tensor a = MakeInput({2, 3});
+  Tensor b = MakeInput({2, 3}, 4);
+  CheckGrad(b, [&] { return Sum(Mul(Sub(a, b), Sub(a, b))); });
+}
+
+TEST(OpsGradTest, Mul) {
+  Tensor a = MakeInput({6});
+  Tensor b = MakeInput({6}, 5);
+  CheckGrad(a, [&] { return Sum(Mul(a, b)); });
+  CheckGrad(b, [&] { return Sum(Mul(a, b)); });
+}
+
+TEST(OpsGradTest, ScaleAndAddScalar) {
+  Tensor a = MakeInput({4});
+  CheckGrad(a, [&] { return Sum(Scale(AddScalar(a, 1.5f), -2.0f)); });
+}
+
+TEST(OpsGradTest, AddBias) {
+  Tensor x = MakeInput({3, 4});
+  Tensor b = MakeInput({4}, 6);
+  CheckGrad(x, [&] { return Sum(Mul(AddBias(x, b), AddBias(x, b))); });
+  CheckGrad(b, [&] { return Sum(Mul(AddBias(x, b), AddBias(x, b))); });
+}
+
+TEST(OpsGradTest, Relu) {
+  Tensor x = MakeInput({8});
+  CheckGrad(x, [&] { return Sum(Relu(x)); });
+}
+
+TEST(OpsGradTest, Gelu) {
+  Tensor x = MakeInput({8});
+  CheckGrad(x, [&] { return Sum(Gelu(x)); });
+}
+
+TEST(OpsGradTest, TanhOp) {
+  Tensor x = MakeInput({8});
+  CheckGrad(x, [&] { return Sum(Tanh(x)); });
+}
+
+TEST(OpsGradTest, SigmoidOp) {
+  Tensor x = MakeInput({8});
+  CheckGrad(x, [&] { return Sum(Sigmoid(x)); });
+}
+
+TEST(OpsGradTest, MatMulBothSides) {
+  Tensor a = MakeInput({3, 4});
+  Tensor b = MakeInput({4, 2}, 7);
+  CheckGrad(a, [&] { return Sum(Mul(MatMul(a, b), MatMul(a, b))); });
+  CheckGrad(b, [&] { return Sum(Mul(MatMul(a, b), MatMul(a, b))); });
+}
+
+TEST(OpsGradTest, TransposeOp) {
+  Tensor a = MakeInput({3, 2});
+  CheckGrad(a, [&] { return Sum(Mul(Transpose(a), Transpose(a))); });
+}
+
+TEST(OpsGradTest, Softmax) {
+  Tensor x = MakeInput({2, 5});
+  Tensor w = MakeInput({2, 5}, 9);  // weights make the loss non-trivial
+  CheckGrad(x, [&] { return Sum(Mul(SoftmaxLastDim(x), w)); });
+}
+
+TEST(OpsGradTest, LayerNormAllInputs) {
+  Tensor x = MakeInput({3, 6});
+  Tensor gamma = Tensor::Full({6}, 1.2f, true);
+  Tensor beta = Tensor::Full({6}, -0.1f, true);
+  Tensor w = MakeInput({3, 6}, 9);
+  auto fn = [&] { return Sum(Mul(LayerNormOp(x, gamma, beta), w)); };
+  CheckGrad(x, fn);
+  CheckGrad(gamma, fn);
+  CheckGrad(beta, fn);
+}
+
+TEST(OpsGradTest, MeanRowsOp) {
+  Tensor x = MakeInput({4, 3});
+  Tensor w = MakeInput({3}, 10);
+  CheckGrad(x, [&] { return Sum(Mul(MeanRows(x), w)); });
+}
+
+TEST(OpsGradTest, ReshapeOp) {
+  Tensor x = MakeInput({2, 6});
+  CheckGrad(x, [&] {
+    Tensor r = Reshape(x, {3, 4});
+    return Sum(Mul(r, r));
+  });
+}
+
+TEST(OpsGradTest, ConcatLastDimOp) {
+  Tensor a = MakeInput({2, 3});
+  Tensor b = MakeInput({2, 2}, 8);
+  auto fn = [&] {
+    Tensor c = ConcatLastDim({a, b});
+    return Sum(Mul(c, c));
+  };
+  CheckGrad(a, fn);
+  CheckGrad(b, fn);
+}
+
+TEST(OpsGradTest, ConcatRowsOp) {
+  Tensor a = MakeInput({2, 3});
+  Tensor b = MakeInput({1, 3}, 8);
+  auto fn = [&] {
+    Tensor c = ConcatRows({a, b});
+    return Sum(Mul(c, c));
+  };
+  CheckGrad(a, fn);
+  CheckGrad(b, fn);
+}
+
+TEST(OpsGradTest, SliceLastDimOp) {
+  Tensor x = MakeInput({3, 5});
+  CheckGrad(x, [&] {
+    Tensor s = SliceLastDim(x, 1, 3);
+    return Sum(Mul(s, s));
+  });
+}
+
+TEST(OpsGradTest, SliceRowsOp) {
+  Tensor x = MakeInput({5, 3});
+  CheckGrad(x, [&] {
+    Tensor s = SliceRows(x, 2, 2);
+    return Sum(Mul(s, s));
+  });
+}
+
+TEST(OpsGradTest, GatherOp) {
+  Tensor w = MakeInput({4, 3});
+  const std::vector<int> ids = {1, 3, 1};  // repeated id accumulates
+  CheckGrad(w, [&] {
+    Tensor g = Gather(w, ids);
+    return Sum(Mul(g, g));
+  });
+}
+
+TEST(OpsGradTest, SparseAggregateOp) {
+  Tensor h = MakeInput({4, 3});
+  const std::vector<Edge> edges = {{0, 1}, {2, 1}, {3, 0}};
+  const std::vector<float> norm = {0.5f, 0.5f, 1.0f};
+  CheckGrad(h, [&] {
+    Tensor a = SparseAggregate(h, edges, norm);
+    return Sum(Mul(a, a));
+  });
+}
+
+TEST(OpsGradTest, CrossEntropyOp) {
+  Tensor logits = MakeInput({4, 5});
+  const std::vector<int> targets = {0, 3, -1, 2};  // one ignored
+  CheckGrad(logits, [&] { return CrossEntropy(logits, targets, -1); });
+}
+
+TEST(OpsGradTest, CrossEntropyAllIgnoredIsZero) {
+  Tensor logits = MakeInput({2, 3});
+  Tensor loss = CrossEntropy(logits, {-1, -1}, -1);
+  EXPECT_FLOAT_EQ(loss.item(), 0.0f);
+  loss.Backward();  // must not crash
+}
+
+TEST(OpsGradTest, MseLossOp) {
+  Tensor pred = MakeInput({5});
+  const std::vector<float> target = {0.1f, -0.3f, 0.7f, 0.0f, 1.0f};
+  CheckGrad(pred, [&] { return MseLoss(pred, target); });
+}
+
+TEST(OpsGradTest, DropoutScalesAndMasks) {
+  Tensor x = Tensor::Full({1000}, 1.0f, true);
+  Rng rng(21);
+  Tensor y = Dropout(x, 0.5f, rng, /*train=*/true);
+  float mean = 0.0f;
+  int zeros = 0;
+  for (Index i = 0; i < y.size(); ++i) {
+    mean += y.at(i);
+    if (y.at(i) == 0.0f) ++zeros;
+  }
+  mean /= static_cast<float>(y.size());
+  EXPECT_NEAR(mean, 1.0f, 0.15f);  // inverted-dropout keeps expectation
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+  // Eval mode: identity.
+  Tensor z = Dropout(x, 0.5f, rng, /*train=*/false);
+  EXPECT_EQ(z.impl().get(), x.impl().get());
+}
+
+TEST(OpsGradTest, SoftmaxRowsSumToOne) {
+  Tensor x = MakeInput({3, 7});
+  Tensor y = SoftmaxLastDim(x);
+  for (int r = 0; r < 3; ++r) {
+    float s = 0.0f;
+    for (int c = 0; c < 7; ++c) s += y.at(r * 7 + c);
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace preqr::nn

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace preqr::nn {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndData) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (Index i = 0; i < t.size(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FromDataChecksSize) {
+  Tensor t = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(3), 4.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::Scalar(2.5f).item(), 2.5f);
+}
+
+TEST(TensorTest, RandnDeterministicAcrossSeeds) {
+  Rng r1(5), r2(5);
+  Tensor a = Tensor::Randn({4}, r1, 1.0f);
+  Tensor b = Tensor::Randn({4}, r2, 1.0f);
+  for (Index i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+}
+
+TEST(TensorTest, UniformBounds) {
+  Rng rng(9);
+  Tensor t = Tensor::Uniform({100}, rng, 0.5f);
+  for (Index i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t.at(i)), 0.5f);
+  }
+}
+
+TEST(TensorTest, BackwardThroughChain) {
+  // y = mean((2x)^2) elementwise ; dy/dx = 8x / n
+  Tensor x = Tensor::FromData({3}, {1, 2, 3}, /*requires_grad=*/true);
+  Tensor two_x = Scale(x, 2.0f);
+  Tensor sq = Mul(two_x, two_x);
+  Tensor y = Mean(sq);
+  y.Backward();
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.grad_vec()[static_cast<size_t>(i)], 8.0f * x.at(i) / 3.0f,
+                1e-5f);
+  }
+}
+
+TEST(TensorTest, BackwardSharedSubexpressionAccumulates) {
+  // y = sum(x + x): dy/dx = 2.
+  Tensor x = Tensor::FromData({2}, {1, 1}, true);
+  Tensor y = Sum(Add(x, x));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad_vec()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad_vec()[1], 2.0f);
+}
+
+TEST(TensorTest, ZeroGradClears) {
+  Tensor x = Tensor::FromData({2}, {1, 2}, true);
+  Sum(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad_vec()[0], 1.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad_vec()[0], 0.0f);
+}
+
+TEST(TensorTest, NoGradLeafGetsNoGradient) {
+  Tensor x = Tensor::FromData({2}, {1, 2}, true);
+  Tensor c = Tensor::FromData({2}, {3, 4});  // constant
+  Sum(Mul(x, c)).Backward();
+  EXPECT_TRUE(c.grad_vec().empty() ||
+              (c.grad_vec()[0] == 0.0f && c.grad_vec()[1] == 0.0f));
+  EXPECT_FLOAT_EQ(x.grad_vec()[0], 3.0f);
+}
+
+TEST(TensorTest, DeepGraphBackwardIsIterative) {
+  // A long chain would overflow the stack with recursive backward.
+  Tensor x = Tensor::Scalar(1.0f, true);
+  Tensor y = x;
+  for (int i = 0; i < 20000; ++i) y = AddScalar(y, 0.0f);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad_vec()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace preqr::nn

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "db/executor.h"
+#include "eval/metrics.h"
+#include "neurocard/neurocard.h"
+#include "pg/pg_estimator.h"
+#include "sql/parser.h"
+#include "workload/imdb.h"
+#include "workload/query_gen.h"
+
+namespace preqr {
+namespace {
+
+const db::Database& TestDb() {
+  static const db::Database* db =
+      new db::Database(workload::MakeImdbDatabase(3, 0.05));
+  return *db;
+}
+
+TEST(PgEstimatorTest, SingleTableScanIsExactish) {
+  pg::PgEstimator est(TestDb());
+  auto stmt = sql::Parse("SELECT COUNT(*) FROM title").value();
+  const double n =
+      static_cast<double>(TestDb().FindTable("title")->num_rows());
+  EXPECT_NEAR(est.EstimateCardinality(stmt), n, n * 0.01);
+}
+
+TEST(PgEstimatorTest, RangePredicateReasonable) {
+  pg::PgEstimator est(TestDb());
+  db::Executor exec(TestDb());
+  auto stmt = sql::Parse(
+                  "SELECT COUNT(*) FROM title WHERE production_year > 2000")
+                  .value();
+  const double truth = exec.Execute(stmt).value().cardinality;
+  const double guess = est.EstimateCardinality(stmt);
+  EXPECT_LT(eval::QError(truth, guess), 2.0);
+}
+
+TEST(PgEstimatorTest, FkJoinEstimateReasonable) {
+  pg::PgEstimator est(TestDb());
+  db::Executor exec(TestDb());
+  auto stmt = sql::Parse(
+                  "SELECT COUNT(*) FROM title t, movie_companies mc WHERE "
+                  "t.id = mc.movie_id")
+                  .value();
+  const double truth = exec.Execute(stmt).value().cardinality;
+  // Pure FK join without filters: PG's 1/max(nd) formula is near-exact.
+  EXPECT_LT(eval::QError(truth, est.EstimateCardinality(stmt)), 3.0);
+}
+
+TEST(PgEstimatorTest, CorrelatedPredicatesUnderestimated) {
+  // Pick a real row; PG multiplies the marginal selectivities while the
+  // values co-occur, so the estimate falls below the truth on average.
+  const db::Table* title = TestDb().FindTable("title");
+  double underestimates = 0, total = 0;
+  pg::PgEstimator est(TestDb());
+  db::Executor exec(TestDb());
+  for (size_t row = 0; row < title->num_rows(); row += 29) {
+    const int64_t year = title->column(3).ints[row];
+    const int64_t kind = title->column(2).ints[row];
+    auto stmt = sql::Parse("SELECT COUNT(*) FROM title WHERE production_year "
+                           "= " + std::to_string(year) +
+                           " AND kind_id = " + std::to_string(kind))
+                    .value();
+    const double truth = exec.Execute(stmt).value().cardinality;
+    if (truth < 1) continue;
+    total += 1;
+    if (est.EstimateCardinality(stmt) < truth) underestimates += 1;
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GT(underestimates / total, 0.5);
+}
+
+TEST(PgEstimatorTest, CostGrowsWithJoins) {
+  pg::PgEstimator est(TestDb());
+  const double single =
+      est.EstimateCost(sql::Parse("SELECT COUNT(*) FROM title").value());
+  const double join = est.EstimateCost(
+      sql::Parse("SELECT COUNT(*) FROM title t, movie_companies mc WHERE "
+                 "t.id = mc.movie_id")
+          .value());
+  EXPECT_GT(join, single);
+}
+
+TEST(NeuroCardTest, SingleTableEstimate) {
+  neurocard::NeuroCard nc(TestDb(), "title", 400);
+  db::Executor exec(TestDb());
+  auto stmt = sql::Parse(
+                  "SELECT COUNT(*) FROM title WHERE production_year > 1990")
+                  .value();
+  const double truth = exec.Execute(stmt).value().cardinality;
+  auto est = nc.EstimateCardinality(stmt);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(eval::QError(truth, est.value()), 2.0);
+}
+
+TEST(NeuroCardTest, StarJoinEstimateCapturesCorrelation) {
+  neurocard::NeuroCard nc(TestDb(), "title", 500);
+  db::Executor exec(TestDb());
+  auto stmt = sql::Parse(
+                  "SELECT COUNT(*) FROM title t, movie_companies mc WHERE "
+                  "t.id = mc.movie_id AND t.production_year > 2000")
+                  .value();
+  const double truth = exec.Execute(stmt).value().cardinality;
+  auto est = nc.EstimateCardinality(stmt);
+  ASSERT_TRUE(est.ok());
+  // The correlated sample sees the year-fanout correlation directly.
+  EXPECT_LT(eval::QError(truth, est.value()), 3.0);
+}
+
+TEST(NeuroCardTest, TwoLevelSnowflake) {
+  neurocard::NeuroCard nc(TestDb(), "title", 500);
+  db::Executor exec(TestDb());
+  auto stmt = sql::Parse(
+                  "SELECT COUNT(*) FROM title t, movie_companies mc, "
+                  "company_type ct WHERE t.id = mc.movie_id AND "
+                  "ct.id = mc.company_type_id AND ct.kind = 'distributors'")
+                  .value();
+  const double truth = exec.Execute(stmt).value().cardinality;
+  auto est = nc.EstimateCardinality(stmt);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(eval::QError(truth, est.value()), 4.0);
+}
+
+TEST(NeuroCardTest, RejectsSubqueries) {
+  neurocard::NeuroCard nc(TestDb(), "title", 100);
+  auto stmt = sql::Parse(
+                  "SELECT COUNT(*) FROM title WHERE id IN "
+                  "(SELECT movie_id FROM movie_companies WHERE company_id = 1)")
+                  .value();
+  EXPECT_FALSE(nc.EstimateCardinality(stmt).ok());
+}
+
+TEST(NeuroCardTest, WorkloadSweepIsFinite) {
+  neurocard::NeuroCard nc(TestDb(), "title", 300);
+  workload::ImdbQueryGenerator gen(TestDb(), 5);
+  for (const auto& q : gen.Synthetic(25, 2)) {
+    auto est = nc.EstimateCardinality(q.stmt);
+    ASSERT_TRUE(est.ok()) << q.sql;
+    EXPECT_GE(est.value(), 1.0);
+    EXPECT_LT(est.value(), 1e12);
+  }
+}
+
+}  // namespace
+}  // namespace preqr

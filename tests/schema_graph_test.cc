@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "schema/schema_graph.h"
+#include "workload/imdb.h"
+
+namespace preqr::schema {
+namespace {
+
+sql::Catalog SmallCatalog() {
+  sql::Catalog cat;
+  sql::TableDef title;
+  title.name = "title";
+  title.columns = {{"id", sql::ColumnType::kInt, true},
+                   {"production_year", sql::ColumnType::kInt, false}};
+  cat.AddTable(title);
+  sql::TableDef mc;
+  mc.name = "movie_companies";
+  mc.columns = {{"id", sql::ColumnType::kInt, true},
+                {"movie_id", sql::ColumnType::kInt, false},
+                {"note", sql::ColumnType::kString, false}};
+  cat.AddTable(mc);
+  EXPECT_TRUE(
+      cat.AddForeignKey({"movie_companies", "movie_id", "title", "id"}).ok());
+  return cat;
+}
+
+TEST(SchemaGraphTest, NodeCountsAndNames) {
+  SchemaGraph g = SchemaGraph::Build(SmallCatalog());
+  // 2 tables + 5 columns.
+  EXPECT_EQ(g.num_nodes(), 7);
+  EXPECT_GE(g.TableNode("title"), 0);
+  EXPECT_GE(g.ColumnNode("movie_companies", "movie_id"), 0);
+  EXPECT_EQ(g.TableNode("nope"), -1);
+  EXPECT_EQ(g.ColumnNode("title", "nope"), -1);
+}
+
+TEST(SchemaGraphTest, ColumnNodeTokensStartWithType) {
+  SchemaGraph g = SchemaGraph::Build(SmallCatalog());
+  const auto& node =
+      g.nodes()[static_cast<size_t>(g.ColumnNode("title", "production_year"))];
+  ASSERT_GE(node.name_tokens.size(), 3u);
+  EXPECT_EQ(node.name_tokens[0], "int");
+  EXPECT_EQ(node.name_tokens[1], "production");
+  EXPECT_EQ(node.name_tokens[2], "year");
+  const auto& str_node = g.nodes()[static_cast<size_t>(
+      g.ColumnNode("movie_companies", "note"))];
+  EXPECT_EQ(str_node.name_tokens[0], "varchar");
+}
+
+int CountEdges(const SchemaGraph& g, EdgeType type) {
+  int n = 0;
+  for (const auto& e : g.edges()) n += e.type == type ? 1 : 0;
+  return n;
+}
+
+TEST(SchemaGraphTest, EdgeTaxonomy) {
+  SchemaGraph g = SchemaGraph::Build(SmallCatalog());
+  // Same-table: title C(2,2)=1 pair *2 dirs + mc C(3,2)=3 pairs *2 = 8.
+  EXPECT_EQ(CountEdges(g, EdgeType::kSameTable), 8);
+  // Each table: PK-left/right for its PK, Belongs for the rest.
+  EXPECT_EQ(CountEdges(g, EdgeType::kPrimaryKeyLeft), 2);
+  EXPECT_EQ(CountEdges(g, EdgeType::kPrimaryKeyRight), 2);
+  EXPECT_EQ(CountEdges(g, EdgeType::kBelongsToLeft), 3);
+  EXPECT_EQ(CountEdges(g, EdgeType::kBelongsToRight), 3);
+  // FK column edges both directions.
+  EXPECT_EQ(CountEdges(g, EdgeType::kForeignKeyColumnLeft), 1);
+  EXPECT_EQ(CountEdges(g, EdgeType::kForeignKeyColumnRight), 1);
+  // Table-level FK (one direction only here).
+  EXPECT_EQ(CountEdges(g, EdgeType::kForeignKeyTableLeft), 1);
+  EXPECT_EQ(CountEdges(g, EdgeType::kForeignKeyTableRight), 1);
+  EXPECT_EQ(CountEdges(g, EdgeType::kForeignKeyTableBoth), 0);
+}
+
+TEST(SchemaGraphTest, FkEdgeEndpoints) {
+  SchemaGraph g = SchemaGraph::Build(SmallCatalog());
+  for (const auto& e : g.edges()) {
+    if (e.type == EdgeType::kForeignKeyColumnLeft) {
+      EXPECT_EQ(g.nodes()[static_cast<size_t>(e.src)].name,
+                "movie_companies.movie_id");
+      EXPECT_EQ(g.nodes()[static_cast<size_t>(e.dst)].name, "title.id");
+    }
+  }
+}
+
+TEST(SchemaGraphTest, RelationalEdgesNormalized) {
+  SchemaGraph g = SchemaGraph::Build(SmallCatalog());
+  std::vector<std::vector<nn::Edge>> rel_edges;
+  std::vector<std::vector<float>> rel_norms;
+  g.RelationalEdges(&rel_edges, &rel_norms);
+  ASSERT_EQ(rel_edges.size(), static_cast<size_t>(kNumEdgeTypes));
+  // For each relation, incoming norms per dst sum to 1.
+  for (int r = 0; r < kNumEdgeTypes; ++r) {
+    std::vector<float> in_sum(static_cast<size_t>(g.num_nodes()), 0.0f);
+    for (size_t e = 0; e < rel_edges[static_cast<size_t>(r)].size(); ++e) {
+      in_sum[static_cast<size_t>(
+          rel_edges[static_cast<size_t>(r)][e].dst)] +=
+          rel_norms[static_cast<size_t>(r)][e];
+    }
+    for (float s : in_sum) {
+      if (s > 0) EXPECT_NEAR(s, 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(SchemaGraphTest, IncrementalAddTable) {
+  sql::Catalog cat = SmallCatalog();
+  SchemaGraph g = SchemaGraph::Build(cat);
+  const int before_nodes = g.num_nodes();
+  sql::TableDef extra;
+  extra.name = "extra";
+  extra.columns = {{"id", sql::ColumnType::kInt, true},
+                   {"movie_id", sql::ColumnType::kInt, false}};
+  cat.AddTable(extra);
+  ASSERT_TRUE(cat.AddForeignKey({"extra", "movie_id", "title", "id"}).ok());
+  g.AddTable(cat, "extra");
+  EXPECT_EQ(g.num_nodes(), before_nodes + 3);
+  EXPECT_GE(g.TableNode("extra"), 0);
+  // New FK edges exist.
+  bool found = false;
+  for (const auto& e : g.edges()) {
+    if (e.type == EdgeType::kForeignKeyColumnLeft &&
+        g.nodes()[static_cast<size_t>(e.src)].name == "extra.movie_id") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SchemaGraphTest, ImdbGraphIsConsistent) {
+  db::Database db = workload::MakeImdbDatabase(7, 0.02);
+  SchemaGraph g = SchemaGraph::Build(db.catalog());
+  EXPECT_EQ(db.catalog().tables().size(), 22u);
+  int columns = 0;
+  for (const auto& t : db.catalog().tables()) {
+    columns += static_cast<int>(t.columns.size());
+  }
+  EXPECT_EQ(g.num_nodes(), 22 + columns);
+  // Every edge endpoint is a valid node.
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, g.num_nodes());
+    EXPECT_GE(e.dst, 0);
+    EXPECT_LT(e.dst, g.num_nodes());
+  }
+  // title has both incoming and outgoing table-level FK edges
+  // (movie_companies -> title, title -> kind_type).
+  const int title_node = g.TableNode("title");
+  bool has_in = false, has_out = false;
+  for (const auto& e : g.edges()) {
+    if (e.type == EdgeType::kForeignKeyTableLeft) {
+      if (e.dst == title_node) has_in = true;
+      if (e.src == title_node) has_out = true;
+    }
+  }
+  EXPECT_TRUE(has_in);
+  EXPECT_TRUE(has_out);
+}
+
+}  // namespace
+}  // namespace preqr::schema

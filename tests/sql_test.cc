@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "sql/catalog.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace preqr::sql {
+namespace {
+
+// --- Lexer -----------------------------------------------------------
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto r = Lex("select FROM WhErE");
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value();
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(t[1].IsKeyword("FROM"));
+  EXPECT_TRUE(t[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, IdentifiersLowercased) {
+  auto r = Lex("Title T");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].text, "title");
+  EXPECT_EQ(r.value()[1].text, "t");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto r = Lex("42 3.14");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()[0].is_integer);
+  EXPECT_DOUBLE_EQ(r.value()[0].number, 42.0);
+  EXPECT_FALSE(r.value()[1].is_integer);
+  EXPECT_DOUBLE_EQ(r.value()[1].number, 3.14);
+}
+
+TEST(LexerTest, QualifiedNameDotIsNotDecimal) {
+  auto r = Lex("t.id = 5");
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value();
+  EXPECT_EQ(t[0].text, "t");
+  EXPECT_TRUE(t[1].IsSymbol("."));
+  EXPECT_EQ(t[2].text, "id");
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto r = Lex("name = 'Ada Lovelace'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[2].type, TokenType::kString);
+  EXPECT_EQ(r.value()[2].text, "Ada Lovelace");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Lex("name = 'oops").ok());
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto r = Lex("a <= b >= c <> d != e");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()[1].IsSymbol("<="));
+  EXPECT_TRUE(r.value()[3].IsSymbol(">="));
+  EXPECT_TRUE(r.value()[5].IsSymbol("<>"));
+  EXPECT_TRUE(r.value()[7].IsSymbol("<>"));  // != normalized
+}
+
+TEST(LexerTest, NegativeNumberAfterOperator) {
+  auto r = Lex("x > -5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[2].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(r.value()[2].number, -5.0);
+}
+
+TEST(LexerTest, RejectsGarbage) { EXPECT_FALSE(Lex("select @").ok()); }
+
+TEST(LexerTest, EndsWithEndToken) {
+  auto r = Lex("select");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().back().type, TokenType::kEnd);
+}
+
+// --- Parser -----------------------------------------------------------
+
+TEST(ParserTest, SimpleCount) {
+  auto r = Parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 2010");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stmt = r.value();
+  ASSERT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].agg, AggFunc::kCount);
+  EXPECT_TRUE(stmt.items[0].star);
+  ASSERT_EQ(stmt.tables.size(), 1u);
+  EXPECT_EQ(stmt.tables[0].table, "title");
+  EXPECT_EQ(stmt.tables[0].alias, "t");
+  ASSERT_EQ(stmt.predicates.size(), 1u);
+  EXPECT_EQ(stmt.predicates[0].op, CompareOp::kGt);
+  EXPECT_EQ(stmt.predicates[0].values[0].int_value, 2010);
+}
+
+TEST(ParserTest, PaperExampleQuery) {
+  auto r = Parse(
+      "SELECT t.id FROM title t, movie_companies mc "
+      "WHERE t.id = mc.movie_id AND t.production_year > 2010 "
+      "AND mc.company_id = 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stmt = r.value();
+  EXPECT_EQ(stmt.tables.size(), 2u);
+  EXPECT_EQ(stmt.predicates.size(), 3u);
+  EXPECT_EQ(stmt.NumJoins(), 1);
+  EXPECT_TRUE(stmt.predicates[0].IsJoin());
+  EXPECT_EQ(stmt.predicates[0].rhs_column.ToString(), "mc.movie_id");
+}
+
+TEST(ParserTest, InListOfStrings) {
+  auto r = Parse("SELECT name FROM user WHERE rank IN ('adm','sup')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& p = r.value().predicates[0];
+  EXPECT_EQ(p.op, CompareOp::kIn);
+  ASSERT_EQ(p.values.size(), 2u);
+  EXPECT_EQ(p.values[0].string_value, "adm");
+}
+
+TEST(ParserTest, InSubquery) {
+  auto r = Parse(
+      "SELECT SUM(balance) FROM accounts WHERE user_id IN "
+      "(SELECT user_id FROM user WHERE rank = 'adm')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& p = r.value().predicates[0];
+  ASSERT_TRUE(p.subquery != nullptr);
+  EXPECT_EQ(p.subquery->tables[0].table, "user");
+}
+
+TEST(ParserTest, UnionChain) {
+  auto r = Parse(
+      "SELECT name FROM user WHERE rank = 'adm' "
+      "UNION SELECT name FROM user WHERE rank = 'sup'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r.value().union_next != nullptr);
+  EXPECT_EQ(r.value().union_next->predicates[0].values[0].string_value, "sup");
+}
+
+TEST(ParserTest, BetweenPredicate) {
+  auto r = Parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().predicates.size(), 2u);
+  EXPECT_EQ(r.value().predicates[0].op, CompareOp::kBetween);
+  EXPECT_EQ(r.value().predicates[0].values[1].int_value, 10);
+}
+
+TEST(ParserTest, LikePredicate) {
+  auto r = Parse("SELECT * FROM t WHERE name LIKE '%din%'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().predicates[0].op, CompareOp::kLike);
+}
+
+TEST(ParserTest, ExplicitJoinOn) {
+  auto r = Parse(
+      "SELECT COUNT(*) FROM title t JOIN movie_companies mc "
+      "ON t.id = mc.movie_id WHERE mc.company_id = 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().tables.size(), 2u);
+  EXPECT_EQ(r.value().NumJoins(), 1);
+}
+
+TEST(ParserTest, GroupOrderLimit) {
+  auto r = Parse(
+      "SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id "
+      "ORDER BY kind_id DESC LIMIT 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().group_by.size(), 1u);
+  EXPECT_FALSE(r.value().order_by[0].second);
+  EXPECT_EQ(r.value().limit, 10);
+}
+
+TEST(ParserTest, ErrorMissingFrom) {
+  EXPECT_FALSE(Parse("SELECT a WHERE b = 1").ok());
+}
+
+TEST(ParserTest, ErrorTrailingTokens) {
+  EXPECT_FALSE(Parse("SELECT a FROM t extra junk !").ok());
+}
+
+TEST(ParserTest, ErrorBadPredicate) {
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE = 3").ok());
+}
+
+// --- Printer round-trip -----------------------------------------------
+
+void ExpectRoundTrip(const std::string& sql) {
+  auto r1 = Parse(sql);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  const std::string printed = ToSql(r1.value());
+  auto r2 = Parse(printed);
+  ASSERT_TRUE(r2.ok()) << "re-parse failed for: " << printed;
+  EXPECT_EQ(printed, ToSql(r2.value()));
+}
+
+TEST(PrinterTest, RoundTrips) {
+  ExpectRoundTrip("SELECT COUNT(*) FROM title t WHERE t.production_year > 2010");
+  ExpectRoundTrip(
+      "SELECT t.id FROM title t, movie_companies mc WHERE t.id = mc.movie_id "
+      "AND mc.company_id = 5");
+  ExpectRoundTrip("SELECT name FROM user WHERE rank IN ('adm','sup')");
+  ExpectRoundTrip(
+      "SELECT SUM(balance) FROM accounts WHERE user_id IN "
+      "(SELECT user_id FROM user WHERE rank = 'adm')");
+  ExpectRoundTrip(
+      "SELECT name FROM user WHERE rank = 'adm' UNION "
+      "SELECT name FROM user WHERE rank = 'sup'");
+  ExpectRoundTrip("SELECT * FROM t WHERE a BETWEEN 1 AND 10");
+  ExpectRoundTrip(
+      "SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id ORDER BY kind_id "
+      "DESC LIMIT 10");
+}
+
+// --- Catalog ------------------------------------------------------------
+
+Catalog MakeCatalog() {
+  Catalog cat;
+  TableDef title;
+  title.name = "title";
+  title.columns = {{"id", ColumnType::kInt, true},
+                   {"production_year", ColumnType::kInt, false},
+                   {"kind_id", ColumnType::kInt, false}};
+  cat.AddTable(title);
+  TableDef mc;
+  mc.name = "movie_companies";
+  mc.columns = {{"id", ColumnType::kInt, true},
+                {"movie_id", ColumnType::kInt, false},
+                {"company_id", ColumnType::kInt, false}};
+  cat.AddTable(mc);
+  EXPECT_TRUE(cat.AddForeignKey({"movie_companies", "movie_id", "title", "id"})
+                  .ok());
+  return cat;
+}
+
+TEST(CatalogTest, Lookups) {
+  Catalog cat = MakeCatalog();
+  ASSERT_NE(cat.FindTable("title"), nullptr);
+  EXPECT_EQ(cat.FindTable("nope"), nullptr);
+  EXPECT_EQ(cat.FindTable("title")->PrimaryKeyIndex(), 0);
+  EXPECT_EQ(cat.FindTable("title")->ColumnIndex("kind_id"), 2);
+  EXPECT_EQ(cat.TotalColumns(), 6);
+}
+
+TEST(CatalogTest, FkJoinabilityBothDirections) {
+  Catalog cat = MakeCatalog();
+  EXPECT_TRUE(
+      cat.IsJoinableFk("movie_companies", "movie_id", "title", "id"));
+  EXPECT_TRUE(
+      cat.IsJoinableFk("title", "id", "movie_companies", "movie_id"));
+  EXPECT_FALSE(
+      cat.IsJoinableFk("title", "kind_id", "movie_companies", "movie_id"));
+}
+
+TEST(CatalogTest, AddForeignKeyValidates) {
+  Catalog cat = MakeCatalog();
+  EXPECT_FALSE(cat.AddForeignKey({"nope", "x", "title", "id"}).ok());
+  EXPECT_FALSE(
+      cat.AddForeignKey({"movie_companies", "nope", "title", "id"}).ok());
+}
+
+TEST(AstTest, ResolveTableByAliasAndName) {
+  auto r = Parse("SELECT * FROM title t, movie_companies mc");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ResolveTable("t"), "title");
+  EXPECT_EQ(r.value().ResolveTable("movie_companies"), "movie_companies");
+  EXPECT_EQ(r.value().ResolveTable("zzz"), "");
+}
+
+}  // namespace
+}  // namespace preqr::sql

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "baselines/onehot.h"
+#include "baselines/tree2seq.h"
+#include "db/stats.h"
+#include "eval/metrics.h"
+#include "tasks/clustering.h"
+#include "tasks/correction.h"
+#include "tasks/estimator.h"
+#include "tasks/sql2text.h"
+#include "workload/imdb.h"
+#include "workload/query_gen.h"
+#include "workload/sql2text.h"
+
+namespace preqr::tasks {
+namespace {
+
+const db::Database& TestDb() {
+  static const db::Database* db =
+      new db::Database(workload::MakeImdbDatabase(3, 0.03));
+  return *db;
+}
+
+TEST(EstimatorTest, LearnsCardinalityOnOneHot) {
+  workload::ImdbQueryGenerator gen(TestDb(), 5);
+  auto train = gen.Synthetic(120, 2);
+  auto test = gen.Synthetic(30, 2);
+  baselines::OneHotEncoder encoder(TestDb(), nullptr);
+  EstimatorModel::Options opt;
+  opt.epochs = 20;
+  EstimatorModel model(&encoder, opt);
+  std::vector<std::string> sqls;
+  std::vector<double> cards;
+  for (const auto& q : train) {
+    sqls.push_back(q.sql);
+    cards.push_back(q.true_card);
+  }
+  model.Fit(sqls, cards);
+  std::vector<std::string> test_sqls;
+  std::vector<double> test_cards;
+  for (const auto& q : test) {
+    test_sqls.push_back(q.sql);
+    test_cards.push_back(q.true_card);
+  }
+  const auto stats =
+      eval::ComputeQErrors(test_cards, model.PredictAll(test_sqls));
+  // A learned model must do far better than constant-guessing.
+  EXPECT_LT(stats.median, 8.0);
+}
+
+TEST(EstimatorTest, ValidationCurveHasOneEntryPerEpoch) {
+  workload::ImdbQueryGenerator gen(TestDb(), 6);
+  auto train = gen.Synthetic(40, 1);
+  baselines::OneHotEncoder encoder(TestDb(), nullptr);
+  EstimatorModel::Options opt;
+  opt.epochs = 4;
+  EstimatorModel model(&encoder, opt);
+  std::vector<std::string> sqls;
+  std::vector<double> cards;
+  for (const auto& q : train) {
+    sqls.push_back(q.sql);
+    cards.push_back(q.true_card);
+  }
+  auto curve = model.FitWithValidation(sqls, cards, sqls, cards);
+  EXPECT_EQ(curve.size(), 4u);
+  for (double v : curve) EXPECT_GE(v, 1.0);
+}
+
+TEST(EstimatorTest, PredictionsClampedToTrainingRange) {
+  baselines::OneHotEncoder encoder(TestDb(), nullptr);
+  EstimatorModel::Options opt;
+  opt.epochs = 1;
+  EstimatorModel model(&encoder, opt);
+  model.Fit({"SELECT COUNT(*) FROM title"}, {100.0});
+  // Whatever the model outputs, the clamp bounds it near the target range.
+  const double pred = model.Predict("SELECT COUNT(*) FROM title");
+  EXPECT_LE(pred, std::exp(std::log1p(100.0) + 2.1));
+}
+
+TEST(CorrectionTest, ImprovesBiasedBaseEstimates) {
+  workload::ImdbQueryGenerator gen(TestDb(), 7);
+  auto train = gen.Synthetic(80, 1);
+  baselines::OneHotEncoder encoder(TestDb(), nullptr);
+  EstimatorModel::Options opt;
+  opt.epochs = 25;
+  CorrectionModel correction(&encoder, opt);
+  // Base estimator is biased 10x low.
+  std::vector<std::string> sqls;
+  std::vector<double> base, truth;
+  for (const auto& q : train) {
+    sqls.push_back(q.sql);
+    truth.push_back(q.true_card);
+    base.push_back(std::max(1.0, q.true_card / 10.0));
+  }
+  correction.Fit(sqls, base, truth);
+  double before = 0, after = 0;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    before += eval::QError(truth[i], base[i]);
+    after += eval::QError(truth[i], correction.Correct(sqls[i], base[i]));
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST(ClusteringTest, MatricesSymmetricZeroDiagonal) {
+  const std::vector<std::string> queries = {
+      "SELECT a FROM t WHERE b = 1",
+      "SELECT a FROM t WHERE b = 2",
+      "SELECT COUNT(*) FROM s WHERE c > 3",
+  };
+  auto stmts = ParseAll(queries);
+  for (auto metric : {AstMetric::kAouiche, AstMetric::kAligon,
+                      AstMetric::kMakiyama}) {
+    auto d = AstDistanceMatrix(stmts, metric);
+    for (size_t i = 0; i < d.size(); ++i) {
+      EXPECT_DOUBLE_EQ(d[i][i], 0.0);
+      for (size_t j = 0; j < d.size(); ++j) {
+        EXPECT_DOUBLE_EQ(d[i][j], d[j][i]);
+      }
+    }
+    // Same-template queries are closer than the unrelated one.
+    EXPECT_LT(d[0][1], d[0][2]);
+  }
+}
+
+TEST(ClusteringTest, ToSimilarityInverts) {
+  std::vector<std::vector<double>> d = {{0, 0.25}, {0.25, 0}};
+  auto s = ToSimilarity(d);
+  EXPECT_DOUBLE_EQ(s[0][1], 0.75);
+  EXPECT_DOUBLE_EQ(s[0][0], 1.0);
+}
+
+TEST(TextVocabTest, BuildsFromPairs) {
+  TextVocab vocab;
+  vocab.Build({{"q", {"what", "is", "the", "year"}}});
+  EXPECT_GT(vocab.size(), 6);
+  EXPECT_NE(vocab.Id("year"), TextVocab::kUnk);
+  EXPECT_EQ(vocab.Id("zebra"), TextVocab::kUnk);
+}
+
+TEST(Sql2TextTest, OverfitsTinyDataset) {
+  auto pairs = workload::MakeWikiSqlDataset(12, 3);
+  baselines::Tree2SeqEncoder encoder(24, 1);
+  Sql2TextModel::Options opt;
+  opt.epochs = 25;
+  opt.dim = 24;
+  Sql2TextModel model(&encoder, opt);
+  model.Fit(pairs);
+  // On its own training pairs the model should reach a non-trivial BLEU.
+  EXPECT_GT(model.EvalBleu(pairs), 0.25);
+}
+
+TEST(Sql2TextTest, GenerateProducesWords) {
+  auto pairs = workload::MakeWikiSqlDataset(10, 4);
+  baselines::Tree2SeqEncoder encoder(16, 2);
+  Sql2TextModel::Options opt;
+  opt.epochs = 2;
+  opt.dim = 16;
+  Sql2TextModel model(&encoder, opt);
+  model.Fit(pairs);
+  auto words = model.Generate(pairs[0].sql);
+  EXPECT_LE(words.size(), 24u);
+}
+
+}  // namespace
+}  // namespace preqr::tasks

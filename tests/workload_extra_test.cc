@@ -1,0 +1,138 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "db/executor.h"
+#include "sql/parser.h"
+#include "workload/ch.h"
+#include "workload/clustering_workloads.h"
+#include "workload/rewrites.h"
+#include "workload/sql2text.h"
+
+namespace preqr::workload {
+namespace {
+
+const db::Database& ChDb() {
+  static const db::Database* db = new db::Database(MakeChDatabase(42, 0.1));
+  return *db;
+}
+
+TEST(ChTest, SchemaAndData) {
+  EXPECT_EQ(ChDb().catalog().tables().size(), 6u);
+  EXPECT_GT(ChDb().FindTable("orders")->num_rows(), 100u);
+  EXPECT_GE(ChDb().catalog().foreign_keys().size(), 6u);
+}
+
+TEST(RewritesTest, AllRewritesPreserveResults) {
+  db::Executor exec(ChDb());
+  Rng rng(5);
+  const char* base_sql =
+      "SELECT o.id FROM orders o WHERE o.order_year BETWEEN 2016 AND 2018 "
+      "AND o.status IN ('delivered','pending')";
+  auto base = sql::Parse(base_sql).value();
+  auto base_rows = exec.Execute(base, true).value().root_row_ids;
+  ASSERT_GT(base_rows.size(), 0u);
+  for (int which = 0; which < 5; ++which) {
+    const std::string rewritten = EquivalentRewrite(base, which, rng);
+    auto parsed = sql::Parse(rewritten);
+    ASSERT_TRUE(parsed.ok()) << rewritten;
+    auto rows = exec.Execute(parsed.value(), true);
+    ASSERT_TRUE(rows.ok()) << rewritten;
+    EXPECT_EQ(rows.value().root_row_ids, base_rows) << rewritten;
+  }
+}
+
+TEST(ChSimilarityTest, WorkloadStructure) {
+  auto wl = MakeChSimilarityWorkload(ChDb(), 7, 6);
+  EXPECT_EQ(wl.queries.size(), 6u * 6u);  // 3 equivalent + 2 template + 1 irr
+  EXPECT_EQ(wl.queries.size(), wl.family.size());
+  EXPECT_EQ(wl.queries.size(), wl.category.size());
+  EXPECT_EQ(wl.true_similarity.size(), wl.queries.size());
+}
+
+TEST(ChSimilarityTest, EquivalentPairsHaveSimilarityOne) {
+  auto wl = MakeChSimilarityWorkload(ChDb(), 7, 6);
+  int checked = 0;
+  for (size_t i = 0; i < wl.queries.size(); ++i) {
+    for (size_t j = i + 1; j < wl.queries.size(); ++j) {
+      if (wl.family[i] == wl.family[j] && wl.category[i] == 0 &&
+          wl.category[j] == 0) {
+        EXPECT_NEAR(wl.true_similarity[i][j], 1.0, 1e-9)
+            << wl.queries[i] << " vs " << wl.queries[j];
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(ChSimilarityTest, TemplateMatesLessSimilarThanEquivalents) {
+  auto wl = MakeChSimilarityWorkload(ChDb(), 7, 8);
+  double eq_sum = 0, tmpl_sum = 0;
+  int eq_n = 0, tmpl_n = 0;
+  for (size_t i = 0; i < wl.queries.size(); ++i) {
+    for (size_t j = i + 1; j < wl.queries.size(); ++j) {
+      if (wl.family[i] != wl.family[j]) continue;
+      if (wl.category[i] == 0 && wl.category[j] == 0) {
+        eq_sum += wl.true_similarity[i][j];
+        ++eq_n;
+      } else if (wl.category[i] <= 1 && wl.category[j] <= 1) {
+        tmpl_sum += wl.true_similarity[i][j];
+        ++tmpl_n;
+      }
+    }
+  }
+  ASSERT_GT(eq_n, 0);
+  ASSERT_GT(tmpl_n, 0);
+  EXPECT_GT(eq_sum / eq_n, tmpl_sum / tmpl_n);
+}
+
+TEST(ClusteringWorkloadTest, AllThreeWellFormed) {
+  for (const auto& wl : {MakeIitBombayWorkload(), MakeUbExamWorkload(),
+                         MakePocketDataWorkload()}) {
+    EXPECT_FALSE(wl.name.empty());
+    EXPECT_EQ(wl.queries.size(), wl.labels.size());
+    EXPECT_GT(wl.catalog.tables().size(), 2u);
+    std::set<int> labels(wl.labels.begin(), wl.labels.end());
+    EXPECT_GT(labels.size(), 4u);
+    // Every query parses.
+    for (const auto& q : wl.queries) {
+      EXPECT_TRUE(sql::Parse(q).ok()) << wl.name << ": " << q;
+    }
+    // Every cluster has multiple members.
+    for (int label : labels) {
+      EXPECT_GT(std::count(wl.labels.begin(), wl.labels.end(), label), 2);
+    }
+  }
+}
+
+TEST(Sql2TextDataTest, WikiSqlPairsWellFormed) {
+  auto pairs = MakeWikiSqlDataset(50, 3);
+  ASSERT_EQ(pairs.size(), 50u);
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(sql::Parse(p.sql).ok()) << p.sql;
+    EXPECT_GE(p.text.size(), 4u);
+  }
+}
+
+TEST(Sql2TextDataTest, StackOverflowPairsWellFormed) {
+  auto pairs = MakeStackOverflowDataset(50, 3);
+  ASSERT_EQ(pairs.size(), 50u);
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(sql::Parse(p.sql).ok()) << p.sql;
+    EXPECT_GE(p.text.size(), 4u);
+  }
+}
+
+TEST(Sql2TextDataTest, Deterministic) {
+  auto a = MakeWikiSqlDataset(20, 9);
+  auto b = MakeWikiSqlDataset(20, 9);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sql, b[i].sql);
+    EXPECT_EQ(a[i].text, b[i].text);
+  }
+}
+
+}  // namespace
+}  // namespace preqr::workload

@@ -1,0 +1,167 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "workload/imdb.h"
+#include "workload/query_gen.h"
+
+namespace preqr::workload {
+namespace {
+
+// Shared tiny database for all tests in this file.
+const db::Database& TestDb() {
+  static const db::Database* db = new db::Database(MakeImdbDatabase(3, 0.03));
+  return *db;
+}
+
+TEST(ImdbTest, Has22Tables) {
+  EXPECT_EQ(TestDb().catalog().tables().size(), 22u);
+}
+
+TEST(ImdbTest, CoreTablesPopulated) {
+  for (const char* t : {"title", "movie_companies", "movie_info",
+                        "movie_keyword", "cast_info", "company_name"}) {
+    const db::Table* table = TestDb().FindTable(t);
+    ASSERT_NE(table, nullptr) << t;
+    EXPECT_GT(table->num_rows(), 0u) << t;
+  }
+}
+
+TEST(ImdbTest, ForeignKeysValid) {
+  const auto& cat = TestDb().catalog();
+  EXPECT_GE(cat.foreign_keys().size(), 20u);
+  for (const auto& fk : cat.foreign_keys()) {
+    const db::Table* child = TestDb().FindTable(fk.from_table);
+    const db::Table* parent = TestDb().FindTable(fk.to_table);
+    ASSERT_NE(child, nullptr);
+    ASSERT_NE(parent, nullptr);
+    // Referenced column is the parent PK.
+    EXPECT_TRUE(parent->def()
+                    .columns[static_cast<size_t>(
+                        parent->def().ColumnIndex(fk.to_column))]
+                    .is_primary_key);
+  }
+}
+
+TEST(ImdbTest, FkValuesWithinParentDomain) {
+  // movie_companies.movie_id must reference existing title ids (0..n-1).
+  const db::Table* mc = TestDb().FindTable("movie_companies");
+  const db::Table* title = TestDb().FindTable("title");
+  const int64_t n_title = static_cast<int64_t>(title->num_rows());
+  const auto& movie_ids = mc->column(1).ints;
+  for (int64_t v : movie_ids) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n_title);
+  }
+}
+
+TEST(ImdbTest, YearCompanyCorrelationInjected) {
+  // Average #companies for post-2000 titles should exceed pre-1950 titles.
+  const db::Table* mc = TestDb().FindTable("movie_companies");
+  const db::Table* title = TestDb().FindTable("title");
+  std::vector<int> counts(title->num_rows(), 0);
+  for (int64_t m : mc->column(1).ints) ++counts[static_cast<size_t>(m)];
+  double new_sum = 0, new_n = 0, old_sum = 0, old_n = 0;
+  for (size_t i = 0; i < title->num_rows(); ++i) {
+    const int64_t year = title->column(3).ints[i];
+    if (year >= 2000) {
+      new_sum += counts[i];
+      new_n += 1;
+    } else if (year < 1950) {
+      old_sum += counts[i];
+      old_n += 1;
+    }
+  }
+  ASSERT_GT(new_n, 0);
+  ASSERT_GT(old_n, 0);
+  EXPECT_GT(new_sum / new_n, old_sum / old_n);
+}
+
+TEST(ImdbTest, DeterministicAcrossSeeds) {
+  db::Database a = MakeImdbDatabase(11, 0.02);
+  db::Database b = MakeImdbDatabase(11, 0.02);
+  const db::Table* ta = a.FindTable("title");
+  const db::Table* tb = b.FindTable("title");
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  EXPECT_EQ(ta->column(3).ints, tb->column(3).ints);
+}
+
+TEST(QueryGenTest, SyntheticProperties) {
+  ImdbQueryGenerator gen(TestDb(), 5);
+  auto queries = gen.Synthetic(30, 2);
+  ASSERT_EQ(queries.size(), 30u);
+  std::set<std::string> unique;
+  for (const auto& q : queries) {
+    unique.insert(q.sql);
+    EXPECT_GE(q.true_card, 1.0);
+    EXPECT_GT(q.true_cost, 0.0);
+    EXPECT_LE(q.num_joins, 2);
+    // SQL text round-trips through the parser.
+    auto reparsed = sql::Parse(q.sql);
+    EXPECT_TRUE(reparsed.ok()) << q.sql;
+    // No string predicates in the numeric workload.
+    for (const auto& p : q.stmt.predicates) {
+      if (!p.IsJoin()) {
+        for (const auto& v : p.values) {
+          EXPECT_NE(v.kind, sql::Literal::Kind::kString) << q.sql;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(unique.size(), queries.size());  // paper: unique queries
+}
+
+TEST(QueryGenTest, ScaleJoinBuckets) {
+  ImdbQueryGenerator gen(TestDb(), 6);
+  auto queries = gen.Scale(3, 4);
+  ASSERT_EQ(queries.size(), 15u);
+  for (int j = 0; j <= 4; ++j) {
+    int count = 0;
+    for (const auto& q : queries) count += q.num_joins == j ? 1 : 0;
+    EXPECT_EQ(count, 3) << "joins=" << j;
+  }
+}
+
+TEST(QueryGenTest, JobLightDistribution) {
+  ImdbQueryGenerator gen(TestDb(), 7);
+  auto queries = gen.JobLight();
+  ASSERT_EQ(queries.size(), 70u);
+  std::map<int, int> dist;
+  for (const auto& q : queries) ++dist[q.num_joins];
+  EXPECT_EQ(dist[1], 3);
+  EXPECT_EQ(dist[2], 32);
+  EXPECT_EQ(dist[3], 23);
+  EXPECT_EQ(dist[4], 12);
+}
+
+TEST(QueryGenTest, JobStringsHaveStringPredicates) {
+  ImdbQueryGenerator gen(TestDb(), 8);
+  auto queries = gen.JobStrings(10, 4, 6);
+  ASSERT_EQ(queries.size(), 10u);
+  for (const auto& q : queries) {
+    EXPECT_GE(q.num_joins, 4);
+    bool has_string = false;
+    for (const auto& p : q.stmt.predicates) {
+      for (const auto& v : p.values) {
+        if (v.kind == sql::Literal::Kind::kString) has_string = true;
+      }
+    }
+    EXPECT_TRUE(has_string) << q.sql;
+    EXPECT_GE(q.true_card, 1.0);
+  }
+}
+
+TEST(QueryGenTest, GroundTruthMatchesReexecution) {
+  ImdbQueryGenerator gen(TestDb(), 9);
+  db::Executor exec(TestDb());
+  auto queries = gen.Synthetic(10, 2);
+  for (const auto& q : queries) {
+    auto res = exec.Execute(sql::Parse(q.sql).value());
+    ASSERT_TRUE(res.ok());
+    EXPECT_DOUBLE_EQ(res.value().cardinality, q.true_card) << q.sql;
+  }
+}
+
+}  // namespace
+}  // namespace preqr::workload
