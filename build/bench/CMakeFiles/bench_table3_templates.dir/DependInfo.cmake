@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_templates.cc" "bench/CMakeFiles/bench_table3_templates.dir/bench_table3_templates.cc.o" "gcc" "bench/CMakeFiles/bench_table3_templates.dir/bench_table3_templates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasks/CMakeFiles/preqr_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/preqr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/preqr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/neurocard/CMakeFiles/preqr_neurocard.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/preqr_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/preqr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/preqr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/preqr_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/automaton/CMakeFiles/preqr_automaton.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/preqr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/preqr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/preqr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/preqr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/preqr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

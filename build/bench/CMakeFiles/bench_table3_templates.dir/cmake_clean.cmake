@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_templates.dir/bench_table3_templates.cc.o"
+  "CMakeFiles/bench_table3_templates.dir/bench_table3_templates.cc.o.d"
+  "bench_table3_templates"
+  "bench_table3_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

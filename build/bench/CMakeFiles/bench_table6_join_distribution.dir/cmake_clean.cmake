@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_join_distribution.dir/bench_table6_join_distribution.cc.o"
+  "CMakeFiles/bench_table6_join_distribution.dir/bench_table6_join_distribution.cc.o.d"
+  "bench_table6_join_distribution"
+  "bench_table6_join_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_join_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardinality_estimation.dir/cardinality_estimation.cpp.o"
+  "CMakeFiles/cardinality_estimation.dir/cardinality_estimation.cpp.o.d"
+  "cardinality_estimation"
+  "cardinality_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardinality_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

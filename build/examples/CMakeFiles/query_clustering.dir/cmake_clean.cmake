@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_clustering.dir/query_clustering.cpp.o"
+  "CMakeFiles/query_clustering.dir/query_clustering.cpp.o.d"
+  "query_clustering"
+  "query_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

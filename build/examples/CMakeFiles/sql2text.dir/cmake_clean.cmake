@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql2text.dir/sql2text.cpp.o"
+  "CMakeFiles/sql2text.dir/sql2text.cpp.o.d"
+  "sql2text"
+  "sql2text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql2text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

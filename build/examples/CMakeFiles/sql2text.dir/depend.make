@@ -1,0 +1,2 @@
+# Empty dependencies file for sql2text.
+# This may be replaced when dependencies are built.

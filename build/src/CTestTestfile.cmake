@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("nn")
+subdirs("sql")
+subdirs("automaton")
+subdirs("schema")
+subdirs("text")
+subdirs("db")
+subdirs("pg")
+subdirs("workload")
+subdirs("core")
+subdirs("baselines")
+subdirs("neurocard")
+subdirs("eval")
+subdirs("tasks")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automaton/fa.cc" "src/automaton/CMakeFiles/preqr_automaton.dir/fa.cc.o" "gcc" "src/automaton/CMakeFiles/preqr_automaton.dir/fa.cc.o.d"
+  "/root/repo/src/automaton/symbol.cc" "src/automaton/CMakeFiles/preqr_automaton.dir/symbol.cc.o" "gcc" "src/automaton/CMakeFiles/preqr_automaton.dir/symbol.cc.o.d"
+  "/root/repo/src/automaton/template_extractor.cc" "src/automaton/CMakeFiles/preqr_automaton.dir/template_extractor.cc.o" "gcc" "src/automaton/CMakeFiles/preqr_automaton.dir/template_extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/preqr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/preqr_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

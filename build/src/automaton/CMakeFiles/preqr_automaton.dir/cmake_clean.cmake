@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_automaton.dir/fa.cc.o"
+  "CMakeFiles/preqr_automaton.dir/fa.cc.o.d"
+  "CMakeFiles/preqr_automaton.dir/symbol.cc.o"
+  "CMakeFiles/preqr_automaton.dir/symbol.cc.o.d"
+  "CMakeFiles/preqr_automaton.dir/template_extractor.cc.o"
+  "CMakeFiles/preqr_automaton.dir/template_extractor.cc.o.d"
+  "libpreqr_automaton.a"
+  "libpreqr_automaton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_automaton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

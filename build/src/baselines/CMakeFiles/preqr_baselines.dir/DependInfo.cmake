@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/feature_encoders.cc" "src/baselines/CMakeFiles/preqr_baselines.dir/feature_encoders.cc.o" "gcc" "src/baselines/CMakeFiles/preqr_baselines.dir/feature_encoders.cc.o.d"
+  "/root/repo/src/baselines/lstm_encoder.cc" "src/baselines/CMakeFiles/preqr_baselines.dir/lstm_encoder.cc.o" "gcc" "src/baselines/CMakeFiles/preqr_baselines.dir/lstm_encoder.cc.o.d"
+  "/root/repo/src/baselines/onehot.cc" "src/baselines/CMakeFiles/preqr_baselines.dir/onehot.cc.o" "gcc" "src/baselines/CMakeFiles/preqr_baselines.dir/onehot.cc.o.d"
+  "/root/repo/src/baselines/sim.cc" "src/baselines/CMakeFiles/preqr_baselines.dir/sim.cc.o" "gcc" "src/baselines/CMakeFiles/preqr_baselines.dir/sim.cc.o.d"
+  "/root/repo/src/baselines/tree2seq.cc" "src/baselines/CMakeFiles/preqr_baselines.dir/tree2seq.cc.o" "gcc" "src/baselines/CMakeFiles/preqr_baselines.dir/tree2seq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/preqr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/preqr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/preqr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/preqr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/automaton/CMakeFiles/preqr_automaton.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_baselines.dir/feature_encoders.cc.o"
+  "CMakeFiles/preqr_baselines.dir/feature_encoders.cc.o.d"
+  "CMakeFiles/preqr_baselines.dir/lstm_encoder.cc.o"
+  "CMakeFiles/preqr_baselines.dir/lstm_encoder.cc.o.d"
+  "CMakeFiles/preqr_baselines.dir/onehot.cc.o"
+  "CMakeFiles/preqr_baselines.dir/onehot.cc.o.d"
+  "CMakeFiles/preqr_baselines.dir/sim.cc.o"
+  "CMakeFiles/preqr_baselines.dir/sim.cc.o.d"
+  "CMakeFiles/preqr_baselines.dir/tree2seq.cc.o"
+  "CMakeFiles/preqr_baselines.dir/tree2seq.cc.o.d"
+  "libpreqr_baselines.a"
+  "libpreqr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_common.dir/status.cc.o"
+  "CMakeFiles/preqr_common.dir/status.cc.o.d"
+  "CMakeFiles/preqr_common.dir/string_util.cc.o"
+  "CMakeFiles/preqr_common.dir/string_util.cc.o.d"
+  "libpreqr_common.a"
+  "libpreqr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

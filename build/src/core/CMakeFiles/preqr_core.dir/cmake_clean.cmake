@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_core.dir/preqr_model.cc.o"
+  "CMakeFiles/preqr_core.dir/preqr_model.cc.o.d"
+  "CMakeFiles/preqr_core.dir/pretrain.cc.o"
+  "CMakeFiles/preqr_core.dir/pretrain.cc.o.d"
+  "libpreqr_core.a"
+  "libpreqr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

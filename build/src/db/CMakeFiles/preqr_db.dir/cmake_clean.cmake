@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_db.dir/executor.cc.o"
+  "CMakeFiles/preqr_db.dir/executor.cc.o.d"
+  "CMakeFiles/preqr_db.dir/stats.cc.o"
+  "CMakeFiles/preqr_db.dir/stats.cc.o.d"
+  "libpreqr_db.a"
+  "libpreqr_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_eval.dir/metrics.cc.o"
+  "CMakeFiles/preqr_eval.dir/metrics.cc.o.d"
+  "libpreqr_eval.a"
+  "libpreqr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_neurocard.dir/neurocard.cc.o"
+  "CMakeFiles/preqr_neurocard.dir/neurocard.cc.o.d"
+  "libpreqr_neurocard.a"
+  "libpreqr_neurocard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_neurocard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_nn.dir/module.cc.o"
+  "CMakeFiles/preqr_nn.dir/module.cc.o.d"
+  "CMakeFiles/preqr_nn.dir/ops.cc.o"
+  "CMakeFiles/preqr_nn.dir/ops.cc.o.d"
+  "CMakeFiles/preqr_nn.dir/optim.cc.o"
+  "CMakeFiles/preqr_nn.dir/optim.cc.o.d"
+  "CMakeFiles/preqr_nn.dir/serialize.cc.o"
+  "CMakeFiles/preqr_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/preqr_nn.dir/tensor.cc.o"
+  "CMakeFiles/preqr_nn.dir/tensor.cc.o.d"
+  "libpreqr_nn.a"
+  "libpreqr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

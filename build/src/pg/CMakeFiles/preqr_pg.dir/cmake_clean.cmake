@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_pg.dir/pg_estimator.cc.o"
+  "CMakeFiles/preqr_pg.dir/pg_estimator.cc.o.d"
+  "libpreqr_pg.a"
+  "libpreqr_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

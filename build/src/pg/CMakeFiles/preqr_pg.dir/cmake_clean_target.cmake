@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpreqr_pg.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/schema_graph.cc" "src/schema/CMakeFiles/preqr_schema.dir/schema_graph.cc.o" "gcc" "src/schema/CMakeFiles/preqr_schema.dir/schema_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/preqr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/preqr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/preqr_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

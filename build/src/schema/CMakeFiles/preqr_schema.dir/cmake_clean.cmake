@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_schema.dir/schema_graph.cc.o"
+  "CMakeFiles/preqr_schema.dir/schema_graph.cc.o.d"
+  "libpreqr_schema.a"
+  "libpreqr_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

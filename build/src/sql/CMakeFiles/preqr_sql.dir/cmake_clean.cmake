@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_sql.dir/catalog.cc.o"
+  "CMakeFiles/preqr_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/preqr_sql.dir/lexer.cc.o"
+  "CMakeFiles/preqr_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/preqr_sql.dir/parser.cc.o"
+  "CMakeFiles/preqr_sql.dir/parser.cc.o.d"
+  "CMakeFiles/preqr_sql.dir/printer.cc.o"
+  "CMakeFiles/preqr_sql.dir/printer.cc.o.d"
+  "libpreqr_sql.a"
+  "libpreqr_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_tasks.dir/clustering.cc.o"
+  "CMakeFiles/preqr_tasks.dir/clustering.cc.o.d"
+  "CMakeFiles/preqr_tasks.dir/correction.cc.o"
+  "CMakeFiles/preqr_tasks.dir/correction.cc.o.d"
+  "CMakeFiles/preqr_tasks.dir/estimator.cc.o"
+  "CMakeFiles/preqr_tasks.dir/estimator.cc.o.d"
+  "CMakeFiles/preqr_tasks.dir/preqr_encoder.cc.o"
+  "CMakeFiles/preqr_tasks.dir/preqr_encoder.cc.o.d"
+  "CMakeFiles/preqr_tasks.dir/sql2text.cc.o"
+  "CMakeFiles/preqr_tasks.dir/sql2text.cc.o.d"
+  "libpreqr_tasks.a"
+  "libpreqr_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

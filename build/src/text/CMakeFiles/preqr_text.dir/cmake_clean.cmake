@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_text.dir/tokenizer.cc.o"
+  "CMakeFiles/preqr_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/preqr_text.dir/vocab.cc.o"
+  "CMakeFiles/preqr_text.dir/vocab.cc.o.d"
+  "libpreqr_text.a"
+  "libpreqr_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ch.cc" "src/workload/CMakeFiles/preqr_workload.dir/ch.cc.o" "gcc" "src/workload/CMakeFiles/preqr_workload.dir/ch.cc.o.d"
+  "/root/repo/src/workload/clustering_workloads.cc" "src/workload/CMakeFiles/preqr_workload.dir/clustering_workloads.cc.o" "gcc" "src/workload/CMakeFiles/preqr_workload.dir/clustering_workloads.cc.o.d"
+  "/root/repo/src/workload/imdb.cc" "src/workload/CMakeFiles/preqr_workload.dir/imdb.cc.o" "gcc" "src/workload/CMakeFiles/preqr_workload.dir/imdb.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/workload/CMakeFiles/preqr_workload.dir/query_gen.cc.o" "gcc" "src/workload/CMakeFiles/preqr_workload.dir/query_gen.cc.o.d"
+  "/root/repo/src/workload/rewrites.cc" "src/workload/CMakeFiles/preqr_workload.dir/rewrites.cc.o" "gcc" "src/workload/CMakeFiles/preqr_workload.dir/rewrites.cc.o.d"
+  "/root/repo/src/workload/sql2text.cc" "src/workload/CMakeFiles/preqr_workload.dir/sql2text.cc.o" "gcc" "src/workload/CMakeFiles/preqr_workload.dir/sql2text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/preqr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/preqr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/preqr_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

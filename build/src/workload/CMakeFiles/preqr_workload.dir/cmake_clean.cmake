@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preqr_workload.dir/ch.cc.o"
+  "CMakeFiles/preqr_workload.dir/ch.cc.o.d"
+  "CMakeFiles/preqr_workload.dir/clustering_workloads.cc.o"
+  "CMakeFiles/preqr_workload.dir/clustering_workloads.cc.o.d"
+  "CMakeFiles/preqr_workload.dir/imdb.cc.o"
+  "CMakeFiles/preqr_workload.dir/imdb.cc.o.d"
+  "CMakeFiles/preqr_workload.dir/query_gen.cc.o"
+  "CMakeFiles/preqr_workload.dir/query_gen.cc.o.d"
+  "CMakeFiles/preqr_workload.dir/rewrites.cc.o"
+  "CMakeFiles/preqr_workload.dir/rewrites.cc.o.d"
+  "CMakeFiles/preqr_workload.dir/sql2text.cc.o"
+  "CMakeFiles/preqr_workload.dir/sql2text.cc.o.d"
+  "libpreqr_workload.a"
+  "libpreqr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preqr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

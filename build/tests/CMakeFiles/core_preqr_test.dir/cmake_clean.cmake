@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_preqr_test.dir/core_preqr_test.cc.o"
+  "CMakeFiles/core_preqr_test.dir/core_preqr_test.cc.o.d"
+  "core_preqr_test"
+  "core_preqr_test.pdb"
+  "core_preqr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_preqr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_extra_test.dir/workload_extra_test.cc.o"
+  "CMakeFiles/workload_extra_test.dir/workload_extra_test.cc.o.d"
+  "workload_extra_test"
+  "workload_extra_test.pdb"
+  "workload_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
