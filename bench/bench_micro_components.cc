@@ -1,13 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the hot components: SQL lexing /
-// parsing, automaton matching, tokenization, executor counting, and PreQR
-// encoding. These back the paper's claim that FA construction and matching
-// incur negligible cost (Section 3.3.1).
+// parsing, automaton matching, tokenization, executor counting, PreQR
+// encoding, and the parallel tensor kernels (MatMul, attention, layer norm).
+// These back the paper's claim that FA construction and matching incur
+// negligible cost (Section 3.3.1). Kernel benches honour PREQR_NUM_THREADS;
+// run with =1 and =4 to measure the thread-pool speedup.
 #include <benchmark/benchmark.h>
 
 #include "automaton/template_extractor.h"
+#include "common/thread_pool.h"
 #include "core/preqr_model.h"
 #include "db/executor.h"
 #include "db/stats.h"
+#include "nn/module.h"
+#include "nn/ops.h"
 #include "schema/schema_graph.h"
 #include "sql/parser.h"
 #include "text/tokenizer.h"
@@ -93,6 +98,83 @@ void BM_PreqrEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PreqrEncode);
+
+// --- Parallel tensor kernels -------------------------------------------
+// Shapes are sized so the per-row work comfortably exceeds the pool grain;
+// with PREQR_NUM_THREADS=1 these run the exact legacy serial path.
+
+void BM_MatMulForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  nn::Tensor a = nn::Tensor::Randn({n, n}, rng, 1.0f);
+  nn::Tensor b = nn::Tensor::Randn({n, n}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulForward)->Arg(96)->Arg(192);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(12);
+  for (auto _ : state) {
+    state.PauseTiming();
+    nn::Tensor a = nn::Tensor::Randn({n, n}, rng, 1.0f, true);
+    nn::Tensor b = nn::Tensor::Randn({n, n}, rng, 1.0f, true);
+    nn::Tensor loss = nn::Sum(nn::MatMul(a, b));
+    state.ResumeTiming();
+    loss.Backward();
+  }
+  state.SetItemsProcessed(state.iterations() * 4LL * n * n * n);
+}
+BENCHMARK(BM_MatMulBackward)->Arg(96)->Arg(192);
+
+void BM_AttentionSoftmaxRows(benchmark::State& state) {
+  Rng rng(13);
+  nn::Tensor x = nn::Tensor::Randn({512, 512}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::SoftmaxLastDim(x));
+  }
+}
+BENCHMARK(BM_AttentionSoftmaxRows);
+
+void BM_MultiHeadAttention(benchmark::State& state) {
+  Rng rng(14);
+  nn::MultiHeadAttention attn(64, 4, rng);
+  nn::Tensor q = nn::Tensor::Randn({128, 64}, rng, 1.0f);
+  nn::Tensor kv = nn::Tensor::Randn({128, 64}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(q, kv));
+  }
+}
+BENCHMARK(BM_MultiHeadAttention);
+
+void BM_LayerNormRows(benchmark::State& state) {
+  Rng rng(15);
+  nn::Tensor x = nn::Tensor::Randn({512, 256}, rng, 1.0f);
+  nn::Tensor gamma = nn::Tensor::Full({256}, 1.0f);
+  nn::Tensor beta = nn::Tensor::Full({256}, 0.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::LayerNormOp(x, gamma, beta));
+  }
+}
+BENCHMARK(BM_LayerNormRows);
+
+void BM_EmbeddingScatterBackward(benchmark::State& state) {
+  Rng rng(16);
+  std::vector<int> ids;
+  ids.reserve(2048);
+  for (int i = 0; i < 2048; ++i) ids.push_back(rng.NextInt(0, 512));
+  for (auto _ : state) {
+    state.PauseTiming();
+    nn::Tensor w = nn::Tensor::Randn({512, 64}, rng, 1.0f, true);
+    nn::Tensor loss = nn::Sum(nn::Gather(w, ids));
+    state.ResumeTiming();
+    loss.Backward();
+  }
+}
+BENCHMARK(BM_EmbeddingScatterBackward);
 
 }  // namespace
 }  // namespace preqr

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "automaton/template_extractor.h"
+#include "common/thread_pool.h"
 #include "core/preqr_model.h"
 #include "core/pretrain.h"
 #include "db/stats.h"
@@ -142,6 +143,8 @@ inline void PrintHeader(const char* table, const char* description) {
   std::printf("%s — %s\n", table, description);
   std::printf("(synthetic substrate: absolute numbers differ from the paper;"
               " compare relative ordering)\n");
+  std::printf("threads: %d (override with PREQR_NUM_THREADS)\n",
+              ThreadPool::Global().num_threads());
   std::printf("==========================================================\n");
 }
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification + thread-sanitizer pass over the parallel subsystem.
+#
+#   scripts/check.sh           # tier-1 build + full ctest, then TSAN build
+#   SKIP_TSAN=1 scripts/check.sh   # tier-1 only
+#
+# The TSAN stage rebuilds with -DSANITIZE=thread into build-tsan/ and runs
+# the thread-pool and parallel-determinism suites (the tests that exercise
+# concurrent kernel execution).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== TSAN stage skipped (SKIP_TSAN=1) =="
+  exit 0
+fi
+
+echo "== TSAN: thread_pool_test + parallel_determinism_test + nn_ops_grad_test =="
+cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target thread_pool_test \
+  --target parallel_determinism_test --target nn_ops_grad_test
+# Force a multi-threaded pool so races are actually exercised even on
+# single-core CI machines; TSAN halts on the first detected race.
+export PREQR_NUM_THREADS=8
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+./build-tsan/tests/thread_pool_test
+./build-tsan/tests/parallel_determinism_test
+./build-tsan/tests/nn_ops_grad_test --gtest_filter='ParallelOpsGradTest.*'
+
+echo "== all checks passed =="

@@ -150,9 +150,10 @@ Tensor PreqrModel::EmbedInput(const text::SqlTokenizer::Tokenized& tokenized,
 
 PreqrModel::Encoding PreqrModel::Forward(
     const text::SqlTokenizer::Tokenized& tokenized, const Tensor& schema_nodes,
-    const std::vector<int>& masked_ids) {
+    const std::vector<int>& masked_ids, Rng* dropout_rng) {
   Tensor h = EmbedInput(tokenized, masked_ids);
-  h = nn::Dropout(h, config_.dropout, rng_, train_mode());
+  h = nn::Dropout(h, config_.dropout, dropout_rng ? *dropout_rng : rng_,
+                  train_mode());
   const Tensor schema =
       config_.use_schema ? schema_nodes : Tensor();
   for (const auto& layer : layers_) {

@@ -59,9 +59,13 @@ class PreqrModel : public nn::Module {
 
   // --- Full forward (pre-training) ---------------------------------------
   // `masked_ids` may override token ids (MLM); empty = use tokenized ids.
+  // `dropout_rng` overrides the model's internal RNG for the dropout mask;
+  // pass a per-example RNG when running forwards on several threads so the
+  // draw sequence is independent of scheduling (nullptr = internal RNG).
   Encoding Forward(const text::SqlTokenizer::Tokenized& tokenized,
                    const nn::Tensor& schema_nodes,
-                   const std::vector<int>& masked_ids = {});
+                   const std::vector<int>& masked_ids = {},
+                   Rng* dropout_rng = nullptr);
 
   // MLM prediction head over the final token states: [S, vocab].
   nn::Tensor MlmLogits(const nn::Tensor& token_states) const;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "nn/ops.h"
 
 namespace preqr::core {
@@ -69,32 +70,58 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
       nn::Tensor schema = model_.config().use_schema
                               ? model_.EncodeSchemaNodes(/*with_grad=*/true)
                               : nn::Tensor();
-      nn::Tensor batch_loss;
-      for (size_t bi = start; bi < end; ++bi) {
-        const auto& tok = tokenized[order[bi]];
-        MaskedExample ex = MaskTokens(tok.ids);
-        auto enc = model_.Forward(tok, schema, ex.input_ids);
-        nn::Tensor logits = model_.MlmLogits(enc.tokens);
-        // Truncate targets to the (possibly clipped) sequence length.
-        std::vector<int> targets(
-            ex.targets.begin(),
-            ex.targets.begin() + logits.dim(0));
-        nn::Tensor loss = nn::CrossEntropy(logits, targets, -1);
-        batch_loss = batch_loss.defined() ? nn::Add(batch_loss, loss) : loss;
-        // Accuracy bookkeeping.
-        const int vocab = model_.vocab_size();
-        for (int i = 0; i < logits.dim(0); ++i) {
-          if (targets[static_cast<size_t>(i)] < 0) continue;
-          masked += 1;
-          const float* row = logits.data() + static_cast<size_t>(i) * vocab;
-          int best = 0;
-          for (int v = 1; v < vocab; ++v) {
-            if (row[v] > row[best]) best = v;
-          }
-          if (best == targets[static_cast<size_t>(i)]) correct += 1;
-        }
+      // Serial pre-pass: masking and dropout seeds consume the trainer RNG
+      // in example order, so the draw sequence — and therefore every
+      // result — is independent of how the forwards are scheduled.
+      const size_t bsz = end - start;
+      std::vector<MaskedExample> examples(bsz);
+      std::vector<uint64_t> dropout_seeds(bsz);
+      for (size_t bi = 0; bi < bsz; ++bi) {
+        examples[bi] = MaskTokens(tokenized[order[start + bi]].ids);
+        dropout_seeds[bi] = rng_.NextUint64();
       }
-      batch_loss = nn::Scale(batch_loss, 1.0f / static_cast<float>(end - start));
+      // Per-example MLM forward + loss in parallel. Each slot is written by
+      // exactly one iteration; the loss tensors are summed afterwards in
+      // example order, so gradients reduce deterministically.
+      std::vector<nn::Tensor> losses(bsz);
+      std::vector<int> ex_correct(bsz, 0), ex_masked(bsz, 0);
+      const int vocab = model_.vocab_size();
+      ParallelFor(0, static_cast<int64_t>(bsz), 1, [&](int64_t b0,
+                                                       int64_t b1) {
+        for (int64_t bi = b0; bi < b1; ++bi) {
+          const auto& tok = tokenized[order[start + static_cast<size_t>(bi)]];
+          const MaskedExample& ex = examples[static_cast<size_t>(bi)];
+          Rng dropout_rng(dropout_seeds[static_cast<size_t>(bi)]);
+          auto enc = model_.Forward(tok, schema, ex.input_ids, &dropout_rng);
+          nn::Tensor logits = model_.MlmLogits(enc.tokens);
+          // Truncate targets to the (possibly clipped) sequence length.
+          std::vector<int> targets(ex.targets.begin(),
+                                   ex.targets.begin() + logits.dim(0));
+          losses[static_cast<size_t>(bi)] =
+              nn::CrossEntropy(logits, targets, -1);
+          // Accuracy bookkeeping.
+          for (int i = 0; i < logits.dim(0); ++i) {
+            if (targets[static_cast<size_t>(i)] < 0) continue;
+            ex_masked[static_cast<size_t>(bi)] += 1;
+            const float* row = logits.data() + static_cast<size_t>(i) * vocab;
+            int best = 0;
+            for (int v = 1; v < vocab; ++v) {
+              if (row[v] > row[best]) best = v;
+            }
+            if (best == targets[static_cast<size_t>(i)]) {
+              ex_correct[static_cast<size_t>(bi)] += 1;
+            }
+          }
+        }
+      });
+      nn::Tensor batch_loss;
+      for (size_t bi = 0; bi < bsz; ++bi) {
+        batch_loss = batch_loss.defined() ? nn::Add(batch_loss, losses[bi])
+                                          : losses[bi];
+        correct += ex_correct[bi];
+        masked += ex_masked[bi];
+      }
+      batch_loss = nn::Scale(batch_loss, 1.0f / static_cast<float>(bsz));
       batch_loss.Backward();
       opt.Step();
       loss_sum += batch_loss.item();
@@ -120,28 +147,50 @@ Pretrainer::EpochStats Pretrainer::Evaluate(
   nn::Tensor schema = model_.config().use_schema
                           ? model_.EncodeSchemaNodes(/*with_grad=*/false)
                           : nn::Tensor();
-  double loss_sum = 0, correct = 0, masked = 0;
-  int n = 0;
+  // Tokenization + masking consume the RNG serially in query order; the
+  // (pure) forward passes then run in parallel with per-slot outputs.
+  std::vector<text::SqlTokenizer::Tokenized> toks;
+  std::vector<MaskedExample> examples;
   for (const auto& q : queries) {
     auto t = model_.tokenizer().Tokenize(q);
     if (!t.ok()) continue;
-    MaskedExample ex = MaskTokens(t.value().ids);
-    auto enc = model_.Forward(t.value(), schema, ex.input_ids);
-    nn::Tensor logits = model_.MlmLogits(enc.tokens);
-    std::vector<int> targets(ex.targets.begin(),
-                             ex.targets.begin() + logits.dim(0));
-    loss_sum += nn::CrossEntropy(logits, targets, -1).item();
-    const int vocab = model_.vocab_size();
-    for (int i = 0; i < logits.dim(0); ++i) {
-      if (targets[static_cast<size_t>(i)] < 0) continue;
-      masked += 1;
-      const float* row = logits.data() + static_cast<size_t>(i) * vocab;
-      int best = 0;
-      for (int v = 1; v < vocab; ++v) {
-        if (row[v] > row[best]) best = v;
+    examples.push_back(MaskTokens(t.value().ids));
+    toks.push_back(std::move(t.value()));
+  }
+  const size_t n_ex = toks.size();
+  std::vector<double> ex_loss(n_ex, 0.0);
+  std::vector<int> ex_correct(n_ex, 0), ex_masked(n_ex, 0);
+  const int vocab = model_.vocab_size();
+  ParallelFor(0, static_cast<int64_t>(n_ex), 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t e = b0; e < b1; ++e) {
+      const MaskedExample& ex = examples[static_cast<size_t>(e)];
+      auto enc = model_.Forward(toks[static_cast<size_t>(e)], schema,
+                                ex.input_ids);
+      nn::Tensor logits = model_.MlmLogits(enc.tokens);
+      std::vector<int> targets(ex.targets.begin(),
+                               ex.targets.begin() + logits.dim(0));
+      ex_loss[static_cast<size_t>(e)] =
+          nn::CrossEntropy(logits, targets, -1).item();
+      for (int i = 0; i < logits.dim(0); ++i) {
+        if (targets[static_cast<size_t>(i)] < 0) continue;
+        ex_masked[static_cast<size_t>(e)] += 1;
+        const float* row = logits.data() + static_cast<size_t>(i) * vocab;
+        int best = 0;
+        for (int v = 1; v < vocab; ++v) {
+          if (row[v] > row[best]) best = v;
+        }
+        if (best == targets[static_cast<size_t>(i)]) {
+          ex_correct[static_cast<size_t>(e)] += 1;
+        }
       }
-      if (best == targets[static_cast<size_t>(i)]) correct += 1;
     }
+  });
+  double loss_sum = 0, correct = 0, masked = 0;
+  int n = 0;
+  for (size_t e = 0; e < n_ex; ++e) {
+    loss_sum += ex_loss[e];
+    correct += ex_correct[e];
+    masked += ex_masked[e];
     ++n;
   }
   EpochStats stats;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <utility>
+
+#include "common/thread_pool.h"
 
 namespace preqr::nn {
 
@@ -130,11 +133,19 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
                   bi->EnsureGrad();
                   const size_t rows =
                       self->grad.size() / static_cast<size_t>(d);
-                  for (size_t r = 0; r < rows; ++r) {
-                    const float* g =
-                        self->grad.data() + r * static_cast<size_t>(d);
-                    for (int j = 0; j < d; ++j) bi->grad[j] += g[j];
-                  }
+                  // dbias reduces over rows; partition over columns so each
+                  // bias element accumulates in row order (deterministic).
+                  ParallelFor(
+                      0, d, GrainForCost(static_cast<int64_t>(rows)),
+                      [&](int64_t j0, int64_t j1) {
+                        for (int64_t j = j0; j < j1; ++j) {
+                          for (size_t r = 0; r < rows; ++r) {
+                            bi->grad[static_cast<size_t>(j)] +=
+                                self->grad[r * static_cast<size_t>(d) +
+                                           static_cast<size_t>(j)];
+                          }
+                        }
+                      });
                 });
 }
 
@@ -199,49 +210,67 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
   const float* pa = a.data();
   const float* pb = b.data();
-  // ikj loop order: streaming access on b and out.
-  for (int i = 0; i < m; ++i) {
-    float* orow = out.data() + static_cast<size_t>(i) * n;
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  // Rows of the output are independent, so the row range parallelizes with
+  // bitwise-identical results for any thread count (each row runs the same
+  // serial ikj loop: streaming access on b and out).
+  ParallelFor(0, m, GrainForCost(static_cast<int64_t>(k) * n),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t i = r0; i < r1; ++i) {
+                  float* orow = out.data() + static_cast<size_t>(i) * n;
+                  const float* arow = pa + static_cast<size_t>(i) * k;
+                  for (int kk = 0; kk < k; ++kk) {
+                    const float av = arow[kk];
+                    if (av == 0.0f) continue;
+                    const float* brow = pb + static_cast<size_t>(kk) * n;
+                    for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+                  }
+                }
+              });
   auto ai = a.impl(), bi = b.impl();
   return MakeOp({m, n}, std::move(out), {a, b},
                 [ai, bi, m, k, n](TensorImpl* self) {
                   const float* g = self->grad.data();
-                  // dA = G * B^T
+                  // dA = G * B^T: rows of dA are independent.
                   if (Wants(ai)) {
                   ai->EnsureGrad();
-                  for (int i = 0; i < m; ++i) {
-                    float* da = ai->grad.data() + static_cast<size_t>(i) * k;
-                    const float* grow = g + static_cast<size_t>(i) * n;
-                    for (int kk = 0; kk < k; ++kk) {
-                      const float* brow =
-                          bi->data.data() + static_cast<size_t>(kk) * n;
-                      float acc = 0.0f;
-                      for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
-                      da[kk] += acc;
-                    }
+                  ParallelFor(
+                      0, m, GrainForCost(static_cast<int64_t>(k) * n),
+                      [&](int64_t r0, int64_t r1) {
+                        for (int64_t i = r0; i < r1; ++i) {
+                          float* da =
+                              ai->grad.data() + static_cast<size_t>(i) * k;
+                          const float* grow = g + static_cast<size_t>(i) * n;
+                          for (int kk = 0; kk < k; ++kk) {
+                            const float* brow =
+                                bi->data.data() + static_cast<size_t>(kk) * n;
+                            float acc = 0.0f;
+                            for (int j = 0; j < n; ++j)
+                              acc += grow[j] * brow[j];
+                            da[kk] += acc;
+                          }
+                        }
+                      });
                   }
-                  }
-                  // dB = A^T * G
+                  // dB = A^T * G: rows of dB (indexed by kk) are
+                  // independent; each keeps the serial i-order accumulation.
                   if (Wants(bi)) {
                   bi->EnsureGrad();
-                  for (int kk = 0; kk < k; ++kk) {
-                    float* db = bi->grad.data() + static_cast<size_t>(kk) * n;
-                    for (int i = 0; i < m; ++i) {
-                      const float av =
-                          ai->data[static_cast<size_t>(i) * k + kk];
-                      if (av == 0.0f) continue;
-                      const float* grow = g + static_cast<size_t>(i) * n;
-                      for (int j = 0; j < n; ++j) db[j] += av * grow[j];
-                    }
-                  }
+                  ParallelFor(
+                      0, k, GrainForCost(static_cast<int64_t>(m) * n),
+                      [&](int64_t k0, int64_t k1) {
+                        for (int64_t kk = k0; kk < k1; ++kk) {
+                          float* db =
+                              bi->grad.data() + static_cast<size_t>(kk) * n;
+                          for (int i = 0; i < m; ++i) {
+                            const float av =
+                                ai->data[static_cast<size_t>(i) * k +
+                                         static_cast<size_t>(kk)];
+                            if (av == 0.0f) continue;
+                            const float* grow = g + static_cast<size_t>(i) * n;
+                            for (int j = 0; j < n; ++j) db[j] += av * grow[j];
+                          }
+                        }
+                      });
                   }
                 });
 }
@@ -274,32 +303,41 @@ Tensor SoftmaxLastDim(const Tensor& x) {
   std::vector<float> out(x.vec().size());
   const float* px = x.data();
   const size_t rows = out.size() / static_cast<size_t>(d);
-  for (size_t r = 0; r < rows; ++r) {
-    const float* in = px + r * static_cast<size_t>(d);
-    float* o = out.data() + r * static_cast<size_t>(d);
-    float mx = in[0];
-    for (int j = 1; j < d; ++j) mx = std::max(mx, in[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < d; ++j) {
-      o[j] = std::exp(in[j] - mx);
-      sum += o[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int j = 0; j < d; ++j) o[j] *= inv;
-  }
+  // Softmax rows (attention rows) are independent: parallel over rows.
+  ParallelFor(0, static_cast<int64_t>(rows), GrainForCost(d),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const float* in = px + static_cast<size_t>(r) * d;
+                  float* o = out.data() + static_cast<size_t>(r) * d;
+                  float mx = in[0];
+                  for (int j = 1; j < d; ++j) mx = std::max(mx, in[j]);
+                  float sum = 0.0f;
+                  for (int j = 0; j < d; ++j) {
+                    o[j] = std::exp(in[j] - mx);
+                    sum += o[j];
+                  }
+                  const float inv = 1.0f / sum;
+                  for (int j = 0; j < d; ++j) o[j] *= inv;
+                }
+              });
   auto xi = x.impl();
   return MakeOp(x.shape(), std::move(out), {x}, [xi, d](TensorImpl* self) {
     if (!Wants(xi)) return;
     xi->EnsureGrad();
-    const size_t rows = self->grad.size() / static_cast<size_t>(d);
-    for (size_t r = 0; r < rows; ++r) {
-      const float* y = self->data.data() + r * static_cast<size_t>(d);
-      const float* g = self->grad.data() + r * static_cast<size_t>(d);
-      float dot = 0.0f;
-      for (int j = 0; j < d; ++j) dot += y[j] * g[j];
-      float* dx = xi->grad.data() + r * static_cast<size_t>(d);
-      for (int j = 0; j < d; ++j) dx[j] += y[j] * (g[j] - dot);
-    }
+    const size_t rows2 = self->grad.size() / static_cast<size_t>(d);
+    ParallelFor(0, static_cast<int64_t>(rows2), GrainForCost(d),
+                [&](int64_t r0, int64_t r1) {
+                  for (int64_t r = r0; r < r1; ++r) {
+                    const float* y =
+                        self->data.data() + static_cast<size_t>(r) * d;
+                    const float* g =
+                        self->grad.data() + static_cast<size_t>(r) * d;
+                    float dot = 0.0f;
+                    for (int j = 0; j < d; ++j) dot += y[j] * g[j];
+                    float* dx = xi->grad.data() + static_cast<size_t>(r) * d;
+                    for (int j = 0; j < d; ++j) dx[j] += y[j] * (g[j] - dot);
+                  }
+                });
   });
 }
 
@@ -315,26 +353,29 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const float* px = x.data();
   const float* pg = gamma.data();
   const float* pb = beta.data();
-  for (int i = 0; i < n; ++i) {
-    const float* row = px + static_cast<size_t>(i) * d;
-    float mean = 0.0f;
-    for (int j = 0; j < d; ++j) mean += row[j];
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int j = 0; j < d; ++j) {
-      const float c = row[j] - mean;
-      var += c * c;
+  // Row statistics are independent: parallel over rows.
+  ParallelFor(0, n, GrainForCost(d), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = px + static_cast<size_t>(i) * d;
+      float mean = 0.0f;
+      for (int j = 0; j < d; ++j) mean += row[j];
+      mean /= static_cast<float>(d);
+      float var = 0.0f;
+      for (int j = 0; j < d; ++j) {
+        const float c = row[j] - mean;
+        var += c * c;
+      }
+      var /= static_cast<float>(d);
+      const float istd = 1.0f / std::sqrt(var + eps);
+      inv_std[static_cast<size_t>(i)] = istd;
+      float* xh = xhat.data() + static_cast<size_t>(i) * d;
+      float* o = out.data() + static_cast<size_t>(i) * d;
+      for (int j = 0; j < d; ++j) {
+        xh[j] = (row[j] - mean) * istd;
+        o[j] = xh[j] * pg[j] + pb[j];
+      }
     }
-    var /= static_cast<float>(d);
-    const float istd = 1.0f / std::sqrt(var + eps);
-    inv_std[static_cast<size_t>(i)] = istd;
-    float* xh = xhat.data() + static_cast<size_t>(i) * d;
-    float* o = out.data() + static_cast<size_t>(i) * d;
-    for (int j = 0; j < d; ++j) {
-      xh[j] = (row[j] - mean) * istd;
-      o[j] = xh[j] * pg[j] + pb[j];
-    }
-  }
+  });
   auto xi = x.impl(), gi = gamma.impl(), bi = beta.impl();
   auto xhat_s = std::make_shared<std::vector<float>>(std::move(xhat));
   auto istd_s = std::make_shared<std::vector<float>>(std::move(inv_std));
@@ -345,30 +386,42 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         gi->EnsureGrad();
         bi->EnsureGrad();
         const bool want_x = Wants(xi);
-        for (int i = 0; i < n; ++i) {
-          const float* g = self->grad.data() + static_cast<size_t>(i) * d;
-          const float* xh = xhat_s->data() + static_cast<size_t>(i) * d;
-          const float istd = (*istd_s)[static_cast<size_t>(i)];
-          // dgamma, dbeta
-          for (int j = 0; j < d; ++j) {
-            gi->grad[j] += g[j] * xh[j];
-            bi->grad[j] += g[j];
+        // dgamma/dbeta reduce over rows. Partitioning over *columns* keeps
+        // every destination element accumulating in row order, so results
+        // stay bitwise-identical to the serial pass for any thread count.
+        ParallelFor(0, d, GrainForCost(n), [&](int64_t j0, int64_t j1) {
+          for (int64_t j = j0; j < j1; ++j) {
+            for (int i = 0; i < n; ++i) {
+              const float* g = self->grad.data() + static_cast<size_t>(i) * d;
+              const float* xh = xhat_s->data() + static_cast<size_t>(i) * d;
+              gi->grad[static_cast<size_t>(j)] += g[j] * xh[j];
+              bi->grad[static_cast<size_t>(j)] += g[j];
+            }
           }
-          // dxhat = g * gamma; dx via standard layernorm backward.
-          float sum_dxh = 0.0f, sum_dxh_xh = 0.0f;
-          for (int j = 0; j < d; ++j) {
-            const float dxh = g[j] * gi->data[j];
-            sum_dxh += dxh;
-            sum_dxh_xh += dxh * xh[j];
+        });
+        if (!want_x) return;
+        // dx rows are independent given the per-row sums.
+        ParallelFor(0, n, GrainForCost(d), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const float* g = self->grad.data() + static_cast<size_t>(i) * d;
+            const float* xh = xhat_s->data() + static_cast<size_t>(i) * d;
+            const float istd = (*istd_s)[static_cast<size_t>(i)];
+            // dxhat = g * gamma; dx via standard layernorm backward.
+            float sum_dxh = 0.0f, sum_dxh_xh = 0.0f;
+            for (int j = 0; j < d; ++j) {
+              const float dxh = g[j] * gi->data[j];
+              sum_dxh += dxh;
+              sum_dxh_xh += dxh * xh[j];
+            }
+            float* dx = xi->grad.data() + static_cast<size_t>(i) * d;
+            const float invd = 1.0f / static_cast<float>(d);
+            for (int j = 0; j < d; ++j) {
+              const float dxh = g[j] * gi->data[j];
+              dx[j] +=
+                  istd * (dxh - invd * sum_dxh - xh[j] * invd * sum_dxh_xh);
+            }
           }
-          if (!want_x) continue;
-          float* dx = xi->grad.data() + static_cast<size_t>(i) * d;
-          const float invd = 1.0f / static_cast<float>(d);
-          for (int j = 0; j < d; ++j) {
-            const float dxh = g[j] * gi->data[j];
-            dx[j] += istd * (dxh - invd * sum_dxh - xh[j] * invd * sum_dxh_xh);
-          }
-        }
+        });
       });
 }
 
@@ -639,17 +692,46 @@ Tensor Gather(const Tensor& weight, const std::vector<int>& ids) {
               out.data() + static_cast<size_t>(i) * d);
   }
   auto wi = weight.impl();
-  return MakeOp({n, d}, std::move(out), {weight},
-                [wi, ids, d](TensorImpl* self) {
-                  if (!Wants(wi)) return;
-                  wi->EnsureGrad();
-                  for (size_t i = 0; i < ids.size(); ++i) {
-                    const float* g = self->grad.data() + i * static_cast<size_t>(d);
-                    float* dst = wi->grad.data() +
-                                 static_cast<size_t>(ids[i]) * d;
-                    for (int j = 0; j < d; ++j) dst[j] += g[j];
-                  }
-                });
+  return MakeOp(
+      {n, d}, std::move(out), {weight}, [wi, ids, d](TensorImpl* self) {
+        if (!Wants(wi)) return;
+        wi->EnsureGrad();
+        // Embedding scatter: several positions may hit the same vocabulary
+        // row, so the scatter is grouped by destination row. Each group
+        // accumulates its positions in ascending position order — exactly
+        // the serial order — so any split of groups across threads is
+        // bitwise-identical to the single-thread pass.
+        std::vector<int> by_dest(ids.size());
+        std::iota(by_dest.begin(), by_dest.end(), 0);
+        std::stable_sort(by_dest.begin(), by_dest.end(),
+                         [&ids](int a, int b) {
+                           return ids[static_cast<size_t>(a)] <
+                                  ids[static_cast<size_t>(b)];
+                         });
+        std::vector<size_t> group_start;
+        for (size_t i = 0; i < by_dest.size(); ++i) {
+          if (i == 0 || ids[static_cast<size_t>(by_dest[i])] !=
+                            ids[static_cast<size_t>(by_dest[i - 1])]) {
+            group_start.push_back(i);
+          }
+        }
+        group_start.push_back(by_dest.size());
+        const int64_t ngroups =
+            static_cast<int64_t>(group_start.size()) - 1;
+        ParallelFor(0, ngroups, GrainForCost(d), [&](int64_t g0, int64_t g1) {
+          for (int64_t gidx = g0; gidx < g1; ++gidx) {
+            for (size_t i = group_start[static_cast<size_t>(gidx)];
+                 i < group_start[static_cast<size_t>(gidx) + 1]; ++i) {
+              const size_t pos = static_cast<size_t>(by_dest[i]);
+              const float* g =
+                  self->grad.data() + pos * static_cast<size_t>(d);
+              float* dst =
+                  wi->grad.data() + static_cast<size_t>(ids[pos]) * d;
+              for (int j = 0; j < d; ++j) dst[j] += g[j];
+            }
+          }
+        });
+      });
 }
 
 Tensor SparseAggregate(const Tensor& h, const std::vector<Edge>& edges,
@@ -690,26 +772,36 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
   auto probs = std::make_shared<std::vector<float>>(
       static_cast<size_t>(n) * c);
   const float* pl = logits.data();
+  // Per-row softmax + log-loss in parallel; the (order-sensitive) double
+  // accumulation then runs serially in row order so the total is
+  // bitwise-identical for every thread count.
+  std::vector<double> row_loss(static_cast<size_t>(n), 0.0);
+  ParallelFor(0, n, GrainForCost(c), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = pl + static_cast<size_t>(i) * c;
+      float* pr = probs->data() + static_cast<size_t>(i) * c;
+      float mx = row[0];
+      for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      float sum = 0.0f;
+      for (int j = 0; j < c; ++j) {
+        pr[j] = std::exp(row[j] - mx);
+        sum += pr[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < c; ++j) pr[j] *= inv;
+      const int t = targets[static_cast<size_t>(i)];
+      if (t == ignore_index) continue;
+      PREQR_CHECK_GE(t, 0);
+      PREQR_CHECK_LT(t, c);
+      row_loss[static_cast<size_t>(i)] = -std::log(std::max(pr[t], 1e-12f));
+    }
+  });
   int valid = 0;
   double loss = 0.0;
   for (int i = 0; i < n; ++i) {
-    const float* row = pl + static_cast<size_t>(i) * c;
-    float* pr = probs->data() + static_cast<size_t>(i) * c;
-    float mx = row[0];
-    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < c; ++j) {
-      pr[j] = std::exp(row[j] - mx);
-      sum += pr[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int j = 0; j < c; ++j) pr[j] *= inv;
-    const int t = targets[static_cast<size_t>(i)];
-    if (t == ignore_index) continue;
-    PREQR_CHECK_GE(t, 0);
-    PREQR_CHECK_LT(t, c);
+    if (targets[static_cast<size_t>(i)] == ignore_index) continue;
     ++valid;
-    loss -= std::log(std::max(pr[t], 1e-12f));
+    loss += row_loss[static_cast<size_t>(i)];
   }
   const float mean_loss =
       valid > 0 ? static_cast<float>(loss / valid) : 0.0f;
@@ -720,15 +812,17 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
         if (valid == 0 || !Wants(li)) return;
         li->EnsureGrad();
         const float g = self->grad[0] / static_cast<float>(valid);
-        for (int i = 0; i < n; ++i) {
-          const int t = targets[static_cast<size_t>(i)];
-          if (t == ignore_index) continue;
-          const float* pr = probs->data() + static_cast<size_t>(i) * c;
-          float* dl = li->grad.data() + static_cast<size_t>(i) * c;
-          for (int j = 0; j < c; ++j) {
-            dl[j] += g * (pr[j] - (j == t ? 1.0f : 0.0f));
+        ParallelFor(0, n, GrainForCost(c), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const int t = targets[static_cast<size_t>(i)];
+            if (t == ignore_index) continue;
+            const float* pr = probs->data() + static_cast<size_t>(i) * c;
+            float* dl = li->grad.data() + static_cast<size_t>(i) * c;
+            for (int j = 0; j < c; ++j) {
+              dl[j] += g * (pr[j] - (j == t ? 1.0f : 0.0f));
+            }
           }
-        }
+        });
       });
 }
 

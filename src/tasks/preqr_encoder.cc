@@ -1,6 +1,7 @@
 #include "tasks/preqr_encoder.h"
 
 #include "automaton/symbol.h"
+#include "common/thread_pool.h"
 #include "nn/ops.h"
 
 namespace preqr::tasks {
@@ -26,15 +27,23 @@ void PreqrEncoder::InvalidateCache() {
 const PreqrEncoder::CachedQuery& PreqrEncoder::Prefix(const std::string& sql) {
   auto it = prefix_cache_.find(sql);
   if (it != prefix_cache_.end()) return it->second;
-  auto tokenized = model_->tokenizer().Tokenize(sql);
-  if (!tokenized.ok()) {
+  CachedQuery entry;
+  if (!ComputeQuery(sql, &entry)) {
     // Malformed query: a single zero row keeps downstream shapes valid.
     empty_.prefix = nn::Tensor::Zeros({1, model_->config().d_model});
     empty_.predicate_spans.clear();
     empty_.table_rows.clear();
     return empty_;
   }
-  CachedQuery entry;
+  return prefix_cache_.emplace(sql, std::move(entry)).first->second;
+}
+
+bool PreqrEncoder::ComputeQuery(const std::string& sql, CachedQuery* out) {
+  auto tokenized = model_->tokenizer().Tokenize(sql);
+  if (!tokenized.ok()) return false;
+  CachedQuery& entry = *out;
+  entry.predicate_spans.clear();
+  entry.table_rows.clear();
   entry.prefix = model_->EncodePrefix(tokenized.value(), schema_);
   using automaton::Symbol;
   const int s = entry.prefix.dim(0);
@@ -75,14 +84,18 @@ const PreqrEncoder::CachedQuery& PreqrEncoder::Prefix(const std::string& sql) {
     }
   }
   if (!current.empty()) entry.predicate_spans.push_back(current);
-  return prefix_cache_.emplace(sql, std::move(entry)).first->second;
+  return true;
 }
 
 nn::Tensor PreqrEncoder::EncodeVector(const std::string& sql, bool train) {
   model_->set_train(train);
-  const CachedQuery& cached = Prefix(sql);
-  auto enc = model_->LastLayer(cached.prefix, schema_);
+  nn::Tensor v = ReadOut(Prefix(sql));
   model_->set_train(false);
+  return v;
+}
+
+nn::Tensor PreqrEncoder::ReadOut(const CachedQuery& cached) {
+  auto enc = model_->LastLayer(cached.prefix, schema_);
   // Structured read-out over the final token states: the aggregate [CLS],
   // the global mean, mean/max pools over per-predicate span means (set
   // pooling that keeps each predicate's column-op-value binding), and the
@@ -112,6 +125,54 @@ nn::Tensor PreqrEncoder::EncodeVector(const std::string& sql, bool train) {
       nn::Reshape(nn::MeanRowsSubset(enc.tokens, cached.table_rows), {1, d}),
       static_cast<float>(cached.table_rows.size()));
   return nn::ConcatLastDim({enc.cls, mean, span_mean, span_max, tabs});
+}
+
+std::vector<nn::Tensor> PreqrEncoder::EncodeVectorBatch(
+    const std::vector<std::string>& sqls, bool train) {
+  model_->set_train(train);
+  // Pass 1: compute missing prefixes in parallel into per-query slots (the
+  // cache itself is not touched from worker threads).
+  std::vector<int> missing;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    if (prefix_cache_.find(sqls[i]) == prefix_cache_.end()) {
+      missing.push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<CachedQuery> computed(missing.size());
+  std::vector<char> ok(missing.size(), 0);
+  ParallelFor(0, static_cast<int64_t>(missing.size()), 1,
+              [&](int64_t b0, int64_t b1) {
+                for (int64_t m = b0; m < b1; ++m) {
+                  ok[static_cast<size_t>(m)] = ComputeQuery(
+                      sqls[static_cast<size_t>(
+                          missing[static_cast<size_t>(m)])],
+                      &computed[static_cast<size_t>(m)]);
+                }
+              });
+  // Serial cache insertion in query order (duplicates collapse here).
+  for (size_t m = 0; m < missing.size(); ++m) {
+    if (!ok[m]) continue;
+    prefix_cache_.emplace(sqls[static_cast<size_t>(missing[m])],
+                          std::move(computed[m]));
+  }
+  // Pass 2: per-query read-outs in parallel — well-formed queries resolve
+  // through the now read-only cache; each output slot is independent.
+  std::vector<nn::Tensor> out(sqls.size());
+  ParallelFor(0, static_cast<int64_t>(sqls.size()), 1,
+              [&](int64_t b0, int64_t b1) {
+                for (int64_t i = b0; i < b1; ++i) {
+                  auto it = prefix_cache_.find(sqls[static_cast<size_t>(i)]);
+                  if (it != prefix_cache_.end()) {
+                    out[static_cast<size_t>(i)] = ReadOut(it->second);
+                  }
+                }
+              });
+  // Malformed queries share the zero-row fallback entry; handle serially.
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    if (!out[i].defined()) out[i] = ReadOut(Prefix(sqls[i]));
+  }
+  model_->set_train(false);
+  return out;
 }
 
 nn::Tensor PreqrEncoder::EncodeSequence(const std::string& sql, bool train) {

@@ -21,6 +21,12 @@ class PreqrEncoder : public baselines::QueryEncoder,
 
   nn::Tensor EncodeVector(const std::string& sql, bool train) override;
   nn::Tensor EncodeSequence(const std::string& sql, bool train) override;
+  // Batched entry point: computes missing frozen prefixes and the per-query
+  // read-outs across the global thread pool. Output i is bitwise-identical
+  // to EncodeVector(sqls[i], train) — each query's computation is
+  // independent, so scheduling cannot change results.
+  std::vector<nn::Tensor> EncodeVectorBatch(const std::vector<std::string>& sqls,
+                                            bool train);
   std::vector<nn::Tensor> TrainableParameters() override;
   // Structured read-out: [CLS ; mean(all) ; mean-of-span-means ;
   // max-of-span-means ; mean(tables)] over the final token states.
@@ -42,6 +48,12 @@ class PreqrEncoder : public baselines::QueryEncoder,
     std::vector<int> table_rows;
   };
   const CachedQuery& Prefix(const std::string& sql);
+  // Computes the frozen prefix + span structure for one query without
+  // touching the cache (safe to call from several threads at once).
+  // Returns false for malformed queries.
+  bool ComputeQuery(const std::string& sql, CachedQuery* out);
+  // The structured read-out over one cached query (no set_train calls).
+  nn::Tensor ReadOut(const CachedQuery& cached);
 
   core::PreqrModel* model_;
   nn::Tensor schema_;  // detached schema node encodings

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
 
@@ -227,6 +228,120 @@ TEST(OpsGradTest, DropoutScalesAndMasks) {
   // Eval mode: identity.
   Tensor z = Dropout(x, 0.5f, rng, /*train=*/false);
   EXPECT_EQ(z.impl().get(), x.impl().get());
+}
+
+// --- Parallel-kernel gradient checks ------------------------------------
+// Shapes sized so ParallelFor splits the work into several chunks (work per
+// row above the pool grain) with row/column counts that do not divide the
+// thread count, exercising ragged chunk boundaries. The pool is forced to
+// 8 threads so chunks really run concurrently even on small machines.
+
+struct ParallelPoolGuard {
+  ParallelPoolGuard() { ThreadPool::SetGlobalThreads(8); }
+  ~ParallelPoolGuard() { ThreadPool::SetGlobalThreads(0); }
+};
+
+TEST(ParallelOpsGradTest, MatMulGrainBoundaries) {
+  ParallelPoolGuard guard;
+  // Forward/dA chunk over m=23 rows, dB over k=24 rows; neither divides 8.
+  // Losses over thousands of elements reach magnitudes where float32
+  // rounding dominates small finite-difference steps, so these big-shape
+  // checks use a larger eps (the losses are polynomial per element, so the
+  // central difference stays exact up to rounding).
+  Tensor a = MakeInput({23, 24});
+  Tensor b = MakeInput({24, 12}, 17);
+  CheckGrad(a, [&] { return Sum(Mul(MatMul(a, b), MatMul(a, b))); },
+            /*eps=*/2e-2f, /*tol=*/5e-2f);
+  CheckGrad(b, [&] { return Sum(Mul(MatMul(a, b), MatMul(a, b))); },
+            /*eps=*/2e-2f, /*tol=*/5e-2f);
+}
+
+TEST(ParallelOpsGradTest, SoftmaxGrainBoundaries) {
+  ParallelPoolGuard guard;
+  // 67 rows of width 64: grain 4096/64 = 64 rows -> 2 ragged chunks.
+  Tensor x = MakeInput({67, 64});
+  Tensor w = MakeInput({67, 64}, 18);
+  CheckGrad(x, [&] { return Sum(Mul(SoftmaxLastDim(x), w)); },
+            /*eps=*/1e-2f, /*tol=*/5e-2f);
+}
+
+TEST(ParallelOpsGradTest, LayerNormGrainBoundaries) {
+  ParallelPoolGuard guard;
+  // dx chunks over 67 rows; dgamma/dbeta chunk over 64 columns.
+  Tensor x = MakeInput({67, 64});
+  Tensor gamma = Tensor::Full({64}, 1.1f, true);
+  Tensor beta = Tensor::Full({64}, -0.2f, true);
+  Tensor w = MakeInput({67, 64}, 19);
+  auto fn = [&] { return Sum(Mul(LayerNormOp(x, gamma, beta), w)); };
+  CheckGrad(gamma, fn, /*eps=*/2e-2f, /*tol=*/5e-2f);
+  CheckGrad(beta, fn, /*eps=*/2e-2f, /*tol=*/5e-2f);
+}
+
+TEST(ParallelOpsGradTest, LayerNormDxGrainBoundaries) {
+  ParallelPoolGuard guard;
+  // Smaller input for the O(elements^2) finite-difference sweep over x.
+  Tensor x = MakeInput({33, 64});
+  Tensor gamma = Tensor::Full({64}, 0.9f, true);
+  Tensor beta = Tensor::Full({64}, 0.1f, true);
+  Tensor w = MakeInput({33, 64}, 20);
+  CheckGrad(x, [&] { return Sum(Mul(LayerNormOp(x, gamma, beta), w)); });
+}
+
+TEST(ParallelOpsGradTest, EmbeddingScatterGrainBoundaries) {
+  ParallelPoolGuard guard;
+  // 130 distinct destination rows (> grain 4096/32 = 128 groups) with
+  // repeats, so the grouped scatter splits across threads and must still
+  // accumulate each destination in position order. Repeated ids make the
+  // accumulation order observable.
+  Tensor weight = MakeInput({130, 32});
+  std::vector<int> ids;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 130; ++i) ids.push_back((i * 7 + rep) % 130);
+  }
+  CheckGrad(weight, [&] {
+    Tensor g = Gather(weight, ids);
+    return Sum(Mul(g, g));
+  }, /*eps=*/5e-2f, /*tol=*/5e-2f);
+}
+
+TEST(ParallelOpsGradTest, CrossEntropyGrainBoundaries) {
+  ParallelPoolGuard guard;
+  // 125 rows, 33 classes: rows chunk at grain 4096/33 = 124 -> ragged tail.
+  Tensor logits = MakeInput({125, 33});
+  std::vector<int> targets;
+  for (int i = 0; i < 125; ++i) {
+    targets.push_back(i % 7 == 0 ? -1 : i % 33);  // some ignored rows
+  }
+  CheckGrad(logits, [&] { return CrossEntropy(logits, targets, -1); });
+}
+
+TEST(ParallelOpsGradTest, ParallelMatchesSerialBitwise) {
+  // The same computation at 1 and 8 threads must agree bit-for-bit.
+  auto run = [] {
+    Tensor a = MakeInput({37, 29});
+    Tensor b = MakeInput({29, 23}, 21);
+    Tensor gamma = Tensor::Full({23}, 1.05f, true);
+    Tensor beta = Tensor::Full({23}, 0.05f, true);
+    Tensor y = LayerNormOp(SoftmaxLastDim(MatMul(a, b)), gamma, beta);
+    Tensor loss = Sum(Mul(y, y));
+    loss.Backward();
+    std::vector<float> bits = y.vec();
+    const auto& ga = a.impl()->grad;
+    const auto& gb = b.impl()->grad;
+    bits.insert(bits.end(), ga.begin(), ga.end());
+    bits.insert(bits.end(), gb.begin(), gb.end());
+    bits.push_back(loss.item());
+    return bits;
+  };
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<float> serial = run();
+  ThreadPool::SetGlobalThreads(8);
+  const std::vector<float> parallel = run();
+  ThreadPool::SetGlobalThreads(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "bit divergence at " << i;
+  }
 }
 
 TEST(OpsGradTest, SoftmaxRowsSumToOne) {
