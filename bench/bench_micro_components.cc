@@ -14,7 +14,9 @@
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "schema/schema_graph.h"
+#include "serving/encoder_service.h"
 #include "sql/parser.h"
+#include "tasks/preqr_encoder.h"
 #include "text/tokenizer.h"
 #include "workload/imdb.h"
 #include "workload/query_gen.h"
@@ -98,6 +100,48 @@ void BM_PreqrEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PreqrEncode);
+
+// --- Serving layer ------------------------------------------------------
+// Cache hit vs cold encode through the EncoderService: the hit path is a
+// sharded-LRU lookup plus one tensor copy, the cold path pays the full
+// frozen-prefix + last-layer forward. The gap is the serving layer's value
+// on a frequent-query workload.
+
+void BM_ServingCacheHit(benchmark::State& state) {
+  tasks::PreqrEncoder encoder(S().model.get());
+  serving::EncoderService service(&encoder);
+  (void)service.Encode(kQuery);  // warm the embedding cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.Encode(kQuery));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServingCacheHit);
+
+void BM_ServingColdEncode(benchmark::State& state) {
+  // Both cache layers are sized below the rotation length, so every request
+  // misses and pays the full encode.
+  tasks::PreqrEncoder::Options encoder_options;
+  encoder_options.cache_capacity = 2;
+  encoder_options.cache_shards = 1;
+  tasks::PreqrEncoder encoder(S().model.get(), encoder_options);
+  serving::EncoderServiceOptions options;
+  options.cache_capacity = 2;
+  options.cache_shards = 1;
+  serving::EncoderService service(&encoder, options);
+  std::vector<std::string> queries;
+  for (int y = 0; y < 16; ++y) {
+    queries.push_back(
+        "SELECT COUNT(*) FROM title t WHERE t.production_year > " +
+        std::to_string(1990 + y));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.Encode(queries[i++ % queries.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServingColdEncode);
 
 // --- Parallel tensor kernels -------------------------------------------
 // Shapes are sized so the per-row work comfortably exceeds the pool grain;

@@ -3,10 +3,13 @@
 // case; the paper's ordering (Case 1 << Case 2 < Case 3 < Case 4) is the
 // claim under test, not the absolute hours.
 #include <chrono>
+#include <cmath>
 
 #include "bench/harness.h"
 
 #include "nn/optim.h"
+#include "serving/encoder_service.h"
+#include "tasks/preqr_encoder.h"
 
 namespace preqr::bench {
 namespace {
@@ -27,6 +30,15 @@ void Run() {
 
   core::Pretrainer::Options opt;
   opt.epochs = sample_rounds;
+
+  // A serving front-end caches one probe embedding before any update round;
+  // every maintenance case below changes model parameters, so the cached
+  // bits go stale and must be dropped via InvalidateCache afterwards.
+  tasks::PreqrEncoder serving_encoder(s.model.get());
+  serving::EncoderService service(&serving_encoder);
+  const std::string probe = corpus.front();
+  auto probe_before = service.Encode(probe);
+
   std::printf("%-8s %-52s %9s\n", "case", "description", "seconds");
 
   // Case 4 first (from scratch): full pre-training pass over the corpus.
@@ -119,6 +131,29 @@ void Run() {
   std::printf("%-8s %-52s %9.2f\n", "Case 3",
               "incremental learning, Input Embedding module", case3);
   std::printf("%-8s %-52s %9.2f\n", "Case 4", "train from scratch", case4);
+
+  // After the update rounds the serving cache is stale: invalidate, re-serve
+  // the probe, and report how far the embedding moved (the drift the stale
+  // cache would have kept serving).
+  service.InvalidateCache();
+  auto probe_after = service.Encode(probe);
+  if (probe_before.ok() && probe_after.ok()) {
+    const auto& a = probe_before.value().vec();
+    const auto& b = probe_after.value().vec();
+    double l2 = 0;
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+      l2 += d * d;
+    }
+    std::printf("\nserving: probe embedding L2 drift after updates %.4f "
+                "(stale cache dropped by InvalidateCache)\n",
+                std::sqrt(l2));
+  }
+  std::printf("serving: hit-rate %.2f over %llu requests, %llu invalidation(s)\n",
+              service.metrics().CacheHitRate(),
+              static_cast<unsigned long long>(service.metrics().requests.value()),
+              static_cast<unsigned long long>(
+                  service.metrics().invalidations.value()));
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include "core/pretrain.h"
 #include "db/stats.h"
 #include "schema/schema_graph.h"
+#include "serving/encoder_service.h"
+#include "tasks/preqr_encoder.h"
 #include "text/tokenizer.h"
 #include "workload/imdb.h"
 #include "workload/query_gen.h"
@@ -72,7 +74,35 @@ int main() {
   std::printf("  q1 vs other-table:   %.4f\n",
               baselines::CosineDistance(e1, embed(q_other)));
 
-  // 6. Inspect the automaton's structural view of a query.
+  // 6. Serve embeddings: wrap the encoder in an EncoderService to get a
+  //    thread-safe front-end with a bounded LRU cache, micro-batching, and
+  //    Status errors instead of crashes on malformed SQL.
+  tasks::PreqrEncoder encoder(&model);
+  serving::EncoderService service(&encoder);
+  auto cold = service.Encode(q1);   // cache miss: full encode
+  auto warm = service.Encode(q1);   // cache hit: LRU lookup + copy
+  PREQR_CHECK(cold.ok() && warm.ok());
+  std::printf("\nserving: %s dim=%d, %zu cached embedding(s)\n",
+              service.name().c_str(), service.dim(),
+              service.cached_embeddings());
+  auto bad = service.Encode("this is not SQL at all");
+  std::printf("serving a malformed query: %s\n",
+              bad.ok() ? "(unexpectedly ok)" : bad.status().ToString().c_str());
+  // The deterministic slice of service.metrics().DumpText() (the full dump
+  // adds wall-clock latency percentiles, which would break this example's
+  // byte-identical-across-thread-counts contract).
+  const auto& metrics = service.metrics();
+  std::printf("serving metrics: hit-rate %.2f (%llu hits / %llu requests), "
+              "%llu error(s), %llu micro-batch(es)\n",
+              metrics.CacheHitRate(),
+              static_cast<unsigned long long>(metrics.cache_hits.value()),
+              static_cast<unsigned long long>(metrics.requests.value()),
+              static_cast<unsigned long long>(metrics.errors.value()),
+              static_cast<unsigned long long>(metrics.batches.value()));
+  // After further pre-training or incremental updates, drop stale entries:
+  //   service.InvalidateCache();
+
+  // 7. Inspect the automaton's structural view of a query.
   auto symbols = automaton::StructuralSymbols(q1);
   auto match = fa.Match(symbols);
   std::printf("\nstructure of q1: %s\n",

@@ -20,15 +20,18 @@ if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   exit 0
 fi
 
-echo "== TSAN: thread_pool_test + parallel_determinism_test + nn_ops_grad_test =="
+echo "== TSAN: thread_pool, lru_cache, serving, determinism, nn_ops_grad =="
 cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target thread_pool_test \
+  --target lru_cache_test --target serving_test \
   --target parallel_determinism_test --target nn_ops_grad_test
 # Force a multi-threaded pool so races are actually exercised even on
 # single-core CI machines; TSAN halts on the first detected race.
 export PREQR_NUM_THREADS=8
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ./build-tsan/tests/thread_pool_test
+./build-tsan/tests/lru_cache_test
+./build-tsan/tests/serving_test
 ./build-tsan/tests/parallel_determinism_test
 ./build-tsan/tests/nn_ops_grad_test --gtest_filter='ParallelOpsGradTest.*'
 

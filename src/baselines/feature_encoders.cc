@@ -26,6 +26,45 @@ nn::Tensor ConcatEncoder::EncodeVector(const std::string& sql, bool train) {
       {a_->EncodeVector(sql, train), b_->EncodeVector(sql, train)});
 }
 
+StatusOr<nn::Tensor> ConcatEncoder::TryEncodeVector(const std::string& sql,
+                                                    bool train) {
+  auto a = a_->TryEncodeVector(sql, train);
+  if (!a.ok()) return a.status();
+  auto b = b_->TryEncodeVector(sql, train);
+  if (!b.ok()) return b.status();
+  return nn::ConcatLastDim({a.value(), b.value()});
+}
+
+std::vector<nn::Tensor> ConcatEncoder::EncodeVectorBatch(
+    const std::vector<std::string>& sqls, bool train) {
+  auto a = a_->EncodeVectorBatch(sqls, train);
+  auto b = b_->EncodeVectorBatch(sqls, train);
+  std::vector<nn::Tensor> out;
+  out.reserve(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    out.push_back(nn::ConcatLastDim({a[i], b[i]}));
+  }
+  return out;
+}
+
+std::vector<StatusOr<nn::Tensor>> ConcatEncoder::TryEncodeVectorBatch(
+    const std::vector<std::string>& sqls, bool train) {
+  auto a = a_->TryEncodeVectorBatch(sqls, train);
+  auto b = b_->TryEncodeVectorBatch(sqls, train);
+  std::vector<StatusOr<nn::Tensor>> out;
+  out.reserve(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    if (!a[i].ok()) {
+      out.push_back(a[i].status());
+    } else if (!b[i].ok()) {
+      out.push_back(b[i].status());
+    } else {
+      out.push_back(nn::ConcatLastDim({a[i].value(), b[i].value()}));
+    }
+  }
+  return out;
+}
+
 std::vector<nn::Tensor> ConcatEncoder::TrainableParameters() {
   std::vector<nn::Tensor> params = a_->TrainableParameters();
   for (const auto& t : b_->TrainableParameters()) params.push_back(t);

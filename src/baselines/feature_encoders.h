@@ -33,6 +33,16 @@ class ConcatEncoder : public QueryEncoder {
   ConcatEncoder(QueryEncoder* a, QueryEncoder* b) : a_(a), b_(b) {}
 
   nn::Tensor EncodeVector(const std::string& sql, bool train) override;
+  StatusOr<nn::Tensor> TryEncodeVector(const std::string& sql,
+                                       bool train) override;
+  std::vector<nn::Tensor> EncodeVectorBatch(
+      const std::vector<std::string>& sqls, bool train) override;
+  std::vector<StatusOr<nn::Tensor>> TryEncodeVectorBatch(
+      const std::vector<std::string>& sqls, bool train) override;
+  void InvalidateCache() override {
+    a_->InvalidateCache();
+    b_->InvalidateCache();
+  }
   std::vector<nn::Tensor> TrainableParameters() override;
   int dim() const override { return a_->dim() + b_->dim(); }
   std::string name() const override {

@@ -1,0 +1,157 @@
+#ifndef PREQR_COMMON_LRU_CACHE_H_
+#define PREQR_COMMON_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace preqr {
+
+// Aggregated access statistics of a ShardedLruCache (shared across all
+// instantiations so callers can expose it without naming the value type).
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+// Sharded, size-bounded LRU map. The key space is split across independent
+// shards (hash of the key picks the shard), each guarded by its own mutex
+// and evicting its own least-recently-used tail, so concurrent lookups on
+// different shards never contend. Values are returned by copy — callers
+// must not assume an entry outlives the Get that produced it, because any
+// later Put may evict it.
+//
+// The total capacity is distributed evenly: each shard holds at most
+// ceil(capacity / num_shards) entries, so the cache as a whole never holds
+// more than num_shards * shard_capacity() entries (>= capacity, < capacity
+// + num_shards).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLruCache {
+ public:
+  using Stats = LruCacheStats;
+
+  explicit ShardedLruCache(size_t capacity, int num_shards = 8) {
+    PREQR_CHECK_GT(capacity, 0u);
+    PREQR_CHECK_GT(num_shards, 0);
+    // More shards than entries would make shard capacities zero; clamp.
+    if (static_cast<size_t>(num_shards) > capacity) {
+      num_shards = static_cast<int>(capacity);
+    }
+    num_shards_ = num_shards;
+    shard_capacity_ = (capacity + static_cast<size_t>(num_shards) - 1) /
+                      static_cast<size_t>(num_shards);
+    shards_ = std::make_unique<Shard[]>(static_cast<size_t>(num_shards_));
+  }
+
+  // Returns a copy of the value and marks the entry most-recently-used.
+  std::optional<V> Get(const K& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      ++s.stats.misses;
+      return std::nullopt;
+    }
+    s.order.splice(s.order.begin(), s.order, it->second);
+    ++s.stats.hits;
+    return it->second->second;
+  }
+
+  // Inserts or overwrites; either way the entry becomes most-recently-used.
+  // Evicts the shard's LRU tail when the shard is over capacity.
+  void Put(const K& key, V value) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      it->second->second = std::move(value);
+      s.order.splice(s.order.begin(), s.order, it->second);
+      return;
+    }
+    s.order.emplace_front(key, std::move(value));
+    s.index.emplace(key, s.order.begin());
+    if (s.index.size() > shard_capacity_) {
+      s.index.erase(s.order.back().first);
+      s.order.pop_back();
+      ++s.stats.evictions;
+    }
+  }
+
+  // Membership probe that does not touch recency order or hit statistics.
+  bool Contains(const K& key) const {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.index.find(key) != s.index.end();
+  }
+
+  // Drops every entry (statistics are kept: invalidation is not a miss).
+  void Clear() {
+    for (int i = 0; i < num_shards_; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i].mu);
+      shards_[i].order.clear();
+      shards_[i].index.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (int i = 0; i < num_shards_; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i].mu);
+      n += shards_[i].index.size();
+    }
+    return n;
+  }
+
+  Stats stats() const {
+    Stats total;
+    for (int i = 0; i < num_shards_; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i].mu);
+      total.hits += shards_[i].stats.hits;
+      total.misses += shards_[i].stats.misses;
+      total.evictions += shards_[i].stats.evictions;
+    }
+    return total;
+  }
+
+  int num_shards() const { return num_shards_; }
+  size_t shard_capacity() const { return shard_capacity_; }
+  size_t capacity() const {
+    return shard_capacity_ * static_cast<size_t>(num_shards_);
+  }
+
+  // Which shard a key lands on (stable for the cache's lifetime); lets
+  // tests construct same-shard / cross-shard key sets.
+  int ShardIndex(const K& key) const {
+    return static_cast<int>(Hash{}(key) % static_cast<size_t>(num_shards_));
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recent. The index maps key -> list node.
+    std::list<std::pair<K, V>> order;
+    std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
+        index;
+    Stats stats;
+  };
+
+  Shard& ShardFor(const K& key) const {
+    return shards_[static_cast<size_t>(ShardIndex(key))];
+  }
+
+  int num_shards_ = 1;
+  size_t shard_capacity_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace preqr
+
+#endif  // PREQR_COMMON_LRU_CACHE_H_

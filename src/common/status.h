@@ -81,6 +81,12 @@ class Result {
   std::variant<T, Status> data_;
 };
 
+// Alias matching the absl spelling. New code (the serving layer and the
+// Status-propagating encoder entry points) uses StatusOr; existing call
+// sites keep Result — the two are the same type.
+template <typename T>
+using StatusOr = Result<T>;
+
 }  // namespace preqr
 
 #endif  // PREQR_COMMON_STATUS_H_

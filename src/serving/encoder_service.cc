@@ -1,0 +1,175 @@
+#include "serving/encoder_service.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace preqr::serving {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              since)
+             .count() /
+         1000.0;
+}
+
+// Cached embeddings are shared across callers; hand out detached copies so
+// a caller mutating its tensor cannot corrupt the cache (or another
+// caller's view).
+nn::Tensor DetachedCopy(const nn::Tensor& t) {
+  return nn::Tensor::FromData(t.shape(), t.vec());
+}
+
+}  // namespace
+
+EncoderService::EncoderService(baselines::QueryEncoder* encoder,
+                               EncoderServiceOptions options)
+    : encoder_(encoder),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {}
+
+StatusOr<nn::Tensor> EncoderService::Encode(const std::string& sql) {
+  metrics_.requests.Increment();
+  const auto t0 = Clock::now();
+  if (auto hit = cache_.Get(sql)) {
+    metrics_.cache_hits.Increment();
+    metrics_.hit_latency_us.Observe(ElapsedUs(t0));
+    return DetachedCopy(*hit);
+  }
+  metrics_.cache_misses.Increment();
+  auto pending = std::make_shared<Pending>();
+  pending->sql = sql;
+  auto future = pending->promise.get_future();
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(pending);
+    if (!dispatching_) {
+      dispatching_ = true;
+      leader = true;
+    }
+  }
+  queue_cv_.notify_one();
+  if (leader) DispatchLoop();
+  auto result = future.get();
+  metrics_.encode_latency_us.Observe(ElapsedUs(t0));
+  return result;
+}
+
+void EncoderService::DispatchLoop() {
+  for (;;) {
+    std::vector<std::shared_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      if (options_.batch_window.count() > 0 &&
+          queue_.size() <
+              static_cast<size_t>(options_.max_batch_size)) {
+        queue_cv_.wait_for(lock, options_.batch_window, [&] {
+          return queue_.size() >=
+                 static_cast<size_t>(options_.max_batch_size);
+        });
+      }
+      if (queue_.empty()) {
+        dispatching_ = false;
+        return;
+      }
+      const size_t take = std::min(
+          queue_.size(), static_cast<size_t>(options_.max_batch_size));
+      batch.assign(queue_.begin(),
+                   queue_.begin() + static_cast<long>(take));
+      queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
+    }
+    std::vector<std::string> sqls;
+    sqls.reserve(batch.size());
+    for (const auto& p : batch) sqls.push_back(p->sql);
+    auto results = EncodeLocked(sqls);
+    metrics_.batches.Increment();
+    metrics_.batch_size.Observe(static_cast<double>(batch.size()));
+    metrics_.batched_queries.Increment(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!results[i].ok()) metrics_.errors.Increment();
+      batch[i]->promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+std::vector<StatusOr<nn::Tensor>> EncoderService::EncodeLocked(
+    const std::vector<std::string>& sqls) {
+  std::lock_guard<std::mutex> lock(encode_mu_);
+  auto results = encoder_->TryEncodeVectorBatch(sqls, /*train=*/false);
+  // Fill the cache while still holding encode_mu_, so an InvalidateCache
+  // cannot slip between the encode and the insertion and leave stale
+  // embeddings behind.
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    if (results[i].ok()) cache_.Put(sqls[i], DetachedCopy(results[i].value()));
+  }
+  return results;
+}
+
+std::vector<StatusOr<nn::Tensor>> EncoderService::EncodeBatch(
+    const std::vector<std::string>& sqls) {
+  metrics_.requests.Increment(sqls.size());
+  const auto t0 = Clock::now();
+  const size_t n = sqls.size();
+  // Resolve hits locally; distinct misses form one encoder batch.
+  std::vector<std::optional<nn::Tensor>> hit(n);
+  std::vector<int> miss_of(n, -1);
+  std::vector<std::string> miss_sqls;
+  std::unordered_map<std::string, int> miss_index;
+  for (size_t i = 0; i < n; ++i) {
+    if (auto h = cache_.Get(sqls[i])) {
+      metrics_.cache_hits.Increment();
+      hit[i] = std::move(h);
+      continue;
+    }
+    metrics_.cache_misses.Increment();
+    auto [it, inserted] =
+        miss_index.emplace(sqls[i], static_cast<int>(miss_sqls.size()));
+    if (inserted) miss_sqls.push_back(sqls[i]);
+    miss_of[i] = it->second;
+  }
+  std::vector<StatusOr<nn::Tensor>> miss_results;
+  if (!miss_sqls.empty()) {
+    miss_results = EncodeLocked(miss_sqls);
+    metrics_.batches.Increment();
+    metrics_.batch_size.Observe(static_cast<double>(miss_sqls.size()));
+    metrics_.batched_queries.Increment(miss_sqls.size());
+  }
+  std::vector<StatusOr<nn::Tensor>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (hit[i]) {
+      out.push_back(DetachedCopy(*hit[i]));
+      continue;
+    }
+    const auto& r = miss_results[static_cast<size_t>(miss_of[i])];
+    if (r.ok()) {
+      out.push_back(DetachedCopy(r.value()));
+    } else {
+      metrics_.errors.Increment();
+      out.push_back(r.status());
+    }
+  }
+  const double per_query_us = ElapsedUs(t0) / static_cast<double>(n == 0 ? 1 : n);
+  if (miss_sqls.empty()) {
+    metrics_.hit_latency_us.Observe(per_query_us);
+  } else {
+    metrics_.encode_latency_us.Observe(per_query_us);
+  }
+  return out;
+}
+
+void EncoderService::InvalidateCache() {
+  // Taking encode_mu_ waits out any in-flight batch, and EncodeLocked
+  // inserts before releasing it — so after Clear nothing stale can appear.
+  std::lock_guard<std::mutex> lock(encode_mu_);
+  cache_.Clear();
+  encoder_->InvalidateCache();
+  metrics_.invalidations.Increment();
+}
+
+}  // namespace preqr::serving

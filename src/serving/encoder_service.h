@@ -1,0 +1,108 @@
+#ifndef PREQR_SERVING_ENCODER_SERVICE_H_
+#define PREQR_SERVING_ENCODER_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "serving/metrics.h"
+
+namespace preqr::serving {
+
+// Knobs for the embedding cache and the micro-batcher.
+struct EncoderServiceOptions {
+  // Embeddings held across all cache shards.
+  size_t cache_capacity = 4096;
+  int cache_shards = 8;
+  // Most queries one dispatched micro-batch may carry.
+  int max_batch_size = 64;
+  // How long a dispatching thread waits for more requests to arrive before
+  // handing a non-full batch to the encoder. 0 dispatches whatever is
+  // queued immediately — requests that arrive while an earlier batch is
+  // encoding still coalesce, which is the common case under load.
+  std::chrono::microseconds batch_window{0};
+};
+
+// Thread-safe embedding-serving front-end over any baselines::QueryEncoder.
+// Learned DB components (cardinality/cost heads, clustering) issue cheap
+// repeated lookups over a frequent-query workload; this layer turns that
+// access pattern into cache hits and coalesced encoder batches.
+//
+//  * Results are cached in a sharded LRU keyed by the SQL text; hits
+//    return a detached copy without touching the encoder.
+//  * Misses coalesce: concurrent callers enqueue, one becomes the
+//    dispatcher and drives QueryEncoder::TryEncodeVectorBatch over the
+//    queue. The wrapped encoder only ever sees one call at a time, so
+//    encoders that are not themselves thread-safe are safe behind the
+//    service.
+//  * Error contract: malformed SQL yields an error Status in the affected
+//    slot; other requests are unaffected and nothing crashes.
+//  * Determinism: encodes run with train=false and each query's
+//    computation is independent, so every result — cached or not, batched
+//    or not — is bitwise-identical to EncodeVector(sql, false) on the
+//    wrapped encoder (pinned by parallel_determinism_test).
+class EncoderService {
+ public:
+  explicit EncoderService(baselines::QueryEncoder* encoder,
+                          EncoderServiceOptions options = {});
+
+  // Encodes one query (blocking). Cache hit, or coalesced into the next
+  // micro-batch.
+  StatusOr<nn::Tensor> Encode(const std::string& sql);
+
+  // Encodes a workload slice: cache hits resolve locally, the distinct
+  // misses go to the encoder as one batch. Slot i corresponds to sqls[i];
+  // slots fail independently.
+  std::vector<StatusOr<nn::Tensor>> EncodeBatch(
+      const std::vector<std::string>& sqls);
+
+  // Drops every cached embedding and the encoder's own memoized state.
+  // Call after the wrapped model's parameters changed (further
+  // pre-training, incremental updates); waits for any in-flight batch.
+  void InvalidateCache();
+
+  int dim() const { return encoder_->dim(); }
+  std::string name() const { return "serving(" + encoder_->name() + ")"; }
+  size_t cached_embeddings() const { return cache_.size(); }
+  ServingMetrics& metrics() { return metrics_; }
+  const ServingMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Pending {
+    std::string sql;
+    std::promise<StatusOr<nn::Tensor>> promise;
+  };
+
+  // Drains the request queue in micro-batches until it is empty; run by
+  // the one caller that found `dispatching_` unset.
+  void DispatchLoop();
+  // Encodes one batch under encode_mu_ and fills the cache.
+  std::vector<StatusOr<nn::Tensor>> EncodeLocked(
+      const std::vector<std::string>& sqls);
+
+  baselines::QueryEncoder* encoder_;
+  EncoderServiceOptions options_;
+  ShardedLruCache<std::string, nn::Tensor> cache_;
+  ServingMetrics metrics_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  bool dispatching_ = false;
+
+  // Serializes every call into *encoder_ (dispatch loop, EncodeBatch
+  // misses, InvalidateCache).
+  std::mutex encode_mu_;
+};
+
+}  // namespace preqr::serving
+
+#endif  // PREQR_SERVING_ENCODER_SERVICE_H_

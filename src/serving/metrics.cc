@@ -1,0 +1,112 @@
+#include "serving/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+
+namespace preqr::serving {
+
+Histogram::Histogram(double scale, double growth, int num_buckets) {
+  PREQR_CHECK_GT(scale, 0.0);
+  PREQR_CHECK_GT(growth, 1.0);
+  PREQR_CHECK_GT(num_buckets, 1);
+  bounds_.reserve(static_cast<size_t>(num_buckets));
+  double bound = scale;
+  for (int b = 0; b + 1 < num_buckets; ++b) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+  bounds_.push_back(std::numeric_limits<double>::infinity());
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size());
+  for (size_t b = 0; b < bounds_.size(); ++b) counts_[b] = 0;
+}
+
+void Histogram::Observe(double value) {
+  size_t b = 0;
+  while (value >= bounds_[b]) ++b;  // last bound is +inf: always terminates
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20; spell the CAS loop out for
+  // toolchains that lower it poorly.
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(n);
+  double lower = 0.0;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < bounds_.size(); ++b) {
+    const uint64_t in_bucket = counts_[b].load(std::memory_order_relaxed);
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const double upper = std::isinf(bounds_[b]) ? lower * 2.0 + 1.0
+                                                  : bounds_[b];
+      if (in_bucket == 0) return upper;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * frac;
+    }
+    seen += in_bucket;
+    lower = bounds_[b];
+  }
+  return lower;
+}
+
+double ServingMetrics::CacheHitRate() const {
+  const uint64_t hits = cache_hits.value();
+  const uint64_t total = hits + cache_misses.value();
+  return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+std::string ServingMetrics::DumpText() const {
+  char line[160];
+  std::string out;
+  auto emit_counter = [&](const char* name, const Counter& c) {
+    std::snprintf(line, sizeof(line), "%s %llu\n", name,
+                  static_cast<unsigned long long>(c.value()));
+    out += line;
+  };
+  auto emit_value = [&](const char* name, double v) {
+    std::snprintf(line, sizeof(line), "%s %.6g\n", name, v);
+    out += line;
+  };
+  emit_counter("serving_requests_total", requests);
+  emit_counter("serving_cache_hits_total", cache_hits);
+  emit_counter("serving_cache_misses_total", cache_misses);
+  emit_value("serving_cache_hit_rate", CacheHitRate());
+  emit_counter("serving_errors_total", errors);
+  emit_counter("serving_batches_total", batches);
+  emit_counter("serving_batched_queries_total", batched_queries);
+  emit_counter("serving_invalidations_total", invalidations);
+  emit_value("serving_batch_size_mean", batch_size.mean());
+  emit_value("serving_batch_size_p99", batch_size.Percentile(0.99));
+  emit_value("serving_encode_latency_us_p50",
+             encode_latency_us.Percentile(0.5));
+  emit_value("serving_encode_latency_us_p99",
+             encode_latency_us.Percentile(0.99));
+  emit_value("serving_hit_latency_us_p50", hit_latency_us.Percentile(0.5));
+  emit_value("serving_hit_latency_us_p99", hit_latency_us.Percentile(0.99));
+  return out;
+}
+
+}  // namespace preqr::serving

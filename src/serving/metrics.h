@@ -1,0 +1,68 @@
+#ifndef PREQR_SERVING_METRICS_H_
+#define PREQR_SERVING_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace preqr::serving {
+
+// Monotonic event counter. Relaxed atomics on purpose: metrics observe the
+// request path, they never synchronize it.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Lock-free histogram over exponential buckets: bucket b covers
+// [scale * growth^(b-1), scale * growth^b), bucket 0 covers [0, scale),
+// the last bucket is unbounded. Percentiles interpolate linearly inside
+// the bucket that crosses the target rank — an estimate whose error is
+// bounded by the bucket width, which is what latency dashboards need.
+class Histogram {
+ public:
+  Histogram(double scale, double growth, int num_buckets);
+
+  void Observe(double value);
+  uint64_t count() const;
+  double sum() const;
+  double mean() const;
+  double Percentile(double p) const;  // p in [0, 1]
+
+ private:
+  std::vector<double> bounds_;  // upper bound per bucket, last = +inf
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Everything the embedding-serving layer exports. DumpText renders a
+// Prometheus-style text snapshot; the bench harness prints it after a run.
+struct ServingMetrics {
+  Counter requests;         // Encode + EncodeBatch slots
+  Counter cache_hits;       // served from the embedding LRU
+  Counter cache_misses;     // had to reach the encoder
+  Counter errors;           // malformed SQL (error Status returned)
+  Counter batches;          // micro-batches dispatched to the encoder
+  Counter batched_queries;  // queries carried by those batches
+  Counter invalidations;    // InvalidateCache calls
+
+  Histogram batch_size{1.0, 2.0, 12};
+  Histogram encode_latency_us{1.0, 4.0, 16};  // cold path, per request
+  Histogram hit_latency_us{1.0, 4.0, 16};     // cache-hit path, per request
+
+  double CacheHitRate() const;
+  std::string DumpText() const;
+};
+
+}  // namespace preqr::serving
+
+#endif  // PREQR_SERVING_METRICS_H_

@@ -46,10 +46,11 @@ std::vector<std::vector<double>> EmbeddingDistanceMatrix(
     const std::vector<std::string>& queries,
     baselines::QueryEncoder& encoder) {
   const size_t n = queries.size();
+  // One batched call through the base interface: every encoder shares the
+  // call shape, and PreQR parallelizes the missing-prefix computation.
   std::vector<std::vector<float>> embeddings;
   embeddings.reserve(n);
-  for (const auto& q : queries) {
-    nn::Tensor e = encoder.EncodeVector(q, /*train=*/false);
+  for (auto& e : encoder.EncodeVectorBatch(queries, /*train=*/false)) {
     embeddings.emplace_back(e.vec());
   }
   std::vector<std::vector<double>> d(n, std::vector<double>(n, 0));

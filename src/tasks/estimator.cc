@@ -126,9 +126,20 @@ std::vector<double> EstimatorModel::PredictAll(
   encoder_->BeginStep(/*train=*/false);
   std::vector<double> out;
   out.reserve(sqls.size());
-  for (const auto& sql : sqls) {
-    nn::Tensor pred = head_->Forward(Features(sql, false));
-    out.push_back(ClampedExpm1(pred.item()));
+  if (encoder_static_) {
+    // Static featurizers keep the per-query feature memo shared with Fit.
+    for (const auto& sql : sqls) {
+      nn::Tensor pred = head_->Forward(Features(sql, false));
+      out.push_back(ClampedExpm1(pred.item()));
+    }
+    return out;
+  }
+  // Trainable encoders go through the batched base-interface entry point
+  // (PreQR computes missing frozen prefixes across the thread pool; other
+  // encoders fall back to the serial default).
+  auto features = encoder_->EncodeVectorBatch(sqls, /*train=*/false);
+  for (const auto& f : features) {
+    out.push_back(ClampedExpm1(head_->Forward(f).item()));
   }
   return out;
 }

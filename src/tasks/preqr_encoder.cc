@@ -1,12 +1,21 @@
 #include "tasks/preqr_encoder.h"
 
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
 #include "automaton/symbol.h"
 #include "common/thread_pool.h"
 #include "nn/ops.h"
 
 namespace preqr::tasks {
 
-PreqrEncoder::PreqrEncoder(core::PreqrModel* model) : model_(model) {
+PreqrEncoder::PreqrEncoder(core::PreqrModel* model)
+    : PreqrEncoder(model, Options()) {}
+
+PreqrEncoder::PreqrEncoder(core::PreqrModel* model, Options options)
+    : model_(model),
+      prefix_cache_(options.cache_capacity, options.cache_shards) {
   if (model_->config().use_schema) {
     schema_ = model_->EncodeSchemaNodes(/*with_grad=*/false);
   }
@@ -18,29 +27,32 @@ void PreqrEncoder::BeginStep(bool /*train*/) {
 }
 
 void PreqrEncoder::InvalidateCache() {
-  prefix_cache_.clear();
+  prefix_cache_.Clear();
   if (model_->config().use_schema) {
     schema_ = model_->EncodeSchemaNodes(/*with_grad=*/false);
   }
 }
 
-const PreqrEncoder::CachedQuery& PreqrEncoder::Prefix(const std::string& sql) {
-  auto it = prefix_cache_.find(sql);
-  if (it != prefix_cache_.end()) return it->second;
+StatusOr<PreqrEncoder::CachedQuery> PreqrEncoder::Prefix(
+    const std::string& sql) {
+  if (auto hit = prefix_cache_.Get(sql)) return std::move(*hit);
   CachedQuery entry;
-  if (!ComputeQuery(sql, &entry)) {
-    // Malformed query: a single zero row keeps downstream shapes valid.
-    empty_.prefix = nn::Tensor::Zeros({1, model_->config().d_model});
-    empty_.predicate_spans.clear();
-    empty_.table_rows.clear();
-    return empty_;
-  }
-  return prefix_cache_.emplace(sql, std::move(entry)).first->second;
+  Status status = ComputeQuery(sql, &entry);
+  if (!status.ok()) return status;
+  prefix_cache_.Put(sql, entry);
+  return entry;
 }
 
-bool PreqrEncoder::ComputeQuery(const std::string& sql, CachedQuery* out) {
+PreqrEncoder::CachedQuery PreqrEncoder::ZeroEntry() const {
+  // A single zero row keeps downstream shapes valid.
+  CachedQuery zero;
+  zero.prefix = nn::Tensor::Zeros({1, model_->config().d_model});
+  return zero;
+}
+
+Status PreqrEncoder::ComputeQuery(const std::string& sql, CachedQuery* out) {
   auto tokenized = model_->tokenizer().Tokenize(sql);
-  if (!tokenized.ok()) return false;
+  if (!tokenized.ok()) return tokenized.status();
   CachedQuery& entry = *out;
   entry.predicate_spans.clear();
   entry.table_rows.clear();
@@ -84,12 +96,28 @@ bool PreqrEncoder::ComputeQuery(const std::string& sql, CachedQuery* out) {
     }
   }
   if (!current.empty()) entry.predicate_spans.push_back(current);
-  return true;
+  return Status::Ok();
 }
 
 nn::Tensor PreqrEncoder::EncodeVector(const std::string& sql, bool train) {
+  auto result = TryEncodeVector(sql, train);
+  if (result.ok()) return std::move(result).value();
+  // Legacy fallback for the task loops: malformed queries read out zeros.
   model_->set_train(train);
-  nn::Tensor v = ReadOut(Prefix(sql));
+  nn::Tensor v = ReadOut(ZeroEntry());
+  model_->set_train(false);
+  return v;
+}
+
+StatusOr<nn::Tensor> PreqrEncoder::TryEncodeVector(const std::string& sql,
+                                                   bool train) {
+  model_->set_train(train);
+  auto cached = Prefix(sql);
+  if (!cached.ok()) {
+    model_->set_train(false);
+    return cached.status();
+  }
+  nn::Tensor v = ReadOut(cached.value());
   model_->set_train(false);
   return v;
 }
@@ -127,57 +155,91 @@ nn::Tensor PreqrEncoder::ReadOut(const CachedQuery& cached) {
   return nn::ConcatLastDim({enc.cls, mean, span_mean, span_max, tabs});
 }
 
-std::vector<nn::Tensor> PreqrEncoder::EncodeVectorBatch(
+std::vector<StatusOr<nn::Tensor>> PreqrEncoder::TryEncodeVectorBatch(
     const std::vector<std::string>& sqls, bool train) {
   model_->set_train(train);
-  // Pass 1: compute missing prefixes in parallel into per-query slots (the
-  // cache itself is not touched from worker threads).
-  std::vector<int> missing;
-  for (size_t i = 0; i < sqls.size(); ++i) {
-    if (prefix_cache_.find(sqls[i]) == prefix_cache_.end()) {
-      missing.push_back(static_cast<int>(i));
+  const size_t n = sqls.size();
+  // Serial cache probe; duplicate misses collapse onto one computation.
+  std::vector<std::optional<CachedQuery>> hit(n);
+  std::vector<int> miss_of(n, -1);
+  std::vector<std::string> miss_sqls;
+  std::unordered_map<std::string, int> miss_index;
+  for (size_t i = 0; i < n; ++i) {
+    if (auto h = prefix_cache_.Get(sqls[i])) {
+      hit[i] = std::move(h);
+      continue;
     }
+    auto [it, inserted] =
+        miss_index.emplace(sqls[i], static_cast<int>(miss_sqls.size()));
+    if (inserted) miss_sqls.push_back(sqls[i]);
+    miss_of[i] = it->second;
   }
-  std::vector<CachedQuery> computed(missing.size());
-  std::vector<char> ok(missing.size(), 0);
-  ParallelFor(0, static_cast<int64_t>(missing.size()), 1,
+  // Compute missing frozen prefixes in parallel into per-query slots (the
+  // cache itself is not touched from worker threads).
+  std::vector<CachedQuery> computed(miss_sqls.size());
+  std::vector<Status> miss_status(miss_sqls.size());
+  ParallelFor(0, static_cast<int64_t>(miss_sqls.size()), 1,
               [&](int64_t b0, int64_t b1) {
                 for (int64_t m = b0; m < b1; ++m) {
-                  ok[static_cast<size_t>(m)] = ComputeQuery(
-                      sqls[static_cast<size_t>(
-                          missing[static_cast<size_t>(m)])],
-                      &computed[static_cast<size_t>(m)]);
+                  miss_status[static_cast<size_t>(m)] =
+                      ComputeQuery(miss_sqls[static_cast<size_t>(m)],
+                                   &computed[static_cast<size_t>(m)]);
                 }
               });
-  // Serial cache insertion in query order (duplicates collapse here).
-  for (size_t m = 0; m < missing.size(); ++m) {
-    if (!ok[m]) continue;
-    prefix_cache_.emplace(sqls[static_cast<size_t>(missing[m])],
-                          std::move(computed[m]));
+  // Serial cache insertion in first-occurrence order.
+  for (size_t m = 0; m < miss_sqls.size(); ++m) {
+    if (miss_status[m].ok()) prefix_cache_.Put(miss_sqls[m], computed[m]);
   }
-  // Pass 2: per-query read-outs in parallel — well-formed queries resolve
-  // through the now read-only cache; each output slot is independent.
-  std::vector<nn::Tensor> out(sqls.size());
-  ParallelFor(0, static_cast<int64_t>(sqls.size()), 1,
-              [&](int64_t b0, int64_t b1) {
-                for (int64_t i = b0; i < b1; ++i) {
-                  auto it = prefix_cache_.find(sqls[static_cast<size_t>(i)]);
-                  if (it != prefix_cache_.end()) {
-                    out[static_cast<size_t>(i)] = ReadOut(it->second);
-                  }
-                }
-              });
-  // Malformed queries share the zero-row fallback entry; handle serially.
-  for (size_t i = 0; i < sqls.size(); ++i) {
-    if (!out[i].defined()) out[i] = ReadOut(Prefix(sqls[i]));
-  }
+  // Per-query read-outs in parallel; each output slot is independent, so
+  // scheduling cannot change bits.
+  std::vector<nn::Tensor> tensors(n);
+  ParallelFor(0, static_cast<int64_t>(n), 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t i = b0; i < b1; ++i) {
+      const size_t s = static_cast<size_t>(i);
+      const CachedQuery* entry = nullptr;
+      if (hit[s]) {
+        entry = &*hit[s];
+      } else if (miss_status[static_cast<size_t>(miss_of[s])].ok()) {
+        entry = &computed[static_cast<size_t>(miss_of[s])];
+      }
+      if (entry != nullptr) tensors[s] = ReadOut(*entry);
+    }
+  });
   model_->set_train(false);
+  std::vector<StatusOr<nn::Tensor>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (tensors[i].defined()) {
+      out.push_back(std::move(tensors[i]));
+    } else {
+      out.push_back(miss_status[static_cast<size_t>(miss_of[i])]);
+    }
+  }
+  return out;
+}
+
+std::vector<nn::Tensor> PreqrEncoder::EncodeVectorBatch(
+    const std::vector<std::string>& sqls, bool train) {
+  auto results = TryEncodeVectorBatch(sqls, train);
+  std::vector<nn::Tensor> out;
+  out.reserve(results.size());
+  for (auto& r : results) {
+    if (r.ok()) {
+      out.push_back(std::move(r).value());
+    } else {
+      model_->set_train(train);
+      out.push_back(ReadOut(ZeroEntry()));
+      model_->set_train(false);
+    }
+  }
   return out;
 }
 
 nn::Tensor PreqrEncoder::EncodeSequence(const std::string& sql, bool train) {
   model_->set_train(train);
-  auto enc = model_->LastLayer(Prefix(sql).prefix, schema_);
+  auto cached = Prefix(sql);
+  auto enc = model_->LastLayer(
+      cached.ok() ? cached.value().prefix : ZeroEntry().prefix, schema_);
   model_->set_train(false);
   return enc.tokens;  // [S, d]
 }

@@ -2,10 +2,11 @@
 #define PREQR_TASKS_PREQR_ENCODER_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "baselines/encoder.h"
+#include "common/lru_cache.h"
+#include "common/status.h"
 #include "core/preqr_model.h"
 
 namespace preqr::tasks {
@@ -13,20 +14,38 @@ namespace preqr::tasks {
 // Adapts a pre-trained PreqrModel to the downstream encoder interfaces.
 // Fine-tuning follows the paper: only the *last* SQLBERT (Trm_g) layer
 // trains together with the task head; everything below is frozen, so the
-// frozen prefix of each query is computed once and cached.
+// frozen prefix of each query is computed once and cached in a sharded,
+// size-bounded LRU (a frequent-query workload keeps re-visiting the same
+// statements, so a bounded cache captures the hits without growing with
+// the query log).
 class PreqrEncoder : public baselines::QueryEncoder,
                      public baselines::SequenceEncoder {
  public:
+  struct Options {
+    // Total frozen-prefix entries held across all shards.
+    size_t cache_capacity = 4096;
+    int cache_shards = 8;
+  };
+
   explicit PreqrEncoder(core::PreqrModel* model);
+  PreqrEncoder(core::PreqrModel* model, Options options);
 
   nn::Tensor EncodeVector(const std::string& sql, bool train) override;
   nn::Tensor EncodeSequence(const std::string& sql, bool train) override;
+  // Status-propagating entry points: malformed SQL returns the parse error
+  // instead of the zero fallback that EncodeVector keeps for the task
+  // loops.
+  StatusOr<nn::Tensor> TryEncodeVector(const std::string& sql,
+                                       bool train) override;
   // Batched entry point: computes missing frozen prefixes and the per-query
-  // read-outs across the global thread pool. Output i is bitwise-identical
-  // to EncodeVector(sqls[i], train) — each query's computation is
+  // read-outs across the global thread pool; duplicate queries collapse
+  // onto one computation. Output i is bitwise-identical to
+  // TryEncodeVector(sqls[i], train) — each query's computation is
   // independent, so scheduling cannot change results.
-  std::vector<nn::Tensor> EncodeVectorBatch(const std::vector<std::string>& sqls,
-                                            bool train);
+  std::vector<StatusOr<nn::Tensor>> TryEncodeVectorBatch(
+      const std::vector<std::string>& sqls, bool train) override;
+  std::vector<nn::Tensor> EncodeVectorBatch(
+      const std::vector<std::string>& sqls, bool train) override;
   std::vector<nn::Tensor> TrainableParameters() override;
   // Structured read-out: [CLS ; mean(all) ; mean-of-span-means ;
   // max-of-span-means ; mean(tables)] over the final token states.
@@ -35,8 +54,13 @@ class PreqrEncoder : public baselines::QueryEncoder,
   std::string name() const override { return "PreQR"; }
   void BeginStep(bool train) override;
 
-  // Drops cached prefixes (e.g. after further pre-training of the model).
-  void InvalidateCache();
+  // Drops cached prefixes and re-encodes the frozen schema nodes (call
+  // after further pre-training / incremental updates of the model).
+  void InvalidateCache() override;
+
+  // Prefix-cache observability (cache sizing, serving dashboards, tests).
+  LruCacheStats cache_stats() const { return prefix_cache_.stats(); }
+  size_t cached_queries() const { return prefix_cache_.size(); }
 
  private:
   struct CachedQuery {
@@ -47,18 +71,20 @@ class PreqrEncoder : public baselines::QueryEncoder,
     std::vector<std::vector<int>> predicate_spans;
     std::vector<int> table_rows;
   };
-  const CachedQuery& Prefix(const std::string& sql);
+  // Cache-through lookup: returns the cached entry or computes + inserts
+  // it; malformed queries propagate the parse error.
+  StatusOr<CachedQuery> Prefix(const std::string& sql);
   // Computes the frozen prefix + span structure for one query without
   // touching the cache (safe to call from several threads at once).
-  // Returns false for malformed queries.
-  bool ComputeQuery(const std::string& sql, CachedQuery* out);
+  Status ComputeQuery(const std::string& sql, CachedQuery* out);
   // The structured read-out over one cached query (no set_train calls).
   nn::Tensor ReadOut(const CachedQuery& cached);
+  // Zero-row entry used by the legacy fallback for malformed queries.
+  CachedQuery ZeroEntry() const;
 
   core::PreqrModel* model_;
   nn::Tensor schema_;  // detached schema node encodings
-  std::unordered_map<std::string, CachedQuery> prefix_cache_;
-  CachedQuery empty_;
+  ShardedLruCache<std::string, CachedQuery> prefix_cache_;
 };
 
 }  // namespace preqr::tasks

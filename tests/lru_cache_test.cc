@@ -1,0 +1,144 @@
+// Sharded LRU cache: eviction order, shard independence, statistics, and
+// concurrent get/put hammering (the latter is re-run under SANITIZE=thread
+// by scripts/check.sh).
+#include "common/lru_cache.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace preqr {
+namespace {
+
+TEST(ShardedLruCacheTest, GetReturnsWhatPutStored) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/8, /*num_shards=*/2);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_TRUE(cache.Get("a").has_value());
+  EXPECT_EQ(*cache.Get("a"), 1);
+  EXPECT_EQ(*cache.Get("b"), 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so the whole capacity shares one recency order.
+  ShardedLruCache<int, int> cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  // Touch 1: recency order is now 1, 3, 2 — inserting 4 must evict 2.
+  ASSERT_TRUE(cache.Get(1).has_value());
+  cache.Put(4, 40);
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, OverwriteRefreshesRecencyWithoutGrowth) {
+  ShardedLruCache<int, int> cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // overwrite: 1 becomes most recent, size stays 2
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Put(3, 30);  // evicts 2, not 1
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(*cache.Get(1), 11);
+}
+
+TEST(ShardedLruCacheTest, ShardsEvictIndependently) {
+  // 4 shards x 2 entries. Overfilling one shard evicts only within it;
+  // entries on other shards survive regardless of global insertion order.
+  ShardedLruCache<int, int> cache(/*capacity=*/8, /*num_shards=*/4);
+  ASSERT_EQ(cache.shard_capacity(), 2u);
+  const int target = cache.ShardIndex(0);
+  std::vector<int> same_shard, other_shard;
+  for (int k = 0; same_shard.size() < 3 || other_shard.size() < 2; ++k) {
+    if (cache.ShardIndex(k) == target) {
+      same_shard.push_back(k);
+    } else {
+      other_shard.push_back(k);
+    }
+  }
+  cache.Put(other_shard[0], 0);
+  cache.Put(other_shard[1], 1);
+  for (int k : same_shard) cache.Put(k, k);  // third insert overfills
+  EXPECT_FALSE(cache.Contains(same_shard[0]));  // evicted within its shard
+  EXPECT_TRUE(cache.Contains(same_shard[1]));
+  EXPECT_TRUE(cache.Contains(same_shard[2]));
+  EXPECT_TRUE(cache.Contains(other_shard[0]));  // untouched shards keep all
+  EXPECT_TRUE(cache.Contains(other_shard[1]));
+}
+
+TEST(ShardedLruCacheTest, CapacitySmallerThanShardCountClamps) {
+  ShardedLruCache<int, int> cache(/*capacity=*/2, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 2);
+  EXPECT_GE(cache.shard_capacity(), 1u);
+  for (int k = 0; k < 16; ++k) cache.Put(k, k);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntriesKeepsStats) {
+  ShardedLruCache<int, int> cache(/*capacity=*/4, /*num_shards=*/2);
+  cache.Put(1, 1);
+  (void)cache.Get(1);
+  (void)cache.Get(99);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Contains(1));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ShardedLruCacheTest, StatsCountHitsAndMisses) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/4);
+  cache.Put("x", 1);
+  (void)cache.Get("x");
+  (void)cache.Get("x");
+  (void)cache.Get("missing");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentGetPutHammering) {
+  // 8 threads hammer a small key space with value = key * 7. Any Get that
+  // returns a value must return the one value ever written for that key,
+  // and the size bound must hold afterwards. TSAN (scripts/check.sh)
+  // checks the locking.
+  ShardedLruCache<int, int> cache(/*capacity=*/32, /*num_shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  constexpr int kKeys = 64;
+  std::vector<std::thread> threads;
+  std::atomic<int> bad{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const int key = (i * 13 + t * 31) % kKeys;
+        if ((i + t) % 3 == 0) {
+          cache.Put(key, key * 7);
+        } else if (auto v = cache.Get(key)) {
+          if (*v != key * 7) bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LE(cache.size(), cache.capacity());
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace preqr

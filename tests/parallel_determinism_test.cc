@@ -12,6 +12,7 @@
 #include "core/pretrain.h"
 #include "db/stats.h"
 #include "schema/schema_graph.h"
+#include "serving/encoder_service.h"
 #include "tasks/preqr_encoder.h"
 #include "workload/imdb.h"
 #include "workload/query_gen.h"
@@ -116,6 +117,49 @@ TEST(ParallelDeterminismTest, BatchedEncoderBitwiseIdenticalAcrossThreads) {
     for (size_t q = 0; q < sqls.size(); ++q) {
       ExpectBitwiseEqual(per_threads[0][q], per_threads[t][q],
                          "batched encoder output");
+    }
+  }
+  ThreadPool::SetGlobalThreads(0);
+}
+
+// The serving layer's contract: whether a result comes from a cold encode,
+// a coalesced micro-batch, or the embedding cache, it is bitwise-identical
+// to EncodeVector(sql, false) on the wrapped encoder — at every thread
+// count.
+TEST(ParallelDeterminismTest, ServedEmbeddingsBitwiseIdenticalAcrossThreads) {
+  std::vector<std::string> sqls(E().corpus.begin(), E().corpus.begin() + 8);
+  std::vector<std::vector<std::vector<float>>> per_threads;
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalThreads(threads);
+    PreqrModel model = E().MakeModel();
+    tasks::PreqrEncoder reference(&model);
+    tasks::PreqrEncoder wrapped(&model);
+    serving::EncoderService service(&wrapped);
+    std::vector<std::vector<float>> outputs;
+    // Cold pass (misses, dispatched as micro-batches), then warm pass
+    // (cache hits): both must reproduce the direct encode bit-for-bit.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& sql : sqls) {
+        auto served = service.Encode(sql);
+        ASSERT_TRUE(served.ok()) << served.status().ToString();
+        nn::Tensor direct = reference.EncodeVector(sql, /*train=*/false);
+        ExpectBitwiseEqual(direct.vec(), served.value().vec(),
+                           pass == 0 ? "cold serve" : "cache hit");
+        if (pass == 0) outputs.push_back(served.value().vec());
+      }
+    }
+    // EncodeBatch takes the deduped-batch path; same bits required.
+    auto batch = service.EncodeBatch(sqls);
+    for (size_t q = 0; q < sqls.size(); ++q) {
+      ASSERT_TRUE(batch[q].ok());
+      ExpectBitwiseEqual(outputs[q], batch[q].value().vec(), "served batch");
+    }
+    per_threads.push_back(std::move(outputs));
+  }
+  for (size_t t = 1; t < per_threads.size(); ++t) {
+    for (size_t q = 0; q < sqls.size(); ++q) {
+      ExpectBitwiseEqual(per_threads[0][q], per_threads[t][q],
+                         "served embedding across thread counts");
     }
   }
   ThreadPool::SetGlobalThreads(0);

@@ -1,0 +1,299 @@
+// EncoderService: cache hits bitwise-identical to direct encodes, Status
+// (not a crash) on malformed SQL end-to-end, stale-cache invalidation
+// after model updates, micro-batch coalescing under concurrency, and the
+// metrics text dump. The concurrency tests are re-run under
+// SANITIZE=thread by scripts/check.sh.
+#include "serving/encoder_service.h"
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automaton/template_extractor.h"
+#include "core/pretrain.h"
+#include "db/stats.h"
+#include "schema/schema_graph.h"
+#include "tasks/preqr_encoder.h"
+#include "workload/imdb.h"
+#include "workload/query_gen.h"
+
+namespace preqr::serving {
+namespace {
+
+struct Env {
+  db::Database imdb = workload::MakeImdbDatabase(7, 0.02);
+  std::vector<db::TableStats> stats;
+  std::unique_ptr<text::SqlTokenizer> tokenizer;
+  automaton::Automaton fa;
+  schema::SchemaGraph graph;
+  std::vector<std::string> corpus;
+
+  Env() {
+    db::StatsCollector collector;
+    stats = collector.AnalyzeAll(imdb);
+    tokenizer = std::make_unique<text::SqlTokenizer>(imdb.catalog(), stats, 8);
+    workload::ImdbQueryGenerator gen(imdb, 3);
+    std::unordered_set<std::string> seen;
+    for (const auto& q : gen.Synthetic(16, 2)) {
+      if (seen.insert(q.sql).second) corpus.push_back(q.sql);
+    }
+    automaton::TemplateExtractor extractor(0.2);
+    fa = extractor.BuildAutomaton(corpus);
+    graph = schema::SchemaGraph::Build(imdb.catalog());
+  }
+  core::PreqrModel MakeModel() {
+    core::PreqrConfig config;
+    config.d_model = 32;
+    config.ffn_hidden = 64;
+    return core::PreqrModel(config, tokenizer.get(), &fa, &graph, 17);
+  }
+};
+
+Env& E() {
+  static Env* env = new Env();
+  return *env;
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (a.empty()) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << ": bitwise mismatch";
+}
+
+TEST(EncoderServiceTest, EncodeMatchesUnderlyingEncoderBitwise) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder reference(&model);
+  tasks::PreqrEncoder wrapped(&model);
+  EncoderService service(&wrapped);
+  for (const auto& sql : E().corpus) {
+    auto served = service.Encode(sql);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    nn::Tensor direct = reference.EncodeVector(sql, /*train=*/false);
+    ExpectBitwiseEqual(direct.vec(), served.value().vec(), "cold serve");
+  }
+  // Second pass: every request is a cache hit and still identical.
+  const uint64_t misses = service.metrics().cache_misses.value();
+  for (const auto& sql : E().corpus) {
+    auto served = service.Encode(sql);
+    ASSERT_TRUE(served.ok());
+    nn::Tensor direct = reference.EncodeVector(sql, /*train=*/false);
+    ExpectBitwiseEqual(direct.vec(), served.value().vec(), "cache hit");
+  }
+  EXPECT_EQ(service.metrics().cache_misses.value(), misses);
+  EXPECT_EQ(service.metrics().cache_hits.value(), E().corpus.size());
+  EXPECT_GT(service.metrics().CacheHitRate(), 0.0);
+}
+
+// Regression: garbage SQL must propagate a Status end-to-end (tokenizer →
+// PreqrEncoder::ComputeQuery → EncoderService) — no CHECK crash, no zero
+// vector masquerading as an embedding.
+TEST(EncoderServiceTest, MalformedSqlReturnsStatusEndToEnd) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder encoder(&model);
+  EncoderService service(&encoder);
+  const std::vector<std::string> garbage = {
+      "not a query !!",
+      "SELECT FROM WHERE ;;;",
+      ")(*&^%$#@",
+      "DROP TABLE title",
+      "",
+  };
+  for (const auto& sql : garbage) {
+    auto direct = encoder.TryEncodeVector(sql, /*train=*/false);
+    EXPECT_FALSE(direct.ok()) << sql;
+    auto served = service.Encode(sql);
+    ASSERT_FALSE(served.ok()) << sql;
+    EXPECT_FALSE(served.status().message().empty());
+  }
+  EXPECT_EQ(service.metrics().errors.value(), garbage.size());
+  // Mixed batch: bad slots fail, good slots still encode.
+  std::vector<std::string> mixed = {E().corpus[0], garbage[0], E().corpus[1]};
+  auto results = service.EncodeBatch(mixed);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(EncoderServiceTest, EncodeBatchCollapsesDuplicatesAndHitsCache) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder reference(&model);
+  tasks::PreqrEncoder wrapped(&model);
+  EncoderService service(&wrapped);
+  std::vector<std::string> sqls = {E().corpus[0], E().corpus[1],
+                                   E().corpus[0], E().corpus[2],
+                                   E().corpus[1]};
+  auto results = service.EncodeBatch(sqls);
+  ASSERT_EQ(results.size(), sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    nn::Tensor direct = reference.EncodeVector(sqls[i], /*train=*/false);
+    ExpectBitwiseEqual(direct.vec(), results[i].value().vec(), "batch slot");
+  }
+  // Only the 3 distinct queries reached the encoder, as one micro-batch.
+  EXPECT_EQ(service.metrics().batched_queries.value(), 3u);
+  EXPECT_EQ(service.metrics().batches.value(), 1u);
+  // The probe precedes the encode, so every first-pass slot was a miss.
+  EXPECT_EQ(service.metrics().cache_misses.value(), sqls.size());
+  // Re-encoding the same workload is all hits, no further batches.
+  (void)service.EncodeBatch(sqls);
+  EXPECT_EQ(service.metrics().batches.value(), 1u);
+  EXPECT_EQ(service.metrics().cache_hits.value(), sqls.size());
+}
+
+// The satellite bugfix: a cache populated before further pre-training is
+// stale — InvalidateCache must actually drop it.
+TEST(EncoderServiceTest, StaleCacheDroppedOnInvalidate) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder encoder(&model);
+  EncoderService service(&encoder);
+  const std::string& probe = E().corpus[0];
+  auto before = service.Encode(probe);
+  ASSERT_TRUE(before.ok());
+
+  // Further pre-training changes every layer the cached prefix depends on.
+  core::Pretrainer::Options opt;
+  opt.epochs = 1;
+  opt.batch_size = 8;
+  core::Pretrainer(model, opt).Train(E().corpus);
+
+  // Without invalidation the service still serves the stale bits — that is
+  // exactly the bug the invalidation hook exists for.
+  auto stale = service.Encode(probe);
+  ASSERT_TRUE(stale.ok());
+  ExpectBitwiseEqual(before.value().vec(), stale.value().vec(),
+                     "stale cache persists until invalidated");
+
+  service.InvalidateCache();
+  EXPECT_EQ(service.cached_embeddings(), 0u);
+  auto fresh = service.Encode(probe);
+  ASSERT_TRUE(fresh.ok());
+  // The re-encode matches a from-scratch encoder over the updated model...
+  tasks::PreqrEncoder rebuilt(&model);
+  nn::Tensor expected = rebuilt.EncodeVector(probe, /*train=*/false);
+  ExpectBitwiseEqual(expected.vec(), fresh.value().vec(),
+                     "post-invalidate re-encode");
+  // ...and differs from the stale value (training actually moved it).
+  ASSERT_EQ(before.value().vec().size(), fresh.value().vec().size());
+  EXPECT_NE(std::memcmp(before.value().vec().data(),
+                        fresh.value().vec().data(),
+                        fresh.value().vec().size() * sizeof(float)),
+            0);
+  EXPECT_EQ(service.metrics().invalidations.value(), 1u);
+}
+
+TEST(EncoderServiceTest, LruEvictionBoundsServedEmbeddings) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder encoder(&model);
+  EncoderServiceOptions options;
+  options.cache_capacity = 2;
+  options.cache_shards = 1;
+  EncoderService service(&encoder, options);
+  ASSERT_GE(E().corpus.size(), 3u);
+  for (int i = 0; i < 3; ++i) (void)service.Encode(E().corpus[i]);
+  EXPECT_LE(service.cached_embeddings(), 2u);
+  // corpus[0] was evicted: encoding it again is a miss, not a hit.
+  const uint64_t misses = service.metrics().cache_misses.value();
+  (void)service.Encode(E().corpus[0]);
+  EXPECT_EQ(service.metrics().cache_misses.value(), misses + 1);
+}
+
+TEST(EncoderServiceTest, ConcurrentEncodesCoalesceAndStayIdentical) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder reference(&model);
+  tasks::PreqrEncoder wrapped(&model);
+  EncoderServiceOptions options;
+  options.batch_window = std::chrono::microseconds(200);
+  EncoderService service(&wrapped, options);
+
+  // Serial reference bits per query.
+  std::vector<std::vector<float>> expected;
+  for (const auto& sql : E().corpus) {
+    expected.push_back(reference.EncodeVector(sql, /*train=*/false).vec());
+  }
+  // 8 threads, each encoding the whole corpus in a different order; the
+  // queries repeat across threads so hits, misses, and coalesced batches
+  // all occur.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const size_t n = E().corpus.size();
+      for (size_t k = 0; k < n; ++k) {
+        const size_t q = (k * 5 + static_cast<size_t>(t)) % n;
+        auto result = service.Encode(E().corpus[q]);
+        if (!result.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto& got = result.value().vec();
+        if (got.size() != expected[q].size() ||
+            std::memcmp(got.data(), expected[q].data(),
+                        got.size() * sizeof(float)) != 0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto& m = service.metrics();
+  EXPECT_EQ(m.requests.value(),
+            static_cast<uint64_t>(kThreads) * E().corpus.size());
+  EXPECT_EQ(m.cache_hits.value() + m.cache_misses.value(),
+            m.requests.value());
+  // Every miss went through a dispatched micro-batch.
+  EXPECT_EQ(m.batched_queries.value(), m.cache_misses.value());
+  EXPECT_GE(m.batches.value(), 1u);
+}
+
+TEST(EncoderServiceTest, MetricsDumpExposesCountersAndLatencies) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder encoder(&model);
+  EncoderService service(&encoder);
+  (void)service.Encode(E().corpus[0]);
+  (void)service.Encode(E().corpus[0]);
+  (void)service.Encode("not a query !!");
+  const std::string dump = service.metrics().DumpText();
+  for (const char* key :
+       {"serving_requests_total 3", "serving_cache_hits_total 1",
+        "serving_cache_misses_total 2", "serving_errors_total 1",
+        "serving_cache_hit_rate", "serving_batches_total",
+        "serving_batch_size_mean", "serving_encode_latency_us_p50",
+        "serving_hit_latency_us_p99"}) {
+    EXPECT_NE(dump.find(key), std::string::npos) << "missing: " << key
+                                                 << "\n" << dump;
+  }
+  EXPECT_EQ(service.name(), "serving(PreQR)");
+  EXPECT_EQ(service.dim(), encoder.dim());
+}
+
+// The PreqrEncoder's own prefix cache is LRU-bounded now; hammer it past
+// capacity and verify the bound plus hit/miss accounting.
+TEST(PreqrEncoderCacheTest, PrefixCacheBoundedAndCounted) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder::Options options;
+  options.cache_capacity = 4;
+  options.cache_shards = 2;
+  tasks::PreqrEncoder encoder(&model, options);
+  for (const auto& sql : E().corpus) {
+    (void)encoder.EncodeVector(sql, /*train=*/false);
+  }
+  EXPECT_LE(encoder.cached_queries(), size_t{4});
+  const auto stats = encoder.cache_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GE(stats.misses, E().corpus.size());
+}
+
+}  // namespace
+}  // namespace preqr::serving
