@@ -11,6 +11,8 @@
 #include "core/preqr_model.h"
 #include "db/executor.h"
 #include "db/stats.h"
+#include "nn/buffer_pool.h"
+#include "nn/kernels.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "schema/schema_graph.h"
@@ -101,6 +103,59 @@ void BM_PreqrEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_PreqrEncode);
 
+// --- Grad-mode / storage layer ------------------------------------------
+// The same encoder forward with the tape on vs. off. The no-grad path skips
+// every parents/grad_fn allocation and draws activations from the
+// thread-local BufferPool; `impls` and `pool_reuse` counters quantify the
+// allocation savings per encode (the impls gap is all tape bookkeeping the
+// inference path no longer pays for).
+
+void EncodeForwardOnce(tasks::PreqrEncoder& encoder) {
+  benchmark::DoNotOptimize(encoder.TryEncodeVector(kQuery, /*train=*/false));
+}
+
+void BM_EncodeNoGrad(benchmark::State& state) {
+  tasks::PreqrEncoder::Options options;
+  options.cache_capacity = 1;  // prefix re-encoded every iteration
+  options.cache_shards = 1;
+  tasks::PreqrEncoder encoder(S().model.get(), options);
+  encoder.InvalidateCache();
+  const uint64_t impls0 = nn::TensorImplsCreated();
+  const nn::BufferPoolStats pool0 = nn::BufferPool::TotalStats();
+  for (auto _ : state) {
+    encoder.InvalidateCache();
+    EncodeForwardOnce(encoder);
+  }
+  const nn::BufferPoolStats pool1 = nn::BufferPool::TotalStats();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["impls_per_encode"] =
+      static_cast<double>(nn::TensorImplsCreated() - impls0) / iters;
+  state.counters["pool_reuse_per_encode"] =
+      static_cast<double>(pool1.reuses - pool0.reuses) / iters;
+  state.counters["heap_allocs_per_encode"] =
+      static_cast<double>(pool1.allocs - pool0.allocs) / iters;
+}
+BENCHMARK(BM_EncodeNoGrad);
+
+void BM_EncodeTapeOn(benchmark::State& state) {
+  tasks::PreqrEncoder::Options options;
+  options.cache_capacity = 1;
+  options.cache_shards = 1;
+  tasks::PreqrEncoder encoder(S().model.get(), options);
+  encoder.InvalidateCache();
+  const uint64_t impls0 = nn::TensorImplsCreated();
+  for (auto _ : state) {
+    encoder.InvalidateCache();
+    // train=true keeps the tape through the read-out; backward not run, so
+    // the delta vs. BM_EncodeNoGrad is pure tape + allocation overhead.
+    benchmark::DoNotOptimize(encoder.TryEncodeVector(kQuery, /*train=*/true));
+  }
+  state.counters["impls_per_encode"] =
+      static_cast<double>(nn::TensorImplsCreated() - impls0) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_EncodeTapeOn);
+
 // --- Serving layer ------------------------------------------------------
 // Cache hit vs cold encode through the EncoderService: the hit path is a
 // sharded-LRU lookup plus one tensor copy, the cold path pays the full
@@ -146,6 +201,24 @@ BENCHMARK(BM_ServingColdEncode);
 // --- Parallel tensor kernels -------------------------------------------
 // Shapes are sized so the per-row work comfortably exceeds the pool grain;
 // with PREQR_NUM_THREADS=1 these run the exact legacy serial path.
+
+// The raw kernel with no Tensor wrapper, tape check, or shape assertion:
+// the floor the op-level BM_MatMulForward is measured against.
+void BM_MatMulKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(10);
+  const size_t elems = static_cast<size_t>(n) * static_cast<size_t>(n);
+  std::vector<float> a(elems), b(elems), out(elems, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : b) v = static_cast<float>(rng.NextGaussian());
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);  // kernel accumulates into out
+    nn::kernels::MatMulForward(a.data(), b.data(), out.data(), n, n, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulKernel)->Arg(96)->Arg(192);
 
 void BM_MatMulForward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

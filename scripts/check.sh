@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification + thread-sanitizer pass over the parallel subsystem.
 #
-#   scripts/check.sh           # tier-1 build + full ctest, then TSAN build
-#   SKIP_TSAN=1 scripts/check.sh   # tier-1 only
+#   scripts/check.sh           # tier-1 build + full ctest, then TSAN +
+#                              # pool-debug builds
+#   SKIP_TSAN=1 scripts/check.sh        # skip the TSAN stage
+#   SKIP_POOL_DEBUG=1 scripts/check.sh  # skip the pool-poison stage
 #
 # The TSAN stage rebuilds with -DSANITIZE=thread into build-tsan/ and runs
 # the thread-pool and parallel-determinism suites (the tests that exercise
-# concurrent kernel execution).
+# concurrent kernel execution). The pool-debug stage rebuilds with
+# -DPREQR_POOL_DEBUG=ON (recycled buffers poisoned with NaN on release) and
+# runs the tensor/ops/serving suites to prove nothing reads a recycled
+# buffer before its zero-fill.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,22 +22,39 @@ cmake --build build -j
 
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSAN stage skipped (SKIP_TSAN=1) =="
-  exit 0
+else
+  echo "== TSAN: thread_pool, lru_cache, serving, determinism, nn_ops_grad, grad_mode, buffer_pool =="
+  cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target thread_pool_test \
+    --target lru_cache_test --target serving_test \
+    --target parallel_determinism_test --target nn_ops_grad_test \
+    --target grad_mode_test --target buffer_pool_test
+  # Force a multi-threaded pool so races are actually exercised even on
+  # single-core CI machines; TSAN halts on the first detected race.
+  export PREQR_NUM_THREADS=8
+  export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+  ./build-tsan/tests/thread_pool_test
+  ./build-tsan/tests/lru_cache_test
+  ./build-tsan/tests/serving_test
+  ./build-tsan/tests/parallel_determinism_test
+  ./build-tsan/tests/nn_ops_grad_test --gtest_filter='ParallelOpsGradTest.*'
+  # Death tests fork, which TSAN dislikes; the abort paths are covered in
+  # the tier-1 run above.
+  ./build-tsan/tests/grad_mode_test --gtest_filter='-*DeathTest*'
+  ./build-tsan/tests/buffer_pool_test
 fi
 
-echo "== TSAN: thread_pool, lru_cache, serving, determinism, nn_ops_grad =="
-cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target thread_pool_test \
-  --target lru_cache_test --target serving_test \
-  --target parallel_determinism_test --target nn_ops_grad_test
-# Force a multi-threaded pool so races are actually exercised even on
-# single-core CI machines; TSAN halts on the first detected race.
-export PREQR_NUM_THREADS=8
-export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-./build-tsan/tests/thread_pool_test
-./build-tsan/tests/lru_cache_test
-./build-tsan/tests/serving_test
-./build-tsan/tests/parallel_determinism_test
-./build-tsan/tests/nn_ops_grad_test --gtest_filter='ParallelOpsGradTest.*'
+if [[ "${SKIP_POOL_DEBUG:-0}" != "1" ]]; then
+  echo "== POOL_DEBUG: NaN-poisoned buffer recycling =="
+  cmake -B build-pooldebug -S . -DPREQR_POOL_DEBUG=ON >/dev/null
+  cmake --build build-pooldebug -j --target nn_tensor_test \
+    --target nn_ops_grad_test --target grad_mode_test \
+    --target buffer_pool_test --target serving_test
+  ./build-pooldebug/tests/nn_tensor_test
+  ./build-pooldebug/tests/nn_ops_grad_test
+  ./build-pooldebug/tests/grad_mode_test
+  ./build-pooldebug/tests/buffer_pool_test
+  ./build-pooldebug/tests/serving_test
+fi
 
 echo "== all checks passed =="

@@ -1,6 +1,7 @@
 #include "core/preqr_model.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace preqr::core {
 
@@ -87,22 +88,19 @@ PreqrModel::PreqrModel(PreqrConfig config, const text::SqlTokenizer* tokenizer,
 Tensor PreqrModel::EncodeSchemaNodes(bool with_grad) {
   // Eq. 1-2: BiLSTM over the name tokens of each vertex, summary =
   // Concat(fwd last, rev first); then R-GCN propagation (Eq. 3).
+  // Without grad the whole branch runs tape-free (no parents/grad_fn are
+  // ever allocated), so the result is already detached.
+  std::optional<nn::NoGradGuard> no_grad;
+  if (!with_grad) no_grad.emplace();
   std::vector<Tensor> summaries;
   summaries.reserve(node_name_ids_.size());
   for (const auto& ids : node_name_ids_) {
     Tensor name_emb = token_embedding_.Forward(ids);  // [T, d]
-    if (!with_grad) {
-      name_emb = Tensor::FromData(name_emb.shape(), name_emb.vec());
-    }
     summaries.push_back(name_lstm_.Forward(name_emb).summary);  // [1, 2h]
   }
   Tensor h = name_proj_.Forward(nn::ConcatRows(summaries));  // [N, d]
   for (const auto& layer : rgcn_) {
     h = layer->Forward(h, rel_edges_, rel_norms_);
-  }
-  if (!with_grad) {
-    // Detach: copy values into a fresh constant tensor.
-    h = Tensor::FromData(h.shape(), h.vec());
   }
   return h;
 }
@@ -172,13 +170,16 @@ Tensor PreqrModel::MlmLogits(const Tensor& token_states) const {
 Tensor PreqrModel::EncodePrefix(
     const text::SqlTokenizer::Tokenized& tokenized,
     const Tensor& schema_nodes_detached) {
+  // The prefix is frozen in the fine-tune-last-layer protocol, so the
+  // embedding + first L-1 layers always run tape-free; the result needs no
+  // copy-out-of-the-tape.
+  nn::NoGradGuard no_grad;
   Tensor h = EmbedInput(tokenized, {});
-  // Detach after the embedding + first L-1 layers: copy out of the tape.
   const Tensor schema = config_.use_schema ? schema_nodes_detached : Tensor();
   for (size_t l = 0; l + 1 < layers_.size(); ++l) {
     h = layers_[l]->Forward(h, schema);
   }
-  return Tensor::FromData(h.shape(), h.vec());
+  return h;
 }
 
 PreqrModel::Encoding PreqrModel::LastLayer(const Tensor& prefix_states,
@@ -199,11 +200,13 @@ Result<PreqrModel::Encoding> PreqrModel::Encode(const std::string& sql) {
   }
   const bool was_training = train_mode();
   set_train(false);
-  Encoding enc = Forward(tokenized.value(), cached_schema_);
+  Encoding enc;
+  {
+    // Inference: no tape, pooled intermediates; outputs are born detached.
+    nn::NoGradGuard no_grad;
+    enc = Forward(tokenized.value(), cached_schema_);
+  }
   set_train(was_training);
-  // Detach outputs for inference use.
-  enc.tokens = Tensor::FromData(enc.tokens.shape(), enc.tokens.vec());
-  enc.cls = Tensor::FromData(enc.cls.shape(), enc.cls.vec());
   return enc;
 }
 

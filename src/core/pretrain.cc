@@ -162,6 +162,9 @@ Pretrainer::EpochStats Pretrainer::Evaluate(
   std::vector<int> ex_correct(n_ex, 0), ex_masked(n_ex, 0);
   const int vocab = model_.vocab_size();
   ParallelFor(0, static_cast<int64_t>(n_ex), 1, [&](int64_t b0, int64_t b1) {
+    // GradMode is thread-local, so the guard goes inside the lambda: it
+    // covers pool workers and the caller thread alike.
+    nn::NoGradGuard no_grad;
     for (int64_t e = b0; e < b1; ++e) {
       const MaskedExample& ex = examples[static_cast<size_t>(e)];
       auto enc = model_.Forward(toks[static_cast<size_t>(e)], schema,

@@ -1,0 +1,120 @@
+#include "nn/buffer_pool.h"
+
+#include <atomic>
+#include <bit>
+#include <limits>
+#include <utility>
+
+namespace preqr::nn {
+
+namespace {
+
+std::atomic<bool> g_pool_enabled{true};
+
+// Cumulative across all threads (a thread's parked bytes are subtracted
+// back out when its pool is destroyed).
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_reuses{0};
+std::atomic<uint64_t> g_releases{0};
+std::atomic<uint64_t> g_discards{0};
+std::atomic<uint64_t> g_live_bytes{0};
+
+// Smallest b with 2^b >= n (n >= 1).
+int BucketForSize(size_t n) {
+  return static_cast<int>(std::bit_width(n - 1));
+}
+
+// Largest b with 2^b <= capacity, i.e. the bucket this buffer can serve.
+int BucketForCapacity(size_t capacity) {
+  return static_cast<int>(std::bit_width(capacity)) - 1;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::ThreadLocal() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+void BufferPool::set_enabled(bool enabled) {
+  g_pool_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool BufferPool::enabled() {
+  return g_pool_enabled.load(std::memory_order_relaxed);
+}
+
+BufferPoolStats BufferPool::TotalStats() {
+  BufferPoolStats s;
+  s.allocs = g_allocs.load(std::memory_order_relaxed);
+  s.reuses = g_reuses.load(std::memory_order_relaxed);
+  s.releases = g_releases.load(std::memory_order_relaxed);
+  s.discards = g_discards.load(std::memory_order_relaxed);
+  s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<float> BufferPool::Acquire(size_t n) {
+  if (n > 0 && enabled()) {
+    const int b = BucketForSize(n);
+    if (b < kNumBuckets && !free_[static_cast<size_t>(b)].empty()) {
+      auto& bucket = free_[static_cast<size_t>(b)];
+      std::vector<float> buf = std::move(bucket.back());
+      bucket.pop_back();
+      g_live_bytes.fetch_sub(buf.capacity() * sizeof(float),
+                             std::memory_order_relaxed);
+      g_reuses.fetch_add(1, std::memory_order_relaxed);
+      // The buffer was parked empty, so resize value-initializes all n
+      // elements — bitwise-identical to assign(n, 0.0f).
+      buf.resize(n);
+      return buf;
+    }
+  }
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  std::vector<float> buf;
+  if (n > 0) {
+    const int b = BucketForSize(n);
+    // Reserve the full bucket so the buffer re-enters bucket b on release
+    // instead of degrading to a smaller one.
+    if (b < kNumBuckets) buf.reserve(size_t{1} << b);
+    buf.resize(n);
+  }
+  return buf;
+}
+
+void BufferPool::Release(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  if (!enabled()) {
+    g_discards.fetch_add(1, std::memory_order_relaxed);
+    return;  // buf frees on scope exit
+  }
+  const int b = BucketForCapacity(buf.capacity());
+  if (b < 0 || b >= kNumBuckets ||
+      free_[static_cast<size_t>(b)].size() >= kMaxPerBucket) {
+    g_discards.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+#ifdef PREQR_POOL_DEBUG
+  // Poison so a dangling reader of this recycled buffer sees NaNs.
+  for (auto& v : buf) v = std::numeric_limits<float>::quiet_NaN();
+#endif
+  buf.clear();
+  g_live_bytes.fetch_add(buf.capacity() * sizeof(float),
+                         std::memory_order_relaxed);
+  g_releases.fetch_add(1, std::memory_order_relaxed);
+  free_[static_cast<size_t>(b)].push_back(std::move(buf));
+}
+
+void BufferPool::Clear() {
+  for (auto& bucket : free_) {
+    for (auto& buf : bucket) {
+      g_live_bytes.fetch_sub(buf.capacity() * sizeof(float),
+                             std::memory_order_relaxed);
+    }
+    bucket.clear();
+  }
+}
+
+BufferPool::~BufferPool() { Clear(); }
+
+}  // namespace preqr::nn

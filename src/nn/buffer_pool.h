@@ -1,0 +1,81 @@
+#ifndef PREQR_NN_BUFFER_POOL_H_
+#define PREQR_NN_BUFFER_POOL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace preqr::nn {
+
+// Cumulative allocation statistics across every thread's pool (relaxed
+// atomics; exact once the threads quiesce).
+struct BufferPoolStats {
+  uint64_t allocs = 0;     // Acquire() calls that heap-allocated
+  uint64_t reuses = 0;     // Acquire() calls served from a free list
+  uint64_t releases = 0;   // buffers returned and kept for reuse
+  uint64_t discards = 0;   // buffers returned but dropped (bucket full/odd)
+  uint64_t live_bytes = 0; // bytes currently parked in free lists
+};
+
+// Thread-local size-bucketed recycler for tensor backing stores.
+//
+// The storage stratum of the nn execution layer: no-grad tensor
+// allocations (see NewImpl in tensor.cc) draw their vector<float> from
+// here and return it when the TensorImpl dies, so a steady-state inference
+// loop stops hitting the heap for every intermediate. Buckets are
+// power-of-two capacities; an Acquire(n) pops from the smallest bucket
+// whose capacity covers n, so a recycled buffer round-trips into the same
+// bucket it came from. Returned buffers are cleared, and Acquire zero-fills
+// via resize(n), so pooled tensors are bitwise-identical to fresh
+// `assign(n, 0.0f)` allocations.
+//
+// Each thread owns its own pool (no locks); a buffer released on a
+// different thread than it was acquired on simply joins the releasing
+// thread's free lists. `set_enabled(false)` bypasses recycling globally
+// (used by the determinism tests to diff pooled vs. plain allocation).
+//
+// With -DPREQR_POOL_DEBUG every released buffer is poisoned with quiet
+// NaNs before it is parked, so a dangling reader of a recycled buffer
+// turns into NaN embeddings instead of silent stale data.
+class BufferPool {
+ public:
+  // The calling thread's pool (created on first use, destroyed at thread
+  // exit, returning its parked bytes to the heap).
+  static BufferPool& ThreadLocal();
+
+  // Global on/off switch for recycling (default on). When off, Acquire
+  // heap-allocates and Release frees — stats still count allocs/discards.
+  static void set_enabled(bool enabled);
+  static bool enabled();
+
+  // Sum of all threads' counters.
+  static BufferPoolStats TotalStats();
+
+  // A zero-filled vector of exactly n elements (capacity may be the
+  // bucket's power of two).
+  std::vector<float> Acquire(size_t n);
+
+  // Parks the backing store for reuse (or frees it if the bucket is full,
+  // the capacity is not worth keeping, or pooling is disabled).
+  void Release(std::vector<float>&& buf);
+
+  // Frees every parked buffer on this thread.
+  void Clear();
+
+  ~BufferPool();
+
+ private:
+  BufferPool() = default;
+
+  // Capacities 2^0 .. 2^(kNumBuckets-1); 2^23 floats = 32 MiB, far above
+  // any tensor this model allocates.
+  static constexpr int kNumBuckets = 24;
+  static constexpr size_t kMaxPerBucket = 16;
+
+  std::array<std::vector<std::vector<float>>, kNumBuckets> free_;
+};
+
+}  // namespace preqr::nn
+
+#endif  // PREQR_NN_BUFFER_POOL_H_

@@ -1,0 +1,150 @@
+#ifndef PREQR_NN_KERNELS_H_
+#define PREQR_NN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace preqr::nn {
+
+// Edge of a sparse aggregation (R-GCN) edge list: out[dst] += w * h[src].
+struct Edge {
+  int src;
+  int dst;
+};
+
+// Pure row-major float32 compute kernels. This is the bottom stratum of the
+// nn execution layer: no Tensor, no tape, no allocation beyond internal
+// scratch — just raw pointers/sizes in, values out. The tape-wiring in
+// ops.cc and the storage policy in buffer_pool.{h,cc} sit on top.
+//
+// Every kernel keeps the exact loop structure (including ParallelFor
+// partitioning and accumulation order) of the op it was extracted from, so
+// results are bitwise-identical to the pre-split implementation at every
+// thread count. Backward kernels all *accumulate* into their destination
+// (dst += ...), matching the tape's gradient-accumulation contract.
+namespace kernels {
+
+// --- Elementwise forward -------------------------------------------------
+void AddForward(const float* a, const float* b, float* out, size_t n);
+void SubForward(const float* a, const float* b, float* out, size_t n);
+void MulForward(const float* a, const float* b, float* out, size_t n);
+void ScaleForward(const float* a, float c, float* out, size_t n);
+void AddScalarForward(const float* a, float c, float* out, size_t n);
+// x: rows x d, bias: [d] broadcast over rows.
+void AddBiasForward(const float* x, const float* bias, float* out,
+                    size_t rows, int d);
+void ReluForward(const float* x, float* out, size_t n);
+void GeluForward(const float* x, float* out, size_t n);
+void TanhForward(const float* x, float* out, size_t n);
+void SigmoidForward(const float* x, float* out, size_t n);
+
+// --- Elementwise backward ------------------------------------------------
+void Accumulate(const float* g, float* dst, size_t n);     // dst += g
+void AccumulateNeg(const float* g, float* dst, size_t n);  // dst -= g
+// dst += g * other (elementwise)
+void AccumulateMul(const float* g, const float* other, float* dst, size_t n);
+void AccumulateScaled(const float* g, float c, float* dst, size_t n);
+void AccumulateConst(float g, float* dst, size_t n);  // dst += g
+// dbias[j] += sum_r g[r*d+j]; parallel over columns, row order per column.
+void AddBiasBackwardBias(const float* g, float* dbias, size_t rows, int d);
+void ReluBackward(const float* x, const float* g, float* dx, size_t n);
+void GeluBackward(const float* x, const float* g, float* dx, size_t n);
+// Tanh/Sigmoid derivatives read the forward *output* y.
+void TanhBackward(const float* y, const float* g, float* dx, size_t n);
+void SigmoidBackward(const float* y, const float* g, float* dx, size_t n);
+
+// --- Linear algebra ------------------------------------------------------
+// out (m x n) must be zero-filled on entry; a: m x k, b: k x n.
+void MatMulForward(const float* a, const float* b, float* out, int m, int k,
+                   int n);
+// da += g * b^T, db += a^T * g (g: m x n).
+void MatMulBackwardA(const float* g, const float* b, float* da, int m, int k,
+                     int n);
+void MatMulBackwardB(const float* a, const float* g, float* db, int m, int k,
+                     int n);
+void TransposeForward(const float* a, float* out, int m, int n);
+void TransposeBackward(const float* g, float* da, int m, int n);
+
+// --- Softmax / layer norm ------------------------------------------------
+void SoftmaxForward(const float* x, float* out, size_t rows, int d);
+// y is the forward output (softmax probabilities).
+void SoftmaxBackward(const float* y, const float* g, float* dx, size_t rows,
+                     int d);
+// xhat (n x d) and inv_std (n) are optional saved-for-backward outputs;
+// pass nullptr to skip storing them (no-grad forward).
+void LayerNormForward(const float* x, const float* gamma, const float* beta,
+                      float eps, float* out, float* xhat, float* inv_std,
+                      int n, int d);
+// dgamma[j] += sum_i g*xhat, dbeta[j] += sum_i g; parallel over columns.
+void LayerNormBackwardParams(const float* g, const float* xhat, float* dgamma,
+                             float* dbeta, int n, int d);
+void LayerNormBackwardInput(const float* g, const float* xhat,
+                            const float* inv_std, const float* gamma,
+                            float* dx, int n, int d);
+
+// --- Reductions ----------------------------------------------------------
+float SumForward(const float* x, size_t n);
+// out [d] must be zero-filled; x: n x d.
+void MeanRowsForward(const float* x, float* out, int n, int d);
+void MeanRowsBackward(const float* g, float invn, float* dx, int n, int d);
+// argmax [d] is optional (pass nullptr when no backward will run).
+void MaxRowsForward(const float* x, float* out, int* argmax, int n, int d);
+void MaxRowsBackward(const float* g, const int* argmax, float* dx, int d);
+// out [d] must be zero-filled; rows indexes into x (n x d), inv = 1/|rows|.
+void MeanRowsSubsetForward(const float* x, const std::vector<int>& rows,
+                           float inv, float* out, int d);
+void MeanRowsSubsetBackward(const float* g, const std::vector<int>& rows,
+                            float inv, float* dx, int d);
+
+// --- Copies (reshape / concat / slice) -----------------------------------
+void Copy(const float* src, float* dst, size_t n);
+// Copies `rows` rows of `width` floats; src advances by src_stride per row,
+// dst by dst_stride.
+void CopyRows(const float* src, size_t src_stride, float* dst,
+              size_t dst_stride, size_t rows, size_t width);
+// dst += g, row by row with independent strides.
+void AccumulateRows(const float* g, size_t g_stride, float* dst,
+                    size_t dst_stride, size_t rows, size_t width);
+
+// --- Lookup / graph ------------------------------------------------------
+// weight: vocab x d; out: |ids| x d. Checks 0 <= id < vocab.
+void GatherForward(const float* weight, int vocab, int d,
+                   const std::vector<int>& ids, float* out);
+// Embedding scatter grouped by destination row (deterministic; see ops.cc).
+void GatherBackward(const float* g, const std::vector<int>& ids, int d,
+                    float* dweight);
+// out (n x d) must be zero-filled: out[dst] += norm[e] * h[src].
+void SparseAggregateForward(const float* h, const std::vector<Edge>& edges,
+                            const std::vector<float>& norm, float* out, int d);
+void SparseAggregateBackward(const float* g, const std::vector<Edge>& edges,
+                             const std::vector<float>& norm, float* dh, int d);
+
+// --- Losses --------------------------------------------------------------
+// probs (n x c) receives the softmax of each row (needed by backward;
+// always written). Returns the mean loss over non-ignored rows and stores
+// their count in *valid_out.
+float CrossEntropyForward(const float* logits,
+                          const std::vector<int>& targets, int ignore_index,
+                          int n, int c, float* probs, int* valid_out);
+void CrossEntropyBackward(float g, const float* probs,
+                          const std::vector<int>& targets, int ignore_index,
+                          int n, int c, float* dlogits);
+float MseForward(const float* pred, const std::vector<float>& target);
+// dpred += g * (pred - target), g pre-scaled by 2/n.
+void MseBackward(float g, const float* pred, const std::vector<float>& target,
+                 float* dpred);
+
+// --- Dropout -------------------------------------------------------------
+// Draws one uniform per element from rng (serial; determinism depends on
+// it). mask is optional saved-for-backward output (nullptr skips).
+void DropoutForward(const float* x, float p, float scale, Rng& rng,
+                    float* out, float* mask, size_t n);
+void DropoutBackward(const float* g, const float* mask, float* dx, size_t n);
+
+}  // namespace kernels
+}  // namespace preqr::nn
+
+#endif  // PREQR_NN_KERNELS_H_

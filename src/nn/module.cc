@@ -40,6 +40,11 @@ void Module::RegisterChild(std::string name, Module* child) {
   children_.emplace_back(std::move(name), child);
 }
 
+void Module::set_train(bool train) {
+  train_ = train;
+  for (auto& [name, child] : children_) child->set_train(train);
+}
+
 // --- Linear -----------------------------------------------------------
 
 Linear::Linear(int in_features, int out_features, Rng& rng, bool bias)

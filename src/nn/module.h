@@ -24,7 +24,9 @@ class Module {
   // Total number of scalar parameters.
   Index NumParameters() const;
 
-  void set_train(bool train) { train_ = train; }
+  // Sets train/eval mode on this module and every registered child (so a
+  // parent switched to eval cannot leave a child's dropout on).
+  void set_train(bool train);
   bool train_mode() const { return train_; }
 
  protected:

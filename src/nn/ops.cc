@@ -1,34 +1,35 @@
 #include "nn/ops.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
+#include <memory>
 #include <utility>
 
-#include "common/thread_pool.h"
+#include "nn/kernels.h"
+
+// Tape-wiring layer: every op here (1) validates shapes, (2) calls its
+// compute kernel from nn/kernels.h, and (3) — only when grad mode is on
+// and some input requires grad — wires parents + a grad_fn closure that
+// calls the matching backward kernels. Under NoGradGuard step (3) is
+// skipped entirely: no closure, no parent references, and the output's
+// storage comes from the thread-local BufferPool (see tensor.cc).
 
 namespace preqr::nn {
 
 namespace {
 
-bool AnyRequiresGrad(const std::vector<Tensor>& parents) {
+// True if this op must record itself on the tape: grad mode is on and at
+// least one input requires grad. The variadic form avoids materializing a
+// parents vector on the (tape-off) fast path.
+template <typename... Ts>
+bool NeedsTape(const Ts&... parents) {
+  return GradMode::enabled() && (... || parents.requires_grad());
+}
+
+bool NeedsTape(const std::vector<Tensor>& parents) {
+  if (!GradMode::enabled()) return false;
   for (const auto& p : parents) {
     if (p.requires_grad()) return true;
   }
   return false;
-}
-
-// Builds the result tensor and wires the tape if any parent needs grads.
-Tensor MakeOp(Shape shape, std::vector<float> data, std::vector<Tensor> parents,
-              std::function<void(TensorImpl*)> grad_fn) {
-  Tensor out = Tensor::FromData(std::move(shape), std::move(data));
-  if (AnyRequiresGrad(parents)) {
-    out.impl()->requires_grad = true;
-    out.impl()->parents.reserve(parents.size());
-    for (auto& p : parents) out.impl()->parents.push_back(p.impl());
-    out.impl()->grad_fn = std::move(grad_fn);
-  }
-  return out;
 }
 
 // True if gradients should flow into `t`: it is a parameter/leaf that
@@ -41,165 +42,170 @@ void AccumulateGrad(const std::shared_ptr<TensorImpl>& t, const float* g,
                     size_t n) {
   if (!Wants(t)) return;
   t->EnsureGrad();
-  float* dst = t->grad.data();
-  for (size_t i = 0; i < n; ++i) dst[i] += g[i];
+  kernels::Accumulate(g, t->grad.data(), n);
+}
+
+// Records the op on the tape: marks the output as grad-carrying and
+// attaches its parents and backward closure. Callers must have checked
+// NeedsTape first.
+void Wire(Tensor& out, std::vector<std::shared_ptr<TensorImpl>> parents,
+          std::function<void(TensorImpl*)> grad_fn) {
+  out.impl()->requires_grad = true;
+  out.impl()->parents = std::move(parents);
+  out.impl()->grad_fn = std::move(grad_fn);
 }
 
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   PREQR_CHECK(a.shape() == b.shape());
-  std::vector<float> out(a.vec());
-  const float* pb = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] += pb[i];
+  Tensor out = Tensor::Zeros(a.shape());
+  kernels::AddForward(a.data(), b.data(), out.data(), out.vec().size());
+  if (!NeedsTape(a, b)) return out;
   auto ai = a.impl(), bi = b.impl();
-  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl* self) {
+  Wire(out, {ai, bi}, [ai, bi](TensorImpl* self) {
     AccumulateGrad(ai, self->grad.data(), self->grad.size());
     AccumulateGrad(bi, self->grad.data(), self->grad.size());
   });
+  return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   PREQR_CHECK(a.shape() == b.shape());
-  std::vector<float> out(a.vec());
-  const float* pb = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] -= pb[i];
+  Tensor out = Tensor::Zeros(a.shape());
+  kernels::SubForward(a.data(), b.data(), out.data(), out.vec().size());
+  if (!NeedsTape(a, b)) return out;
   auto ai = a.impl(), bi = b.impl();
-  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl* self) {
+  Wire(out, {ai, bi}, [ai, bi](TensorImpl* self) {
     AccumulateGrad(ai, self->grad.data(), self->grad.size());
     if (!Wants(bi)) return;
     bi->EnsureGrad();
-    for (size_t i = 0; i < self->grad.size(); ++i) bi->grad[i] -= self->grad[i];
+    kernels::AccumulateNeg(self->grad.data(), bi->grad.data(),
+                           self->grad.size());
   });
+  return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   PREQR_CHECK(a.shape() == b.shape());
-  std::vector<float> out(a.vec());
-  const float* pb = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] *= pb[i];
+  Tensor out = Tensor::Zeros(a.shape());
+  kernels::MulForward(a.data(), b.data(), out.data(), out.vec().size());
+  if (!NeedsTape(a, b)) return out;
   auto ai = a.impl(), bi = b.impl();
-  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl* self) {
+  Wire(out, {ai, bi}, [ai, bi](TensorImpl* self) {
     const size_t n = self->grad.size();
     if (Wants(ai)) {
       ai->EnsureGrad();
-      for (size_t i = 0; i < n; ++i) ai->grad[i] += self->grad[i] * bi->data[i];
+      kernels::AccumulateMul(self->grad.data(), bi->data.data(),
+                             ai->grad.data(), n);
     }
     if (Wants(bi)) {
       bi->EnsureGrad();
-      for (size_t i = 0; i < n; ++i) bi->grad[i] += self->grad[i] * ai->data[i];
+      kernels::AccumulateMul(self->grad.data(), ai->data.data(),
+                             bi->grad.data(), n);
     }
   });
+  return out;
 }
 
 Tensor Scale(const Tensor& a, float c) {
-  std::vector<float> out(a.vec());
-  for (auto& x : out) x *= c;
+  Tensor out = Tensor::Zeros(a.shape());
+  kernels::ScaleForward(a.data(), c, out.data(), out.vec().size());
+  if (!NeedsTape(a)) return out;
   auto ai = a.impl();
-  return MakeOp(a.shape(), std::move(out), {a}, [ai, c](TensorImpl* self) {
+  Wire(out, {ai}, [ai, c](TensorImpl* self) {
     if (!Wants(ai)) return;
     ai->EnsureGrad();
-    for (size_t i = 0; i < self->grad.size(); ++i) {
-      ai->grad[i] += self->grad[i] * c;
-    }
+    kernels::AccumulateScaled(self->grad.data(), c, ai->grad.data(),
+                              self->grad.size());
   });
+  return out;
 }
 
 Tensor AddScalar(const Tensor& a, float c) {
-  std::vector<float> out(a.vec());
-  for (auto& x : out) x += c;
+  Tensor out = Tensor::Zeros(a.shape());
+  kernels::AddScalarForward(a.data(), c, out.data(), out.vec().size());
+  if (!NeedsTape(a)) return out;
   auto ai = a.impl();
-  return MakeOp(a.shape(), std::move(out), {a}, [ai](TensorImpl* self) {
+  Wire(out, {ai}, [ai](TensorImpl* self) {
     AccumulateGrad(ai, self->grad.data(), self->grad.size());
   });
+  return out;
 }
 
 Tensor AddBias(const Tensor& x, const Tensor& bias) {
   PREQR_CHECK_EQ(bias.ndim(), 1);
   const int d = bias.dim(0);
   PREQR_CHECK_EQ(x.dim(x.ndim() - 1), d);
-  std::vector<float> out(x.vec());
-  const float* pb = bias.data();
-  const size_t rows = out.size() / static_cast<size_t>(d);
-  for (size_t r = 0; r < rows; ++r) {
-    float* row = out.data() + r * static_cast<size_t>(d);
-    for (int j = 0; j < d; ++j) row[j] += pb[j];
-  }
+  const size_t rows = x.vec().size() / static_cast<size_t>(d);
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::AddBiasForward(x.data(), bias.data(), out.data(), rows, d);
+  if (!NeedsTape(x, bias)) return out;
   auto xi = x.impl(), bi = bias.impl();
-  return MakeOp(x.shape(), std::move(out), {x, bias},
-                [xi, bi, d](TensorImpl* self) {
-                  AccumulateGrad(xi, self->grad.data(), self->grad.size());
-                  if (!Wants(bi)) return;
-                  bi->EnsureGrad();
-                  const size_t rows =
-                      self->grad.size() / static_cast<size_t>(d);
-                  // dbias reduces over rows; partition over columns so each
-                  // bias element accumulates in row order (deterministic).
-                  ParallelFor(
-                      0, d, GrainForCost(static_cast<int64_t>(rows)),
-                      [&](int64_t j0, int64_t j1) {
-                        for (int64_t j = j0; j < j1; ++j) {
-                          for (size_t r = 0; r < rows; ++r) {
-                            bi->grad[static_cast<size_t>(j)] +=
-                                self->grad[r * static_cast<size_t>(d) +
-                                           static_cast<size_t>(j)];
-                          }
-                        }
-                      });
-                });
+  Wire(out, {xi, bi}, [xi, bi, d](TensorImpl* self) {
+    AccumulateGrad(xi, self->grad.data(), self->grad.size());
+    if (!Wants(bi)) return;
+    bi->EnsureGrad();
+    const size_t rows2 = self->grad.size() / static_cast<size_t>(d);
+    kernels::AddBiasBackwardBias(self->grad.data(), bi->grad.data(), rows2, d);
+  });
+  return out;
 }
-
-namespace {
-template <typename Fwd, typename Bwd>
-Tensor Unary(const Tensor& x, Fwd fwd, Bwd bwd_from_xy) {
-  std::vector<float> out(x.vec().size());
-  const float* px = x.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(px[i]);
-  auto xi = x.impl();
-  return MakeOp(x.shape(), std::move(out), {x},
-                [xi, bwd_from_xy](TensorImpl* self) {
-                  if (!Wants(xi)) return;
-                  xi->EnsureGrad();
-                  for (size_t i = 0; i < self->grad.size(); ++i) {
-                    xi->grad[i] +=
-                        self->grad[i] * bwd_from_xy(xi->data[i], self->data[i]);
-                  }
-                });
-}
-}  // namespace
 
 Tensor Relu(const Tensor& x) {
-  return Unary(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::ReluForward(x.data(), out.data(), out.vec().size());
+  if (!NeedsTape(x)) return out;
+  auto xi = x.impl();
+  Wire(out, {xi}, [xi](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    kernels::ReluBackward(xi->data.data(), self->grad.data(), xi->grad.data(),
+                          self->grad.size());
+  });
+  return out;
 }
 
 Tensor Gelu(const Tensor& x) {
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  return Unary(
-      x,
-      [](float v) {
-        const float u = kC * (v + 0.044715f * v * v * v);
-        return 0.5f * v * (1.0f + std::tanh(u));
-      },
-      [](float v, float) {
-        const float u = kC * (v + 0.044715f * v * v * v);
-        const float t = std::tanh(u);
-        const float du = kC * (1.0f + 3.0f * 0.044715f * v * v);
-        return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
-      });
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::GeluForward(x.data(), out.data(), out.vec().size());
+  if (!NeedsTape(x)) return out;
+  auto xi = x.impl();
+  Wire(out, {xi}, [xi](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    kernels::GeluBackward(xi->data.data(), self->grad.data(), xi->grad.data(),
+                          self->grad.size());
+  });
+  return out;
 }
 
 Tensor Tanh(const Tensor& x) {
-  return Unary(
-      x, [](float v) { return std::tanh(v); },
-      [](float, float y) { return 1.0f - y * y; });
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::TanhForward(x.data(), out.data(), out.vec().size());
+  if (!NeedsTape(x)) return out;
+  auto xi = x.impl();
+  Wire(out, {xi}, [xi](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    kernels::TanhBackward(self->data.data(), self->grad.data(),
+                          xi->grad.data(), self->grad.size());
+  });
+  return out;
 }
 
 Tensor Sigmoid(const Tensor& x) {
-  return Unary(
-      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
-      [](float, float y) { return y * (1.0f - y); });
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::SigmoidForward(x.data(), out.data(), out.vec().size());
+  if (!NeedsTape(x)) return out;
+  auto xi = x.impl();
+  Wire(out, {xi}, [xi](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    kernels::SigmoidBackward(self->data.data(), self->grad.data(),
+                             xi->grad.data(), self->grad.size());
+  });
+  return out;
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -207,138 +213,54 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   PREQR_CHECK_EQ(b.ndim(), 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   PREQR_CHECK_EQ(b.dim(0), k);
-  std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  // Rows of the output are independent, so the row range parallelizes with
-  // bitwise-identical results for any thread count (each row runs the same
-  // serial ikj loop: streaming access on b and out).
-  ParallelFor(0, m, GrainForCost(static_cast<int64_t>(k) * n),
-              [&](int64_t r0, int64_t r1) {
-                for (int64_t i = r0; i < r1; ++i) {
-                  float* orow = out.data() + static_cast<size_t>(i) * n;
-                  const float* arow = pa + static_cast<size_t>(i) * k;
-                  for (int kk = 0; kk < k; ++kk) {
-                    const float av = arow[kk];
-                    if (av == 0.0f) continue;
-                    const float* brow = pb + static_cast<size_t>(kk) * n;
-                    for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-                  }
-                }
-              });
+  Tensor out = Tensor::Zeros({m, n});
+  kernels::MatMulForward(a.data(), b.data(), out.data(), m, k, n);
+  if (!NeedsTape(a, b)) return out;
   auto ai = a.impl(), bi = b.impl();
-  return MakeOp({m, n}, std::move(out), {a, b},
-                [ai, bi, m, k, n](TensorImpl* self) {
-                  const float* g = self->grad.data();
-                  // dA = G * B^T: rows of dA are independent.
-                  if (Wants(ai)) {
-                  ai->EnsureGrad();
-                  ParallelFor(
-                      0, m, GrainForCost(static_cast<int64_t>(k) * n),
-                      [&](int64_t r0, int64_t r1) {
-                        for (int64_t i = r0; i < r1; ++i) {
-                          float* da =
-                              ai->grad.data() + static_cast<size_t>(i) * k;
-                          const float* grow = g + static_cast<size_t>(i) * n;
-                          for (int kk = 0; kk < k; ++kk) {
-                            const float* brow =
-                                bi->data.data() + static_cast<size_t>(kk) * n;
-                            float acc = 0.0f;
-                            for (int j = 0; j < n; ++j)
-                              acc += grow[j] * brow[j];
-                            da[kk] += acc;
-                          }
-                        }
-                      });
-                  }
-                  // dB = A^T * G: rows of dB (indexed by kk) are
-                  // independent; each keeps the serial i-order accumulation.
-                  if (Wants(bi)) {
-                  bi->EnsureGrad();
-                  ParallelFor(
-                      0, k, GrainForCost(static_cast<int64_t>(m) * n),
-                      [&](int64_t k0, int64_t k1) {
-                        for (int64_t kk = k0; kk < k1; ++kk) {
-                          float* db =
-                              bi->grad.data() + static_cast<size_t>(kk) * n;
-                          for (int i = 0; i < m; ++i) {
-                            const float av =
-                                ai->data[static_cast<size_t>(i) * k +
-                                         static_cast<size_t>(kk)];
-                            if (av == 0.0f) continue;
-                            const float* grow = g + static_cast<size_t>(i) * n;
-                            for (int j = 0; j < n; ++j) db[j] += av * grow[j];
-                          }
-                        }
-                      });
-                  }
-                });
+  Wire(out, {ai, bi}, [ai, bi, m, k, n](TensorImpl* self) {
+    const float* g = self->grad.data();
+    if (Wants(ai)) {
+      ai->EnsureGrad();
+      kernels::MatMulBackwardA(g, bi->data.data(), ai->grad.data(), m, k, n);
+    }
+    if (Wants(bi)) {
+      bi->EnsureGrad();
+      kernels::MatMulBackwardB(ai->data.data(), g, bi->grad.data(), m, k, n);
+    }
+  });
+  return out;
 }
 
 Tensor Transpose(const Tensor& a) {
   PREQR_CHECK_EQ(a.ndim(), 2);
   const int m = a.dim(0), n = a.dim(1);
-  std::vector<float> out(static_cast<size_t>(m) * n);
-  const float* pa = a.data();
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      out[static_cast<size_t>(j) * m + i] = pa[static_cast<size_t>(i) * n + j];
-    }
-  }
+  Tensor out = Tensor::Zeros({n, m});
+  kernels::TransposeForward(a.data(), out.data(), m, n);
+  if (!NeedsTape(a)) return out;
   auto ai = a.impl();
-  return MakeOp({n, m}, std::move(out), {a}, [ai, m, n](TensorImpl* self) {
+  Wire(out, {ai}, [ai, m, n](TensorImpl* self) {
     if (!Wants(ai)) return;
     ai->EnsureGrad();
-    for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n; ++j) {
-        ai->grad[static_cast<size_t>(i) * n + j] +=
-            self->grad[static_cast<size_t>(j) * m + i];
-      }
-    }
+    kernels::TransposeBackward(self->grad.data(), ai->grad.data(), m, n);
   });
+  return out;
 }
 
 Tensor SoftmaxLastDim(const Tensor& x) {
   const int d = x.dim(x.ndim() - 1);
-  std::vector<float> out(x.vec().size());
-  const float* px = x.data();
-  const size_t rows = out.size() / static_cast<size_t>(d);
-  // Softmax rows (attention rows) are independent: parallel over rows.
-  ParallelFor(0, static_cast<int64_t>(rows), GrainForCost(d),
-              [&](int64_t r0, int64_t r1) {
-                for (int64_t r = r0; r < r1; ++r) {
-                  const float* in = px + static_cast<size_t>(r) * d;
-                  float* o = out.data() + static_cast<size_t>(r) * d;
-                  float mx = in[0];
-                  for (int j = 1; j < d; ++j) mx = std::max(mx, in[j]);
-                  float sum = 0.0f;
-                  for (int j = 0; j < d; ++j) {
-                    o[j] = std::exp(in[j] - mx);
-                    sum += o[j];
-                  }
-                  const float inv = 1.0f / sum;
-                  for (int j = 0; j < d; ++j) o[j] *= inv;
-                }
-              });
+  const size_t rows = x.vec().size() / static_cast<size_t>(d);
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::SoftmaxForward(x.data(), out.data(), rows, d);
+  if (!NeedsTape(x)) return out;
   auto xi = x.impl();
-  return MakeOp(x.shape(), std::move(out), {x}, [xi, d](TensorImpl* self) {
+  Wire(out, {xi}, [xi, d](TensorImpl* self) {
     if (!Wants(xi)) return;
     xi->EnsureGrad();
     const size_t rows2 = self->grad.size() / static_cast<size_t>(d);
-    ParallelFor(0, static_cast<int64_t>(rows2), GrainForCost(d),
-                [&](int64_t r0, int64_t r1) {
-                  for (int64_t r = r0; r < r1; ++r) {
-                    const float* y =
-                        self->data.data() + static_cast<size_t>(r) * d;
-                    const float* g =
-                        self->grad.data() + static_cast<size_t>(r) * d;
-                    float dot = 0.0f;
-                    for (int j = 0; j < d; ++j) dot += y[j] * g[j];
-                    float* dx = xi->grad.data() + static_cast<size_t>(r) * d;
-                    for (int j = 0; j < d; ++j) dx[j] += y[j] * (g[j] - dot);
-                  }
-                });
+    kernels::SoftmaxBackward(self->data.data(), self->grad.data(),
+                             xi->grad.data(), rows2, d);
   });
+  return out;
 }
 
 Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
@@ -347,194 +269,131 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const int n = x.dim(0), d = x.dim(1);
   PREQR_CHECK_EQ(gamma.dim(0), d);
   PREQR_CHECK_EQ(beta.dim(0), d);
-  std::vector<float> out(static_cast<size_t>(n) * d);
-  std::vector<float> xhat(out.size());
-  std::vector<float> inv_std(static_cast<size_t>(n));
-  const float* px = x.data();
-  const float* pg = gamma.data();
-  const float* pb = beta.data();
-  // Row statistics are independent: parallel over rows.
-  ParallelFor(0, n, GrainForCost(d), [&](int64_t r0, int64_t r1) {
-    for (int64_t i = r0; i < r1; ++i) {
-      const float* row = px + static_cast<size_t>(i) * d;
-      float mean = 0.0f;
-      for (int j = 0; j < d; ++j) mean += row[j];
-      mean /= static_cast<float>(d);
-      float var = 0.0f;
-      for (int j = 0; j < d; ++j) {
-        const float c = row[j] - mean;
-        var += c * c;
-      }
-      var /= static_cast<float>(d);
-      const float istd = 1.0f / std::sqrt(var + eps);
-      inv_std[static_cast<size_t>(i)] = istd;
-      float* xh = xhat.data() + static_cast<size_t>(i) * d;
-      float* o = out.data() + static_cast<size_t>(i) * d;
-      for (int j = 0; j < d; ++j) {
-        xh[j] = (row[j] - mean) * istd;
-        o[j] = xh[j] * pg[j] + pb[j];
-      }
-    }
-  });
+  Tensor out = Tensor::Zeros(x.shape());
+  const bool tape = NeedsTape(x, gamma, beta);
+  // xhat / inv_std are only saved when a backward pass will need them.
+  std::shared_ptr<std::vector<float>> xhat_s, istd_s;
+  if (tape) {
+    xhat_s = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(n) * static_cast<size_t>(d));
+    istd_s = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+  }
+  kernels::LayerNormForward(x.data(), gamma.data(), beta.data(), eps,
+                            out.data(), tape ? xhat_s->data() : nullptr,
+                            tape ? istd_s->data() : nullptr, n, d);
+  if (!tape) return out;
   auto xi = x.impl(), gi = gamma.impl(), bi = beta.impl();
-  auto xhat_s = std::make_shared<std::vector<float>>(std::move(xhat));
-  auto istd_s = std::make_shared<std::vector<float>>(std::move(inv_std));
-  return MakeOp(
-      x.shape(), std::move(out), {x, gamma, beta},
-      [xi, gi, bi, xhat_s, istd_s, n, d](TensorImpl* self) {
-        xi->EnsureGrad();
-        gi->EnsureGrad();
-        bi->EnsureGrad();
-        const bool want_x = Wants(xi);
-        // dgamma/dbeta reduce over rows. Partitioning over *columns* keeps
-        // every destination element accumulating in row order, so results
-        // stay bitwise-identical to the serial pass for any thread count.
-        ParallelFor(0, d, GrainForCost(n), [&](int64_t j0, int64_t j1) {
-          for (int64_t j = j0; j < j1; ++j) {
-            for (int i = 0; i < n; ++i) {
-              const float* g = self->grad.data() + static_cast<size_t>(i) * d;
-              const float* xh = xhat_s->data() + static_cast<size_t>(i) * d;
-              gi->grad[static_cast<size_t>(j)] += g[j] * xh[j];
-              bi->grad[static_cast<size_t>(j)] += g[j];
-            }
-          }
-        });
-        if (!want_x) return;
-        // dx rows are independent given the per-row sums.
-        ParallelFor(0, n, GrainForCost(d), [&](int64_t r0, int64_t r1) {
-          for (int64_t i = r0; i < r1; ++i) {
-            const float* g = self->grad.data() + static_cast<size_t>(i) * d;
-            const float* xh = xhat_s->data() + static_cast<size_t>(i) * d;
-            const float istd = (*istd_s)[static_cast<size_t>(i)];
-            // dxhat = g * gamma; dx via standard layernorm backward.
-            float sum_dxh = 0.0f, sum_dxh_xh = 0.0f;
-            for (int j = 0; j < d; ++j) {
-              const float dxh = g[j] * gi->data[j];
-              sum_dxh += dxh;
-              sum_dxh_xh += dxh * xh[j];
-            }
-            float* dx = xi->grad.data() + static_cast<size_t>(i) * d;
-            const float invd = 1.0f / static_cast<float>(d);
-            for (int j = 0; j < d; ++j) {
-              const float dxh = g[j] * gi->data[j];
-              dx[j] +=
-                  istd * (dxh - invd * sum_dxh - xh[j] * invd * sum_dxh_xh);
-            }
-          }
-        });
-      });
+  Wire(out, {xi, gi, bi}, [xi, gi, bi, xhat_s, istd_s, n, d](TensorImpl* self) {
+    xi->EnsureGrad();
+    gi->EnsureGrad();
+    bi->EnsureGrad();
+    kernels::LayerNormBackwardParams(self->grad.data(), xhat_s->data(),
+                                     gi->grad.data(), bi->grad.data(), n, d);
+    if (!Wants(xi)) return;
+    kernels::LayerNormBackwardInput(self->grad.data(), xhat_s->data(),
+                                    istd_s->data(), gi->data.data(),
+                                    xi->grad.data(), n, d);
+  });
+  return out;
 }
 
 Tensor Sum(const Tensor& x) {
-  float s = 0.0f;
-  for (float v : x.vec()) s += v;
+  Tensor out = Tensor::Zeros({1});
+  out.vec()[0] = kernels::SumForward(x.data(), x.vec().size());
+  if (!NeedsTape(x)) return out;
   auto xi = x.impl();
-  return MakeOp({1}, {s}, {x}, [xi](TensorImpl* self) {
+  Wire(out, {xi}, [xi](TensorImpl* self) {
     if (!Wants(xi)) return;
     xi->EnsureGrad();
-    const float g = self->grad[0];
-    for (auto& v : xi->grad) v += g;
+    kernels::AccumulateConst(self->grad[0], xi->grad.data(), xi->grad.size());
   });
+  return out;
 }
 
 Tensor Mean(const Tensor& x) {
   const float invn = 1.0f / static_cast<float>(x.size());
-  float s = 0.0f;
-  for (float v : x.vec()) s += v;
+  Tensor out = Tensor::Zeros({1});
+  out.vec()[0] = kernels::SumForward(x.data(), x.vec().size()) * invn;
+  if (!NeedsTape(x)) return out;
   auto xi = x.impl();
-  return MakeOp({1}, {s * invn}, {x}, [xi, invn](TensorImpl* self) {
+  Wire(out, {xi}, [xi, invn](TensorImpl* self) {
     if (!Wants(xi)) return;
     xi->EnsureGrad();
-    const float g = self->grad[0] * invn;
-    for (auto& v : xi->grad) v += g;
+    kernels::AccumulateConst(self->grad[0] * invn, xi->grad.data(),
+                             xi->grad.size());
   });
+  return out;
 }
 
 Tensor MeanRows(const Tensor& x) {
   PREQR_CHECK_EQ(x.ndim(), 2);
   const int n = x.dim(0), d = x.dim(1);
-  std::vector<float> out(static_cast<size_t>(d), 0.0f);
-  const float* px = x.data();
-  for (int i = 0; i < n; ++i) {
-    const float* row = px + static_cast<size_t>(i) * d;
-    for (int j = 0; j < d; ++j) out[static_cast<size_t>(j)] += row[j];
-  }
+  Tensor out = Tensor::Zeros({d});
+  kernels::MeanRowsForward(x.data(), out.data(), n, d);
+  if (!NeedsTape(x)) return out;
   const float invn = 1.0f / static_cast<float>(n);
-  for (auto& v : out) v *= invn;
   auto xi = x.impl();
-  return MakeOp({d}, std::move(out), {x}, [xi, n, d, invn](TensorImpl* self) {
+  Wire(out, {xi}, [xi, n, d, invn](TensorImpl* self) {
     if (!Wants(xi)) return;
     xi->EnsureGrad();
-    for (int i = 0; i < n; ++i) {
-      float* dx = xi->grad.data() + static_cast<size_t>(i) * d;
-      for (int j = 0; j < d; ++j) dx[j] += self->grad[static_cast<size_t>(j)] * invn;
-    }
+    kernels::MeanRowsBackward(self->grad.data(), invn, xi->grad.data(), n, d);
   });
+  return out;
 }
 
 Tensor MaxRows(const Tensor& x) {
   PREQR_CHECK_EQ(x.ndim(), 2);
   const int n = x.dim(0), d = x.dim(1);
   PREQR_CHECK_GT(n, 0);
-  std::vector<float> out(static_cast<size_t>(d));
-  auto argmax = std::make_shared<std::vector<int>>(static_cast<size_t>(d), 0);
-  const float* px = x.data();
-  for (int j = 0; j < d; ++j) {
-    float best = px[j];
-    int best_i = 0;
-    for (int i = 1; i < n; ++i) {
-      const float v = px[static_cast<size_t>(i) * d + j];
-      if (v > best) {
-        best = v;
-        best_i = i;
-      }
-    }
-    out[static_cast<size_t>(j)] = best;
-    (*argmax)[static_cast<size_t>(j)] = best_i;
+  Tensor out = Tensor::Zeros({d});
+  const bool tape = NeedsTape(x);
+  std::shared_ptr<std::vector<int>> argmax;
+  if (tape) {
+    argmax = std::make_shared<std::vector<int>>(static_cast<size_t>(d), 0);
   }
+  kernels::MaxRowsForward(x.data(), out.data(),
+                          tape ? argmax->data() : nullptr, n, d);
+  if (!tape) return out;
   auto xi = x.impl();
-  return MakeOp({d}, std::move(out), {x}, [xi, argmax, d](TensorImpl* self) {
+  Wire(out, {xi}, [xi, argmax, d](TensorImpl* self) {
     if (!Wants(xi)) return;
     xi->EnsureGrad();
-    for (int j = 0; j < d; ++j) {
-      xi->grad[static_cast<size_t>((*argmax)[static_cast<size_t>(j)]) * d +
-               j] += self->grad[static_cast<size_t>(j)];
-    }
+    kernels::MaxRowsBackward(self->grad.data(), argmax->data(),
+                             xi->grad.data(), d);
   });
+  return out;
 }
 
 Tensor MeanRowsSubset(const Tensor& x, const std::vector<int>& rows) {
   PREQR_CHECK_EQ(x.ndim(), 2);
   const int d = x.dim(1);
   if (rows.empty()) return Tensor::Zeros({d});
-  std::vector<float> out(static_cast<size_t>(d), 0.0f);
-  const float* px = x.data();
-  for (int r : rows) {
-    const float* row = px + static_cast<size_t>(r) * d;
-    for (int j = 0; j < d; ++j) out[static_cast<size_t>(j)] += row[j];
-  }
   const float inv = 1.0f / static_cast<float>(rows.size());
-  for (auto& v : out) v *= inv;
+  Tensor out = Tensor::Zeros({d});
+  kernels::MeanRowsSubsetForward(x.data(), rows, inv, out.data(), d);
+  if (!NeedsTape(x)) return out;
   auto xi = x.impl();
-  return MakeOp({d}, std::move(out), {x}, [xi, rows, d, inv](TensorImpl* self) {
+  Wire(out, {xi}, [xi, rows, d, inv](TensorImpl* self) {
     if (!Wants(xi)) return;
     xi->EnsureGrad();
-    for (int r : rows) {
-      float* dx = xi->grad.data() + static_cast<size_t>(r) * d;
-      for (int j = 0; j < d; ++j) dx[j] += self->grad[static_cast<size_t>(j)] * inv;
-    }
+    kernels::MeanRowsSubsetBackward(self->grad.data(), rows, inv,
+                                    xi->grad.data(), d);
   });
+  return out;
 }
 
 Tensor Reshape(const Tensor& x, Shape new_shape) {
   Index n = 1;
   for (int d : new_shape) n *= d;
   PREQR_CHECK_EQ(n, x.size());
+  Tensor out = Tensor::Zeros(std::move(new_shape));
+  kernels::Copy(x.data(), out.data(), x.vec().size());
+  if (!NeedsTape(x)) return out;
   auto xi = x.impl();
-  return MakeOp(std::move(new_shape), std::vector<float>(x.vec()), {x},
-                [xi](TensorImpl* self) {
-                  AccumulateGrad(xi, self->grad.data(), self->grad.size());
-                });
+  Wire(out, {xi}, [xi](TensorImpl* self) {
+    AccumulateGrad(xi, self->grad.data(), self->grad.size());
+  });
+  return out;
 }
 
 Tensor ConcatLastDim(const std::vector<Tensor>& xs) {
@@ -552,45 +411,40 @@ Tensor ConcatLastDim(const std::vector<Tensor>& xs) {
   }
   Shape shape = xs[0].shape();
   shape[static_cast<size_t>(nd - 1)] = total_d;
-  std::vector<float> out(rows * static_cast<size_t>(total_d));
+  Tensor out = Tensor::Zeros(std::move(shape));
   std::vector<int> widths;
   widths.reserve(xs.size());
   int off = 0;
   for (const auto& t : xs) {
     const int d = t.dim(nd - 1);
     widths.push_back(d);
-    const float* p = t.data();
-    for (size_t r = 0; r < rows; ++r) {
-      std::copy(p + r * static_cast<size_t>(d),
-                p + (r + 1) * static_cast<size_t>(d),
-                out.data() + r * static_cast<size_t>(total_d) + off);
-    }
+    kernels::CopyRows(t.data(), static_cast<size_t>(d), out.data() + off,
+                      static_cast<size_t>(total_d), rows,
+                      static_cast<size_t>(d));
     off += d;
   }
+  if (!NeedsTape(xs)) return out;
   std::vector<std::shared_ptr<TensorImpl>> impls;
   impls.reserve(xs.size());
   for (const auto& t : xs) impls.push_back(t.impl());
-  return MakeOp(
-      std::move(shape), std::move(out), xs,
-      [impls, widths, rows, total_d](TensorImpl* self) {
-        int off2 = 0;
-        for (size_t t = 0; t < impls.size(); ++t) {
-          const int d = widths[t];
-          auto& ti = impls[t];
-          if (!Wants(ti)) {
-            off2 += d;
-            continue;
-          }
-          ti->EnsureGrad();
-          for (size_t r = 0; r < rows; ++r) {
-            const float* g =
-                self->grad.data() + r * static_cast<size_t>(total_d) + off2;
-            float* dst = ti->grad.data() + r * static_cast<size_t>(d);
-            for (int j = 0; j < d; ++j) dst[j] += g[j];
-          }
-          off2 += d;
-        }
-      });
+  Wire(out, impls, [impls, widths, rows, total_d](TensorImpl* self) {
+    int off2 = 0;
+    for (size_t t = 0; t < impls.size(); ++t) {
+      const int d = widths[t];
+      auto& ti = impls[t];
+      if (!Wants(ti)) {
+        off2 += d;
+        continue;
+      }
+      ti->EnsureGrad();
+      kernels::AccumulateRows(self->grad.data() + off2,
+                              static_cast<size_t>(total_d), ti->grad.data(),
+                              static_cast<size_t>(d), rows,
+                              static_cast<size_t>(d));
+      off2 += d;
+    }
+  });
+  return out;
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& xs) {
@@ -603,25 +457,27 @@ Tensor ConcatRows(const std::vector<Tensor>& xs) {
   }
   Shape shape = xs[0].shape();
   shape[0] = total_rows;
-  std::vector<float> out;
-  out.reserve(static_cast<size_t>(total_rows) * inner);
+  Tensor out = Tensor::Zeros(std::move(shape));
+  size_t off = 0;
   for (const auto& t : xs) {
-    out.insert(out.end(), t.vec().begin(), t.vec().end());
+    kernels::Copy(t.data(), out.data() + off, t.vec().size());
+    off += t.vec().size();
   }
+  if (!NeedsTape(xs)) return out;
   std::vector<std::shared_ptr<TensorImpl>> impls;
   std::vector<size_t> sizes;
   for (const auto& t : xs) {
     impls.push_back(t.impl());
     sizes.push_back(t.vec().size());
   }
-  return MakeOp(std::move(shape), std::move(out), xs,
-                [impls, sizes](TensorImpl* self) {
-                  size_t off = 0;
-                  for (size_t t = 0; t < impls.size(); ++t) {
-                    AccumulateGrad(impls[t], self->grad.data() + off, sizes[t]);
-                    off += sizes[t];
-                  }
-                });
+  Wire(out, impls, [impls, sizes](TensorImpl* self) {
+    size_t off2 = 0;
+    for (size_t t = 0; t < impls.size(); ++t) {
+      AccumulateGrad(impls[t], self->grad.data() + off2, sizes[t]);
+      off2 += sizes[t];
+    }
+  });
+  return out;
 }
 
 Tensor SliceLastDim(const Tensor& x, int start, int len) {
@@ -632,26 +488,19 @@ Tensor SliceLastDim(const Tensor& x, int start, int len) {
   const size_t rows = x.vec().size() / static_cast<size_t>(d);
   Shape shape = x.shape();
   shape[static_cast<size_t>(nd - 1)] = len;
-  std::vector<float> out(rows * static_cast<size_t>(len));
-  const float* px = x.data();
-  for (size_t r = 0; r < rows; ++r) {
-    std::copy(px + r * static_cast<size_t>(d) + start,
-              px + r * static_cast<size_t>(d) + start + len,
-              out.data() + r * static_cast<size_t>(len));
-  }
+  Tensor out = Tensor::Zeros(std::move(shape));
+  kernels::CopyRows(x.data() + start, static_cast<size_t>(d), out.data(),
+                    static_cast<size_t>(len), rows, static_cast<size_t>(len));
+  if (!NeedsTape(x)) return out;
   auto xi = x.impl();
-  return MakeOp(std::move(shape), std::move(out), {x},
-                [xi, start, len, d, rows](TensorImpl* self) {
-                  if (!Wants(xi)) return;
-                  xi->EnsureGrad();
-                  for (size_t r = 0; r < rows; ++r) {
-                    const float* g =
-                        self->grad.data() + r * static_cast<size_t>(len);
-                    float* dst =
-                        xi->grad.data() + r * static_cast<size_t>(d) + start;
-                    for (int j = 0; j < len; ++j) dst[j] += g[j];
-                  }
-                });
+  Wire(out, {xi}, [xi, start, len, d, rows](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    kernels::AccumulateRows(self->grad.data(), static_cast<size_t>(len),
+                            xi->grad.data() + start, static_cast<size_t>(d),
+                            rows, static_cast<size_t>(len));
+  });
+  return out;
 }
 
 Tensor SliceRows(const Tensor& x, int start, int len) {
@@ -661,77 +510,35 @@ Tensor SliceRows(const Tensor& x, int start, int len) {
   const size_t inner = x.vec().size() / static_cast<size_t>(n);
   Shape shape = x.shape();
   shape[0] = len;
-  std::vector<float> out(
-      x.vec().begin() + static_cast<long>(static_cast<size_t>(start) * inner),
-      x.vec().begin() +
-          static_cast<long>(static_cast<size_t>(start + len) * inner));
+  Tensor out = Tensor::Zeros(std::move(shape));
+  kernels::Copy(x.data() + static_cast<size_t>(start) * inner, out.data(),
+                static_cast<size_t>(len) * inner);
+  if (!NeedsTape(x)) return out;
   auto xi = x.impl();
-  return MakeOp(std::move(shape), std::move(out), {x},
-                [xi, start, inner](TensorImpl* self) {
-                  if (!Wants(xi)) return;
-                  xi->EnsureGrad();
-                  float* dst =
-                      xi->grad.data() + static_cast<size_t>(start) * inner;
-                  for (size_t i = 0; i < self->grad.size(); ++i) {
-                    dst[i] += self->grad[i];
-                  }
-                });
+  Wire(out, {xi}, [xi, start, inner](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    kernels::Accumulate(self->grad.data(),
+                        xi->grad.data() + static_cast<size_t>(start) * inner,
+                        self->grad.size());
+  });
+  return out;
 }
 
 Tensor Gather(const Tensor& weight, const std::vector<int>& ids) {
   PREQR_CHECK_EQ(weight.ndim(), 2);
   const int v = weight.dim(0), d = weight.dim(1);
   const int n = static_cast<int>(ids.size());
-  std::vector<float> out(static_cast<size_t>(n) * d);
-  const float* pw = weight.data();
-  for (int i = 0; i < n; ++i) {
-    PREQR_CHECK_GE(ids[static_cast<size_t>(i)], 0);
-    PREQR_CHECK_LT(ids[static_cast<size_t>(i)], v);
-    std::copy(pw + static_cast<size_t>(ids[static_cast<size_t>(i)]) * d,
-              pw + static_cast<size_t>(ids[static_cast<size_t>(i)] + 1) * d,
-              out.data() + static_cast<size_t>(i) * d);
-  }
+  Tensor out = Tensor::Zeros({n, d});
+  kernels::GatherForward(weight.data(), v, d, ids, out.data());
+  if (!NeedsTape(weight)) return out;
   auto wi = weight.impl();
-  return MakeOp(
-      {n, d}, std::move(out), {weight}, [wi, ids, d](TensorImpl* self) {
-        if (!Wants(wi)) return;
-        wi->EnsureGrad();
-        // Embedding scatter: several positions may hit the same vocabulary
-        // row, so the scatter is grouped by destination row. Each group
-        // accumulates its positions in ascending position order — exactly
-        // the serial order — so any split of groups across threads is
-        // bitwise-identical to the single-thread pass.
-        std::vector<int> by_dest(ids.size());
-        std::iota(by_dest.begin(), by_dest.end(), 0);
-        std::stable_sort(by_dest.begin(), by_dest.end(),
-                         [&ids](int a, int b) {
-                           return ids[static_cast<size_t>(a)] <
-                                  ids[static_cast<size_t>(b)];
-                         });
-        std::vector<size_t> group_start;
-        for (size_t i = 0; i < by_dest.size(); ++i) {
-          if (i == 0 || ids[static_cast<size_t>(by_dest[i])] !=
-                            ids[static_cast<size_t>(by_dest[i - 1])]) {
-            group_start.push_back(i);
-          }
-        }
-        group_start.push_back(by_dest.size());
-        const int64_t ngroups =
-            static_cast<int64_t>(group_start.size()) - 1;
-        ParallelFor(0, ngroups, GrainForCost(d), [&](int64_t g0, int64_t g1) {
-          for (int64_t gidx = g0; gidx < g1; ++gidx) {
-            for (size_t i = group_start[static_cast<size_t>(gidx)];
-                 i < group_start[static_cast<size_t>(gidx) + 1]; ++i) {
-              const size_t pos = static_cast<size_t>(by_dest[i]);
-              const float* g =
-                  self->grad.data() + pos * static_cast<size_t>(d);
-              float* dst =
-                  wi->grad.data() + static_cast<size_t>(ids[pos]) * d;
-              for (int j = 0; j < d; ++j) dst[j] += g[j];
-            }
-          }
-        });
-      });
+  Wire(out, {wi}, [wi, ids, d](TensorImpl* self) {
+    if (!Wants(wi)) return;
+    wi->EnsureGrad();
+    kernels::GatherBackward(self->grad.data(), ids, d, wi->grad.data());
+  });
+  return out;
 }
 
 Tensor SparseAggregate(const Tensor& h, const std::vector<Edge>& edges,
@@ -739,28 +546,17 @@ Tensor SparseAggregate(const Tensor& h, const std::vector<Edge>& edges,
   PREQR_CHECK_EQ(h.ndim(), 2);
   PREQR_CHECK_EQ(edges.size(), norm.size());
   const int n = h.dim(0), d = h.dim(1);
-  std::vector<float> out(static_cast<size_t>(n) * d, 0.0f);
-  const float* ph = h.data();
-  for (size_t e = 0; e < edges.size(); ++e) {
-    const float w = norm[e];
-    const float* src = ph + static_cast<size_t>(edges[e].src) * d;
-    float* dst = out.data() + static_cast<size_t>(edges[e].dst) * d;
-    for (int j = 0; j < d; ++j) dst[j] += w * src[j];
-  }
+  Tensor out = Tensor::Zeros({n, d});
+  kernels::SparseAggregateForward(h.data(), edges, norm, out.data(), d);
+  if (!NeedsTape(h)) return out;
   auto hi = h.impl();
-  return MakeOp({n, d}, std::move(out), {h},
-                [hi, edges, norm, d](TensorImpl* self) {
-                  if (!Wants(hi)) return;
-                  hi->EnsureGrad();
-                  for (size_t e = 0; e < edges.size(); ++e) {
-                    const float w = norm[e];
-                    const float* g = self->grad.data() +
-                                     static_cast<size_t>(edges[e].dst) * d;
-                    float* dst = hi->grad.data() +
-                                 static_cast<size_t>(edges[e].src) * d;
-                    for (int j = 0; j < d; ++j) dst[j] += w * g[j];
-                  }
-                });
+  Wire(out, {hi}, [hi, edges, norm, d](TensorImpl* self) {
+    if (!Wants(hi)) return;
+    hi->EnsureGrad();
+    kernels::SparseAggregateBackward(self->grad.data(), edges, norm,
+                                     hi->grad.data(), d);
+  });
+  return out;
 }
 
 Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
@@ -768,106 +564,63 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
   PREQR_CHECK_EQ(logits.ndim(), 2);
   const int n = logits.dim(0), c = logits.dim(1);
   PREQR_CHECK_EQ(static_cast<int>(targets.size()), n);
-  // Softmax probabilities (saved for backward).
+  // The kernel needs the probs buffer as scratch either way; it is only
+  // *retained* (captured by the closure) when backward will run.
   auto probs = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(n) * c);
-  const float* pl = logits.data();
-  // Per-row softmax + log-loss in parallel; the (order-sensitive) double
-  // accumulation then runs serially in row order so the total is
-  // bitwise-identical for every thread count.
-  std::vector<double> row_loss(static_cast<size_t>(n), 0.0);
-  ParallelFor(0, n, GrainForCost(c), [&](int64_t r0, int64_t r1) {
-    for (int64_t i = r0; i < r1; ++i) {
-      const float* row = pl + static_cast<size_t>(i) * c;
-      float* pr = probs->data() + static_cast<size_t>(i) * c;
-      float mx = row[0];
-      for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-      float sum = 0.0f;
-      for (int j = 0; j < c; ++j) {
-        pr[j] = std::exp(row[j] - mx);
-        sum += pr[j];
-      }
-      const float inv = 1.0f / sum;
-      for (int j = 0; j < c; ++j) pr[j] *= inv;
-      const int t = targets[static_cast<size_t>(i)];
-      if (t == ignore_index) continue;
-      PREQR_CHECK_GE(t, 0);
-      PREQR_CHECK_LT(t, c);
-      row_loss[static_cast<size_t>(i)] = -std::log(std::max(pr[t], 1e-12f));
-    }
-  });
+      static_cast<size_t>(n) * static_cast<size_t>(c));
   int valid = 0;
-  double loss = 0.0;
-  for (int i = 0; i < n; ++i) {
-    if (targets[static_cast<size_t>(i)] == ignore_index) continue;
-    ++valid;
-    loss += row_loss[static_cast<size_t>(i)];
-  }
-  const float mean_loss =
-      valid > 0 ? static_cast<float>(loss / valid) : 0.0f;
+  Tensor out = Tensor::Zeros({1});
+  out.vec()[0] = kernels::CrossEntropyForward(
+      logits.data(), targets, ignore_index, n, c, probs->data(), &valid);
+  if (!NeedsTape(logits)) return out;
   auto li = logits.impl();
-  return MakeOp(
-      {1}, {mean_loss}, {logits},
-      [li, probs, targets, ignore_index, n, c, valid](TensorImpl* self) {
-        if (valid == 0 || !Wants(li)) return;
-        li->EnsureGrad();
-        const float g = self->grad[0] / static_cast<float>(valid);
-        ParallelFor(0, n, GrainForCost(c), [&](int64_t r0, int64_t r1) {
-          for (int64_t i = r0; i < r1; ++i) {
-            const int t = targets[static_cast<size_t>(i)];
-            if (t == ignore_index) continue;
-            const float* pr = probs->data() + static_cast<size_t>(i) * c;
-            float* dl = li->grad.data() + static_cast<size_t>(i) * c;
-            for (int j = 0; j < c; ++j) {
-              dl[j] += g * (pr[j] - (j == t ? 1.0f : 0.0f));
-            }
-          }
-        });
-      });
+  Wire(out, {li},
+       [li, probs, targets, ignore_index, n, c, valid](TensorImpl* self) {
+         if (valid == 0 || !Wants(li)) return;
+         li->EnsureGrad();
+         const float g = self->grad[0] / static_cast<float>(valid);
+         kernels::CrossEntropyBackward(g, probs->data(), targets,
+                                       ignore_index, n, c, li->grad.data());
+       });
+  return out;
 }
 
 Tensor MseLoss(const Tensor& pred, const std::vector<float>& target) {
   PREQR_CHECK_EQ(pred.vec().size(), target.size());
   const size_t n = target.size();
-  double loss = 0.0;
-  const float* pp = pred.data();
-  for (size_t i = 0; i < n; ++i) {
-    const double diff = pp[i] - target[i];
-    loss += diff * diff;
-  }
-  const float mean_loss = static_cast<float>(loss / static_cast<double>(n));
+  Tensor out = Tensor::Zeros({1});
+  out.vec()[0] = kernels::MseForward(pred.data(), target);
+  if (!NeedsTape(pred)) return out;
   auto pi = pred.impl();
-  return MakeOp({1}, {mean_loss}, {pred},
-                [pi, target, n](TensorImpl* self) {
-                  if (!Wants(pi)) return;
-                  pi->EnsureGrad();
-                  const float g =
-                      self->grad[0] * 2.0f / static_cast<float>(n);
-                  for (size_t i = 0; i < n; ++i) {
-                    pi->grad[i] += g * (pi->data[i] - target[i]);
-                  }
-                });
+  Wire(out, {pi}, [pi, target, n](TensorImpl* self) {
+    if (!Wants(pi)) return;
+    pi->EnsureGrad();
+    const float g = self->grad[0] * 2.0f / static_cast<float>(n);
+    kernels::MseBackward(g, pi->data.data(), target, pi->grad.data());
+  });
+  return out;
 }
 
 Tensor Dropout(const Tensor& x, float p, Rng& rng, bool train) {
   if (!train || p <= 0.0f) return x;
   const float scale = 1.0f / (1.0f - p);
-  auto mask = std::make_shared<std::vector<float>>(x.vec().size());
-  std::vector<float> out(x.vec().size());
-  const float* px = x.data();
-  for (size_t i = 0; i < out.size(); ++i) {
-    const float m = rng.NextFloat() < p ? 0.0f : scale;
-    (*mask)[i] = m;
-    out[i] = px[i] * m;
-  }
+  const bool tape = NeedsTape(x);
+  // The rng is consumed identically with or without the tape; only the
+  // mask's retention differs.
+  std::shared_ptr<std::vector<float>> mask;
+  if (tape) mask = std::make_shared<std::vector<float>>(x.vec().size());
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::DropoutForward(x.data(), p, scale, rng, out.data(),
+                          tape ? mask->data() : nullptr, out.vec().size());
+  if (!tape) return out;
   auto xi = x.impl();
-  return MakeOp(x.shape(), std::move(out), {x}, [xi, mask](TensorImpl* self) {
+  Wire(out, {xi}, [xi, mask](TensorImpl* self) {
     if (!Wants(xi)) return;
     xi->EnsureGrad();
-    for (size_t i = 0; i < self->grad.size(); ++i) {
-      xi->grad[i] += self->grad[i] * (*mask)[i];
-    }
+    kernels::DropoutBackward(self->grad.data(), mask->data(), xi->grad.data(),
+                             self->grad.size());
   });
+  return out;
 }
 
 }  // namespace preqr::nn

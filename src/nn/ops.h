@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/kernels.h"  // Edge + the compute kernels these ops wire up
 #include "nn/tensor.h"
 
 namespace preqr::nn {
@@ -59,11 +60,8 @@ Tensor SliceRows(const Tensor& x, int start, int len);
 // weight: [V,d], ids: N indices -> [N,d]. Gradient scatters into weight.
 Tensor Gather(const Tensor& weight, const std::vector<int>& ids);
 // Edge list aggregation: out[dst] += norm[e] * h[src] for each edge e.
-// h: [N,d] -> out [N,d]. Used by the relational GCN.
-struct Edge {
-  int src;
-  int dst;
-};
+// h: [N,d] -> out [N,d]. Used by the relational GCN. (`Edge` lives in
+// nn/kernels.h.)
 Tensor SparseAggregate(const Tensor& h, const std::vector<Edge>& edges,
                        const std::vector<float>& norm);
 

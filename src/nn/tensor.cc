@@ -1,19 +1,55 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
+
+#include "nn/buffer_pool.h"
 
 namespace preqr::nn {
 
 namespace {
+
+thread_local bool t_grad_mode_enabled = true;
+
+std::atomic<uint64_t> g_impls_created{0};
+
+// Allocates the backing store for a fresh zero-filled tensor. Under
+// NoGradGuard the storage comes from the thread-local BufferPool and is
+// recycled when the impl dies; under grad mode it is a plain heap
+// allocation (grads, parents, and optimizer state may outlive any pool
+// round-trip assumptions).
 std::shared_ptr<TensorImpl> NewImpl(Shape shape, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data.assign(static_cast<size_t>(impl->size()), 0.0f);
+  const size_t n = static_cast<size_t>(impl->size());
+  if (!GradMode::enabled() && BufferPool::enabled()) {
+    impl->data = BufferPool::ThreadLocal().Acquire(n);
+    impl->pooled = true;
+  } else {
+    impl->data.assign(n, 0.0f);
+  }
   impl->requires_grad = requires_grad;
   return impl;
 }
+
 }  // namespace
+
+bool GradMode::enabled() { return t_grad_mode_enabled; }
+
+void GradMode::set_enabled(bool enabled) { t_grad_mode_enabled = enabled; }
+
+TensorImpl::TensorImpl() {
+  g_impls_created.fetch_add(1, std::memory_order_relaxed);
+}
+
+TensorImpl::~TensorImpl() {
+  if (pooled) BufferPool::ThreadLocal().Release(std::move(data));
+}
+
+uint64_t TensorImplsCreated() {
+  return g_impls_created.load(std::memory_order_relaxed);
+}
 
 Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
   return Tensor(NewImpl(std::move(shape), requires_grad));
@@ -55,8 +91,20 @@ Tensor Tensor::Uniform(Shape shape, Rng& rng, float bound, bool requires_grad) {
   return Tensor(std::move(impl));
 }
 
+Tensor Tensor::Detach() const {
+  PREQR_CHECK(defined());
+  auto impl = NewImpl(impl_->shape, /*requires_grad=*/false);
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
+  return Tensor(std::move(impl));
+}
+
 void Tensor::Backward() {
+  PREQR_CHECK(defined());
   PREQR_CHECK_MSG(size() == 1, "Backward() requires a scalar loss");
+  PREQR_CHECK_MSG(
+      impl_->grad_fn != nullptr || impl_->requires_grad,
+      "Backward() on a tensor with no autograd tape (created under "
+      "NoGradGuard, or no input requires grad)");
   // Topological order via iterative DFS.
   std::vector<TensorImpl*> order;
   std::unordered_set<TensorImpl*> visited;

@@ -19,9 +19,10 @@ double ElapsedUs(Clock::time_point since) {
 
 // Cached embeddings are shared across callers; hand out detached copies so
 // a caller mutating its tensor cannot corrupt the cache (or another
-// caller's view).
+// caller's view). Under the guard the copy draws from the BufferPool.
 nn::Tensor DetachedCopy(const nn::Tensor& t) {
-  return nn::Tensor::FromData(t.shape(), t.vec());
+  nn::NoGradGuard no_grad;
+  return t.Detach();
 }
 
 }  // namespace
@@ -100,6 +101,9 @@ void EncoderService::DispatchLoop() {
 std::vector<StatusOr<nn::Tensor>> EncoderService::EncodeLocked(
     const std::vector<std::string>& sqls) {
   std::lock_guard<std::mutex> lock(encode_mu_);
+  // Serving encodes are pure inference: no tape on this thread regardless
+  // of which QueryEncoder implementation sits behind the interface.
+  nn::NoGradGuard no_grad;
   auto results = encoder_->TryEncodeVectorBatch(sqls, /*train=*/false);
   // Fill the cache while still holding encode_mu_, so an InvalidateCache
   // cannot slip between the encode and the insertion and leave stale

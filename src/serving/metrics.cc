@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "nn/buffer_pool.h"
 
 namespace preqr::serving {
 
@@ -106,6 +107,18 @@ std::string ServingMetrics::DumpText() const {
              encode_latency_us.Percentile(0.99));
   emit_value("serving_hit_latency_us_p50", hit_latency_us.Percentile(0.5));
   emit_value("serving_hit_latency_us_p99", hit_latency_us.Percentile(0.99));
+  // Tensor-storage recycling behind the no-grad encode path (process-wide).
+  const nn::BufferPoolStats pool = nn::BufferPool::TotalStats();
+  auto emit_u64 = [&](const char* name, uint64_t v) {
+    std::snprintf(line, sizeof(line), "%s %llu\n", name,
+                  static_cast<unsigned long long>(v));
+    out += line;
+  };
+  emit_u64("nn_buffer_pool_allocs_total", pool.allocs);
+  emit_u64("nn_buffer_pool_reuses_total", pool.reuses);
+  emit_u64("nn_buffer_pool_releases_total", pool.releases);
+  emit_u64("nn_buffer_pool_discards_total", pool.discards);
+  emit_u64("nn_buffer_pool_live_bytes", pool.live_bytes);
   return out;
 }
 

@@ -103,6 +103,8 @@ nn::Tensor PreqrEncoder::EncodeVector(const std::string& sql, bool train) {
   auto result = TryEncodeVector(sql, train);
   if (result.ok()) return std::move(result).value();
   // Legacy fallback for the task loops: malformed queries read out zeros.
+  std::optional<nn::NoGradGuard> no_grad;
+  if (!train) no_grad.emplace();
   model_->set_train(train);
   nn::Tensor v = ReadOut(ZeroEntry());
   model_->set_train(false);
@@ -111,6 +113,10 @@ nn::Tensor PreqrEncoder::EncodeVector(const std::string& sql, bool train) {
 
 StatusOr<nn::Tensor> PreqrEncoder::TryEncodeVector(const std::string& sql,
                                                    bool train) {
+  // Inference encodes never take gradients; only fine-tuning (train=true)
+  // needs the tape through the last layer's read-out.
+  std::optional<nn::NoGradGuard> no_grad;
+  if (!train) no_grad.emplace();
   model_->set_train(train);
   auto cached = Prefix(sql);
   if (!cached.ok()) {
@@ -194,6 +200,10 @@ std::vector<StatusOr<nn::Tensor>> PreqrEncoder::TryEncodeVectorBatch(
   // scheduling cannot change bits.
   std::vector<nn::Tensor> tensors(n);
   ParallelFor(0, static_cast<int64_t>(n), 1, [&](int64_t b0, int64_t b1) {
+    // GradMode is per-thread: each pool worker (and the caller) installs
+    // its own guard for inference read-outs.
+    std::optional<nn::NoGradGuard> no_grad;
+    if (!train) no_grad.emplace();
     for (int64_t i = b0; i < b1; ++i) {
       const size_t s = static_cast<size_t>(i);
       const CachedQuery* entry = nullptr;
@@ -227,6 +237,8 @@ std::vector<nn::Tensor> PreqrEncoder::EncodeVectorBatch(
     if (r.ok()) {
       out.push_back(std::move(r).value());
     } else {
+      std::optional<nn::NoGradGuard> no_grad;
+      if (!train) no_grad.emplace();
       model_->set_train(train);
       out.push_back(ReadOut(ZeroEntry()));
       model_->set_train(false);
@@ -236,6 +248,8 @@ std::vector<nn::Tensor> PreqrEncoder::EncodeVectorBatch(
 }
 
 nn::Tensor PreqrEncoder::EncodeSequence(const std::string& sql, bool train) {
+  std::optional<nn::NoGradGuard> no_grad;
+  if (!train) no_grad.emplace();
   model_->set_train(train);
   auto cached = Prefix(sql);
   auto enc = model_->LastLayer(

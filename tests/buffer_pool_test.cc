@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/buffer_pool.h"
+#include "nn/tensor.h"
+
+namespace preqr::nn {
+namespace {
+
+// Stats are process-wide and other tests allocate tensors, so every
+// assertion here works on deltas from a snapshot.
+
+TEST(BufferPoolTest, AcquireZeroFillsAndReusesStorage) {
+  BufferPool& pool = BufferPool::ThreadLocal();
+  pool.Clear();
+  const BufferPoolStats s0 = BufferPool::TotalStats();
+
+  std::vector<float> buf = pool.Acquire(100);
+  ASSERT_EQ(buf.size(), 100u);
+  for (float v : buf) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(BufferPool::TotalStats().allocs, s0.allocs + 1);
+
+  // Dirty the buffer, return it, and take it back: same storage, zeroed.
+  std::fill(buf.begin(), buf.end(), 3.5f);
+  const float* storage = buf.data();
+  pool.Release(std::move(buf));
+  const BufferPoolStats s1 = BufferPool::TotalStats();
+  EXPECT_EQ(s1.releases, s0.releases + 1);
+  EXPECT_GT(s1.live_bytes, s0.live_bytes);
+
+  std::vector<float> again = pool.Acquire(100);
+  ASSERT_EQ(again.size(), 100u);
+  EXPECT_EQ(again.data(), storage);
+  for (float v : again) EXPECT_EQ(v, 0.0f);
+  const BufferPoolStats s2 = BufferPool::TotalStats();
+  EXPECT_EQ(s2.reuses, s1.reuses + 1);
+  EXPECT_EQ(s2.live_bytes, s0.live_bytes);
+  pool.Release(std::move(again));
+  pool.Clear();
+}
+
+TEST(BufferPoolTest, BucketServesAnySizeItCovers) {
+  BufferPool& pool = BufferPool::ThreadLocal();
+  pool.Clear();
+  // 100 and 65 both round up to the 128-capacity bucket.
+  std::vector<float> buf = pool.Acquire(100);
+  pool.Release(std::move(buf));
+  const BufferPoolStats before = BufferPool::TotalStats();
+  std::vector<float> smaller = pool.Acquire(65);
+  ASSERT_EQ(smaller.size(), 65u);
+  for (float v : smaller) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(BufferPool::TotalStats().reuses, before.reuses + 1);
+  pool.Release(std::move(smaller));
+  pool.Clear();
+}
+
+TEST(BufferPoolTest, DisabledBypassesRecycling) {
+  BufferPool& pool = BufferPool::ThreadLocal();
+  pool.Clear();
+  std::vector<float> parked = pool.Acquire(64);
+  pool.Release(std::move(parked));  // one buffer parked
+
+  BufferPool::set_enabled(false);
+  const BufferPoolStats s0 = BufferPool::TotalStats();
+  std::vector<float> buf = pool.Acquire(64);  // must NOT pop the parked one
+  const BufferPoolStats s1 = BufferPool::TotalStats();
+  EXPECT_EQ(s1.allocs, s0.allocs + 1);
+  EXPECT_EQ(s1.reuses, s0.reuses);
+  pool.Release(std::move(buf));  // dropped, not parked
+  const BufferPoolStats s2 = BufferPool::TotalStats();
+  EXPECT_EQ(s2.discards, s1.discards + 1);
+  EXPECT_EQ(s2.releases, s1.releases);
+  BufferPool::set_enabled(true);
+  pool.Clear();
+}
+
+TEST(BufferPoolTest, ClearReturnsParkedBytes) {
+  BufferPool& pool = BufferPool::ThreadLocal();
+  pool.Clear();
+  const BufferPoolStats s0 = BufferPool::TotalStats();
+  pool.Release(pool.Acquire(256));
+  pool.Release(pool.Acquire(1024));
+  EXPECT_GT(BufferPool::TotalStats().live_bytes, s0.live_bytes);
+  pool.Clear();
+  EXPECT_EQ(BufferPool::TotalStats().live_bytes, s0.live_bytes);
+}
+
+TEST(BufferPoolTest, ZeroSizedAcquireIsEmpty) {
+  BufferPool& pool = BufferPool::ThreadLocal();
+  std::vector<float> buf = pool.Acquire(0);
+  EXPECT_TRUE(buf.empty());
+  pool.Release(std::move(buf));  // no-op, no crash
+}
+
+TEST(BufferPoolTest, NoGradTensorsDrawFromPool) {
+  BufferPool::ThreadLocal().Clear();
+  const BufferPoolStats s0 = BufferPool::TotalStats();
+  {
+    NoGradGuard guard;
+    Tensor t = Tensor::Zeros({8, 8});
+    EXPECT_TRUE(t.impl()->pooled);
+  }  // impl dies -> storage parked
+  const BufferPoolStats s1 = BufferPool::TotalStats();
+  EXPECT_EQ(s1.releases, s0.releases + 1);
+  {
+    NoGradGuard guard;
+    Tensor t = Tensor::Zeros({8, 8});
+    EXPECT_TRUE(t.impl()->pooled);
+    for (float v : t.vec()) EXPECT_EQ(v, 0.0f);
+  }
+  EXPECT_EQ(BufferPool::TotalStats().reuses, s1.reuses + 1);
+
+  // Grad-mode allocations never touch the pool (optimizer state and grads
+  // must not alias recycled storage).
+  Tensor trainable = Tensor::Zeros({8, 8}, /*requires_grad=*/true);
+  EXPECT_FALSE(trainable.impl()->pooled);
+  Tensor plain = Tensor::Zeros({8, 8});
+  EXPECT_FALSE(plain.impl()->pooled);
+  BufferPool::ThreadLocal().Clear();
+}
+
+}  // namespace
+}  // namespace preqr::nn

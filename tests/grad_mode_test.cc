@@ -1,0 +1,164 @@
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace preqr::nn {
+namespace {
+
+TEST(GradModeTest, DefaultEnabled) { EXPECT_TRUE(GradMode::enabled()); }
+
+TEST(GradModeTest, NestedGuardsRestore) {
+  EXPECT_TRUE(GradMode::enabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(GradMode::enabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradMode::enabled());
+    }
+    EXPECT_FALSE(GradMode::enabled());
+  }
+  EXPECT_TRUE(GradMode::enabled());
+}
+
+// Under NoGradGuard no op may record itself on the tape, even when every
+// input requires grad: empty parents, null grad_fn, requires_grad=false.
+TEST(GradModeTest, NoGradGuardSkipsTapeAcrossOps) {
+  Rng rng(7);
+  Tensor x = Tensor::Randn({4, 4}, rng, 1.0f, /*requires_grad=*/true);
+  Tensor w = Tensor::Randn({4, 4}, rng, 1.0f, /*requires_grad=*/true);
+  Tensor gamma = Tensor::Full({4}, 1.0f, /*requires_grad=*/true);
+  Tensor beta = Tensor::Zeros({4}, /*requires_grad=*/true);
+  Rng dropout_rng(3);
+
+  NoGradGuard guard;
+  std::vector<Tensor> outs;
+  outs.push_back(Add(x, x));
+  outs.push_back(Sub(x, x));
+  outs.push_back(Mul(x, x));
+  outs.push_back(Scale(x, 2.0f));
+  outs.push_back(AddBias(x, beta));
+  outs.push_back(Relu(x));
+  outs.push_back(Gelu(x));
+  outs.push_back(Tanh(x));
+  outs.push_back(Sigmoid(x));
+  outs.push_back(MatMul(x, w));
+  outs.push_back(Transpose(x));
+  outs.push_back(SoftmaxLastDim(x));
+  outs.push_back(LayerNormOp(x, gamma, beta));
+  outs.push_back(Sum(x));
+  outs.push_back(Mean(x));
+  outs.push_back(MeanRows(x));
+  outs.push_back(MaxRows(x));
+  outs.push_back(MeanRowsSubset(x, {0, 2}));
+  outs.push_back(Reshape(x, {2, 8}));
+  outs.push_back(ConcatLastDim({x, x}));
+  outs.push_back(ConcatRows({x, x}));
+  outs.push_back(SliceLastDim(x, 1, 2));
+  outs.push_back(SliceRows(x, 1, 2));
+  outs.push_back(Gather(w, {0, 2, 1}));
+  outs.push_back(SparseAggregate(x, {{0, 1}, {1, 2}}, {1.0f, 0.5f}));
+  outs.push_back(CrossEntropy(x, {0, 1, 2, 3}));
+  outs.push_back(MseLoss(Reshape(x, {16}), std::vector<float>(16, 0.5f)));
+  outs.push_back(Dropout(x, 0.5f, dropout_rng, /*train=*/true));
+  for (const auto& t : outs) {
+    EXPECT_FALSE(t.requires_grad());
+    EXPECT_TRUE(t.impl()->parents.empty());
+    EXPECT_FALSE(static_cast<bool>(t.impl()->grad_fn));
+  }
+}
+
+TEST(GradModeTest, DetachDropsTapeAndIsolatesStorage) {
+  Tensor x = Tensor::FromData({2, 2}, {1, 2, 3, 4}, /*requires_grad=*/true);
+  Tensor y = Scale(x, 2.0f);
+  EXPECT_TRUE(y.requires_grad());
+  EXPECT_FALSE(y.impl()->parents.empty());
+
+  Tensor d = y.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_TRUE(d.impl()->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(d.impl()->grad_fn));
+  EXPECT_EQ(d.vec(), y.vec());
+  // Detach copies: mutating the copy must not touch the source.
+  d.vec()[0] = 42.0f;
+  EXPECT_FLOAT_EQ(y.vec()[0], 2.0f);
+}
+
+// The same computation must produce bit-for-bit equal values with the tape
+// on and off — grad mode only changes bookkeeping, never numerics.
+TEST(GradModeTest, ValuesBitwiseIdenticalGradOnVsOff) {
+  Rng rng(11);
+  Tensor x = Tensor::Randn({6, 8}, rng, 1.0f, /*requires_grad=*/true);
+  Tensor w = Tensor::Randn({8, 8}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor gamma = Tensor::Full({8}, 1.0f, /*requires_grad=*/true);
+  Tensor beta = Tensor::Zeros({8}, /*requires_grad=*/true);
+  auto run = [&] {
+    Tensor h = MatMul(x, w);
+    h = Gelu(h);
+    h = LayerNormOp(h, gamma, beta);
+    return SoftmaxLastDim(h);
+  };
+  Tensor taped = run();
+  Tensor plain;
+  {
+    NoGradGuard guard;
+    plain = run();
+  }
+  EXPECT_TRUE(taped.requires_grad());
+  EXPECT_FALSE(plain.requires_grad());
+  ASSERT_EQ(taped.vec().size(), plain.vec().size());
+  EXPECT_EQ(std::memcmp(taped.data(), plain.data(),
+                        taped.vec().size() * sizeof(float)),
+            0);
+}
+
+TEST(GradModeTest, GuardDoesNotLeakToOtherThreads) {
+  NoGradGuard guard;
+  EXPECT_FALSE(GradMode::enabled());
+  bool other_thread_enabled = false;
+  std::thread t([&] { other_thread_enabled = GradMode::enabled(); });
+  t.join();
+  EXPECT_TRUE(other_thread_enabled);
+}
+
+TEST(GradModeTest, ThreadLocalIndependenceUnderParallelFor) {
+  ThreadPool::SetGlobalThreads(4);
+  Tensor x = Tensor::FromData({2}, {1, 2}, /*requires_grad=*/true);
+  constexpr int64_t kN = 64;
+  std::vector<char> taped(static_cast<size_t>(kN), 1);
+  ParallelFor(0, kN, 1, [&](int64_t b0, int64_t b1) {
+    // Installed per chunk: covers pool workers and the caller thread alike.
+    NoGradGuard guard;
+    for (int64_t i = b0; i < b1; ++i) {
+      Tensor y = Add(x, x);
+      taped[static_cast<size_t>(i)] = y.requires_grad() ? 1 : 0;
+    }
+  });
+  for (char t : taped) EXPECT_EQ(t, 0);
+  // The guards died with their chunks; this thread's tape is back on.
+  EXPECT_TRUE(GradMode::enabled());
+  Tensor z = Add(x, x);
+  EXPECT_TRUE(z.requires_grad());
+  ThreadPool::SetGlobalThreads(0);  // restore default
+}
+
+// Calling Backward on a tensor produced inside a no-grad region is a
+// programming error and must fail loudly, not silently no-op.
+TEST(GradModeDeathTest, BackwardAfterNoGradDies) {
+  Tensor x = Tensor::FromData({2}, {1, 2}, /*requires_grad=*/true);
+  Tensor loss;
+  {
+    NoGradGuard guard;
+    loss = Sum(x);
+  }
+  EXPECT_DEATH(loss.Backward(), "no autograd tape");
+}
+
+}  // namespace
+}  // namespace preqr::nn

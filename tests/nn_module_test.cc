@@ -211,6 +211,29 @@ TEST(ModuleTest, NamedParametersIncludeChildren) {
   EXPECT_TRUE(found_ffn);
 }
 
+TEST(ModuleTest, SetTrainPropagatesToChildren) {
+  // set_train must reach every registered descendant, not just the root —
+  // otherwise nested Dropout layers keep dropping during inference.
+  struct Leaf : Module {};
+  struct Mid : Module {
+    Leaf leaf;
+    Mid() { RegisterChild("leaf", &leaf); }
+  };
+  struct Root : Module {
+    Mid mid;
+    Root() { RegisterChild("mid", &mid); }
+  };
+  Root root;
+  root.set_train(false);
+  EXPECT_FALSE(root.train_mode());
+  EXPECT_FALSE(root.mid.train_mode());
+  EXPECT_FALSE(root.mid.leaf.train_mode());
+  root.set_train(true);
+  EXPECT_TRUE(root.train_mode());
+  EXPECT_TRUE(root.mid.train_mode());
+  EXPECT_TRUE(root.mid.leaf.train_mode());
+}
+
 TEST(ModuleTest, TrainingEndToEndThroughTransformer) {
   // Overfit a transformer layer + head to map a fixed input to a target.
   Rng rng(14);

@@ -87,5 +87,24 @@ TEST(TensorTest, DeepGraphBackwardIsIterative) {
   EXPECT_FLOAT_EQ(x.grad_vec()[0], 1.0f);
 }
 
+// A default-constructed Tensor is a null handle: defined() says so, and
+// every accessor aborts with a diagnostic instead of dereferencing null.
+TEST(TensorDeathTest, DefaultConstructedAccessorsDie) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_DEATH(t.shape(), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.ndim(), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.size(), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.data(), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.vec(), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.at(0), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.requires_grad(), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.set_requires_grad(true), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.grad_data(), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.grad_vec(), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.ZeroGrad(), "PREQR_CHECK failed");
+  EXPECT_DEATH(t.Backward(), "PREQR_CHECK failed");
+}
+
 }  // namespace
 }  // namespace preqr::nn

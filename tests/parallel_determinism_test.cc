@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/pretrain.h"
 #include "db/stats.h"
+#include "nn/buffer_pool.h"
 #include "schema/schema_graph.h"
 #include "serving/encoder_service.h"
 #include "tasks/preqr_encoder.h"
@@ -160,6 +161,52 @@ TEST(ParallelDeterminismTest, ServedEmbeddingsBitwiseIdenticalAcrossThreads) {
     for (size_t q = 0; q < sqls.size(); ++q) {
       ExpectBitwiseEqual(per_threads[0][q], per_threads[t][q],
                          "served embedding across thread counts");
+    }
+  }
+  ThreadPool::SetGlobalThreads(0);
+}
+
+// Grad mode and pooled storage are pure bookkeeping: the inference
+// embeddings must be bit-for-bit identical whether the tape is on or off,
+// and whether tensor storage is recycled through the BufferPool or
+// heap-allocated fresh every time.
+TEST(ParallelDeterminismTest, GradModeAndPoolDoNotChangeBits) {
+  ThreadPool::SetGlobalThreads(8);
+  std::vector<std::string> sqls(E().corpus.begin(), E().corpus.begin() + 8);
+
+  auto encode_all = [&] {
+    PreqrModel model = E().MakeModel();
+    tasks::PreqrEncoder encoder(&model);
+    std::vector<std::vector<float>> outputs;
+    for (auto& t : encoder.EncodeVectorBatch(sqls, /*train=*/false)) {
+      outputs.push_back(t.vec());
+    }
+    return outputs;
+  };
+
+  // Baseline: tape off inside the encoder (the production inference path),
+  // pool recycling on.
+  const auto baseline = encode_all();
+
+  // Tape forced ON around the whole encode. The encoder installs per-chunk
+  // NoGradGuards internally, so this exercises the nesting/restore path on
+  // the caller thread while the math stays identical.
+  {
+    nn::GradMode::set_enabled(true);
+    const auto taped = encode_all();
+    for (size_t q = 0; q < sqls.size(); ++q) {
+      ExpectBitwiseEqual(baseline[q], taped[q], "grad-on vs grad-off");
+    }
+  }
+
+  // Pool bypassed: every no-grad tensor heap-allocates instead of reusing
+  // recycled (zeroed) buffers. Same bits required.
+  {
+    nn::BufferPool::set_enabled(false);
+    const auto unpooled = encode_all();
+    nn::BufferPool::set_enabled(true);
+    for (size_t q = 0; q < sqls.size(); ++q) {
+      ExpectBitwiseEqual(baseline[q], unpooled[q], "pool on vs bypassed");
     }
   }
   ThreadPool::SetGlobalThreads(0);

@@ -270,7 +270,8 @@ TEST(EncoderServiceTest, MetricsDumpExposesCountersAndLatencies) {
         "serving_cache_misses_total 2", "serving_errors_total 1",
         "serving_cache_hit_rate", "serving_batches_total",
         "serving_batch_size_mean", "serving_encode_latency_us_p50",
-        "serving_hit_latency_us_p99"}) {
+        "serving_hit_latency_us_p99", "nn_buffer_pool_allocs_total",
+        "nn_buffer_pool_reuses_total", "nn_buffer_pool_live_bytes"}) {
     EXPECT_NE(dump.find(key), std::string::npos) << "missing: " << key
                                                  << "\n" << dump;
   }
