@@ -23,12 +23,13 @@ cmake --build build -j
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSAN stage skipped (SKIP_TSAN=1) =="
 else
-  echo "== TSAN: thread_pool, lru_cache, serving, determinism, nn_ops_grad, grad_mode, buffer_pool =="
+  echo "== TSAN: thread_pool, lru_cache, serving, determinism, nn_ops_grad, grad_mode, buffer_pool, checkpoint =="
   cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target thread_pool_test \
     --target lru_cache_test --target serving_test \
     --target parallel_determinism_test --target nn_ops_grad_test \
-    --target grad_mode_test --target buffer_pool_test
+    --target grad_mode_test --target buffer_pool_test \
+    --target checkpoint_test --target checkpoint_resume_test
   # Force a multi-threaded pool so races are actually exercised even on
   # single-core CI machines; TSAN halts on the first detected race.
   export PREQR_NUM_THREADS=8
@@ -42,6 +43,10 @@ else
   # the tier-1 run above.
   ./build-tsan/tests/grad_mode_test --gtest_filter='-*DeathTest*'
   ./build-tsan/tests/buffer_pool_test
+  # Checkpointing: format hardening, the bitwise interrupted-training
+  # drill, and hot reload under the serving mutexes.
+  ./build-tsan/tests/checkpoint_test
+  ./build-tsan/tests/checkpoint_resume_test
 fi
 
 if [[ "${SKIP_POOL_DEBUG:-0}" != "1" ]]; then

@@ -1,6 +1,7 @@
 #ifndef PREQR_COMMON_RNG_H_
 #define PREQR_COMMON_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -10,7 +11,16 @@ namespace preqr {
 // components in the library take an Rng so experiments are reproducible.
 class Rng {
  public:
+  // The full generator state; capturing and restoring it resumes the draw
+  // sequence exactly (checkpointing relies on this).
+  using State = std::array<uint64_t, 4>;
+
   explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  State state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<size_t>(i)];
+  }
 
   void Seed(uint64_t seed) {
     uint64_t x = seed;

@@ -1,9 +1,11 @@
 #ifndef PREQR_CORE_PRETRAIN_H_
 #define PREQR_CORE_PRETRAIN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/preqr_model.h"
 #include "nn/optim.h"
 
@@ -12,6 +14,14 @@ namespace preqr::core {
 // Masked-language-model pre-training (Section 3.5.2): 15% of tokens are
 // selected; 80% become [MASK], 10% a random vocabulary token, 10% stay, and
 // the model predicts the originals with cross-entropy.
+//
+// Training state (model weights, Adam moments, the trainer RNG, and the
+// loop cursor) can be checkpointed to a PRC1 file and restored in a fresh
+// process. Resume is exact: because masking and dropout seeds are drawn
+// serially in example order before any parallel work, restoring the RNG
+// state and the epoch's shuffled order replays the identical draw
+// sequence, so a run resumed at step k is bit-identical to one that never
+// stopped (pinned by checkpoint_resume_test).
 class Pretrainer {
  public:
   struct Options {
@@ -20,6 +30,15 @@ class Pretrainer {
     float lr = 1e-3f;
     uint64_t seed = 99;
     bool verbose = false;
+    // Write a checkpoint to `checkpoint_path` every this many optimizer
+    // steps (0 = never). Failures are reported on stderr and via
+    // last_checkpoint_status(); training continues.
+    int64_t checkpoint_every = 0;
+    std::string checkpoint_path;
+    // Stop after this many optimizer steps (0 = run all epochs). Used to
+    // bound incremental-update rounds and by the interrupted-training
+    // drill.
+    int64_t max_steps = 0;
   };
 
   Pretrainer(PreqrModel& model, Options options);
@@ -29,11 +48,33 @@ class Pretrainer {
     double masked_accuracy = 0;
   };
 
-  // Pre-trains on the workload; returns per-epoch stats.
+  // Pre-trains on the workload; returns per-epoch stats (on a resumed run:
+  // for all epochs, including those completed before the checkpoint).
+  // Without a preceding ResumeFrom, every call starts training from
+  // scratch (fresh optimizer, step 0).
   std::vector<EpochStats> Train(const std::vector<std::string>& queries);
 
   // One MLM loss evaluation without updates (validation).
   EpochStats Evaluate(const std::vector<std::string>& queries);
+
+  // Writes the full training state (model, optimizer, RNG, step, loop
+  // cursor) as one atomic PRC1 checkpoint; a crash mid-save never
+  // clobbers the previous checkpoint at `path`.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  // Restores training state from a PRC1 checkpoint. Transactional: on any
+  // error the model, optimizer, and trainer are left untouched. The next
+  // Train call must receive the same query corpus and options the
+  // checkpointed run used; it continues from the saved step.
+  Status ResumeFrom(const std::string& path);
+
+  int64_t step() const { return step_; }
+  // The live optimizer (nullptr before the first Train/ResumeFrom); tests
+  // compare its StateDict across runs.
+  const nn::Adam* optimizer() const { return opt_.get(); }
+  const Status& last_checkpoint_status() const {
+    return last_checkpoint_status_;
+  }
 
  private:
   struct MaskedExample {
@@ -45,6 +86,19 @@ class Pretrainer {
   PreqrModel& model_;
   Options options_;
   Rng rng_;
+
+  // Training progress; all of it rides along in checkpoints so a resumed
+  // run continues mid-epoch with identical bookkeeping.
+  std::unique_ptr<nn::Adam> opt_;
+  int64_t step_ = 0;
+  int64_t epoch_ = 0;
+  uint64_t cursor_ = 0;              // next example index into order_
+  std::vector<uint64_t> order_;      // current epoch's shuffled order
+  double loss_sum_ = 0, correct_ = 0, masked_ = 0;
+  int64_t batches_ = 0;
+  std::vector<EpochStats> history_;
+  bool mid_epoch_resume_ = false;    // skip the next epoch-start shuffle
+  Status last_checkpoint_status_;
 };
 
 }  // namespace preqr::core

@@ -1,0 +1,315 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <unordered_set>
+
+namespace preqr::nn {
+namespace {
+
+// Caps on what a well-formed checkpoint can declare. They exist so a
+// corrupted or hostile header cannot make the reader allocate gigabytes
+// before the CRC ever gets a chance to reject the file.
+constexpr uint32_t kMaxSections = 256;
+constexpr uint32_t kMaxSectionNameLen = 256;
+constexpr uint64_t kMaxPayloadBytes = 1ull << 34;  // 16 GiB
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Little-endian scalar append/read over std::string buffers. The repo only
+// targets little-endian hosts, but going through memcpy keeps the byte
+// layout explicit and alignment-safe.
+template <typename T>
+void AppendScalar(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+// Reads a T at *offset, advancing it; false on out-of-bounds.
+template <typename T>
+bool ReadScalar(const std::string& bytes, size_t* offset, T* v) {
+  if (bytes.size() - *offset < sizeof(T)) return false;
+  std::memcpy(v, bytes.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+const uint32_t* CrcTable() {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const uint32_t* table = CrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return Status::InvalidArgument("cannot open for write: " + tmp);
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+      std::remove(tmp.c_str());
+      return Status::Internal("short write: " + tmp);
+    }
+    if (std::fflush(f.get()) != 0) {
+      std::remove(tmp.c_str());
+      return Status::Internal("flush failed: " + tmp);
+    }
+  }
+  // The rename is the commit point: POSIX guarantees the destination is
+  // atomically replaced, so `path` never exposes a half-written file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open for read: " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    bytes.append(buf, n);
+  }
+  if (std::ferror(f.get())) return Status::Internal("read failed: " + path);
+  *out = std::move(bytes);
+  return Status::Ok();
+}
+
+void CheckpointWriter::AddSection(std::string name, std::string payload) {
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+StatusOr<std::string> CheckpointWriter::Serialize() const {
+  std::unordered_set<std::string> seen;
+  std::string body;
+  for (const auto& [name, payload] : sections_) {
+    if (name.empty() || name.size() > kMaxSectionNameLen) {
+      return Status::InvalidArgument("bad checkpoint section name: " + name);
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate checkpoint section: " + name);
+    }
+    AppendScalar<uint32_t>(&body, static_cast<uint32_t>(name.size()));
+    body.append(name);
+    AppendScalar<uint64_t>(&body, payload.size());
+    body.append(payload);
+  }
+  if (sections_.size() > kMaxSections || body.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("checkpoint too large");
+  }
+  std::string out;
+  out.reserve(24 + body.size());
+  AppendScalar<uint32_t>(&out, kCheckpointMagic);
+  AppendScalar<uint32_t>(&out, kCheckpointVersion);
+  AppendScalar<uint32_t>(&out, static_cast<uint32_t>(sections_.size()));
+  AppendScalar<uint64_t>(&out, body.size());
+  AppendScalar<uint32_t>(&out, Crc32(body.data(), body.size()));
+  out.append(body);
+  return out;
+}
+
+Status CheckpointWriter::WriteAtomic(const std::string& path) const {
+  auto bytes = Serialize();
+  if (!bytes.ok()) return bytes.status();
+  return AtomicWriteFile(path, bytes.value());
+}
+
+Status CheckpointReader::Open(const std::string& path) {
+  std::string bytes;
+  Status s = ReadFileToString(path, &bytes);
+  if (!s.ok()) return s;
+  s = Parse(std::move(bytes));
+  if (!s.ok()) {
+    return Status(s.code(), s.message() + " in " + path);
+  }
+  return s;
+}
+
+Status CheckpointReader::Parse(std::string bytes) {
+  version_ = 0;
+  sections_.clear();
+  size_t offset = 0;
+  uint32_t magic = 0, version = 0, count = 0, crc = 0;
+  uint64_t payload = 0;
+  if (!ReadScalar(bytes, &offset, &magic) || magic != kCheckpointMagic) {
+    return Status::ParseError("bad checkpoint magic");
+  }
+  if (!ReadScalar(bytes, &offset, &version) ||
+      version != kCheckpointVersion) {
+    return Status::ParseError("unsupported checkpoint version");
+  }
+  if (!ReadScalar(bytes, &offset, &count) || count > kMaxSections) {
+    return Status::ParseError("implausible checkpoint section count");
+  }
+  if (!ReadScalar(bytes, &offset, &payload) || payload > kMaxPayloadBytes) {
+    return Status::ParseError("implausible checkpoint payload size");
+  }
+  if (!ReadScalar(bytes, &offset, &crc)) {
+    return Status::ParseError("truncated checkpoint header");
+  }
+  if (bytes.size() - offset < payload) {
+    return Status::ParseError("truncated checkpoint payload");
+  }
+  if (bytes.size() - offset > payload) {
+    return Status::ParseError("trailing garbage after checkpoint payload");
+  }
+  if (Crc32(bytes.data() + offset, payload) != crc) {
+    return Status::ParseError("checkpoint CRC mismatch");
+  }
+  const size_t end = offset + payload;
+  std::vector<std::pair<std::string, std::string>> sections;
+  std::unordered_set<std::string> seen;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadScalar(bytes, &offset, &name_len) ||
+        name_len == 0 || name_len > kMaxSectionNameLen ||
+        end - offset < name_len) {
+      return Status::ParseError("bad checkpoint section name length");
+    }
+    std::string name(bytes.data() + offset, name_len);
+    offset += name_len;
+    uint64_t data_len = 0;
+    if (!ReadScalar(bytes, &offset, &data_len) || end - offset < data_len) {
+      return Status::ParseError("bad checkpoint section size");
+    }
+    if (!seen.insert(name).second) {
+      return Status::ParseError("duplicate checkpoint section " + name);
+    }
+    sections.emplace_back(std::move(name),
+                          bytes.substr(offset, data_len));
+    offset += data_len;
+  }
+  if (offset != end) {
+    return Status::ParseError("checkpoint sections shorter than payload");
+  }
+  version_ = version;
+  sections_ = std::move(sections);
+  return Status::Ok();
+}
+
+bool CheckpointReader::Has(const std::string& name) const {
+  return Section(name) != nullptr;
+}
+
+const std::string* CheckpointReader::Section(const std::string& name) const {
+  for (const auto& [n, payload] : sections_) {
+    if (n == name) return &payload;
+  }
+  return nullptr;
+}
+
+std::string EncodeOptimizerState(const OptimizerState& state) {
+  std::string out;
+  AppendScalar<uint32_t>(&out, static_cast<uint32_t>(state.type.size()));
+  out.append(state.type);
+  AppendScalar<int64_t>(&out, state.step);
+  AppendScalar<uint64_t>(&out, state.slots.size());
+  for (const auto& slot : state.slots) {
+    AppendScalar<uint64_t>(&out, slot.size());
+    out.append(reinterpret_cast<const char*>(slot.data()),
+               slot.size() * sizeof(float));
+  }
+  return out;
+}
+
+Status DecodeOptimizerState(const std::string& payload, OptimizerState* out) {
+  OptimizerState state;
+  size_t offset = 0;
+  uint32_t type_len = 0;
+  if (!ReadScalar(payload, &offset, &type_len) || type_len > 64 ||
+      payload.size() - offset < type_len) {
+    return Status::ParseError("bad optimizer type length");
+  }
+  state.type.assign(payload.data() + offset, type_len);
+  offset += type_len;
+  if (!ReadScalar(payload, &offset, &state.step)) {
+    return Status::ParseError("truncated optimizer step");
+  }
+  uint64_t num_slots = 0;
+  // Each slot costs at least its own 8-byte length field, which bounds a
+  // plausible count by the bytes remaining.
+  if (!ReadScalar(payload, &offset, &num_slots) ||
+      num_slots > (payload.size() - offset) / sizeof(uint64_t)) {
+    return Status::ParseError("implausible optimizer slot count");
+  }
+  state.slots.reserve(num_slots);
+  for (uint64_t i = 0; i < num_slots; ++i) {
+    uint64_t n = 0;
+    if (!ReadScalar(payload, &offset, &n) ||
+        n > (payload.size() - offset) / sizeof(float)) {
+      return Status::ParseError("truncated optimizer slot");
+    }
+    std::vector<float> slot(n);
+    std::memcpy(slot.data(), payload.data() + offset, n * sizeof(float));
+    offset += n * sizeof(float);
+    state.slots.push_back(std::move(slot));
+  }
+  if (offset != payload.size()) {
+    return Status::ParseError("trailing garbage in optimizer state");
+  }
+  *out = std::move(state);
+  return Status::Ok();
+}
+
+std::string EncodeRngState(const Rng::State& state) {
+  std::string out;
+  for (uint64_t word : state) AppendScalar<uint64_t>(&out, word);
+  return out;
+}
+
+Status DecodeRngState(const std::string& payload, Rng::State* out) {
+  if (payload.size() != 4 * sizeof(uint64_t)) {
+    return Status::ParseError("rng state must be 32 bytes");
+  }
+  size_t offset = 0;
+  for (auto& word : *out) ReadScalar(payload, &offset, &word);
+  return Status::Ok();
+}
+
+std::string EncodeU64(uint64_t v) {
+  std::string out;
+  AppendScalar<uint64_t>(&out, v);
+  return out;
+}
+
+Status DecodeU64(const std::string& payload, uint64_t* out) {
+  if (payload.size() != sizeof(uint64_t)) {
+    return Status::ParseError("u64 section must be 8 bytes");
+  }
+  size_t offset = 0;
+  ReadScalar(payload, &offset, out);
+  return Status::Ok();
+}
+
+}  // namespace preqr::nn

@@ -1,0 +1,113 @@
+#ifndef PREQR_NN_CHECKPOINT_H_
+#define PREQR_NN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/optim.h"
+
+namespace preqr::nn {
+
+// ---------------------------------------------------------------------------
+// PRC1: versioned, CRC-validated, atomically-written training checkpoints.
+//
+// Layout (little-endian, all offsets in bytes):
+//
+//   u32 magic    = "PRC1" (0x50524331)
+//   u32 version  = 1
+//   u32 sections = number of named sections
+//   u64 payload  = total size of the section area that follows the header
+//   u32 crc32    = IEEE CRC-32 over the section area
+//   --- section area (exactly `payload` bytes) ---
+//   per section: u32 name_len, name bytes, u64 data_len, data bytes
+//
+// A reader rejects anything that does not check out end to end: wrong
+// magic/version, impossible counts or lengths, CRC mismatch, truncation,
+// or trailing bytes after the declared payload. Writers only ever publish
+// a file through AtomicWriteFile, so the checkpoint path either holds the
+// previous complete checkpoint or the new complete one — never a torn mix.
+//
+// Section payloads are opaque byte strings; the canonical training
+// checkpoint uses the kSection* names below (module weights re-use the
+// PRM1 parameter-table encoding from serialize.h).
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kCheckpointMagic = 0x50524331;  // "PRC1"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+// Canonical section names.
+inline constexpr const char* kSectionModel = "model";      // module weights
+inline constexpr const char* kSectionOptimizer = "optim";  // Adam/Sgd slots
+inline constexpr const char* kSectionRng = "rng";          // trainer PRNG
+inline constexpr const char* kSectionStep = "step";        // global step u64
+inline constexpr const char* kSectionTrainer = "trainer";  // loop cursor
+
+// IEEE CRC-32 (reflected polynomial 0xEDB88320) over `n` bytes, chainable
+// via `seed` (pass the previous return value to continue a running CRC).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+// Durably replaces `path` with `bytes`: writes to `path + ".tmp"`, flushes,
+// and renames over the destination. A crash at any point leaves either the
+// old complete file or the new complete file at `path`, plus at worst a
+// stale .tmp that the next successful write truncates and replaces.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+// Reads the whole file at `path` into `*out`.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+// Assembles a PRC1 byte stream from named sections.
+class CheckpointWriter {
+ public:
+  // Later sections with a repeated name are rejected at Serialize time.
+  void AddSection(std::string name, std::string payload);
+
+  // The complete PRC1 byte stream (header + CRC + sections).
+  StatusOr<std::string> Serialize() const;
+
+  // Serialize + AtomicWriteFile.
+  Status WriteAtomic(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+// Parses and validates a PRC1 byte stream; sections are then available by
+// name. Open/Parse fail without partial state on any malformed input.
+class CheckpointReader {
+ public:
+  Status Open(const std::string& path);
+  Status Parse(std::string bytes);
+
+  bool Has(const std::string& name) const;
+  // nullptr when the section is absent.
+  const std::string* Section(const std::string& name) const;
+  uint32_t version() const { return version_; }
+  const std::vector<std::pair<std::string, std::string>>& sections() const {
+    return sections_;
+  }
+
+ private:
+  uint32_t version_ = 0;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+// --- Section codecs --------------------------------------------------------
+
+// Optimizer state <-> bytes (type tag, step, per-slot float vectors).
+std::string EncodeOptimizerState(const OptimizerState& state);
+Status DecodeOptimizerState(const std::string& payload, OptimizerState* out);
+
+// xoshiro256** state <-> bytes (4 x u64).
+std::string EncodeRngState(const Rng::State& state);
+Status DecodeRngState(const std::string& payload, Rng::State* out);
+
+// Plain u64 section (step counters and similar).
+std::string EncodeU64(uint64_t v);
+Status DecodeU64(const std::string& payload, uint64_t* out);
+
+}  // namespace preqr::nn
+
+#endif  // PREQR_NN_CHECKPOINT_H_

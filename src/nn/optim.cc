@@ -61,6 +61,43 @@ void Adam::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
 }
 
+OptimizerState Adam::StateDict() const {
+  OptimizerState state;
+  state.type = "adam";
+  state.step = t_;
+  state.slots.reserve(m_.size() + v_.size());
+  for (const auto& m : m_) state.slots.push_back(m);
+  for (const auto& v : v_) state.slots.push_back(v);
+  return state;
+}
+
+Status Adam::LoadStateDict(const OptimizerState& state) {
+  if (state.type != "adam") {
+    return Status::InvalidArgument("optimizer state type '" + state.type +
+                                   "' does not match Adam");
+  }
+  if (state.step < 0) {
+    return Status::InvalidArgument("negative Adam step count");
+  }
+  if (state.slots.size() != m_.size() + v_.size()) {
+    return Status::InvalidArgument("Adam slot count mismatch");
+  }
+  const size_t n = params_.size();
+  for (size_t pi = 0; pi < n; ++pi) {
+    if (state.slots[pi].size() != m_[pi].size() ||
+        state.slots[n + pi].size() != v_[pi].size()) {
+      return Status::InvalidArgument("Adam slot size mismatch");
+    }
+  }
+  // All checked: commit.
+  t_ = state.step;
+  for (size_t pi = 0; pi < n; ++pi) {
+    m_[pi] = state.slots[pi];
+    v_[pi] = state.slots[n + pi];
+  }
+  return Status::Ok();
+}
+
 Sgd::Sgd(std::vector<Tensor> params, float lr)
     : params_(std::move(params)), lr_(lr) {}
 
@@ -75,6 +112,23 @@ void Sgd::Step() {
 
 void Sgd::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
+}
+
+OptimizerState Sgd::StateDict() const {
+  OptimizerState state;
+  state.type = "sgd";
+  return state;
+}
+
+Status Sgd::LoadStateDict(const OptimizerState& state) {
+  if (state.type != "sgd") {
+    return Status::InvalidArgument("optimizer state type '" + state.type +
+                                   "' does not match Sgd");
+  }
+  if (!state.slots.empty()) {
+    return Status::InvalidArgument("Sgd state carries unexpected slots");
+  }
+  return Status::Ok();
 }
 
 }  // namespace preqr::nn

@@ -1,11 +1,26 @@
 #ifndef PREQR_NN_OPTIM_H_
 #define PREQR_NN_OPTIM_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/tensor.h"
 
 namespace preqr::nn {
+
+// Snapshot of an optimizer's mutable state, in the parameter order the
+// optimizer was constructed with. `slots` holds the per-parameter moment
+// vectors back to back (Adam: m for every parameter, then v for every
+// parameter; Sgd: empty). Checkpoints serialize this struct; restoring it
+// into an optimizer over the same parameter list resumes training with
+// bit-identical updates.
+struct OptimizerState {
+  std::string type;  // "adam" | "sgd"
+  int64_t step = 0;  // Adam's bias-correction counter t
+  std::vector<std::vector<float>> slots;
+};
 
 // Adam optimizer with optional gradient clipping (global L2 norm).
 class Adam {
@@ -18,12 +33,18 @@ class Adam {
   void ZeroGrad();
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+  int64_t step_count() const { return t_; }
+
+  OptimizerState StateDict() const;
+  // Rejects (without touching this optimizer) a state whose type or slot
+  // geometry does not match the constructed parameter list.
+  Status LoadStateDict(const OptimizerState& state);
 
  private:
   std::vector<Tensor> params_;
   std::vector<std::vector<float>> m_, v_;
   float lr_, beta1_, beta2_, eps_, clip_norm_;
-  int t_ = 0;
+  int64_t t_ = 0;
 };
 
 // Plain SGD (used by a few baselines).
@@ -32,6 +53,9 @@ class Sgd {
   explicit Sgd(std::vector<Tensor> params, float lr = 1e-2f);
   void Step();
   void ZeroGrad();
+
+  OptimizerState StateDict() const;
+  Status LoadStateDict(const OptimizerState& state);
 
  private:
   std::vector<Tensor> params_;

@@ -1,104 +1,175 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
-#include <cstdio>
+#include <cstring>
 #include <map>
-#include <memory>
+#include <set>
 #include <string>
+#include <vector>
+
+#include "nn/checkpoint.h"
 
 namespace preqr::nn {
 
 namespace {
 constexpr uint32_t kMagic = 0x50524d31;  // "PRM1"
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+// Sanity bounds on header fields. A corrupted file must fail with a
+// Status before it can drive a multi-gigabyte allocation or an integer
+// overflow — the real models stay far inside these.
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr uint32_t kMaxNdim = 8;
+constexpr uint64_t kMaxElements = 1ull << 31;
 
-bool WriteU32(std::FILE* f, uint32_t v) {
-  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
 }
-bool ReadU32(std::FILE* f, uint32_t* v) {
-  return std::fread(v, sizeof(*v), 1, f) == 1;
+
+bool ReadU32(const std::string& bytes, size_t* offset, uint32_t* v) {
+  if (bytes.size() - *offset < sizeof(*v)) return false;
+  std::memcpy(v, bytes.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
 }
 }  // namespace
 
-Status SaveModule(const Module& module, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+std::string EncodeModuleParams(const Module& module) {
   const auto named = module.NamedParameters();
-  if (!WriteU32(f.get(), kMagic) ||
-      !WriteU32(f.get(), static_cast<uint32_t>(named.size()))) {
-    return Status::Internal("write failed: " + path);
-  }
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(named.size()));
   for (const auto& [name, t] : named) {
-    if (!WriteU32(f.get(), static_cast<uint32_t>(name.size()))) {
-      return Status::Internal("write failed: " + path);
+    AppendU32(&out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+    AppendU32(&out, static_cast<uint32_t>(t.shape().size()));
+    for (int d : t.shape()) AppendU32(&out, static_cast<uint32_t>(d));
+    out.append(reinterpret_cast<const char*>(t.data()),
+               t.vec().size() * sizeof(float));
+  }
+  return out;
+}
+
+Status DecodeModuleParams(Module& module, const std::string& payload,
+                          const std::string& origin) {
+  size_t offset = 0;
+  uint32_t count = 0;
+  if (!ReadU32(payload, &offset, &count)) {
+    return Status::ParseError("truncated header in " + origin);
+  }
+  auto named = module.NamedParameters();
+  std::map<std::string, Tensor> by_name(named.begin(), named.end());
+  if (count != named.size()) {
+    return Status::InvalidArgument("parameter count mismatch in " + origin);
+  }
+  // Stage every entry first; only a fully-validated file commits. Writing
+  // into live tensors as entries are parsed would leave parameters 0..k-1
+  // mutated when entry k fails — a torn, silently-wrong module behind an
+  // error Status.
+  std::vector<std::pair<Tensor, const char*>> staged;
+  staged.reserve(count);
+  std::set<std::string> seen;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(payload, &offset, &name_len)) {
+      return Status::ParseError("truncated in " + origin);
     }
-    if (std::fwrite(name.data(), 1, name.size(), f.get()) != name.size()) {
-      return Status::Internal("write failed: " + path);
+    if (name_len == 0 || name_len > kMaxNameLen ||
+        payload.size() - offset < name_len) {
+      return Status::ParseError("implausible parameter name length in " +
+                                origin);
     }
-    if (!WriteU32(f.get(), static_cast<uint32_t>(t.shape().size()))) {
-      return Status::Internal("write failed: " + path);
+    std::string name(payload.data() + offset, name_len);
+    offset += name_len;
+    uint32_t ndim = 0;
+    if (!ReadU32(payload, &offset, &ndim)) {
+      return Status::ParseError("truncated in " + origin);
     }
-    for (int d : t.shape()) {
-      if (!WriteU32(f.get(), static_cast<uint32_t>(d))) {
-        return Status::Internal("write failed: " + path);
+    if (ndim > kMaxNdim) {
+      return Status::ParseError("implausible rank for " + name + " in " +
+                                origin);
+    }
+    Shape shape(ndim);
+    uint64_t n = 1;
+    for (uint32_t d = 0; d < ndim; ++d) {
+      uint32_t dim = 0;
+      if (!ReadU32(payload, &offset, &dim)) {
+        return Status::ParseError("truncated in " + origin);
+      }
+      shape[d] = static_cast<int>(dim);
+      n *= dim;  // bounded: each factor < 2^32, at most 8 factors...
+      if (n > kMaxElements) {
+        // ...but the running product is checked every step, so it can
+        // never wrap 64 bits or drive an oversized allocation.
+        return Status::ParseError("implausible element count for " + name +
+                                  " in " + origin);
       }
     }
-    const size_t n = t.vec().size();
-    if (std::fwrite(t.data(), sizeof(float), n, f.get()) != n) {
-      return Status::Internal("write failed: " + path);
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate parameter " + name + " in " +
+                                     origin);
     }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::InvalidArgument("unknown parameter " + name + " in " +
+                                     origin);
+    }
+    if (it->second.shape() != shape) {
+      return Status::InvalidArgument("shape mismatch for " + name + " in " +
+                                     origin);
+    }
+    const uint64_t bytes = n * sizeof(float);
+    if (payload.size() - offset < bytes) {
+      return Status::ParseError("truncated data for " + name + " in " +
+                                origin);
+    }
+    staged.emplace_back(it->second, payload.data() + offset);
+    offset += bytes;
+  }
+  if (offset != payload.size()) {
+    return Status::ParseError("trailing garbage in " + origin);
+  }
+  // count == named.size() and no duplicates, so every parameter is covered.
+  for (auto& [tensor, src] : staged) {
+    std::memcpy(tensor.data(), src, tensor.vec().size() * sizeof(float));
   }
   return Status::Ok();
 }
 
+Status SaveModule(const Module& module, const std::string& path) {
+  std::string bytes;
+  AppendU32(&bytes, kMagic);
+  bytes += EncodeModuleParams(module);
+  return AtomicWriteFile(path, bytes);
+}
+
 Status LoadModule(Module& module, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::NotFound("cannot open for read: " + path);
-  uint32_t magic = 0, count = 0;
-  if (!ReadU32(f.get(), &magic) || magic != kMagic) {
-    return Status::ParseError("bad magic in " + path);
+  std::string bytes;
+  Status s = ReadFileToString(path, &bytes);
+  if (!s.ok()) return s;
+  size_t offset = 0;
+  uint32_t magic = 0;
+  if (!ReadU32(bytes, &offset, &magic)) {
+    return Status::ParseError("truncated header in " + path);
   }
-  if (!ReadU32(f.get(), &count)) return Status::ParseError("truncated header");
-  auto named = module.NamedParameters();
-  std::map<std::string, Tensor> by_name(named.begin(), named.end());
-  if (count != named.size()) {
-    return Status::InvalidArgument("parameter count mismatch in " + path);
+  if (magic == kMagic) {
+    return DecodeModuleParams(module, bytes.substr(offset), path);
   }
-  for (uint32_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    if (!ReadU32(f.get(), &name_len)) return Status::ParseError("truncated");
-    std::string name(name_len, '\0');
-    if (std::fread(name.data(), 1, name_len, f.get()) != name_len) {
-      return Status::ParseError("truncated name");
+  if (magic == kCheckpointMagic) {
+    // A full PRC1 checkpoint: load its model section, so weight files and
+    // training checkpoints are interchangeable at every LoadModule call
+    // site (hot reload included).
+    CheckpointReader reader;
+    s = reader.Parse(std::move(bytes));
+    if (!s.ok()) return Status(s.code(), s.message() + " in " + path);
+    const std::string* model = reader.Section(kSectionModel);
+    if (model == nullptr) {
+      return Status::InvalidArgument("checkpoint has no model section: " +
+                                     path);
     }
-    uint32_t ndim = 0;
-    if (!ReadU32(f.get(), &ndim)) return Status::ParseError("truncated");
-    Shape shape(ndim);
-    size_t n = 1;
-    for (uint32_t d = 0; d < ndim; ++d) {
-      uint32_t dim = 0;
-      if (!ReadU32(f.get(), &dim)) return Status::ParseError("truncated");
-      shape[d] = static_cast<int>(dim);
-      n *= dim;
-    }
-    auto it = by_name.find(name);
-    if (it == by_name.end()) {
-      return Status::InvalidArgument("unknown parameter " + name);
-    }
-    if (it->second.shape() != shape) {
-      return Status::InvalidArgument("shape mismatch for " + name);
-    }
-    if (std::fread(it->second.data(), sizeof(float), n, f.get()) != n) {
-      return Status::ParseError("truncated data for " + name);
-    }
+    return DecodeModuleParams(module, *model, path);
   }
-  return Status::Ok();
+  return Status::ParseError("bad magic in " + path);
 }
 
 }  // namespace preqr::nn

@@ -8,12 +8,31 @@
 
 namespace preqr::nn {
 
-// Writes all named parameters of `module` to a simple binary container
-// (magic, count, per-entry: name, shape, float data).
+// Weights-only container ("PRM1"): magic, count, per-entry name, shape,
+// float data. Kept for backward compatibility; full training checkpoints
+// (weights + optimizer + RNG + step, CRC-validated) use the PRC1 format in
+// nn/checkpoint.h, whose "model" section embeds the same parameter table
+// that PRM1 carries after its magic.
+
+// Encodes all named parameters (count, then per-entry name/shape/data).
+std::string EncodeModuleParams(const Module& module);
+
+// Decodes a parameter table into `module`. Transactional: every entry is
+// parsed, validated (unknown/duplicate/missing names, shape mismatches,
+// implausible header fields, truncation, trailing bytes) and staged before
+// anything is written, so a failed load leaves the module bit-identical to
+// its state before the call. `origin` names the source in error messages.
+Status DecodeModuleParams(Module& module, const std::string& payload,
+                          const std::string& origin);
+
+// Writes a PRM1 file atomically (temp file + rename): a crash mid-save
+// never corrupts an existing file at `path`.
 Status SaveModule(const Module& module, const std::string& path);
 
 // Loads parameters by name into an already-constructed module with
-// identical architecture. Unknown/missing names are errors.
+// identical architecture. Accepts both PRM1 weight files and PRC1
+// checkpoints (the "model" section). Failed loads leave the module
+// untouched.
 Status LoadModule(Module& module, const std::string& path);
 
 }  // namespace preqr::nn

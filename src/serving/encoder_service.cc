@@ -1,6 +1,8 @@
 #include "serving/encoder_service.h"
 
 #include <algorithm>
+
+#include "nn/serialize.h"
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -165,6 +167,29 @@ std::vector<StatusOr<nn::Tensor>> EncoderService::EncodeBatch(
     metrics_.encode_latency_us.Observe(per_query_us);
   }
   return out;
+}
+
+Status EncoderService::ReloadModel(const std::string& path) {
+  if (model_ == nullptr) {
+    return Status::InvalidArgument(
+        "ReloadModel requires AttachModel before use");
+  }
+  // encode_mu_ waits out any in-flight batch; holding it across the load
+  // AND the cache clear means every embedding served after this returns
+  // came from the new weights, and none of the old ones survive.
+  std::lock_guard<std::mutex> lock(encode_mu_);
+  Status s = nn::LoadModule(*model_, path);
+  if (!s.ok()) {
+    // LoadModule is transactional: the weights are untouched, so the
+    // cached embeddings are still correct — keep serving them.
+    metrics_.reload_failures.Increment();
+    return s;
+  }
+  cache_.Clear();
+  encoder_->InvalidateCache();
+  metrics_.invalidations.Increment();
+  metrics_.reloads.Increment();
+  return Status::Ok();
 }
 
 void EncoderService::InvalidateCache() {

@@ -13,6 +13,7 @@
 #include "baselines/encoder.h"
 #include "common/lru_cache.h"
 #include "common/status.h"
+#include "nn/module.h"
 #include "serving/metrics.h"
 
 namespace preqr::serving {
@@ -69,6 +70,19 @@ class EncoderService {
   // pre-training, incremental updates); waits for any in-flight batch.
   void InvalidateCache();
 
+  // Registers the module whose weights back the wrapped encoder, enabling
+  // ReloadModel. Non-owned; must outlive the service.
+  void AttachModel(nn::Module* model) { model_ = model; }
+
+  // Hot model reload (the paper's incremental-update loop, Table 5): swaps
+  // the attached module's weights from a PRM1 weight file or PRC1
+  // checkpoint at `path`, then drops every stale embedding. Runs under the
+  // encode mutex, so no batch ever sees half-new weights and no stale
+  // result can be cached after the swap. On failure (missing/corrupt
+  // file, architecture mismatch) the weights and the cache are left
+  // exactly as they were and serving continues uninterrupted.
+  Status ReloadModel(const std::string& path);
+
   int dim() const { return encoder_->dim(); }
   std::string name() const { return "serving(" + encoder_->name() + ")"; }
   size_t cached_embeddings() const { return cache_.size(); }
@@ -89,6 +103,7 @@ class EncoderService {
       const std::vector<std::string>& sqls);
 
   baselines::QueryEncoder* encoder_;
+  nn::Module* model_ = nullptr;  // optional, enables ReloadModel
   EncoderServiceOptions options_;
   ShardedLruCache<std::string, nn::Tensor> cache_;
   ServingMetrics metrics_;

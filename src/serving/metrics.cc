@@ -99,6 +99,8 @@ std::string ServingMetrics::DumpText() const {
   emit_counter("serving_batches_total", batches);
   emit_counter("serving_batched_queries_total", batched_queries);
   emit_counter("serving_invalidations_total", invalidations);
+  emit_counter("serving_model_reloads_total", reloads);
+  emit_counter("serving_model_reload_failures_total", reload_failures);
   emit_value("serving_batch_size_mean", batch_size.mean());
   emit_value("serving_batch_size_p99", batch_size.Percentile(0.99));
   emit_value("serving_encode_latency_us_p50",

@@ -53,7 +53,9 @@ struct ServingMetrics {
   Counter errors;           // malformed SQL (error Status returned)
   Counter batches;          // micro-batches dispatched to the encoder
   Counter batched_queries;  // queries carried by those batches
-  Counter invalidations;    // InvalidateCache calls
+  Counter invalidations;    // InvalidateCache calls (ReloadModel included)
+  Counter reloads;          // successful hot model reloads
+  Counter reload_failures;  // rejected reloads (weights kept, cache intact)
 
   Histogram batch_size{1.0, 2.0, 12};
   Histogram encode_latency_us{1.0, 4.0, 16};  // cold path, per request

@@ -28,6 +28,10 @@ void PreqrEncoder::BeginStep(bool /*train*/) {
 
 void PreqrEncoder::InvalidateCache() {
   prefix_cache_.Clear();
+  // The model memoizes its own inference schema encoding for Encode();
+  // after a weight change (further pre-training or a hot reload) that
+  // cache is stale too — drop it alongside ours.
+  model_->InvalidateSchemaCache();
   if (model_->config().use_schema) {
     schema_ = model_->EncodeSchemaNodes(/*with_grad=*/false);
   }
