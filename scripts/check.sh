@@ -23,11 +23,12 @@ cmake --build build -j
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSAN stage skipped (SKIP_TSAN=1) =="
 else
-  echo "== TSAN: thread_pool, lru_cache, serving, determinism, nn_ops_grad, grad_mode, buffer_pool, checkpoint =="
+  echo "== TSAN: thread_pool, lru_cache, serving, determinism, batch_invariance, nn_ops_grad, grad_mode, buffer_pool, checkpoint =="
   cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target thread_pool_test \
     --target lru_cache_test --target serving_test \
-    --target parallel_determinism_test --target nn_ops_grad_test \
+    --target parallel_determinism_test --target batch_invariance_test \
+    --target nn_ops_grad_test \
     --target grad_mode_test --target buffer_pool_test \
     --target checkpoint_test --target checkpoint_resume_test
   # Force a multi-threaded pool so races are actually exercised even on
@@ -38,7 +39,9 @@ else
   ./build-tsan/tests/lru_cache_test
   ./build-tsan/tests/serving_test
   ./build-tsan/tests/parallel_determinism_test
-  ./build-tsan/tests/nn_ops_grad_test --gtest_filter='ParallelOpsGradTest.*'
+  ./build-tsan/tests/batch_invariance_test
+  ./build-tsan/tests/nn_ops_grad_test \
+    --gtest_filter='ParallelOpsGradTest.*:BatchedOpsGradTest.*'
   # Death tests fork, which TSAN dislikes; the abort paths are covered in
   # the tier-1 run above.
   ./build-tsan/tests/grad_mode_test --gtest_filter='-*DeathTest*'
@@ -54,12 +57,14 @@ if [[ "${SKIP_POOL_DEBUG:-0}" != "1" ]]; then
   cmake -B build-pooldebug -S . -DPREQR_POOL_DEBUG=ON >/dev/null
   cmake --build build-pooldebug -j --target nn_tensor_test \
     --target nn_ops_grad_test --target grad_mode_test \
-    --target buffer_pool_test --target serving_test
+    --target buffer_pool_test --target serving_test \
+    --target batch_invariance_test
   ./build-pooldebug/tests/nn_tensor_test
   ./build-pooldebug/tests/nn_ops_grad_test
   ./build-pooldebug/tests/grad_mode_test
   ./build-pooldebug/tests/buffer_pool_test
   ./build-pooldebug/tests/serving_test
+  ./build-pooldebug/tests/batch_invariance_test
 fi
 
 echo "== all checks passed =="

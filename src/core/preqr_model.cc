@@ -41,6 +41,22 @@ Tensor TrmGLayer::Forward(const Tensor& e_q,
   return fuse_ln_.Forward(fuse_.Forward(nn::ConcatLastDim({q, e_g})));
 }
 
+Tensor TrmGLayer::ForwardBatch(const Tensor& e_q, const Tensor& schema_nodes,
+                               const std::vector<int>& lengths) const {
+  Tensor q = trm_.ForwardBatch(e_q, lengths);
+  if (!schema_nodes.defined()) return q;
+  // Cross attention onto the shared schema nodes needs no mask: every key
+  // is a valid schema vertex, and q's pad rows are exactly zero after the
+  // masked trm_ norms, so they produce finite junk that the masked norms
+  // below re-zero without ever reaching a valid row.
+  Tensor attended = graph_attention_.Forward(q, schema_nodes);
+  Tensor e_g = graph_ln1_.ForwardMasked(nn::Add(q, attended), lengths);
+  e_g = graph_ln2_.ForwardMasked(nn::Add(e_g, graph_ffn_.Forward(e_g)),
+                                 lengths);
+  return fuse_ln_.ForwardMasked(fuse_.Forward(nn::ConcatLastDim({q, e_g})),
+                                lengths);
+}
+
 PreqrModel::PreqrModel(PreqrConfig config, const text::SqlTokenizer* tokenizer,
                        const automaton::Automaton* fa,
                        const schema::SchemaGraph* graph, uint64_t seed)
@@ -146,6 +162,64 @@ Tensor PreqrModel::EmbedInput(const text::SqlTokenizer::Tokenized& tokenized,
   return composite_proj_.Forward(composite);  // [S, d]
 }
 
+Tensor PreqrModel::EmbedInputBatch(
+    const text::SqlTokenizer::TokenizedBatch& batch,
+    const std::vector<std::vector<int>>& override_ids) const {
+  const int bsz = batch.batch_size;
+  const int t = batch.t_max;
+  PREQR_CHECK_GT(bsz, 0);
+  PREQR_CHECK_LE(t, config_.max_seq_len);
+  if (!override_ids.empty()) {
+    PREQR_CHECK_EQ(static_cast<int>(override_ids.size()), bsz);
+  }
+  const size_t total = static_cast<size_t>(bsz) * static_cast<size_t>(t);
+  // Flattened [B*T] id channels; pads use the same benign ids throughout
+  // (kPadId / state 0 / position 0 / quantile 0) — their rows are junk by
+  // design and the masked layers never let a valid row read them.
+  std::vector<int> tok_ids(batch.ids);
+  std::vector<int> state_ids(total, 0);
+  std::vector<int> pos_ids(total, 0);
+  std::vector<float> quantiles(batch.quantiles);
+  for (int b = 0; b < bsz; ++b) {
+    const int s = batch.lengths[static_cast<size_t>(b)];
+    const size_t off = static_cast<size_t>(b) * static_cast<size_t>(t);
+    if (!override_ids.empty()) {
+      const auto& ids = override_ids[static_cast<size_t>(b)];
+      PREQR_CHECK_GE(static_cast<int>(ids.size()), s);
+      std::copy(ids.begin(), ids.begin() + s,
+                tok_ids.begin() + static_cast<long>(off));
+    }
+    // SQL state ids, per example, exactly as EmbedInput computes them: the
+    // automaton sees the example's full symbol sequence.
+    if (config_.use_automaton) {
+      const auto& symbols = batch.symbols[static_cast<size_t>(b)];
+      std::vector<automaton::Symbol> tail(
+          symbols.begin() + 1,
+          symbols.begin() + static_cast<long>(symbols.size()));
+      const auto match = fa_->Match(tail);
+      for (int i = 1; i < s; ++i) {
+        state_ids[off + static_cast<size_t>(i)] =
+            match.states[static_cast<size_t>(i - 1)] + 1;
+      }
+      state_ids[off] = fa_->start_state() + 1;
+    }
+    for (int i = 0; i < s; ++i) {
+      pos_ids[off + static_cast<size_t>(i)] = i;
+    }
+  }
+  // One gather/projection per channel for the whole batch: row-wise ops on
+  // the flattened [B*T, .] views, bitwise-identical per valid row to the
+  // per-example path and B times fewer dispatches.
+  Tensor tok = token_embedding_.Forward(tok_ids);      // [B*T, d]
+  Tensor state = state_embedding_.Forward(state_ids);  // [B*T, ds]
+  Tensor pos = position_embedding_.Forward(pos_ids);   // [B*T, dp]
+  Tensor quant =
+      Tensor::FromData({static_cast<int>(total), 1}, std::move(quantiles));
+  Tensor composite = nn::ConcatLastDim({tok, state, pos, quant});
+  Tensor h = composite_proj_.Forward(composite);  // [B*T, d]
+  return nn::Reshape(h, {bsz, t, config_.d_model});
+}
+
 PreqrModel::Encoding PreqrModel::Forward(
     const text::SqlTokenizer::Tokenized& tokenized, const Tensor& schema_nodes,
     const std::vector<int>& masked_ids, Rng* dropout_rng) {
@@ -165,6 +239,26 @@ PreqrModel::Encoding PreqrModel::Forward(
 
 Tensor PreqrModel::MlmLogits(const Tensor& token_states) const {
   return mlm_head_.Forward(token_states);
+}
+
+Tensor PreqrModel::ForwardBatch(
+    const text::SqlTokenizer::TokenizedBatch& batch, const Tensor& schema_nodes,
+    const std::vector<std::vector<int>>& masked_ids,
+    const std::vector<uint64_t>& dropout_seeds) {
+  Tensor h = EmbedInputBatch(batch, masked_ids);
+  if (train_mode() && config_.dropout > 0.0f) {
+    // Scheduling-independent dropout needs one pre-drawn seed per example
+    // (the trainer's serial RNG pre-pass supplies them).
+    PREQR_CHECK_EQ(dropout_seeds.size(),
+                   static_cast<size_t>(batch.batch_size));
+    h = nn::MaskedDropout(h, config_.dropout, dropout_seeds, batch.lengths,
+                          /*train=*/true);
+  }
+  const Tensor schema = config_.use_schema ? schema_nodes : Tensor();
+  for (const auto& layer : layers_) {
+    h = layer->ForwardBatch(h, schema, batch.lengths);
+  }
+  return h;  // [B, T, d]
 }
 
 Tensor PreqrModel::EncodePrefix(
@@ -190,6 +284,27 @@ PreqrModel::Encoding PreqrModel::LastLayer(const Tensor& prefix_states,
   enc.tokens = h;
   enc.cls = nn::SliceRows(h, 0, 1);
   return enc;
+}
+
+Tensor PreqrModel::EncodePrefixBatch(
+    const text::SqlTokenizer::TokenizedBatch& batch,
+    const Tensor& schema_nodes_detached) {
+  // Frozen prefix, same as EncodePrefix: the whole padded forward runs
+  // tape-free on pooled storage.
+  nn::NoGradGuard no_grad;
+  Tensor h = EmbedInputBatch(batch, {});
+  const Tensor schema = config_.use_schema ? schema_nodes_detached : Tensor();
+  for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+    h = layers_[l]->ForwardBatch(h, schema, batch.lengths);
+  }
+  return h;  // [B, T, d]
+}
+
+Tensor PreqrModel::LastLayerBatch(const Tensor& prefix_states,
+                                  const Tensor& schema_nodes,
+                                  const std::vector<int>& lengths) {
+  const Tensor schema = config_.use_schema ? schema_nodes : Tensor();
+  return layers_.back()->ForwardBatch(prefix_states, schema, lengths);
 }
 
 Result<PreqrModel::Encoding> PreqrModel::Encode(const std::string& sql) {

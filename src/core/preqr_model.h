@@ -27,6 +27,14 @@ class TrmGLayer : public nn::Module {
   nn::Tensor Forward(const nn::Tensor& e_q,
                      const nn::Tensor& schema_nodes) const;
 
+  // Padded-batch forward over [B, T, d]: masked self-attention inside trm_,
+  // unmasked cross-attention onto the shared schema nodes (every key is
+  // valid), masked layer norms throughout. Valid rows are bitwise the
+  // single-example Forward; pad rows come out exactly zero.
+  nn::Tensor ForwardBatch(const nn::Tensor& e_q,
+                          const nn::Tensor& schema_nodes,
+                          const std::vector<int>& lengths) const;
+
  private:
   nn::TransformerEncoderLayer trm_;        // black rectangle of Figure 6
   nn::MultiHeadAttention graph_attention_; // red rectangle: Trm'
@@ -67,16 +75,42 @@ class PreqrModel : public nn::Module {
                    const std::vector<int>& masked_ids = {},
                    Rng* dropout_rng = nullptr);
 
-  // MLM prediction head over the final token states: [S, vocab].
+  // MLM prediction head over the final token states: [S, vocab] (or
+  // [B, T, vocab] for a batched input — the head is row-wise).
   nn::Tensor MlmLogits(const nn::Tensor& token_states) const;
+
+  // --- Batched forward ([B, T, d] padded execution) -----------------------
+  // The batch must have been collated with max_len = config().max_seq_len.
+  // Padding invariance: row i < batch.lengths[b] of every output is
+  // bitwise-identical to the same row of the single-query Forward /
+  // EncodePrefix on that example alone; pad rows are exactly zero.
+  //
+  // Full forward for the batched MLM step. `masked_ids[b]` (optional)
+  // overrides example b's token ids; in train mode `dropout_seeds[b]`
+  // seeds example b's private dropout stream (the serial RNG pre-pass in
+  // the trainer keeps draws independent of scheduling). Returns [B, T, d].
+  nn::Tensor ForwardBatch(const text::SqlTokenizer::TokenizedBatch& batch,
+                          const nn::Tensor& schema_nodes,
+                          const std::vector<std::vector<int>>& masked_ids = {},
+                          const std::vector<uint64_t>& dropout_seeds = {});
 
   // --- Split forward (fine-tuning: frozen prefix + trainable last layer) --
   // Runs embedding + the first L-1 layers without recording gradients.
   nn::Tensor EncodePrefix(const text::SqlTokenizer::Tokenized& tokenized,
                           const nn::Tensor& schema_nodes_detached);
+  // Batched counterpart: one tape-free padded forward for the whole batch.
+  // Returns [B, T, d]; slice per example with nn::SliceExample.
+  nn::Tensor EncodePrefixBatch(const text::SqlTokenizer::TokenizedBatch& batch,
+                               const nn::Tensor& schema_nodes_detached);
   // Runs the last Trm_g layer (with gradients into its parameters).
   Encoding LastLayer(const nn::Tensor& prefix_states,
                      const nn::Tensor& schema_nodes);
+  // Batched last layer over padded prefixes [B, T, d] (lengths[b] valid
+  // rows each). Gradients (train mode) flow into the layer's parameters
+  // exactly as LastLayer's would.
+  nn::Tensor LastLayerBatch(const nn::Tensor& prefix_states,
+                            const nn::Tensor& schema_nodes,
+                            const std::vector<int>& lengths);
 
   // Convenience: tokenize + encode with a cached no-grad schema encoding.
   Result<Encoding> Encode(const std::string& sql);
@@ -96,6 +130,12 @@ class PreqrModel : public nn::Module {
  private:
   nn::Tensor EmbedInput(const text::SqlTokenizer::Tokenized& tokenized,
                         const std::vector<int>& override_ids) const;
+  // Padded batch embedding [B, T, d]: per-example state/position ids are
+  // computed exactly as EmbedInput does, then all channels gather/project
+  // as one [B*T, .] block (row-wise ops, so per-row bits match).
+  nn::Tensor EmbedInputBatch(const text::SqlTokenizer::TokenizedBatch& batch,
+                             const std::vector<std::vector<int>>& override_ids)
+      const;
 
   PreqrConfig config_;
   const text::SqlTokenizer* tokenizer_;

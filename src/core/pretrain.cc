@@ -270,48 +270,60 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
         examples[bi] = MaskTokens(tokenized[order_[start + bi]].ids);
         dropout_seeds[bi] = rng_.NextUint64();
       }
-      // Per-example MLM forward + loss in parallel. Each slot is written by
-      // exactly one iteration; the loss tensors are summed afterwards in
-      // example order, so gradients reduce deterministically.
-      std::vector<nn::Tensor> losses(bsz);
-      std::vector<int> ex_correct(bsz, 0), ex_masked(bsz, 0);
+      // One padded [B, T, d] forward for the whole batch. Inside the model
+      // the kernels are partitioned per example, so every valid row — and
+      // therefore the loss and its gradients — is bitwise the value the
+      // retired per-example loop produced (and stays independent of thread
+      // count and batch composition; see batch_invariance_test).
+      std::vector<const text::SqlTokenizer::Tokenized*> items(bsz);
+      std::vector<std::vector<int>> inputs(bsz);
+      for (size_t bi = 0; bi < bsz; ++bi) {
+        items[bi] = &tokenized[order_[start + bi]];
+        inputs[bi] = examples[bi].input_ids;
+      }
+      const auto batch =
+          text::SqlTokenizer::Collate(items, model_.config().max_seq_len);
+      nn::Tensor tokens =
+          model_.ForwardBatch(batch, schema, inputs, dropout_seeds);
+      nn::Tensor logits = model_.MlmLogits(tokens);  // [B, T, vocab]
+      const int t_max = batch.t_max;
+      // Padded targets: -1 everywhere a row must not contribute (pads and
+      // unmasked positions alike).
+      std::vector<int> targets(bsz * static_cast<size_t>(t_max), -1);
+      for (size_t bi = 0; bi < bsz; ++bi) {
+        const int len = batch.lengths[bi];
+        std::copy(examples[bi].targets.begin(),
+                  examples[bi].targets.begin() + len,
+                  targets.begin() + static_cast<long>(bi) * t_max);
+      }
+      nn::Tensor batch_loss =
+          nn::MaskedCrossEntropy(logits, targets, batch.lengths, -1);
+      // Accuracy bookkeeping over valid masked rows.
       const int vocab = model_.vocab_size();
+      std::vector<int> ex_correct(bsz, 0), ex_masked(bsz, 0);
       ParallelFor(0, static_cast<int64_t>(bsz), 1, [&](int64_t b0,
                                                        int64_t b1) {
         for (int64_t bi = b0; bi < b1; ++bi) {
-          const auto& tok = tokenized[order_[start + static_cast<size_t>(bi)]];
-          const MaskedExample& ex = examples[static_cast<size_t>(bi)];
-          Rng dropout_rng(dropout_seeds[static_cast<size_t>(bi)]);
-          auto enc = model_.Forward(tok, schema, ex.input_ids, &dropout_rng);
-          nn::Tensor logits = model_.MlmLogits(enc.tokens);
-          // Truncate targets to the (possibly clipped) sequence length.
-          std::vector<int> targets(ex.targets.begin(),
-                                   ex.targets.begin() + logits.dim(0));
-          losses[static_cast<size_t>(bi)] =
-              nn::CrossEntropy(logits, targets, -1);
-          // Accuracy bookkeeping.
-          for (int i = 0; i < logits.dim(0); ++i) {
-            if (targets[static_cast<size_t>(i)] < 0) continue;
+          const size_t off = static_cast<size_t>(bi) * t_max;
+          for (int i = 0; i < batch.lengths[static_cast<size_t>(bi)]; ++i) {
+            if (targets[off + static_cast<size_t>(i)] < 0) continue;
             ex_masked[static_cast<size_t>(bi)] += 1;
-            const float* row = logits.data() + static_cast<size_t>(i) * vocab;
+            const float* row =
+                logits.data() + (off + static_cast<size_t>(i)) * vocab;
             int best = 0;
             for (int v = 1; v < vocab; ++v) {
               if (row[v] > row[best]) best = v;
             }
-            if (best == targets[static_cast<size_t>(i)]) {
+            if (best == targets[off + static_cast<size_t>(i)]) {
               ex_correct[static_cast<size_t>(bi)] += 1;
             }
           }
         }
       });
-      nn::Tensor batch_loss;
       for (size_t bi = 0; bi < bsz; ++bi) {
-        batch_loss = batch_loss.defined() ? nn::Add(batch_loss, losses[bi])
-                                          : losses[bi];
         correct_ += ex_correct[bi];
         masked_ += ex_masked[bi];
       }
-      batch_loss = nn::Scale(batch_loss, 1.0f / static_cast<float>(bsz));
       batch_loss.Backward();
       opt_->Step();
       loss_sum_ += batch_loss.item();
@@ -368,43 +380,50 @@ Pretrainer::EpochStats Pretrainer::Evaluate(
     toks.push_back(std::move(t.value()));
   }
   const size_t n_ex = toks.size();
-  std::vector<double> ex_loss(n_ex, 0.0);
-  std::vector<int> ex_correct(n_ex, 0), ex_masked(n_ex, 0);
   const int vocab = model_.vocab_size();
-  ParallelFor(0, static_cast<int64_t>(n_ex), 1, [&](int64_t b0, int64_t b1) {
-    // GradMode is thread-local, so the guard goes inside the lambda: it
-    // covers pool workers and the caller thread alike.
+  double loss_sum = 0, correct = 0, masked = 0;
+  int n = 0;
+  // Chunked padded forwards: each chunk is one tape-free [B, T, d] pass.
+  const size_t chunk = std::max(1, options_.batch_size);
+  for (size_t start = 0; start < n_ex; start += chunk) {
+    const size_t end = std::min(n_ex, start + chunk);
+    const size_t bsz = end - start;
+    std::vector<const text::SqlTokenizer::Tokenized*> items(bsz);
+    std::vector<std::vector<int>> inputs(bsz);
+    for (size_t bi = 0; bi < bsz; ++bi) {
+      items[bi] = &toks[start + bi];
+      inputs[bi] = examples[start + bi].input_ids;
+    }
+    const auto batch =
+        text::SqlTokenizer::Collate(items, model_.config().max_seq_len);
     nn::NoGradGuard no_grad;
-    for (int64_t e = b0; e < b1; ++e) {
-      const MaskedExample& ex = examples[static_cast<size_t>(e)];
-      auto enc = model_.Forward(toks[static_cast<size_t>(e)], schema,
-                                ex.input_ids);
-      nn::Tensor logits = model_.MlmLogits(enc.tokens);
-      std::vector<int> targets(ex.targets.begin(),
-                               ex.targets.begin() + logits.dim(0));
-      ex_loss[static_cast<size_t>(e)] =
-          nn::CrossEntropy(logits, targets, -1).item();
-      for (int i = 0; i < logits.dim(0); ++i) {
-        if (targets[static_cast<size_t>(i)] < 0) continue;
-        ex_masked[static_cast<size_t>(e)] += 1;
-        const float* row = logits.data() + static_cast<size_t>(i) * vocab;
+    nn::Tensor logits =
+        model_.MlmLogits(model_.ForwardBatch(batch, schema, inputs));
+    const int t_max = batch.t_max;
+    std::vector<int> targets(bsz * static_cast<size_t>(t_max), -1);
+    for (size_t bi = 0; bi < bsz; ++bi) {
+      std::copy(examples[start + bi].targets.begin(),
+                examples[start + bi].targets.begin() + batch.lengths[bi],
+                targets.begin() + static_cast<long>(bi) * t_max);
+    }
+    std::vector<float> example_loss;
+    nn::MaskedCrossEntropy(logits, targets, batch.lengths, -1, &example_loss);
+    for (size_t bi = 0; bi < bsz; ++bi) {
+      loss_sum += example_loss[bi];
+      ++n;
+      const size_t off = bi * static_cast<size_t>(t_max);
+      for (int i = 0; i < batch.lengths[bi]; ++i) {
+        if (targets[off + static_cast<size_t>(i)] < 0) continue;
+        masked += 1;
+        const float* row =
+            logits.data() + (off + static_cast<size_t>(i)) * vocab;
         int best = 0;
         for (int v = 1; v < vocab; ++v) {
           if (row[v] > row[best]) best = v;
         }
-        if (best == targets[static_cast<size_t>(i)]) {
-          ex_correct[static_cast<size_t>(e)] += 1;
-        }
+        if (best == targets[off + static_cast<size_t>(i)]) correct += 1;
       }
     }
-  });
-  double loss_sum = 0, correct = 0, masked = 0;
-  int n = 0;
-  for (size_t e = 0; e < n_ex; ++e) {
-    loss_sum += ex_loss[e];
-    correct += ex_correct[e];
-    masked += ex_masked[e];
-    ++n;
   }
   EpochStats stats;
   stats.mlm_loss = n > 0 ? loss_sum / n : 0;

@@ -554,4 +554,398 @@ void DropoutBackward(const float* g, const float* mask, float* dx, size_t n) {
   for (size_t i = 0; i < n; ++i) dx[i] += g[i] * mask[i];
 }
 
+// --- Batched / masked kernels --------------------------------------------
+// All batched kernels parallelize over flattened (example, row) pairs: each
+// output row belongs to exactly one example and is produced by a serial
+// loop that never reads another example's rows, so any ParallelFor split is
+// bitwise-identical to the serial pass and to the single-query kernels.
+
+void BatchedMatMulNTForward(const float* a, const float* bt, float* out,
+                            int bsz, int t, int k, const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(static_cast<int64_t>(k) * t),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const int b = static_cast<int>(r / t);
+                  const int i = static_cast<int>(r % t);
+                  const int len = lengths[b];
+                  if (i >= len) continue;  // pad row: stays zero
+                  const float* ab = a + static_cast<size_t>(b) * t * k;
+                  const float* btb = bt + static_cast<size_t>(b) * t * k;
+                  float* orow = out + static_cast<size_t>(r) * t;
+                  const float* arow = ab + static_cast<size_t>(i) * k;
+                  // kk-outer / j-inner with zero-skip: the exact float-op
+                  // sequence of MatMulForward(a_b, Transpose(bt_b)) row i.
+                  for (int kk = 0; kk < k; ++kk) {
+                    const float av = arow[kk];
+                    if (av == 0.0f) continue;
+                    for (int j = 0; j < len; ++j) {
+                      orow[j] += av * btb[static_cast<size_t>(j) * k + kk];
+                    }
+                  }
+                }
+              });
+}
+
+void BatchedMatMulNTBackwardA(const float* g, const float* bt, float* da,
+                              int bsz, int t, int k, const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(static_cast<int64_t>(k) * t),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const int b = static_cast<int>(r / t);
+                  const int i = static_cast<int>(r % t);
+                  const int len = lengths[b];
+                  if (i >= len) continue;
+                  const float* grow = g + static_cast<size_t>(r) * t;
+                  const float* btb = bt + static_cast<size_t>(b) * t * k;
+                  float* darow = da + static_cast<size_t>(r) * k;
+                  for (int kk = 0; kk < k; ++kk) {
+                    float acc = 0.0f;
+                    for (int j = 0; j < len; ++j) {
+                      acc += grow[j] * btb[static_cast<size_t>(j) * k + kk];
+                    }
+                    darow[kk] += acc;
+                  }
+                }
+              });
+}
+
+void BatchedMatMulNTBackwardB(const float* g, const float* a, float* dbt,
+                              int bsz, int t, int k, const int* lengths) {
+  // dbt[b,j,:] += sum_i g[b,i,j] * a[b,i,:]; rows (b, j) are independent
+  // and each accumulates its i-sum in ascending order.
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(static_cast<int64_t>(k) * t),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const int b = static_cast<int>(r / t);
+                  const int j = static_cast<int>(r % t);
+                  const int len = lengths[b];
+                  if (j >= len) continue;
+                  const float* gb = g + static_cast<size_t>(b) * t * t;
+                  const float* ab = a + static_cast<size_t>(b) * t * k;
+                  float* drow = dbt + static_cast<size_t>(r) * k;
+                  for (int i = 0; i < len; ++i) {
+                    const float gv = gb[static_cast<size_t>(i) * t + j];
+                    if (gv == 0.0f) continue;
+                    const float* arow = ab + static_cast<size_t>(i) * k;
+                    for (int kk = 0; kk < k; ++kk) drow[kk] += gv * arow[kk];
+                  }
+                }
+              });
+}
+
+void BatchedMatMulNNForward(const float* w, const float* v, float* out,
+                            int bsz, int t, int dv, const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(static_cast<int64_t>(t) * dv),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const int b = static_cast<int>(r / t);
+                  const int i = static_cast<int>(r % t);
+                  const int len = lengths[b];
+                  if (i >= len) continue;
+                  const float* wrow = w + static_cast<size_t>(r) * t;
+                  const float* vb = v + static_cast<size_t>(b) * t * dv;
+                  float* orow = out + static_cast<size_t>(r) * dv;
+                  // Same kk-outer / j-inner order as MatMulForward(w_b, v_b).
+                  for (int kk = 0; kk < len; ++kk) {
+                    const float av = wrow[kk];
+                    if (av == 0.0f) continue;
+                    const float* vrow = vb + static_cast<size_t>(kk) * dv;
+                    for (int j = 0; j < dv; ++j) orow[j] += av * vrow[j];
+                  }
+                }
+              });
+}
+
+void BatchedMatMulNNBackwardW(const float* g, const float* v, float* dw,
+                              int bsz, int t, int dv, const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(static_cast<int64_t>(t) * dv),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const int b = static_cast<int>(r / t);
+                  const int i = static_cast<int>(r % t);
+                  const int len = lengths[b];
+                  if (i >= len) continue;
+                  const float* grow = g + static_cast<size_t>(r) * dv;
+                  const float* vb = v + static_cast<size_t>(b) * t * dv;
+                  float* dwrow = dw + static_cast<size_t>(r) * t;
+                  for (int j = 0; j < len; ++j) {
+                    const float* vrow = vb + static_cast<size_t>(j) * dv;
+                    float acc = 0.0f;
+                    for (int c = 0; c < dv; ++c) acc += grow[c] * vrow[c];
+                    dwrow[j] += acc;
+                  }
+                }
+              });
+}
+
+void BatchedMatMulNNBackwardV(const float* w, const float* g, float* dv,
+                              int bsz, int t, int dv_dim,
+                              const int* lengths) {
+  // dv[b,j,:] += sum_i w[b,i,j] * g[b,i,:]; rows (b, j) independent.
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(static_cast<int64_t>(t) * dv_dim),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const int b = static_cast<int>(r / t);
+                  const int j = static_cast<int>(r % t);
+                  const int len = lengths[b];
+                  if (j >= len) continue;
+                  const float* wb = w + static_cast<size_t>(b) * t * t;
+                  const float* gb =
+                      g + static_cast<size_t>(b) * t * dv_dim;
+                  float* drow = dv + static_cast<size_t>(r) * dv_dim;
+                  for (int i = 0; i < len; ++i) {
+                    const float wv = wb[static_cast<size_t>(i) * t + j];
+                    if (wv == 0.0f) continue;
+                    const float* grow = gb + static_cast<size_t>(i) * dv_dim;
+                    for (int c = 0; c < dv_dim; ++c) drow[c] += wv * grow[c];
+                  }
+                }
+              });
+}
+
+void MaskedSoftmaxForward(const float* x, float* out, int bsz, int t,
+                          const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(t), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int b = static_cast<int>(r / t);
+      const int i = static_cast<int>(r % t);
+      const int len = lengths[b];
+      if (i >= len) continue;  // pad row: stays zero
+      const float* in = x + static_cast<size_t>(r) * t;
+      float* o = out + static_cast<size_t>(r) * t;
+      // SoftmaxForward row body with d = len; entries past len stay zero.
+      float mx = in[0];
+      for (int j = 1; j < len; ++j) mx = std::max(mx, in[j]);
+      float sum = 0.0f;
+      for (int j = 0; j < len; ++j) {
+        o[j] = std::exp(in[j] - mx);
+        sum += o[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < len; ++j) o[j] *= inv;
+    }
+  });
+}
+
+void MaskedSoftmaxBackward(const float* y, const float* g, float* dx,
+                           int bsz, int t, const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(t), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int b = static_cast<int>(r / t);
+      const int i = static_cast<int>(r % t);
+      const int len = lengths[b];
+      if (i >= len) continue;
+      const float* yr = y + static_cast<size_t>(r) * t;
+      const float* gr = g + static_cast<size_t>(r) * t;
+      float dot = 0.0f;
+      for (int j = 0; j < len; ++j) dot += yr[j] * gr[j];
+      float* dxr = dx + static_cast<size_t>(r) * t;
+      for (int j = 0; j < len; ++j) dxr[j] += yr[j] * (gr[j] - dot);
+    }
+  });
+}
+
+void MaskedLayerNormForward(const float* x, const float* gamma,
+                            const float* beta, float eps, float* out,
+                            float* xhat, float* inv_std, int bsz, int t,
+                            int d, const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(d), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int b = static_cast<int>(r / t);
+      const int i = static_cast<int>(r % t);
+      if (i >= lengths[b]) continue;  // pad row: out/xhat stay zero
+      const float* row = x + static_cast<size_t>(r) * d;
+      // LayerNormForward row body, verbatim.
+      float mean = 0.0f;
+      for (int j = 0; j < d; ++j) mean += row[j];
+      mean /= static_cast<float>(d);
+      float var = 0.0f;
+      for (int j = 0; j < d; ++j) {
+        const float c = row[j] - mean;
+        var += c * c;
+      }
+      var /= static_cast<float>(d);
+      const float istd = 1.0f / std::sqrt(var + eps);
+      if (inv_std != nullptr) inv_std[static_cast<size_t>(r)] = istd;
+      float* xh = xhat != nullptr ? xhat + static_cast<size_t>(r) * d : nullptr;
+      float* o = out + static_cast<size_t>(r) * d;
+      for (int j = 0; j < d; ++j) {
+        const float xv = (row[j] - mean) * istd;
+        if (xh != nullptr) xh[j] = xv;
+        o[j] = xv * gamma[j] + beta[j];
+      }
+    }
+  });
+}
+
+void MaskedLayerNormBackwardParams(const float* g, const float* xhat,
+                                   float* dgamma, float* dbeta, int bsz,
+                                   int t, int d, const int* lengths) {
+  // Partition over columns; each column sums valid rows in (example, row)
+  // ascending order, so the reduction is deterministic at any thread count.
+  ParallelFor(0, d, GrainForCost(static_cast<int64_t>(bsz) * t),
+              [&](int64_t j0, int64_t j1) {
+                for (int64_t j = j0; j < j1; ++j) {
+                  for (int b = 0; b < bsz; ++b) {
+                    const int len = lengths[b];
+                    for (int i = 0; i < len; ++i) {
+                      const size_t r =
+                          static_cast<size_t>(b) * t + static_cast<size_t>(i);
+                      const float* gr = g + r * d;
+                      const float* xh = xhat + r * d;
+                      dgamma[static_cast<size_t>(j)] += gr[j] * xh[j];
+                      dbeta[static_cast<size_t>(j)] += gr[j];
+                    }
+                  }
+                }
+              });
+}
+
+void MaskedLayerNormBackwardInput(const float* g, const float* xhat,
+                                  const float* inv_std, const float* gamma,
+                                  float* dx, int bsz, int t, int d,
+                                  const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(d), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int b = static_cast<int>(r / t);
+      const int i = static_cast<int>(r % t);
+      if (i >= lengths[b]) continue;
+      const float* gr = g + static_cast<size_t>(r) * d;
+      const float* xh = xhat + static_cast<size_t>(r) * d;
+      const float istd = inv_std[static_cast<size_t>(r)];
+      float sum_dxh = 0.0f, sum_dxh_xh = 0.0f;
+      for (int j = 0; j < d; ++j) {
+        const float dxh = gr[j] * gamma[j];
+        sum_dxh += dxh;
+        sum_dxh_xh += dxh * xh[j];
+      }
+      float* dxr = dx + static_cast<size_t>(r) * d;
+      const float invd = 1.0f / static_cast<float>(d);
+      for (int j = 0; j < d; ++j) {
+        const float dxh = gr[j] * gamma[j];
+        dxr[j] += istd * (dxh - invd * sum_dxh - xh[j] * invd * sum_dxh_xh);
+      }
+    }
+  });
+}
+
+float MaskedCrossEntropyForward(const float* logits,
+                                const std::vector<int>& targets,
+                                int ignore_index, int bsz, int t, int c,
+                                const int* lengths, float* probs,
+                                std::vector<int>* valid_out,
+                                std::vector<float>* example_loss) {
+  // Per-row softmax + log-loss in parallel (valid rows only); the
+  // order-sensitive double accumulation then runs serially per example so
+  // each example's mean is bitwise what CrossEntropyForward returns for
+  // its rows alone.
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  std::vector<double> row_loss(static_cast<size_t>(rows), 0.0);
+  ParallelFor(0, rows, GrainForCost(c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int b = static_cast<int>(r / t);
+      const int i = static_cast<int>(r % t);
+      if (i >= lengths[b]) continue;
+      const float* row = logits + static_cast<size_t>(r) * c;
+      float* pr = probs + static_cast<size_t>(r) * c;
+      float mx = row[0];
+      for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      float sum = 0.0f;
+      for (int j = 0; j < c; ++j) {
+        pr[j] = std::exp(row[j] - mx);
+        sum += pr[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < c; ++j) pr[j] *= inv;
+      const int tgt = targets[static_cast<size_t>(r)];
+      if (tgt == ignore_index) continue;
+      PREQR_CHECK_GE(tgt, 0);
+      PREQR_CHECK_LT(tgt, c);
+      row_loss[static_cast<size_t>(r)] = -std::log(std::max(pr[tgt], 1e-12f));
+    }
+  });
+  valid_out->assign(static_cast<size_t>(bsz), 0);
+  if (example_loss != nullptr) {
+    example_loss->assign(static_cast<size_t>(bsz), 0.0f);
+  }
+  // Float chain sum over examples mirrors the retired per-example
+  // Add(...)/Scale(1/bsz) tape, so reported losses stay comparable.
+  float total = 0.0f;
+  for (int b = 0; b < bsz; ++b) {
+    int valid = 0;
+    double loss = 0.0;
+    const int len = lengths[b];
+    for (int i = 0; i < len; ++i) {
+      const size_t r = static_cast<size_t>(b) * t + static_cast<size_t>(i);
+      if (targets[r] == ignore_index) continue;
+      ++valid;
+      loss += row_loss[r];
+    }
+    (*valid_out)[static_cast<size_t>(b)] = valid;
+    const float mean =
+        valid > 0 ? static_cast<float>(loss / valid) : 0.0f;
+    if (example_loss != nullptr) {
+      (*example_loss)[static_cast<size_t>(b)] = mean;
+    }
+    total += mean;
+  }
+  return total * (1.0f / static_cast<float>(bsz));
+}
+
+void MaskedCrossEntropyBackward(float g, const float* probs,
+                                const std::vector<int>& targets,
+                                int ignore_index, int bsz, int t, int c,
+                                const int* lengths,
+                                const std::vector<int>& valid,
+                                float* dlogits) {
+  const float gb = g * (1.0f / static_cast<float>(bsz));
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int b = static_cast<int>(r / t);
+      const int i = static_cast<int>(r % t);
+      if (i >= lengths[b]) continue;
+      const int tgt = targets[static_cast<size_t>(r)];
+      if (tgt == ignore_index) continue;
+      const int v = valid[static_cast<size_t>(b)];
+      if (v == 0) continue;
+      const float gr = gb / static_cast<float>(v);
+      const float* pr = probs + static_cast<size_t>(r) * c;
+      float* dl = dlogits + static_cast<size_t>(r) * c;
+      for (int j = 0; j < c; ++j) {
+        dl[j] += gr * (pr[j] - (j == tgt ? 1.0f : 0.0f));
+      }
+    }
+  });
+}
+
+void MaskedDropoutForward(const float* x, float p, float scale,
+                          const uint64_t* seeds, float* out, float* mask,
+                          int bsz, int t, int d, const int* lengths) {
+  // One RNG stream per example, consumed serially inside the example —
+  // exactly the draw sequence the single-example DropoutForward makes —
+  // so scheduling and batch composition cannot change any mask bit.
+  ParallelFor(0, bsz, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const int len = lengths[b];
+      const size_t n = static_cast<size_t>(len) * static_cast<size_t>(d);
+      const size_t off =
+          static_cast<size_t>(b) * static_cast<size_t>(t) * d;
+      Rng rng(seeds[b]);
+      DropoutForward(x + off, p, scale, rng, out + off,
+                     mask != nullptr ? mask + off : nullptr, n);
+    }
+  });
+}
+
 }  // namespace preqr::nn::kernels

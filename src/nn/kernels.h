@@ -144,6 +144,98 @@ void DropoutForward(const float* x, float p, float scale, Rng& rng,
                     float* out, float* mask, size_t n);
 void DropoutBackward(const float* g, const float* mask, float* dx, size_t n);
 
+// --- Batched / masked kernels --------------------------------------------
+// Padded batch layout: a batch packs `bsz` examples into [bsz, t, ...] with
+// example b valid in rows [0, lengths[b]) and padding above. Every kernel
+// here partitions its loops *per example row* — no float ever crosses an
+// example boundary — so each valid row is computed by exactly the serial
+// loop the single-query kernels run, and results are bitwise-independent
+// of batch composition, padded length, and thread count. Pad entries are
+// left untouched by forwards (callers hand in zero-filled outputs, same
+// contract as MatMulForward) and skipped by backwards, so pad gradients
+// stay exactly zero.
+
+// Attention scores, one block per example: for i, j < lengths[b],
+//   out[b,i,j] = sum_k a[b,i,k] * bt[b,j,k]
+// with the kk-outer / j-inner accumulation (and zero-skip) of
+// MatMulForward(a_b, Transpose(bt_b)) so each valid row is bitwise equal
+// to the single-query path. a, bt: [bsz, t, k]; out: [bsz, t, t], zeroed.
+void BatchedMatMulNTForward(const float* a, const float* bt, float* out,
+                            int bsz, int t, int k, const int* lengths);
+// da[b,i,:] += g[b,i,:len] * bt[b,:len,:]; dbt[b,j,:] += sum_i g[b,i,j] * a[b,i,:].
+void BatchedMatMulNTBackwardA(const float* g, const float* bt, float* da,
+                              int bsz, int t, int k, const int* lengths);
+void BatchedMatMulNTBackwardB(const float* g, const float* a, float* dbt,
+                              int bsz, int t, int k, const int* lengths);
+
+// Attention-weighted values: for i < lengths[b],
+//   out[b,i,:] = sum_j w[b,i,j] * v[b,j,:],  j < lengths[b]
+// matching MatMulForward(w_b, v_b) row by row. w: [bsz, t, t],
+// v: [bsz, t, dv]; out: [bsz, t, dv], zeroed.
+void BatchedMatMulNNForward(const float* w, const float* v, float* out,
+                            int bsz, int t, int dv, const int* lengths);
+void BatchedMatMulNNBackwardW(const float* g, const float* v, float* dw,
+                              int bsz, int t, int dv, const int* lengths);
+void BatchedMatMulNNBackwardV(const float* w, const float* g, float* dv,
+                              int bsz, int t, int dv_dim, const int* lengths);
+
+// Mask-aware softmax over [bsz, t, t] score blocks: valid row i of example
+// b normalizes over its first lengths[b] entries with exactly the
+// SoftmaxForward inner loop (d = lengths[b]); pad entries and pad rows
+// stay zero. out must be zero-filled.
+void MaskedSoftmaxForward(const float* x, float* out, int bsz, int t,
+                          const int* lengths);
+void MaskedSoftmaxBackward(const float* y, const float* g, float* dx,
+                           int bsz, int t, const int* lengths);
+
+// Row-masked layer norm over [bsz, t, d]: valid rows run the
+// LayerNormForward row body verbatim; pad rows are skipped (out/xhat stay
+// zero-filled). xhat/inv_std optional as in LayerNormForward.
+void MaskedLayerNormForward(const float* x, const float* gamma,
+                            const float* beta, float eps, float* out,
+                            float* xhat, float* inv_std, int bsz, int t,
+                            int d, const int* lengths);
+// dgamma/dbeta reduce over valid rows only, partitioned over columns with
+// (example, row) ascending accumulation order per column.
+void MaskedLayerNormBackwardParams(const float* g, const float* xhat,
+                                   float* dgamma, float* dbeta, int bsz,
+                                   int t, int d, const int* lengths);
+void MaskedLayerNormBackwardInput(const float* g, const float* xhat,
+                                  const float* inv_std, const float* gamma,
+                                  float* dx, int bsz, int t, int d,
+                                  const int* lengths);
+
+// Masked MLM loss over [bsz, t, c] logits with targets[b*t+i] (pad rows and
+// ignore_index rows contribute nothing). Per example: the double-precision
+// row-order mean of CrossEntropyForward, cast to float. The scalar
+// returned is the float chain sum (((l_0+l_1)+l_2)+...) scaled by 1/bsz —
+// the value the per-example Add/Scale tape used to produce. probs
+// ([bsz*t, c]) is written for valid rows; valid_out/example_loss get one
+// entry per example (example_loss may be nullptr).
+float MaskedCrossEntropyForward(const float* logits,
+                                const std::vector<int>& targets,
+                                int ignore_index, int bsz, int t, int c,
+                                const int* lengths, float* probs,
+                                std::vector<int>* valid_out,
+                                std::vector<float>* example_loss);
+// dlogits[row] += g * (1/bsz) / valid[b] * (probs - onehot) per non-ignored
+// valid row.
+void MaskedCrossEntropyBackward(float g, const float* probs,
+                                const std::vector<int>& targets,
+                                int ignore_index, int bsz, int t, int c,
+                                const int* lengths,
+                                const std::vector<int>& valid,
+                                float* dlogits);
+
+// Masked dropout over [bsz, t, d] with one independent RNG stream per
+// example: example b draws exactly lengths[b]*d uniforms from Rng(seeds[b])
+// in row-major order — the same sequence the single-example DropoutForward
+// consumes — so valid rows are bitwise-identical to the per-example path.
+// Pad rows draw nothing (out/mask stay zero-filled).
+void MaskedDropoutForward(const float* x, float p, float scale,
+                          const uint64_t* seeds, float* out, float* mask,
+                          int bsz, int t, int d, const int* lengths);
+
 }  // namespace kernels
 }  // namespace preqr::nn
 

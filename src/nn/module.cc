@@ -86,6 +86,11 @@ Tensor LayerNorm::Forward(const Tensor& x) const {
   return LayerNormOp(x, gamma_, beta_);
 }
 
+Tensor LayerNorm::ForwardMasked(const Tensor& x,
+                                const std::vector<int>& lengths) const {
+  return MaskedLayerNorm(x, gamma_, beta_, lengths);
+}
+
 // --- MultiHeadAttention ---------------------------------------------------
 
 MultiHeadAttention::MultiHeadAttention(int dim, int num_heads, Rng& rng)
@@ -121,6 +126,28 @@ Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& kv) const {
   return wo_.Forward(ConcatLastDim(head_outputs));
 }
 
+Tensor MultiHeadAttention::ForwardBatch(const Tensor& x,
+                                        const std::vector<int>& lengths) const {
+  // Projections are row-wise, so running them on the padded [B, T, d] block
+  // reproduces each example's rows bitwise; the batch-sensitive pieces
+  // (scores, softmax, weighted sum) go through the masked kernels.
+  const Tensor qp = wq_.Forward(x);  // [B, T, d]
+  const Tensor kp = wk_.Forward(x);
+  const Tensor vp = wv_.Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(heads_));
+  for (int h = 0; h < heads_; ++h) {
+    const Tensor qh = SliceLastDim(qp, h * head_dim_, head_dim_);
+    const Tensor kh = SliceLastDim(kp, h * head_dim_, head_dim_);
+    const Tensor vh = SliceLastDim(vp, h * head_dim_, head_dim_);
+    Tensor scores = Scale(BatchedMatMulNT(qh, kh, lengths), scale);
+    Tensor weights = MaskedSoftmaxLastDim(scores, lengths);
+    head_outputs.push_back(BatchedMatMulNN(weights, vh, lengths));
+  }
+  return wo_.Forward(ConcatLastDim(head_outputs));
+}
+
 // --- FeedForward ------------------------------------------------------------
 
 FeedForward::FeedForward(int dim, int hidden, Rng& rng)
@@ -150,6 +177,16 @@ TransformerEncoderLayer::TransformerEncoderLayer(int dim, int num_heads,
 Tensor TransformerEncoderLayer::Forward(const Tensor& x) const {
   Tensor h = ln1_.Forward(Add(x, attn_.Forward(x, x)));
   return ln2_.Forward(Add(h, ffn_.Forward(h)));
+}
+
+Tensor TransformerEncoderLayer::ForwardBatch(
+    const Tensor& x, const std::vector<int>& lengths) const {
+  // Add and the FFN are row-wise (pad rows may carry junk between the
+  // masked norms, but no valid row ever reads one); the masked layer norms
+  // re-zero padding so every sub-layer hands on exactly-zero pad rows.
+  Tensor h =
+      ln1_.ForwardMasked(Add(x, attn_.ForwardBatch(x, lengths)), lengths);
+  return ln2_.ForwardMasked(Add(h, ffn_.Forward(h)), lengths);
 }
 
 // --- BiLstm -------------------------------------------------------------------

@@ -71,18 +71,27 @@ class LayerNorm : public Module {
  public:
   explicit LayerNorm(int dim);
   Tensor Forward(const Tensor& x) const;
+  // x: [B, T, d] padded batch; valid rows normalize exactly as Forward and
+  // pad rows come out zero (re-zeroing any junk the row-wise ops left).
+  Tensor ForwardMasked(const Tensor& x, const std::vector<int>& lengths) const;
 
  private:
   Tensor gamma_, beta_;
 };
 
 // Multi-head scaled dot-product attention (post-norm residual handled by the
-// caller). Queries may differ from keys/values (cross attention).
+// caller). Queries may differ from keys/values (cross attention). Forward
+// also accepts batched [B, T, d] queries against shared 2-D keys/values
+// (schema cross attention) — every key is valid, so no mask is needed.
 class MultiHeadAttention : public Module {
  public:
   MultiHeadAttention(int dim, int num_heads, Rng& rng);
   // q: [Sq, d]; kv: [Skv, d] -> [Sq, d].
   Tensor Forward(const Tensor& q, const Tensor& kv) const;
+  // Masked self-attention over a padded batch [B, T, d]: example b attends
+  // over its first lengths[b] positions only; each valid row is bitwise the
+  // single-example Forward(x_b, x_b) result.
+  Tensor ForwardBatch(const Tensor& x, const std::vector<int>& lengths) const;
   int num_heads() const { return heads_; }
 
  private:
@@ -106,6 +115,9 @@ class TransformerEncoderLayer : public Module {
  public:
   TransformerEncoderLayer(int dim, int num_heads, int ffn_hidden, Rng& rng);
   Tensor Forward(const Tensor& x) const;
+  // Padded-batch forward: masked self-attention + masked layer norms, so
+  // outputs carry exact per-example rows and exactly-zero pad rows.
+  Tensor ForwardBatch(const Tensor& x, const std::vector<int>& lengths) const;
 
  private:
   MultiHeadAttention attn_;

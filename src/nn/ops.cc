@@ -1,5 +1,6 @@
 #include "nn/ops.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -209,11 +210,16 @@ Tensor Sigmoid(const Tensor& x) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  PREQR_CHECK_EQ(a.ndim(), 2);
+  PREQR_CHECK_GE(a.ndim(), 2);
   PREQR_CHECK_EQ(b.ndim(), 2);
-  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  // Leading dims of `a` flatten to independent rows, so [m,k] and batched
+  // [B,T,k] inputs run the identical per-row kernel loop.
+  const int k = a.dim(a.ndim() - 1), n = b.dim(1);
   PREQR_CHECK_EQ(b.dim(0), k);
-  Tensor out = Tensor::Zeros({m, n});
+  const int m = static_cast<int>(a.vec().size() / static_cast<size_t>(k));
+  Shape shape = a.shape();
+  shape[static_cast<size_t>(a.ndim() - 1)] = n;
+  Tensor out = Tensor::Zeros(std::move(shape));
   kernels::MatMulForward(a.data(), b.data(), out.data(), m, k, n);
   if (!NeedsTape(a, b)) return out;
   auto ai = a.impl(), bi = b.impl();
@@ -265,8 +271,9 @@ Tensor SoftmaxLastDim(const Tensor& x) {
 
 Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                    float eps) {
-  PREQR_CHECK_EQ(x.ndim(), 2);
-  const int n = x.dim(0), d = x.dim(1);
+  PREQR_CHECK_GE(x.ndim(), 2);
+  const int d = x.dim(x.ndim() - 1);
+  const int n = static_cast<int>(x.vec().size() / static_cast<size_t>(d));
   PREQR_CHECK_EQ(gamma.dim(0), d);
   PREQR_CHECK_EQ(beta.dim(0), d);
   Tensor out = Tensor::Zeros(x.shape());
@@ -619,6 +626,237 @@ Tensor Dropout(const Tensor& x, float p, Rng& rng, bool train) {
     xi->EnsureGrad();
     kernels::DropoutBackward(self->grad.data(), mask->data(), xi->grad.data(),
                              self->grad.size());
+  });
+  return out;
+}
+
+// --- Batched / masked ops -------------------------------------------------
+
+namespace {
+
+// Shared shape bookkeeping for the [B, T, ...] ops: validates the batch
+// layout and that lengths fit inside the padded extent.
+void CheckBatchLengths(const Tensor& x, const std::vector<int>& lengths) {
+  PREQR_CHECK_EQ(x.ndim(), 3);
+  PREQR_CHECK_EQ(static_cast<int>(lengths.size()), x.dim(0));
+  for (int len : lengths) {
+    PREQR_CHECK_GE(len, 0);
+    PREQR_CHECK_LE(len, x.dim(1));
+  }
+}
+
+}  // namespace
+
+Tensor BatchedMatMulNT(const Tensor& a, const Tensor& b,
+                       const std::vector<int>& lengths) {
+  CheckBatchLengths(a, lengths);
+  PREQR_CHECK(a.shape() == b.shape());
+  const int bsz = a.dim(0), t = a.dim(1), k = a.dim(2);
+  Tensor out = Tensor::Zeros({bsz, t, t});
+  kernels::BatchedMatMulNTForward(a.data(), b.data(), out.data(), bsz, t, k,
+                                  lengths.data());
+  if (!NeedsTape(a, b)) return out;
+  auto ai = a.impl(), bi = b.impl();
+  Wire(out, {ai, bi}, [ai, bi, bsz, t, k, lengths](TensorImpl* self) {
+    const float* g = self->grad.data();
+    if (Wants(ai)) {
+      ai->EnsureGrad();
+      kernels::BatchedMatMulNTBackwardA(g, bi->data.data(), ai->grad.data(),
+                                        bsz, t, k, lengths.data());
+    }
+    if (Wants(bi)) {
+      bi->EnsureGrad();
+      kernels::BatchedMatMulNTBackwardB(g, ai->data.data(), bi->grad.data(),
+                                        bsz, t, k, lengths.data());
+    }
+  });
+  return out;
+}
+
+Tensor BatchedMatMulNN(const Tensor& w, const Tensor& v,
+                       const std::vector<int>& lengths) {
+  CheckBatchLengths(v, lengths);
+  PREQR_CHECK_EQ(w.ndim(), 3);
+  PREQR_CHECK_EQ(w.dim(0), v.dim(0));
+  PREQR_CHECK_EQ(w.dim(1), v.dim(1));
+  PREQR_CHECK_EQ(w.dim(2), v.dim(1));
+  const int bsz = v.dim(0), t = v.dim(1), dv = v.dim(2);
+  Tensor out = Tensor::Zeros({bsz, t, dv});
+  kernels::BatchedMatMulNNForward(w.data(), v.data(), out.data(), bsz, t, dv,
+                                  lengths.data());
+  if (!NeedsTape(w, v)) return out;
+  auto wi = w.impl(), vi = v.impl();
+  Wire(out, {wi, vi}, [wi, vi, bsz, t, dv, lengths](TensorImpl* self) {
+    const float* g = self->grad.data();
+    if (Wants(wi)) {
+      wi->EnsureGrad();
+      kernels::BatchedMatMulNNBackwardW(g, vi->data.data(), wi->grad.data(),
+                                        bsz, t, dv, lengths.data());
+    }
+    if (Wants(vi)) {
+      vi->EnsureGrad();
+      kernels::BatchedMatMulNNBackwardV(wi->data.data(), g, vi->grad.data(),
+                                        bsz, t, dv, lengths.data());
+    }
+  });
+  return out;
+}
+
+Tensor MaskedSoftmaxLastDim(const Tensor& x, const std::vector<int>& lengths) {
+  CheckBatchLengths(x, lengths);
+  PREQR_CHECK_EQ(x.dim(1), x.dim(2));
+  const int bsz = x.dim(0), t = x.dim(1);
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::MaskedSoftmaxForward(x.data(), out.data(), bsz, t, lengths.data());
+  if (!NeedsTape(x)) return out;
+  auto xi = x.impl();
+  Wire(out, {xi}, [xi, bsz, t, lengths](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    kernels::MaskedSoftmaxBackward(self->data.data(), self->grad.data(),
+                                   xi->grad.data(), bsz, t, lengths.data());
+  });
+  return out;
+}
+
+Tensor MaskedLayerNorm(const Tensor& x, const Tensor& gamma,
+                       const Tensor& beta, const std::vector<int>& lengths,
+                       float eps) {
+  CheckBatchLengths(x, lengths);
+  const int bsz = x.dim(0), t = x.dim(1), d = x.dim(2);
+  PREQR_CHECK_EQ(gamma.dim(0), d);
+  PREQR_CHECK_EQ(beta.dim(0), d);
+  Tensor out = Tensor::Zeros(x.shape());
+  const bool tape = NeedsTape(x, gamma, beta);
+  std::shared_ptr<std::vector<float>> xhat_s, istd_s;
+  if (tape) {
+    xhat_s = std::make_shared<std::vector<float>>(x.vec().size());
+    istd_s = std::make_shared<std::vector<float>>(
+        static_cast<size_t>(bsz) * static_cast<size_t>(t));
+  }
+  kernels::MaskedLayerNormForward(
+      x.data(), gamma.data(), beta.data(), eps, out.data(),
+      tape ? xhat_s->data() : nullptr, tape ? istd_s->data() : nullptr, bsz,
+      t, d, lengths.data());
+  if (!tape) return out;
+  auto xi = x.impl(), gi = gamma.impl(), bi = beta.impl();
+  Wire(out, {xi, gi, bi},
+       [xi, gi, bi, xhat_s, istd_s, bsz, t, d, lengths](TensorImpl* self) {
+         gi->EnsureGrad();
+         bi->EnsureGrad();
+         kernels::MaskedLayerNormBackwardParams(
+             self->grad.data(), xhat_s->data(), gi->grad.data(),
+             bi->grad.data(), bsz, t, d, lengths.data());
+         if (!Wants(xi)) return;
+         xi->EnsureGrad();
+         kernels::MaskedLayerNormBackwardInput(
+             self->grad.data(), xhat_s->data(), istd_s->data(),
+             gi->data.data(), xi->grad.data(), bsz, t, d, lengths.data());
+       });
+  return out;
+}
+
+Tensor MaskedCrossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                          const std::vector<int>& lengths, int ignore_index,
+                          std::vector<float>* example_loss) {
+  CheckBatchLengths(logits, lengths);
+  const int bsz = logits.dim(0), t = logits.dim(1), c = logits.dim(2);
+  PREQR_CHECK_EQ(targets.size(), static_cast<size_t>(bsz) * t);
+  auto probs = std::make_shared<std::vector<float>>(logits.vec().size());
+  auto valid = std::make_shared<std::vector<int>>();
+  Tensor out = Tensor::Zeros({1});
+  out.vec()[0] = kernels::MaskedCrossEntropyForward(
+      logits.data(), targets, ignore_index, bsz, t, c, lengths.data(),
+      probs->data(), valid.get(), example_loss);
+  if (!NeedsTape(logits)) return out;
+  auto li = logits.impl();
+  Wire(out, {li},
+       [li, probs, valid, targets, lengths, ignore_index, bsz, t,
+        c](TensorImpl* self) {
+         if (!Wants(li)) return;
+         li->EnsureGrad();
+         kernels::MaskedCrossEntropyBackward(
+             self->grad[0], probs->data(), targets, ignore_index, bsz, t, c,
+             lengths.data(), *valid, li->grad.data());
+       });
+  return out;
+}
+
+Tensor MaskedDropout(const Tensor& x, float p,
+                     const std::vector<uint64_t>& seeds,
+                     const std::vector<int>& lengths, bool train) {
+  if (!train || p <= 0.0f) return x;
+  CheckBatchLengths(x, lengths);
+  const int bsz = x.dim(0), t = x.dim(1), d = x.dim(2);
+  PREQR_CHECK_EQ(seeds.size(), static_cast<size_t>(bsz));
+  const float scale = 1.0f / (1.0f - p);
+  const bool tape = NeedsTape(x);
+  std::shared_ptr<std::vector<float>> mask;
+  if (tape) mask = std::make_shared<std::vector<float>>(x.vec().size());
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::MaskedDropoutForward(x.data(), p, scale, seeds.data(), out.data(),
+                                tape ? mask->data() : nullptr, bsz, t, d,
+                                lengths.data());
+  if (!tape) return out;
+  auto xi = x.impl();
+  Wire(out, {xi}, [xi, mask](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    // Pad mask entries are zero, so the generic dropout backward already
+    // keeps pad gradients at exactly zero.
+    kernels::DropoutBackward(self->grad.data(), mask->data(), xi->grad.data(),
+                             self->grad.size());
+  });
+  return out;
+}
+
+Tensor SliceExample(const Tensor& x, int b, int len) {
+  PREQR_CHECK_EQ(x.ndim(), 3);
+  PREQR_CHECK_GE(b, 0);
+  PREQR_CHECK_LT(b, x.dim(0));
+  PREQR_CHECK_GE(len, 0);
+  PREQR_CHECK_LE(len, x.dim(1));
+  const int t = x.dim(1), d = x.dim(2);
+  const size_t off = static_cast<size_t>(b) * t * d;
+  Tensor out = Tensor::Zeros({len, d});
+  kernels::Copy(x.data() + off, out.data(),
+                static_cast<size_t>(len) * static_cast<size_t>(d));
+  if (!NeedsTape(x)) return out;
+  auto xi = x.impl();
+  Wire(out, {xi}, [xi, off](TensorImpl* self) {
+    if (!Wants(xi)) return;
+    xi->EnsureGrad();
+    kernels::Accumulate(self->grad.data(), xi->grad.data() + off,
+                        self->grad.size());
+  });
+  return out;
+}
+
+Tensor PadExamples(const std::vector<Tensor>& xs, int t_max) {
+  PREQR_CHECK(!xs.empty());
+  const int bsz = static_cast<int>(xs.size());
+  const int d = xs[0].dim(1);
+  int t = t_max;
+  for (const auto& x : xs) {
+    PREQR_CHECK_EQ(x.ndim(), 2);
+    PREQR_CHECK_EQ(x.dim(1), d);
+    t = std::max(t, x.dim(0));
+  }
+  Tensor out = Tensor::Zeros({bsz, t, d});
+  for (int b = 0; b < bsz; ++b) {
+    kernels::Copy(xs[static_cast<size_t>(b)].data(),
+                  out.data() + static_cast<size_t>(b) * t * d,
+                  xs[static_cast<size_t>(b)].vec().size());
+  }
+  if (!NeedsTape(xs)) return out;
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  impls.reserve(xs.size());
+  for (const auto& x : xs) impls.push_back(x.impl());
+  Wire(out, impls, [impls, t, d](TensorImpl* self) {
+    for (size_t b = 0; b < impls.size(); ++b) {
+      AccumulateGrad(impls[b], self->grad.data() + b * static_cast<size_t>(t) * d,
+                     impls[b]->data.size());
+    }
   });
   return out;
 }

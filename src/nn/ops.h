@@ -27,12 +27,15 @@ Tensor Tanh(const Tensor& x);
 Tensor Sigmoid(const Tensor& x);
 
 // --- Linear algebra ---------------------------------------------------
-Tensor MatMul(const Tensor& a, const Tensor& b);  // [m,k] x [k,n] -> [m,n]
+// a: [..., k] x b: [k, n] -> [..., n]. Leading dims of `a` flatten to rows,
+// so [m,k] and batched [B,T,k] inputs share one kernel (rows are
+// independent: per-row results are bitwise-identical either way).
+Tensor MatMul(const Tensor& a, const Tensor& b);
 Tensor Transpose(const Tensor& a);                // [m,n] -> [n,m]
 
 // --- Normalization / activation over rows ------------------------------
 Tensor SoftmaxLastDim(const Tensor& x);
-// x: [N,d]; gamma,beta: [d].
+// x: [..., d]; gamma,beta: [d]. Normalizes each trailing-dim row.
 Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                    float eps = 1e-5f);
 
@@ -75,6 +78,47 @@ Tensor MseLoss(const Tensor& pred, const std::vector<float>& target);
 
 // --- Regularization -------------------------------------------------------
 Tensor Dropout(const Tensor& x, float p, Rng& rng, bool train);
+
+// --- Batched / masked ops -------------------------------------------------
+// Padded-batch counterparts of the ops above, over [B, T, ...] tensors
+// where example b occupies rows [0, lengths[b]) and the rest is padding.
+// Forward pads stay exactly zero and backward never reads them, so every
+// valid row is bitwise-identical to the single-example op at any batch
+// composition (see kernels.h for the per-example loop contract).
+
+// a, b: [B, T, k] -> scores [B, T, T]: per example, a_b x b_b^T over valid
+// rows (attention logits).
+Tensor BatchedMatMulNT(const Tensor& a, const Tensor& b,
+                       const std::vector<int>& lengths);
+// w: [B, T, T] (attention probs), v: [B, T, dv] -> [B, T, dv].
+Tensor BatchedMatMulNN(const Tensor& w, const Tensor& v,
+                       const std::vector<int>& lengths);
+// x: [B, T, T] -> softmax over each valid row's first lengths[b] entries.
+Tensor MaskedSoftmaxLastDim(const Tensor& x, const std::vector<int>& lengths);
+// x: [B, T, d]; gamma,beta: [d]. Valid rows normalize as LayerNormOp; pad
+// rows are zeroed (the batch path's periodic re-zeroing of padding).
+Tensor MaskedLayerNorm(const Tensor& x, const Tensor& gamma,
+                       const Tensor& beta, const std::vector<int>& lengths,
+                       float eps = 1e-5f);
+// logits: [B, T, C]; targets: B*T ids (pads/ignore_index skipped). Scalar
+// loss = mean over examples of each example's mean row loss — the value the
+// per-example CrossEntropy + Add/Scale chain used to produce. example_loss
+// (optional) receives each example's own mean.
+Tensor MaskedCrossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                          const std::vector<int>& lengths,
+                          int ignore_index = -1,
+                          std::vector<float>* example_loss = nullptr);
+// x: [B, T, d] with one dropout RNG stream per example: example b draws
+// exactly lengths[b]*d uniforms from Rng(seeds[b]), the sequence the
+// single-example Dropout consumes.
+Tensor MaskedDropout(const Tensor& x, float p,
+                     const std::vector<uint64_t>& seeds,
+                     const std::vector<int>& lengths, bool train);
+// x: [B, T, d] -> [len, d]: copy example b's valid rows out of the batch.
+Tensor SliceExample(const Tensor& x, int b, int len);
+// xs: one [S_i, d] per example -> [B, T, d] padded with zeros; T is
+// max S_i (or t_max if larger). The inverse of SliceExample per example.
+Tensor PadExamples(const std::vector<Tensor>& xs, int t_max = 0);
 
 }  // namespace preqr::nn
 

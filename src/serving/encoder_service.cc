@@ -92,6 +92,9 @@ void EncoderService::DispatchLoop() {
     auto results = EncodeLocked(sqls);
     metrics_.batches.Increment();
     metrics_.batch_size.Observe(static_cast<double>(batch.size()));
+    metrics_.batch_occupancy_pct.Observe(
+        100.0 * static_cast<double>(batch.size()) /
+        static_cast<double>(options_.max_batch_size));
     metrics_.batched_queries.Increment(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       if (!results[i].ok()) metrics_.errors.Increment();

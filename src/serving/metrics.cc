@@ -3,11 +3,81 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <mutex>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "nn/buffer_pool.h"
 
 namespace preqr::serving {
+
+namespace {
+
+// Process-global encode-path registry (cf. BufferPool::TotalStats): the
+// tasks-layer encoder records here without owning a ServingMetrics.
+struct EncodePathRegistry {
+  Counter fallbacks;
+  Counter padded_batches;
+  Counter padded_slots;
+  Counter valid_tokens;
+  Histogram padded_waste_pct{1.0, 2.0, 9};
+  std::mutex log_mu;
+  std::unordered_set<std::string> logged_errors;
+};
+
+EncodePathRegistry& Registry() {
+  static EncodePathRegistry* r = new EncodePathRegistry();
+  return *r;
+}
+
+}  // namespace
+
+double EncodePathStats::Occupancy() const {
+  return padded_slots == 0 ? 1.0
+                           : static_cast<double>(valid_tokens) /
+                                 static_cast<double>(padded_slots);
+}
+
+void RecordEncodeFallback(const std::string& error) {
+  auto& r = Registry();
+  r.fallbacks.Increment();
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(r.log_mu);
+    first = r.logged_errors.insert(error).second;
+  }
+  if (first) {
+    std::fprintf(stderr, "[encode] zero-vector fallback: %s\n", error.c_str());
+  }
+}
+
+void RecordPaddedBatch(int batch_size, int t_max, uint64_t valid_tokens) {
+  auto& r = Registry();
+  const uint64_t slots =
+      static_cast<uint64_t>(batch_size) * static_cast<uint64_t>(t_max);
+  r.padded_batches.Increment();
+  r.padded_slots.Increment(slots);
+  r.valid_tokens.Increment(valid_tokens);
+  if (slots > 0) {
+    r.padded_waste_pct.Observe(
+        100.0 * static_cast<double>(slots - valid_tokens) /
+        static_cast<double>(slots));
+  }
+}
+
+EncodePathStats GlobalEncodePathStats() {
+  auto& r = Registry();
+  EncodePathStats s;
+  s.fallback_total = r.fallbacks.value();
+  s.padded_batches = r.padded_batches.value();
+  s.padded_slots = r.padded_slots.value();
+  s.valid_tokens = r.valid_tokens.value();
+  return s;
+}
+
+const Histogram& GlobalPaddedWasteHistogram() {
+  return Registry().padded_waste_pct;
+}
 
 Histogram::Histogram(double scale, double growth, int num_buckets) {
   PREQR_CHECK_GT(scale, 0.0);
@@ -109,6 +179,9 @@ std::string ServingMetrics::DumpText() const {
              encode_latency_us.Percentile(0.99));
   emit_value("serving_hit_latency_us_p50", hit_latency_us.Percentile(0.5));
   emit_value("serving_hit_latency_us_p99", hit_latency_us.Percentile(0.99));
+  emit_value("serving_batch_occupancy_pct_mean", batch_occupancy_pct.mean());
+  emit_value("serving_batch_occupancy_pct_p99",
+             batch_occupancy_pct.Percentile(0.99));
   // Tensor-storage recycling behind the no-grad encode path (process-wide).
   const nn::BufferPoolStats pool = nn::BufferPool::TotalStats();
   auto emit_u64 = [&](const char* name, uint64_t v) {
@@ -121,6 +194,16 @@ std::string ServingMetrics::DumpText() const {
   emit_u64("nn_buffer_pool_releases_total", pool.releases);
   emit_u64("nn_buffer_pool_discards_total", pool.discards);
   emit_u64("nn_buffer_pool_live_bytes", pool.live_bytes);
+  // Process-global encode path: fallbacks + padded-batch shape.
+  const EncodePathStats enc = GlobalEncodePathStats();
+  emit_u64("encode_fallback_total", enc.fallback_total);
+  emit_u64("encode_padded_batches_total", enc.padded_batches);
+  emit_u64("encode_padded_slots_total", enc.padded_slots);
+  emit_u64("encode_valid_tokens_total", enc.valid_tokens);
+  emit_value("encode_batch_occupancy", enc.Occupancy());
+  const Histogram& waste = GlobalPaddedWasteHistogram();
+  emit_value("encode_padded_waste_pct_mean", waste.mean());
+  emit_value("encode_padded_waste_pct_p99", waste.Percentile(0.99));
   return out;
 }
 

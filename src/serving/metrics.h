@@ -60,10 +60,39 @@ struct ServingMetrics {
   Histogram batch_size{1.0, 2.0, 12};
   Histogram encode_latency_us{1.0, 4.0, 16};  // cold path, per request
   Histogram hit_latency_us{1.0, 4.0, 16};     // cache-hit path, per request
+  // Percent of max_batch_size capacity each dispatched micro-batch used —
+  // low means the batch window closes before the queue fills.
+  Histogram batch_occupancy_pct{1.0, 2.0, 9};
 
   double CacheHitRate() const;
   std::string DumpText() const;
 };
+
+// --- Process-global encode-path instrumentation ---------------------------
+// The padded [B, T, d] forwards and the zero-vector fallback live below the
+// serving layer (tasks::PreqrEncoder has no ServingMetrics instance), so
+// their stats are process-global like the BufferPool's: recorded wherever a
+// batch is collated or a fallback served, rendered by every DumpText.
+struct EncodePathStats {
+  uint64_t fallback_total = 0;   // zero-vector fallbacks for malformed SQL
+  uint64_t padded_batches = 0;   // padded [B, T, d] forwards executed
+  uint64_t padded_slots = 0;     // B * T_max summed over those forwards
+  uint64_t valid_tokens = 0;     // sum of example lengths over those forwards
+  // valid_tokens / padded_slots — the fraction of batched compute that
+  // touched real rows (1.0 when no padded batch ran yet).
+  double Occupancy() const;
+};
+
+// Counts one zero-vector fallback. Each distinct error message is logged to
+// stderr once per process, so a single bad query template cannot flood logs
+// while new failure modes still surface.
+void RecordEncodeFallback(const std::string& error);
+// Records one padded [B, T_max] batch carrying `valid_tokens` = sum_i T_i
+// real rows; feeds the global padded-waste histogram.
+void RecordPaddedBatch(int batch_size, int t_max, uint64_t valid_tokens);
+EncodePathStats GlobalEncodePathStats();
+// Padded-waste percent (100 * pad slots / total slots) per recorded batch.
+const Histogram& GlobalPaddedWasteHistogram();
 
 }  // namespace preqr::serving
 

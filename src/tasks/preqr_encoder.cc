@@ -1,12 +1,13 @@
 #include "tasks/preqr_encoder.h"
 
+#include <algorithm>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "automaton/symbol.h"
-#include "common/thread_pool.h"
 #include "nn/ops.h"
+#include "serving/metrics.h"
 
 namespace preqr::tasks {
 
@@ -57,12 +58,17 @@ PreqrEncoder::CachedQuery PreqrEncoder::ZeroEntry() const {
 Status PreqrEncoder::ComputeQuery(const std::string& sql, CachedQuery* out) {
   auto tokenized = model_->tokenizer().Tokenize(sql);
   if (!tokenized.ok()) return tokenized.status();
+  out->prefix = model_->EncodePrefix(tokenized.value(), schema_);
+  ExtractStructure(tokenized.value(), out->prefix.dim(0), out);
+  return Status::Ok();
+}
+
+void PreqrEncoder::ExtractStructure(
+    const text::SqlTokenizer::Tokenized& tokenized, int s, CachedQuery* out) {
   CachedQuery& entry = *out;
   entry.predicate_spans.clear();
   entry.table_rows.clear();
-  entry.prefix = model_->EncodePrefix(tokenized.value(), schema_);
   using automaton::Symbol;
-  const int s = entry.prefix.dim(0);
   // Predicate spans: maximal runs of predicate-body symbols (a column, its
   // operator, and its literals / rhs column) inside the WHERE region.
   auto is_pred_symbol = [](Symbol sym) {
@@ -88,7 +94,7 @@ Status PreqrEncoder::ComputeQuery(const std::string& sql, CachedQuery* out) {
     }
   };
   std::vector<int> current;
-  const auto& symbols = tokenized.value().symbols;
+  const auto& symbols = tokenized.symbols;
   for (int i = 0; i < s && i < static_cast<int>(symbols.size()); ++i) {
     const Symbol sym = symbols[static_cast<size_t>(i)];
     if (is_pred_symbol(sym)) {
@@ -100,13 +106,61 @@ Status PreqrEncoder::ComputeQuery(const std::string& sql, CachedQuery* out) {
     }
   }
   if (!current.empty()) entry.predicate_spans.push_back(current);
-  return Status::Ok();
+}
+
+void PreqrEncoder::ComputeQueriesBatched(const std::vector<std::string>& sqls,
+                                         std::vector<CachedQuery>* computed,
+                                         std::vector<Status>* status) {
+  const size_t m = sqls.size();
+  computed->assign(m, CachedQuery());
+  status->assign(m, Status::Ok());
+  // Tokenize serially; a parse error stays in its own slot so a malformed
+  // query never joins (or poisons) a padded chunk.
+  std::vector<std::optional<text::SqlTokenizer::Tokenized>> toks(m);
+  std::vector<size_t> valid;
+  valid.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    auto t = model_->tokenizer().Tokenize(sqls[i]);
+    if (!t.ok()) {
+      (*status)[i] = t.status();
+      continue;
+    }
+    toks[i] = std::move(t.value());
+    valid.push_back(i);
+  }
+  // Chunked padded prefix forwards: each chunk is ONE [B, T, d] pass over
+  // the frozen layers instead of B separate per-query forwards.
+  for (size_t c0 = 0; c0 < valid.size(); c0 += kMaxEncodeBatch) {
+    const size_t c1 =
+        std::min(valid.size(), c0 + static_cast<size_t>(kMaxEncodeBatch));
+    std::vector<const text::SqlTokenizer::Tokenized*> items;
+    items.reserve(c1 - c0);
+    for (size_t j = c0; j < c1; ++j) items.push_back(&*toks[valid[j]]);
+    const auto batch =
+        text::SqlTokenizer::Collate(items, model_->config().max_seq_len);
+    uint64_t valid_tokens = 0;
+    for (int len : batch.lengths) valid_tokens += static_cast<uint64_t>(len);
+    serving::RecordPaddedBatch(batch.batch_size, batch.t_max, valid_tokens);
+    nn::Tensor prefixes = model_->EncodePrefixBatch(batch, schema_);
+    // Slice each example's valid rows back out (tape-free, like the
+    // single-query EncodePrefix results these replace bit for bit).
+    nn::NoGradGuard no_grad;
+    for (size_t j = c0; j < c1; ++j) {
+      CachedQuery& entry = (*computed)[valid[j]];
+      const int len = batch.lengths[j - c0];
+      entry.prefix =
+          nn::SliceExample(prefixes, static_cast<int>(j - c0), len);
+      ExtractStructure(*toks[valid[j]], len, &entry);
+    }
+  }
 }
 
 nn::Tensor PreqrEncoder::EncodeVector(const std::string& sql, bool train) {
   auto result = TryEncodeVector(sql, train);
   if (result.ok()) return std::move(result).value();
   // Legacy fallback for the task loops: malformed queries read out zeros.
+  // No longer silent — counted process-wide, logged once per distinct error.
+  serving::RecordEncodeFallback(result.status().ToString());
   std::optional<nn::NoGradGuard> no_grad;
   if (!train) no_grad.emplace();
   model_->set_train(train);
@@ -134,12 +188,18 @@ StatusOr<nn::Tensor> PreqrEncoder::TryEncodeVector(const std::string& sql,
 
 nn::Tensor PreqrEncoder::ReadOut(const CachedQuery& cached) {
   auto enc = model_->LastLayer(cached.prefix, schema_);
+  return PoolReadOut(enc.tokens, cached);
+}
+
+nn::Tensor PreqrEncoder::PoolReadOut(const nn::Tensor& tokens,
+                                     const CachedQuery& cached) {
   // Structured read-out over the final token states: the aggregate [CLS],
   // the global mean, mean/max pools over per-predicate span means (set
   // pooling that keeps each predicate's column-op-value binding), and the
   // FROM-list pool. The automaton provides the span structure.
   const int d = model_->config().d_model;
-  nn::Tensor mean = nn::Reshape(nn::MeanRows(enc.tokens), {1, d});
+  nn::Tensor cls = nn::SliceRows(tokens, 0, 1);
+  nn::Tensor mean = nn::Reshape(nn::MeanRows(tokens), {1, d});
   nn::Tensor span_mean, span_max;
   if (cached.predicate_spans.empty()) {
     span_mean = nn::Tensor::Zeros({1, d});
@@ -148,8 +208,7 @@ nn::Tensor PreqrEncoder::ReadOut(const CachedQuery& cached) {
     std::vector<nn::Tensor> spans;
     spans.reserve(cached.predicate_spans.size());
     for (const auto& rows : cached.predicate_spans) {
-      spans.push_back(
-          nn::Reshape(nn::MeanRowsSubset(enc.tokens, rows), {1, d}));
+      spans.push_back(nn::Reshape(nn::MeanRowsSubset(tokens, rows), {1, d}));
     }
     nn::Tensor stacked = nn::ConcatRows(spans);  // [P, d]
     // Sum pooling over spans: per-conjunct contributions add up, matching
@@ -160,9 +219,9 @@ nn::Tensor PreqrEncoder::ReadOut(const CachedQuery& cached) {
     span_max = nn::Reshape(nn::MaxRows(stacked), {1, d});
   }
   nn::Tensor tabs = nn::Scale(
-      nn::Reshape(nn::MeanRowsSubset(enc.tokens, cached.table_rows), {1, d}),
+      nn::Reshape(nn::MeanRowsSubset(tokens, cached.table_rows), {1, d}),
       static_cast<float>(cached.table_rows.size()));
-  return nn::ConcatLastDim({enc.cls, mean, span_mean, span_max, tabs});
+  return nn::ConcatLastDim({cls, mean, span_mean, span_max, tabs});
 }
 
 std::vector<StatusOr<nn::Tensor>> PreqrEncoder::TryEncodeVectorBatch(
@@ -184,41 +243,62 @@ std::vector<StatusOr<nn::Tensor>> PreqrEncoder::TryEncodeVectorBatch(
     if (inserted) miss_sqls.push_back(sqls[i]);
     miss_of[i] = it->second;
   }
-  // Compute missing frozen prefixes in parallel into per-query slots (the
-  // cache itself is not touched from worker threads).
-  std::vector<CachedQuery> computed(miss_sqls.size());
-  std::vector<Status> miss_status(miss_sqls.size());
-  ParallelFor(0, static_cast<int64_t>(miss_sqls.size()), 1,
-              [&](int64_t b0, int64_t b1) {
-                for (int64_t m = b0; m < b1; ++m) {
-                  miss_status[static_cast<size_t>(m)] =
-                      ComputeQuery(miss_sqls[static_cast<size_t>(m)],
-                                   &computed[static_cast<size_t>(m)]);
-                }
-              });
+  // Missing frozen prefixes: one padded [B, T, d] forward per chunk of
+  // distinct misses (inside, the kernels parallelize over the flattened
+  // rows — far better occupancy than one task per query).
+  std::vector<CachedQuery> computed;
+  std::vector<Status> miss_status;
+  ComputeQueriesBatched(miss_sqls, &computed, &miss_status);
   // Serial cache insertion in first-occurrence order.
   for (size_t m = 0; m < miss_sqls.size(); ++m) {
     if (miss_status[m].ok()) prefix_cache_.Put(miss_sqls[m], computed[m]);
   }
-  // Per-query read-outs in parallel; each output slot is independent, so
-  // scheduling cannot change bits.
-  std::vector<nn::Tensor> tensors(n);
-  ParallelFor(0, static_cast<int64_t>(n), 1, [&](int64_t b0, int64_t b1) {
-    // GradMode is per-thread: each pool worker (and the caller) installs
-    // its own guard for inference read-outs.
-    std::optional<nn::NoGradGuard> no_grad;
-    if (!train) no_grad.emplace();
-    for (int64_t i = b0; i < b1; ++i) {
-      const size_t s = static_cast<size_t>(i);
-      const CachedQuery* entry = nullptr;
-      if (hit[s]) {
-        entry = &*hit[s];
-      } else if (miss_status[static_cast<size_t>(miss_of[s])].ok()) {
-        entry = &computed[static_cast<size_t>(miss_of[s])];
-      }
-      if (entry != nullptr) tensors[s] = ReadOut(*entry);
+  // Resolve each slot's entry: cache hit, freshly computed, or error.
+  std::vector<const CachedQuery*> entries(n, nullptr);
+  std::vector<size_t> slots;
+  slots.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (hit[i]) {
+      entries[i] = &*hit[i];
+    } else if (miss_status[static_cast<size_t>(miss_of[i])].ok()) {
+      entries[i] = &computed[static_cast<size_t>(miss_of[i])];
     }
-  });
+    if (entries[i] != nullptr) slots.push_back(i);
+  }
+  // Batched read-out: pad the resolved prefixes into [B, T, d] chunks, run
+  // the last Trm_g layer once per chunk, then slice and pool per slot. In
+  // train mode the tape runs through the padded pass, so last-layer
+  // parameter gradients match the per-query ReadOut sum.
+  std::vector<nn::Tensor> tensors(n);
+  std::optional<nn::NoGradGuard> no_grad;
+  if (!train) no_grad.emplace();
+  for (size_t c0 = 0; c0 < slots.size(); c0 += kMaxEncodeBatch) {
+    const size_t c1 =
+        std::min(slots.size(), c0 + static_cast<size_t>(kMaxEncodeBatch));
+    std::vector<nn::Tensor> prefixes;
+    std::vector<int> lengths;
+    prefixes.reserve(c1 - c0);
+    lengths.reserve(c1 - c0);
+    uint64_t valid_tokens = 0;
+    int t_max = 0;
+    for (size_t j = c0; j < c1; ++j) {
+      const nn::Tensor& p = entries[slots[j]]->prefix;
+      prefixes.push_back(p);
+      lengths.push_back(p.dim(0));
+      valid_tokens += static_cast<uint64_t>(p.dim(0));
+      t_max = std::max(t_max, p.dim(0));
+    }
+    serving::RecordPaddedBatch(static_cast<int>(c1 - c0), t_max,
+                               valid_tokens);
+    nn::Tensor padded = nn::PadExamples(prefixes);
+    nn::Tensor out_batch = model_->LastLayerBatch(padded, schema_, lengths);
+    for (size_t j = c0; j < c1; ++j) {
+      tensors[slots[j]] = PoolReadOut(
+          nn::SliceExample(out_batch, static_cast<int>(j - c0),
+                           lengths[j - c0]),
+          *entries[slots[j]]);
+    }
+  }
   model_->set_train(false);
   std::vector<StatusOr<nn::Tensor>> out;
   out.reserve(n);
@@ -241,6 +321,7 @@ std::vector<nn::Tensor> PreqrEncoder::EncodeVectorBatch(
     if (r.ok()) {
       out.push_back(std::move(r).value());
     } else {
+      serving::RecordEncodeFallback(r.status().ToString());
       std::optional<nn::NoGradGuard> no_grad;
       if (!train) no_grad.emplace();
       model_->set_train(train);
@@ -256,6 +337,7 @@ nn::Tensor PreqrEncoder::EncodeSequence(const std::string& sql, bool train) {
   if (!train) no_grad.emplace();
   model_->set_train(train);
   auto cached = Prefix(sql);
+  if (!cached.ok()) serving::RecordEncodeFallback(cached.status().ToString());
   auto enc = model_->LastLayer(
       cached.ok() ? cached.value().prefix : ZeroEntry().prefix, schema_);
   model_->set_train(false);

@@ -37,11 +37,13 @@ class PreqrEncoder : public baselines::QueryEncoder,
   // loops.
   StatusOr<nn::Tensor> TryEncodeVector(const std::string& sql,
                                        bool train) override;
-  // Batched entry point: computes missing frozen prefixes and the per-query
-  // read-outs across the global thread pool; duplicate queries collapse
-  // onto one computation. Output i is bitwise-identical to
-  // TryEncodeVector(sqls[i], train) — each query's computation is
-  // independent, so scheduling cannot change results.
+  // Batched entry point: missing frozen prefixes and the per-query
+  // read-outs run as genuine padded [B, T, d] forwards (chunks of up to
+  // kMaxEncodeBatch queries); duplicate queries collapse onto one prefix
+  // computation. Output i is bitwise-identical to
+  // TryEncodeVector(sqls[i], train) at any batch composition — the batched
+  // kernels partition per example, so neighbors (including malformed ones)
+  // cannot change a query's bits (pinned by batch_invariance_test).
   std::vector<StatusOr<nn::Tensor>> TryEncodeVectorBatch(
       const std::vector<std::string>& sqls, bool train) override;
   std::vector<nn::Tensor> EncodeVectorBatch(
@@ -63,6 +65,11 @@ class PreqrEncoder : public baselines::QueryEncoder,
   size_t cached_queries() const { return prefix_cache_.size(); }
 
  private:
+  // Queries per padded [B, T, d] forward; bounds the T_max * B slab a
+  // single chunk allocates while keeping dispatch counts ~B times lower
+  // than the per-query loop.
+  static constexpr int kMaxEncodeBatch = 32;
+
   struct CachedQuery {
     nn::Tensor prefix;  // frozen-prefix token states [S, d]
     // Predicate spans (each join/filter conjunct's token positions) and the
@@ -77,8 +84,20 @@ class PreqrEncoder : public baselines::QueryEncoder,
   // Computes the frozen prefix + span structure for one query without
   // touching the cache (safe to call from several threads at once).
   Status ComputeQuery(const std::string& sql, CachedQuery* out);
+  // Span/table structure from the automaton symbolization over the first
+  // `s` (possibly clipped) token positions.
+  static void ExtractStructure(const text::SqlTokenizer::Tokenized& tokenized,
+                               int s, CachedQuery* out);
+  // Frozen prefixes + span structure for several queries at once: chunks of
+  // parse-ok queries run as one padded EncodePrefixBatch each; parse errors
+  // land in status[i] without touching their neighbors' chunks.
+  void ComputeQueriesBatched(const std::vector<std::string>& sqls,
+                             std::vector<CachedQuery>* computed,
+                             std::vector<Status>* status);
   // The structured read-out over one cached query (no set_train calls).
   nn::Tensor ReadOut(const CachedQuery& cached);
+  // Pooling half of ReadOut, over already-computed final token states.
+  nn::Tensor PoolReadOut(const nn::Tensor& tokens, const CachedQuery& cached);
   // Zero-row entry used by the legacy fallback for malformed queries.
   CachedQuery ZeroEntry() const;
 

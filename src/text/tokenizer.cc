@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -264,6 +265,49 @@ Result<SqlTokenizer::Tokenized> SqlTokenizer::Tokenize(
   out.ids.reserve(out.tokens.size());
   for (const auto& t : out.tokens) out.ids.push_back(vocab_.Id(t));
   return out;
+}
+
+SqlTokenizer::TokenizedBatch SqlTokenizer::Collate(
+    const std::vector<const Tokenized*>& items, int max_len) {
+  PREQR_CHECK_GT(max_len, 0);
+  TokenizedBatch batch;
+  batch.batch_size = static_cast<int>(items.size());
+  batch.lengths.reserve(items.size());
+  batch.symbols.reserve(items.size());
+  for (const Tokenized* item : items) {
+    PREQR_CHECK(item != nullptr);
+    const int len =
+        std::min(static_cast<int>(item->ids.size()), max_len);
+    batch.lengths.push_back(len);
+    batch.t_max = std::max(batch.t_max, len);
+    batch.symbols.push_back(item->symbols);
+  }
+  const size_t stride = static_cast<size_t>(batch.t_max);
+  const size_t total = static_cast<size_t>(batch.batch_size) * stride;
+  batch.ids.assign(total, Vocab::kPadId);
+  batch.quantiles.assign(total, 0.0f);
+  batch.mask.assign(total, 0.0f);
+  for (size_t b = 0; b < items.size(); ++b) {
+    const Tokenized& item = *items[b];
+    const size_t len = static_cast<size_t>(batch.lengths[b]);
+    const size_t off = b * stride;
+    std::copy(item.ids.begin(), item.ids.begin() + static_cast<long>(len),
+              batch.ids.begin() + static_cast<long>(off));
+    std::copy(item.quantiles.begin(),
+              item.quantiles.begin() + static_cast<long>(len),
+              batch.quantiles.begin() + static_cast<long>(off));
+    std::fill(batch.mask.begin() + static_cast<long>(off),
+              batch.mask.begin() + static_cast<long>(off + len), 1.0f);
+  }
+  return batch;
+}
+
+SqlTokenizer::TokenizedBatch SqlTokenizer::Collate(
+    const std::vector<Tokenized>& items, int max_len) {
+  std::vector<const Tokenized*> ptrs;
+  ptrs.reserve(items.size());
+  for (const Tokenized& item : items) ptrs.push_back(&item);
+  return Collate(ptrs, max_len);
 }
 
 }  // namespace preqr::text

@@ -43,6 +43,32 @@ class SqlTokenizer {
   // Tokenizes a query. Parse failures propagate as errors.
   Result<Tokenized> Tokenize(const std::string& sql) const;
 
+  // A padded batch of tokenized queries in [B, T_max] row-major layout:
+  // example b is valid at positions [0, lengths[b]) and padded with kPadId
+  // (ids) / 0 (quantiles, mask) above. Lengths are clipped to max_len, and
+  // t_max is the longest clipped length in the batch — so padding adapts to
+  // the batch, never to a global maximum.
+  struct TokenizedBatch {
+    int batch_size = 0;
+    int t_max = 0;
+    std::vector<int> lengths;      // clipped length per example
+    std::vector<int> ids;          // [B * t_max]
+    std::vector<float> quantiles;  // [B * t_max]
+    std::vector<float> mask;       // [B * t_max], 1 = valid, 0 = pad
+    // Full (unclipped) symbol sequence per example: the automaton state
+    // channel must see the whole sequence, exactly as the single-query
+    // path does.
+    std::vector<std::vector<automaton::Symbol>> symbols;
+  };
+
+  // Collates tokenized queries into a padded batch, clipping each example
+  // to max_len positions. Pure repacking — no floats are touched, so the
+  // batch carries exactly the per-example values Tokenize produced.
+  static TokenizedBatch Collate(const std::vector<const Tokenized*>& items,
+                                int max_len);
+  static TokenizedBatch Collate(const std::vector<Tokenized>& items,
+                                int max_len);
+
   const Vocab& vocab() const { return vocab_; }
   int num_value_buckets() const { return num_value_buckets_; }
 

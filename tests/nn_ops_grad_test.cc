@@ -344,6 +344,184 @@ TEST(ParallelOpsGradTest, ParallelMatchesSerialBitwise) {
   }
 }
 
+// --- Batched / masked kernel gradient checks -----------------------------
+// Every padded-batch op gets a finite-difference sweep over ragged lengths,
+// including a zero-length (all-padded) example. Pad inputs must come out
+// with analytic gradient exactly zero — the FD sweep confirms it, since
+// nudging a pad entry cannot move the loss. Run on the 8-thread pool so the
+// per-example partitioning really interleaves across workers.
+
+TEST(BatchedOpsGradTest, BatchedMatMulNTBothSides) {
+  ParallelPoolGuard guard;
+  const std::vector<int> lengths = {4, 2, 0};  // full, ragged, all-padded
+  Tensor a = MakeInput({3, 4, 3});
+  Tensor b = MakeInput({3, 4, 3}, 31);
+  Tensor w = MakeInput({3, 4, 4}, 32);
+  auto fn = [&] { return Sum(Mul(BatchedMatMulNT(a, b, lengths), w)); };
+  CheckGrad(a, fn);
+  CheckGrad(b, fn);
+}
+
+TEST(BatchedOpsGradTest, BatchedMatMulNNBothSides) {
+  ParallelPoolGuard guard;
+  const std::vector<int> lengths = {4, 3, 0};
+  Tensor w = MakeInput({3, 4, 4});
+  Tensor v = MakeInput({3, 4, 5}, 33);
+  Tensor u = MakeInput({3, 4, 5}, 34);
+  auto fn = [&] { return Sum(Mul(BatchedMatMulNN(w, v, lengths), u)); };
+  CheckGrad(w, fn);
+  CheckGrad(v, fn);
+}
+
+TEST(BatchedOpsGradTest, MaskedSoftmax) {
+  ParallelPoolGuard guard;
+  const std::vector<int> lengths = {4, 2, 0};
+  Tensor x = MakeInput({3, 4, 4});
+  Tensor w = MakeInput({3, 4, 4}, 35);
+  CheckGrad(x, [&] { return Sum(Mul(MaskedSoftmaxLastDim(x, lengths), w)); });
+}
+
+TEST(BatchedOpsGradTest, MaskedLayerNormAllInputs) {
+  ParallelPoolGuard guard;
+  const std::vector<int> lengths = {4, 3, 0};
+  Tensor x = MakeInput({3, 4, 6});
+  Tensor gamma = Tensor::Full({6}, 1.2f, true);
+  Tensor beta = Tensor::Full({6}, -0.1f, true);
+  Tensor w = MakeInput({3, 4, 6}, 36);
+  auto fn = [&] {
+    return Sum(Mul(MaskedLayerNorm(x, gamma, beta, lengths), w));
+  };
+  CheckGrad(x, fn);
+  CheckGrad(gamma, fn);
+  CheckGrad(beta, fn);
+}
+
+TEST(BatchedOpsGradTest, MaskedCrossEntropyOp) {
+  ParallelPoolGuard guard;
+  const std::vector<int> lengths = {4, 2, 0};
+  Tensor logits = MakeInput({3, 4, 5});
+  // Example 0: two masked rows + one ignored; example 1: one masked row in
+  // its valid region (pad targets beyond len are deliberately set to check
+  // they are skipped); example 2 is all padding.
+  const std::vector<int> targets = {0, -1, 3, 2,   1, -1, 4, 0,   2, 2, 2, 2};
+  CheckGrad(logits,
+            [&] { return MaskedCrossEntropy(logits, targets, lengths, -1); });
+}
+
+TEST(BatchedOpsGradTest, MaskedCrossEntropyMatchesPerExampleChain) {
+  // The scalar must equal the retired per-example CrossEntropy + Add/Scale
+  // chain bit for bit (the trainer's loss history depends on it).
+  const std::vector<int> lengths = {3, 2};
+  Tensor logits = MakeInput({2, 3, 4});
+  const std::vector<int> targets = {1, -1, 2,   3, 0, -1};
+  Tensor batched = MaskedCrossEntropy(logits, targets, lengths, -1);
+  Tensor chain;
+  for (int b = 0; b < 2; ++b) {
+    Tensor one = SliceExample(logits, b, lengths[static_cast<size_t>(b)]);
+    std::vector<int> tgt(targets.begin() + b * 3,
+                         targets.begin() + b * 3 + lengths[
+                             static_cast<size_t>(b)]);
+    Tensor l = CrossEntropy(one, tgt, -1);
+    chain = chain.defined() ? Add(chain, l) : l;
+  }
+  chain = Scale(chain, 0.5f);
+  EXPECT_EQ(batched.item(), chain.item());
+}
+
+TEST(BatchedOpsGradTest, MaskedCrossEntropyExampleLossAndAllPadded) {
+  const std::vector<int> lengths = {3, 0};
+  Tensor logits = MakeInput({2, 3, 4});
+  const std::vector<int> targets = {1, 2, -1,  0, 0, 0};
+  std::vector<float> example_loss;
+  Tensor loss =
+      MaskedCrossEntropy(logits, targets, lengths, -1, &example_loss);
+  ASSERT_EQ(example_loss.size(), 2u);
+  EXPECT_EQ(example_loss[1], 0.0f);  // all-padded example contributes zero
+  EXPECT_FLOAT_EQ(loss.item(), example_loss[0] * 0.5f);
+  loss.Backward();  // must not crash on the empty example
+}
+
+TEST(BatchedOpsGradTest, MaskedDropoutGrad) {
+  ParallelPoolGuard guard;
+  const std::vector<int> lengths = {4, 2, 0};
+  const std::vector<uint64_t> seeds = {7, 8, 9};
+  Tensor x = MakeInput({3, 4, 5});
+  // Fixed seeds make the mask a constant of the sweep: the op is piecewise
+  // linear in x, so finite differences are exact up to rounding.
+  CheckGrad(x, [&] {
+    Tensor y = MaskedDropout(x, 0.4f, seeds, lengths, /*train=*/true);
+    return Sum(Mul(y, y));
+  });
+  // Eval mode: identity, same impl.
+  Tensor z = MaskedDropout(x, 0.4f, seeds, lengths, /*train=*/false);
+  EXPECT_EQ(z.impl().get(), x.impl().get());
+}
+
+TEST(BatchedOpsGradTest, MaskedDropoutMatchesSingleStream) {
+  // Example b's masked rows must use exactly the draw sequence the
+  // single-example Dropout consumes from Rng(seeds[b]).
+  const std::vector<int> lengths = {3, 2};
+  const std::vector<uint64_t> seeds = {41, 42};
+  Tensor x = MakeInput({2, 3, 4});
+  Tensor y = MaskedDropout(x, 0.5f, seeds, lengths, /*train=*/true);
+  for (int b = 0; b < 2; ++b) {
+    Tensor xb = SliceExample(x, b, lengths[static_cast<size_t>(b)]);
+    Rng rng(seeds[static_cast<size_t>(b)]);
+    Tensor yb = Dropout(xb, 0.5f, rng, /*train=*/true);
+    Tensor got = SliceExample(y, b, lengths[static_cast<size_t>(b)]);
+    for (Index i = 0; i < yb.size(); ++i) EXPECT_EQ(yb.at(i), got.at(i));
+  }
+}
+
+TEST(BatchedOpsGradTest, SliceExampleOp) {
+  Tensor x = MakeInput({2, 4, 3});
+  CheckGrad(x, [&] {
+    Tensor s = SliceExample(x, 1, 2);
+    return Sum(Mul(s, s));
+  });
+}
+
+TEST(BatchedOpsGradTest, PadExamplesOp) {
+  Tensor a = MakeInput({2, 3});
+  Tensor b = MakeInput({4, 3}, 37);
+  Tensor w = MakeInput({2, 4, 3}, 38);
+  auto fn = [&] { return Sum(Mul(PadExamples({a, b}), w)); };
+  CheckGrad(a, fn);
+  CheckGrad(b, fn);
+}
+
+TEST(BatchedOpsGradTest, MaskedOpsMatchSingleExampleBitwise) {
+  // Kernel-level padding invariance: each valid row of the masked ops must
+  // be bitwise the single-example op on that example's slice.
+  ParallelPoolGuard guard;
+  const std::vector<int> lengths = {4, 2};
+  Tensor x = MakeInput({2, 4, 6});
+  Tensor gamma = Tensor::Full({6}, 1.1f, false);
+  Tensor beta = Tensor::Full({6}, 0.2f, false);
+  Tensor ln = MaskedLayerNorm(x, gamma, beta, lengths);
+  for (int b = 0; b < 2; ++b) {
+    const int len = lengths[static_cast<size_t>(b)];
+    Tensor xb = SliceExample(x, b, len);
+    Tensor single = LayerNormOp(xb, gamma, beta);
+    Tensor got = SliceExample(ln, b, len);
+    for (Index i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(single.at(i), got.at(i)) << "layernorm row bits, b=" << b;
+    }
+  }
+  Tensor scores = MakeInput({2, 4, 4}, 39);
+  Tensor sm = MaskedSoftmaxLastDim(scores, lengths);
+  for (int b = 0; b < 2; ++b) {
+    const int len = lengths[static_cast<size_t>(b)];
+    // Single path: softmax over the [len, len] valid block.
+    Tensor block = SliceLastDim(SliceExample(scores, b, len), 0, len);
+    Tensor single = SoftmaxLastDim(block);
+    Tensor got = SliceLastDim(SliceExample(sm, b, len), 0, len);
+    for (Index i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(single.at(i), got.at(i)) << "softmax row bits, b=" << b;
+    }
+  }
+}
+
 TEST(OpsGradTest, SoftmaxRowsSumToOne) {
   Tensor x = MakeInput({3, 7});
   Tensor y = SoftmaxLastDim(x);
