@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification + thread-sanitizer pass over the parallel subsystem.
 #
-#   scripts/check.sh           # tier-1 build + full ctest, then TSAN +
-#                              # pool-debug builds
+#   scripts/check.sh           # tier-1 build + full ctest, then TSAN,
+#                              # pool-debug and fuzz builds
 #   SKIP_TSAN=1 scripts/check.sh        # skip the TSAN stage
 #   SKIP_POOL_DEBUG=1 scripts/check.sh  # skip the pool-poison stage
+#   SKIP_FUZZ=1 scripts/check.sh        # skip the sanitized fuzz stage
 #
 # The TSAN stage rebuilds with -DSANITIZE=thread into build-tsan/ and runs
 # the thread-pool and parallel-determinism suites (the tests that exercise
@@ -50,6 +51,27 @@ else
   # drill, and hot reload under the serving mutexes.
   ./build-tsan/tests/checkpoint_test
   ./build-tsan/tests/checkpoint_resume_test
+fi
+
+if [[ "${SKIP_FUZZ:-0}" == "1" ]]; then
+  echo "== FUZZ stage skipped (SKIP_FUZZ=1) =="
+else
+  echo "== FUZZ: grammar/mutation fuzz suites under ASan and TSan =="
+  # Deterministic seeds (the suites' built-in defaults) keep this stage
+  # bounded and reproducible; scripts/fuzz.sh is the open-ended long run.
+  cmake -B build-asan -S . -DSANITIZE=address >/dev/null
+  cmake --build build-asan -j --target fuzz_stress_test \
+    --target fuzz_regression_test
+  ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+    ./build-asan/tests/fuzz_regression_test
+  ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+    ./build-asan/tests/fuzz_stress_test
+  # The concurrent drill again under TSan: encodes racing
+  # ReloadModel/InvalidateCache with the fuzz stream as input.
+  cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target fuzz_stress_test
+  PREQR_NUM_THREADS=8 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ./build-tsan/tests/fuzz_stress_test
 fi
 
 if [[ "${SKIP_POOL_DEBUG:-0}" != "1" ]]; then

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Long-run fuzzing mode: the same grammar/mutation fuzz suites that
+# scripts/check.sh runs in bounded form, scaled up and swept over many
+# seeds under both sanitizers. Every case is a pure function of
+# (seed, index), so any failure line prints the exact seed + query to
+# replay — rerun with PREQR_FUZZ_SEEDS=<seed> to reproduce, minimize with
+# SqlFuzzer::Minimize, and check the result into tests/fuzz_corpus/.
+#
+#   scripts/fuzz.sh                         # default: 100k queries, 16 seeds
+#   FUZZ_QUERIES=1000000 scripts/fuzz.sh    # bigger front-door sweep
+#   FUZZ_SEEDS="7,8,9" scripts/fuzz.sh      # explicit seed list
+#   SKIP_ASAN=1 / SKIP_TSAN=1               # drop a sanitizer leg
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZ_QUERIES="${FUZZ_QUERIES:-100000}"
+if [[ -z "${FUZZ_SEEDS:-}" ]]; then
+  FUZZ_SEEDS="$(seq -s, 1001 1016)"
+fi
+echo "== fuzz long run: ${FUZZ_QUERIES} front-door queries, seeds ${FUZZ_SEEDS} =="
+
+run_suites() {
+  local build_dir="$1"
+  PREQR_FUZZ_QUERIES="${FUZZ_QUERIES}" \
+  PREQR_FUZZ_SEEDS="${FUZZ_SEEDS}" \
+  PREQR_PROPERTY_SEEDS="${FUZZ_SEEDS}" \
+    "${build_dir}/tests/fuzz_regression_test"
+  PREQR_FUZZ_QUERIES="${FUZZ_QUERIES}" \
+  PREQR_FUZZ_SEEDS="${FUZZ_SEEDS}" \
+    "${build_dir}/tests/fuzz_stress_test"
+  # The property sweeps ride along: same seed list, same replay story.
+  PREQR_PROPERTY_SEEDS="${FUZZ_SEEDS}" \
+    "${build_dir}/tests/property_test" --gtest_filter='Seeds/*'
+}
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== ASan leg =="
+  cmake -B build-asan -S . -DSANITIZE=address >/dev/null
+  cmake --build build-asan -j --target fuzz_stress_test \
+    --target fuzz_regression_test --target property_test
+  export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+  run_suites build-asan
+fi
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== TSan leg =="
+  cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target fuzz_stress_test \
+    --target fuzz_regression_test --target property_test
+  export PREQR_NUM_THREADS=8
+  export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+  run_suites build-tsan
+fi
+
+echo "== fuzz long run passed =="

@@ -121,6 +121,9 @@ std::vector<StatusOr<nn::Tensor>> EncoderService::EncodeLocked(
 
 std::vector<StatusOr<nn::Tensor>> EncoderService::EncodeBatch(
     const std::vector<std::string>& sqls) {
+  // Degenerate empty batch: nothing to do, and no latency observation —
+  // an empty request must not skew the per-query histograms.
+  if (sqls.empty()) return {};
   metrics_.requests.Increment(sqls.size());
   const auto t0 = Clock::now();
   const size_t n = sqls.size();

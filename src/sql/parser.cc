@@ -10,6 +10,19 @@ namespace preqr::sql {
 
 namespace {
 
+// Hard cap on SELECT nesting (IN-subqueries and UNION chains both recurse
+// through ParseSelect). Recursion deeper than this is hostile input, not a
+// workload: without the cap a mutated query with thousands of nested
+// `IN (SELECT` tokens overflows the stack instead of returning a Status
+// (found by the sql_fuzz harness).
+constexpr int kMaxSelectDepth = 64;
+
+// int64 range as doubles: the lexer stores literal values as doubles, and
+// casting an out-of-range double to int64_t is undefined behavior. 2^63 is
+// exactly representable; the valid range is [-2^63, 2^63).
+constexpr double kInt64Lo = -9223372036854775808.0;
+constexpr double kInt64Hi = 9223372036854775808.0;
+
 // Recursive-descent parser over a token stream.
 class Parser {
  public:
@@ -51,6 +64,17 @@ class Parser {
   }
 
   Result<SelectStatement> ParseSelect() {
+    if (depth_ >= kMaxSelectDepth) {
+      return Err("SELECT nesting exceeds depth limit " +
+                 std::to_string(kMaxSelectDepth));
+    }
+    ++depth_;
+    auto stmt = ParseSelectImpl();
+    --depth_;
+    return stmt;
+  }
+
+  Result<SelectStatement> ParseSelectImpl() {
     SelectStatement stmt;
     if (!AcceptKeyword("SELECT")) return Err("expected SELECT");
     AcceptKeyword("DISTINCT");  // accepted and normalized away
@@ -123,7 +147,11 @@ class Parser {
     }
     if (AcceptKeyword("LIMIT")) {
       if (Peek().type != TokenType::kNumber) return Err("expected limit count");
-      stmt.limit = static_cast<int64_t>(Advance().number);
+      const Token& count = Advance();
+      if (!(count.number >= kInt64Lo && count.number < kInt64Hi)) {
+        return Err("limit count out of int64 range: '" + count.text + "'");
+      }
+      stmt.limit = static_cast<int64_t>(count.number);
     }
     if (AcceptKeyword("UNION")) {
       auto next = ParseSelect();
@@ -199,8 +227,11 @@ class Parser {
     const Token& t = Peek();
     if (t.type == TokenType::kNumber) {
       const Token& tok = Advance();
-      return tok.is_integer ? Literal::Int(static_cast<int64_t>(tok.number))
-                            : Literal::Float(tok.number);
+      if (!tok.is_integer) return Literal::Float(tok.number);
+      if (!(tok.number >= kInt64Lo && tok.number < kInt64Hi)) {
+        return Err("integer literal out of int64 range: '" + tok.text + "'");
+      }
+      return Literal::Int(static_cast<int64_t>(tok.number));
     }
     if (t.type == TokenType::kString) {
       return Literal::String(Advance().text);
@@ -286,6 +317,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  // current ParseSelect recursion depth
 };
 
 }  // namespace

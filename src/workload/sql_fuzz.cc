@@ -1,0 +1,574 @@
+#include "workload/sql_fuzz.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "sql/lexer.h"
+
+namespace preqr::workload {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates (seed, index) into one case seed so
+// every case is a pure function of the pair — random access, resumable
+// streams, and one-command replay all fall out of this.
+uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Rough token split for the token-level mutation operators: identifier
+// runs, quoted strings, and single symbol characters; whitespace separates.
+// Deliberately lossier than sql::Lex — it must survive inputs that the
+// real lexer rejects (already-mutated queries get mutated again).
+std::vector<std::string> RoughTokens(const std::string& s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t j = i;
+      while (j < s.size() && IsIdentChar(s[j])) ++j;
+      out.push_back(s.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < s.size() && s[j] != '\'') ++j;
+      if (j < s.size()) ++j;  // include the closing quote when present
+      out.push_back(s.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    out.push_back(std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += " ";
+    out += tokens[i];
+  }
+  return out;
+}
+
+// Splice palette: printable garbage, control bytes, truncated and complete
+// UTF-8 sequences. Indexed draws keep the stream deterministic.
+const char* const kSplices[] = {
+    "!",    "@",      "#",          "$",     "%%",     "\\",
+    "`",    "\"",     "?",          "|",     "&",      "~",
+    "\x01", "\x7f",   "\x80",       "\xff",  "\xc3",   "\xc3\xa9",
+    "\xe2\x98\x83",   "\xf0\x9f\x92\xa9",    "\xf0\x9f", "\0\0",
+    ";;",   "''",     "((",         "))",    "--",     "/*",
+};
+constexpr size_t kNumSplices = sizeof(kSplices) / sizeof(kSplices[0]);
+
+std::string SpliceAt(size_t which) {
+  // The "\0\0" entry would decay to an empty C string; build it explicitly.
+  if (which == 21) return std::string("\0\0", 2);
+  return kSplices[which];
+}
+
+// String-literal building blocks (anything but the single quote is legal
+// inside '...'): words, LIKE metacharacters, punctuation that looks like
+// SQL, raw UTF-8, and whitespace.
+const char* const kStringPieces[] = {
+    "abc",   "Hello", "%",       "_",     "%_%",    " ",
+    "()",    ";",     "--",      "/*",    "*/",     ",",
+    "NULL",  "SELECT", "\t",     "\n",    "0",      "x y z",
+    "\xc3\xa9\xc3\xa8", "\xe2\x98\x83", "\xf0\x9f\x92\xa9", "\\n",
+    "\"",    "<>",    "==",      "123",
+};
+constexpr size_t kNumStringPieces =
+    sizeof(kStringPieces) / sizeof(kStringPieces[0]);
+
+}  // namespace
+
+std::string FuzzCase::Describe() const {
+  std::string out = "seed=" + std::to_string(seed) +
+                    " index=" + std::to_string(index) +
+                    (from_grammar ? " grammar" : " mutated") + " sql=\"";
+  for (char c : sql) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7f && c != '"' && c != '\\') {
+      out += c;
+    } else {
+      static const char* hex = "0123456789abcdef";
+      out += "\\x";
+      out += hex[u >> 4];
+      out += hex[u & 0xf];
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+SqlFuzzer::SqlFuzzer(const sql::Catalog& catalog, uint64_t seed,
+                     SqlFuzzOptions options)
+    : catalog_(catalog), options_(options), seed_(seed) {}
+
+FuzzCase SqlFuzzer::Next() { return CaseAt(index_++); }
+
+FuzzCase SqlFuzzer::CaseAt(uint64_t index) const {
+  Rng rng(MixSeed(seed_, index));
+  FuzzCase c;
+  c.seed = seed_;
+  c.index = index;
+  const bool mutate = rng.NextDouble() < options_.mutated_fraction;
+  c.sql = GenerateValid(rng);
+  if (mutate) {
+    c.sql = Mutate(c.sql, rng);
+    c.from_grammar = false;
+  } else {
+    c.from_grammar = true;
+  }
+  return c;
+}
+
+// --- Grammar generator ----------------------------------------------------
+
+std::string SqlFuzzer::Kw(Rng& rng, const char* keyword) const {
+  std::string out = keyword;
+  // Mostly canonical; sometimes mangled case ("SeLeCt"), sometimes all
+  // lower — the lexer is case-insensitive, so both stay valid.
+  const uint64_t mode = rng.NextUint64(10);
+  if (mode == 0) {
+    for (char& c : out) {
+      if (rng.NextUint64(2) == 0) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+  } else if (mode == 1) {
+    for (char& c : out) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+std::string SqlFuzzer::Ws(Rng& rng) const {
+  switch (rng.NextUint64(12)) {
+    case 0: return "  ";
+    case 1: return "\t";
+    case 2: return "\n";
+    case 3: return " \t ";
+    case 4: return "   \n\t";
+    default: return " ";
+  }
+}
+
+std::string SqlFuzzer::PickTable(Rng& rng) const {
+  const auto& tables = catalog_.tables();
+  if (options_.foreign_identifiers && rng.NextUint64(8) == 0) {
+    return RandomIdentifier(rng);
+  }
+  if (tables.empty()) return RandomIdentifier(rng);
+  return tables[rng.NextUint64(tables.size())].name;
+}
+
+std::string SqlFuzzer::PickColumn(Rng& rng, const std::string& table) const {
+  if (options_.foreign_identifiers && rng.NextUint64(8) == 0) {
+    return RandomIdentifier(rng);
+  }
+  const sql::TableDef* def = catalog_.FindTable(table);
+  if (def == nullptr || def->columns.empty()) {
+    // Unknown table: borrow a column name from anywhere in the catalog so
+    // schema-linking sees plausible-but-wrong references.
+    const auto& tables = catalog_.tables();
+    if (tables.empty()) return RandomIdentifier(rng);
+    const auto& any = tables[rng.NextUint64(tables.size())];
+    if (any.columns.empty()) return RandomIdentifier(rng);
+    return any.columns[rng.NextUint64(any.columns.size())].name;
+  }
+  return def->columns[rng.NextUint64(def->columns.size())].name;
+}
+
+std::string SqlFuzzer::RandomIdentifier(Rng& rng) const {
+  static const char* kAlpha = "abcdefghijklmnopqrstuvwxyz_";
+  while (true) {
+    const size_t len = 1 + rng.NextUint64(12);
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) out += kAlpha[rng.NextUint64(27)];
+    std::string upper = out;
+    std::transform(upper.begin(), upper.end(), upper.begin(), [](unsigned char c) {
+      return static_cast<char>(std::toupper(c));
+    });
+    // Identifiers that spell a keyword would change the parse; redraw.
+    if (!sql::IsSqlKeyword(upper)) return out;
+  }
+}
+
+std::string SqlFuzzer::NumberLiteral(Rng& rng) const {
+  auto digits = [&](int count) {
+    std::string out;
+    for (int i = 0; i < count; ++i) {
+      out += static_cast<char>('0' + rng.NextUint64(10));
+    }
+    // No leading zero on long runs (keeps strtod exact-ish); single "0" ok.
+    if (out.size() > 1 && out[0] == '0') out[0] = '1';
+    return out;
+  };
+  switch (rng.NextUint64(8)) {
+    case 0: return std::to_string(rng.NextUint64(1000));
+    case 1: return "-" + std::to_string(rng.NextUint64(100000));
+    case 2: return "0";
+    // Large but in-int64-range integers (18 digits < 9.2e18).
+    case 3: return digits(1 + static_cast<int>(rng.NextUint64(18)));
+    // Floats with absurd precision; parse as kFloat, any magnitude legal.
+    case 4: return digits(1 + static_cast<int>(rng.NextUint64(3))) + "." +
+                   digits(1 + static_cast<int>(rng.NextUint64(30)));
+    case 5: return "-" + digits(1) + "." + digits(12);
+    // Beyond-int64 magnitude is legal as long as it is a *float* literal.
+    case 6: return digits(25) + "." + digits(2);
+    default: return "0.000000000000000000000000000" + digits(1);
+  }
+}
+
+std::string SqlFuzzer::StringLiteral(Rng& rng) const {
+  std::string body;
+  const uint64_t pieces = rng.NextUint64(6);
+  for (uint64_t i = 0; i < pieces; ++i) {
+    body += kStringPieces[rng.NextUint64(kNumStringPieces)];
+  }
+  return "'" + body + "'";
+}
+
+std::string SqlFuzzer::ColumnText(Rng& rng, const std::string& table) const {
+  const std::string column = PickColumn(rng, table);
+  switch (rng.NextUint64(4)) {
+    case 0: return column;                      // unqualified
+    case 1: return table + "." + column;        // compact qualified
+    case 2: return table + " . " + column;      // spaced qualified
+    default: return table + "." + column;
+  }
+}
+
+std::string SqlFuzzer::SelectItemText(Rng& rng,
+                                      const std::string& table) const {
+  static const char* kAggs[] = {"COUNT", "SUM", "AVG", "MIN", "MAX"};
+  switch (rng.NextUint64(5)) {
+    case 0: return "*";
+    case 1: return Kw(rng, kAggs[rng.NextUint64(5)]) + Ws(rng) + "(" + Ws(rng) +
+                   "*" + Ws(rng) + ")";
+    case 2: return Kw(rng, kAggs[rng.NextUint64(5)]) + "(" +
+                   ColumnText(rng, table) + ")";
+    default: return ColumnText(rng, table);
+  }
+}
+
+std::string SqlFuzzer::PredicateText(Rng& rng, const std::string& table,
+                                     int depth) const {
+  static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">=", "!="};
+  const std::string lhs = ColumnText(rng, table);
+  const std::string ws = Ws(rng);
+  switch (rng.NextUint64(10)) {
+    case 0:  // join-shaped: column against column
+      return lhs + ws + kOps[rng.NextUint64(7)] + ws +
+             ColumnText(rng, PickTable(rng));
+    case 1:
+      return lhs + ws + Kw(rng, "BETWEEN") + ws + NumberLiteral(rng) + ws +
+             Kw(rng, "AND") + ws + NumberLiteral(rng);
+    case 2:
+      return lhs + ws + Kw(rng, "LIKE") + ws + StringLiteral(rng);
+    case 3: {  // huge IN list
+      std::string out = lhs + ws + Kw(rng, "IN") + ws + "(";
+      const int count = 1 + static_cast<int>(rng.NextUint64(
+                                static_cast<uint64_t>(options_.max_in_list)));
+      for (int i = 0; i < count; ++i) {
+        if (i > 0) out += ",";
+        if (rng.NextUint64(16) == 0) out += Ws(rng);
+        out += rng.NextUint64(4) == 0 ? StringLiteral(rng)
+                                      : NumberLiteral(rng);
+      }
+      return out + ")";
+    }
+    case 4:  // nested subquery
+      if (depth + 1 < options_.max_subquery_depth) {
+        return lhs + ws + Kw(rng, "IN") + ws + "(" +
+               GenerateSelect(rng, depth + 1) + ")";
+      }
+      [[fallthrough]];
+    case 5:
+      return lhs + ws + kOps[rng.NextUint64(7)] + ws + StringLiteral(rng);
+    default: {
+      // Comparisons against literals; sometimes compact ("a.x<=3").
+      const bool compact = rng.NextUint64(4) == 0;
+      const std::string sep = compact ? "" : ws;
+      return lhs + sep + kOps[rng.NextUint64(7)] + sep + NumberLiteral(rng);
+    }
+  }
+}
+
+std::string SqlFuzzer::GenerateSelect(Rng& rng, int depth) const {
+  // Per-select alias counter lives in the text (a0, a1, ...); bindings
+  // collect (binding name, table) so columns can reference the FROM list.
+  std::string out = Kw(rng, "SELECT");
+  std::vector<std::pair<std::string, std::string>> bindings;
+
+  // FROM list decided first so the select list can reference it; deeper
+  // join chains are rarer but reach max_join_chain.
+  const int n_tables =
+      1 + static_cast<int>(rng.NextUint64(4) == 0
+                               ? rng.NextUint64(static_cast<uint64_t>(
+                                     options_.max_join_chain))
+                               : rng.NextUint64(3));
+  for (int i = 0; i < n_tables; ++i) {
+    const std::string table = PickTable(rng);
+    std::string binding = table;
+    if (rng.NextUint64(3) == 0) {
+      binding = "a" + std::to_string(depth) + "_" + std::to_string(i);
+    }
+    bindings.emplace_back(binding, table);
+  }
+
+  auto binding_at = [&](size_t i) { return bindings[i].first; };
+  // Column qualifiers mix real table names with alias bindings; alias
+  // qualifiers over unknown aliases are exactly the malformed-schema
+  // references the tokenizer must survive.
+  auto random_binding = [&]() {
+    const auto& b = bindings[rng.NextUint64(bindings.size())];
+    return rng.NextUint64(3) == 0 ? b.first : b.second;
+  };
+
+  // SELECT list.
+  if (rng.NextUint64(6) == 0) out += Ws(rng) + Kw(rng, "DISTINCT");
+  const int n_items = 1 + static_cast<int>(rng.NextUint64(
+                              static_cast<uint64_t>(options_.max_select_items)));
+  for (int i = 0; i < n_items; ++i) {
+    out += i == 0 ? Ws(rng) : (rng.NextUint64(4) == 0 ? " ," : ",") + Ws(rng);
+    out += SelectItemText(rng, random_binding());
+  }
+
+  // FROM list: first table plain, the rest comma-joins or JOIN ... ON.
+  out += Ws(rng) + Kw(rng, "FROM") + Ws(rng);
+  for (int i = 0; i < n_tables; ++i) {
+    std::string ref = bindings[static_cast<size_t>(i)].second;
+    if (binding_at(static_cast<size_t>(i)) != ref) {
+      ref += rng.NextUint64(2) == 0
+                 ? Ws(rng) + Kw(rng, "AS") + Ws(rng) +
+                       binding_at(static_cast<size_t>(i))
+                 : Ws(rng) + binding_at(static_cast<size_t>(i));
+    }
+    if (i == 0) {
+      out += ref;
+      continue;
+    }
+    if (rng.NextUint64(2) == 0) {
+      out += "," + Ws(rng) + ref;
+      continue;
+    }
+    switch (rng.NextUint64(4)) {
+      case 0: out += Ws(rng) + Kw(rng, "INNER"); break;
+      case 1: out += Ws(rng) + Kw(rng, "LEFT"); break;
+      case 2: out += Ws(rng) + Kw(rng, "RIGHT"); break;
+      default: break;
+    }
+    out += Ws(rng) + Kw(rng, "JOIN") + Ws(rng) + ref + Ws(rng) + Kw(rng, "ON") +
+           Ws(rng);
+    // ON takes any predicate; usually the join shape.
+    const std::string lhs =
+        binding_at(static_cast<size_t>(i)) + "." +
+        PickColumn(rng, bindings[static_cast<size_t>(i)].second);
+    const size_t other = rng.NextUint64(static_cast<uint64_t>(i));
+    out += lhs + Ws(rng) + "=" + Ws(rng) + binding_at(other) + "." +
+           PickColumn(rng, bindings[other].second);
+  }
+
+  // WHERE conjuncts.
+  if (rng.NextUint64(5) != 0) {
+    const int n_preds = 1 + static_cast<int>(rng.NextUint64(
+                                static_cast<uint64_t>(options_.max_predicates)));
+    out += Ws(rng) + Kw(rng, "WHERE") + Ws(rng);
+    for (int i = 0; i < n_preds; ++i) {
+      if (i > 0) out += Ws(rng) + Kw(rng, "AND") + Ws(rng);
+      out += PredicateText(rng, random_binding(), depth);
+    }
+  }
+
+  if (rng.NextUint64(6) == 0) {
+    out += Ws(rng) + Kw(rng, "GROUP") + Ws(rng) + Kw(rng, "BY") + Ws(rng) +
+           ColumnText(rng, random_binding());
+    if (rng.NextUint64(2) == 0) {
+      out += "," + Ws(rng) + ColumnText(rng, random_binding());
+    }
+  }
+  if (rng.NextUint64(6) == 0) {
+    out += Ws(rng) + Kw(rng, "ORDER") + Ws(rng) + Kw(rng, "BY") + Ws(rng) +
+           ColumnText(rng, random_binding());
+    if (rng.NextUint64(2) == 0) {
+      out += Ws(rng) + Kw(rng, rng.NextUint64(2) == 0 ? "ASC" : "DESC");
+    }
+  }
+  if (rng.NextUint64(6) == 0) {
+    out += Ws(rng) + Kw(rng, "LIMIT") + Ws(rng) +
+           std::to_string(rng.NextUint64(1000000000));
+  }
+  // UNION chains re-enter the grammar; depth-capped like subqueries.
+  if (depth < options_.max_union_chain && rng.NextUint64(6) == 0) {
+    out += Ws(rng) + Kw(rng, "UNION") + Ws(rng) +
+           GenerateSelect(rng, depth + 1);
+  }
+  return out;
+}
+
+std::string SqlFuzzer::GenerateValid(Rng& rng) const {
+  std::string out = GenerateSelect(rng, 0);
+  if (rng.NextUint64(3) == 0) out += Ws(rng) + ";";
+  if (rng.NextUint64(8) == 0) out = " \t\n" + out;  // leading whitespace
+  return out;
+}
+
+// --- Mutation engine ------------------------------------------------------
+
+std::string SqlFuzzer::Mutate(const std::string& sql, Rng& rng) const {
+  std::string cur = sql;
+  const int n_ops =
+      1 + static_cast<int>(
+              rng.NextUint64(static_cast<uint64_t>(options_.max_mutations)));
+  for (int op = 0; op < n_ops; ++op) {
+    switch (rng.NextUint64(8)) {
+      case 0: {  // byte truncation at every possible offset
+        if (cur.empty()) break;
+        cur.resize(rng.NextUint64(cur.size() + 1));
+        break;
+      }
+      case 1: {  // garbage / UTF-8 byte splice
+        const std::string splice = SpliceAt(rng.NextUint64(kNumSplices));
+        const size_t at = rng.NextUint64(cur.size() + 1);
+        cur.insert(at, splice);
+        break;
+      }
+      case 2: {  // overwrite one byte
+        if (cur.empty()) break;
+        cur[rng.NextUint64(cur.size())] =
+            static_cast<char>(1 + rng.NextUint64(255));
+        break;
+      }
+      case 3: {  // token deletion
+        auto tokens = RoughTokens(cur);
+        if (tokens.empty()) break;
+        tokens.erase(tokens.begin() +
+                     static_cast<long>(rng.NextUint64(tokens.size())));
+        cur = JoinTokens(tokens);
+        break;
+      }
+      case 4: {  // token duplication
+        auto tokens = RoughTokens(cur);
+        if (tokens.empty()) break;
+        const size_t at = rng.NextUint64(tokens.size());
+        tokens.insert(tokens.begin() + static_cast<long>(at), tokens[at]);
+        cur = JoinTokens(tokens);
+        break;
+      }
+      case 5: {  // token swap
+        auto tokens = RoughTokens(cur);
+        if (tokens.size() < 2) break;
+        const size_t a = rng.NextUint64(tokens.size());
+        const size_t b = rng.NextUint64(tokens.size());
+        std::swap(tokens[a], tokens[b]);
+        cur = JoinTokens(tokens);
+        break;
+      }
+      case 6: {  // unbalance quotes / parens
+        static const char kBal[] = {'\'', '(', ')'};
+        const char c = kBal[rng.NextUint64(3)];
+        if (rng.NextUint64(2) == 0) {
+          cur.insert(rng.NextUint64(cur.size() + 1), 1, c);
+        } else {
+          const size_t pos = cur.find(c);
+          if (pos != std::string::npos) cur.erase(pos, 1);
+        }
+        break;
+      }
+      default: {  // identifier scramble against the catalog
+        auto tokens = RoughTokens(cur);
+        std::vector<size_t> ident_at;
+        for (size_t i = 0; i < tokens.size(); ++i) {
+          if (IsIdentChar(tokens[i][0])) ident_at.push_back(i);
+        }
+        if (ident_at.empty()) break;
+        std::string& target = tokens[ident_at[rng.NextUint64(ident_at.size())]];
+        if (rng.NextUint64(2) == 0) {
+          target = RandomIdentifier(rng);
+        } else if (!target.empty()) {
+          // catalog-adjacent typo: perturb one character
+          target[rng.NextUint64(target.size())] =
+              static_cast<char>('a' + rng.NextUint64(26));
+        }
+        cur = JoinTokens(tokens);
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+// --- Minimizer ------------------------------------------------------------
+
+std::string SqlFuzzer::Minimize(
+    const std::string& sql,
+    const std::function<bool(const std::string&)>& still_fails) {
+  if (!still_fails(sql)) return sql;
+  std::string cur = sql;
+  bool shrunk = true;
+  while (shrunk && !cur.empty()) {
+    shrunk = false;
+    for (size_t chunk = std::max<size_t>(1, cur.size() / 2);; chunk /= 2) {
+      size_t off = 0;
+      while (off < cur.size()) {
+        std::string candidate =
+            cur.substr(0, off) + cur.substr(std::min(cur.size(), off + chunk));
+        if (candidate.size() < cur.size() && still_fails(candidate)) {
+          cur = std::move(candidate);
+          shrunk = true;
+          // Do not advance: the bytes after the removed chunk shifted here.
+        } else {
+          off += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return cur;
+}
+
+// --- Seed sweeps ----------------------------------------------------------
+
+std::vector<uint64_t> SeedsFromEnv(const char* env_var,
+                                   std::vector<uint64_t> defaults) {
+  const char* raw = std::getenv(env_var);
+  if (raw == nullptr || *raw == '\0') return defaults;
+  std::vector<uint64_t> out;
+  const char* p = raw;
+  while (*p != '\0') {
+    if (*p == ',' || std::isspace(static_cast<unsigned char>(*p))) {
+      ++p;
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) break;  // non-numeric garbage: stop parsing
+    out.push_back(static_cast<uint64_t>(v));
+    p = end;
+  }
+  return out.empty() ? defaults : out;
+}
+
+}  // namespace preqr::workload

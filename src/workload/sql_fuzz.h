@@ -1,0 +1,114 @@
+#ifndef PREQR_WORKLOAD_SQL_FUZZ_H_
+#define PREQR_WORKLOAD_SQL_FUZZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sql/catalog.h"
+
+namespace preqr::workload {
+
+// Knobs for the fuzz stream. The defaults deliberately overshoot the
+// training workloads (ImdbQueryGenerator caps at 8 joins and short IN
+// lists) — the point is to exercise shapes the encoder never trained on.
+struct SqlFuzzOptions {
+  // Fraction of cases run through the mutation engine after generation.
+  double mutated_fraction = 0.5;
+  // Grammar extremes.
+  int max_join_chain = 10;     // tables per FROM list
+  int max_in_list = 64;        // literals per IN (...)
+  int max_subquery_depth = 4;  // nested IN (SELECT ...) levels
+  int max_union_chain = 3;     // additional UNION branches
+  int max_predicates = 6;      // WHERE conjuncts per SELECT
+  int max_select_items = 6;
+  // Mutation engine: byte/token operators applied per mutated case.
+  int max_mutations = 4;
+  // Also emit identifiers that are absent from the catalog (X-SQL's
+  // malformed-schema-reference failure mode); the query still parses, the
+  // tokenizer must degrade gracefully.
+  bool foreign_identifiers = true;
+};
+
+// One item of the fuzz stream. `from_grammar` cases are guaranteed to
+// parse (the generator follows the parser's grammar exactly); mutated
+// cases may do anything except crash the pipeline.
+struct FuzzCase {
+  std::string sql;
+  bool from_grammar = false;
+  uint64_t seed = 0;   // fuzzer seed
+  uint64_t index = 0;  // position in the stream
+  // "seed=S index=I sql=..." — paste into a test filter/driver to replay
+  // this exact case in one command.
+  std::string Describe() const;
+};
+
+// Seeded, fully deterministic grammar-driven SQL fuzzer (pstress-style):
+// a grammar generator emitting valid-but-extreme SQL over the catalog
+// (deep join chains, huge IN lists, nested subqueries, exotic literals,
+// mixed-case keywords, pathological whitespace) plus a mutation engine
+// corrupting valid queries (byte truncation/splices, token
+// deletion/duplication/swap, unbalanced quotes/parens, identifier
+// scrambling). Case `i` of seed `s` is a pure function of (s, i): the
+// stream is bitwise-identical across runs, platforms, and access order.
+class SqlFuzzer {
+ public:
+  SqlFuzzer(const sql::Catalog& catalog, uint64_t seed,
+            SqlFuzzOptions options = {});
+
+  // The next case of the stream; equivalent to CaseAt(next_index()++).
+  FuzzCase Next();
+  // Random access into the stream (reproduces any case independently).
+  FuzzCase CaseAt(uint64_t index) const;
+
+  // Grammar generator: one query that sql::Parse is guaranteed to accept.
+  std::string GenerateValid(Rng& rng) const;
+  // Mutation engine: applies 1..max_mutations corruption operators.
+  std::string Mutate(const std::string& sql, Rng& rng) const;
+
+  uint64_t seed() const { return seed_; }
+  uint64_t next_index() const { return index_; }
+
+  // Greedy byte-level ddmin: removes chunks (halves, quarters, ..., single
+  // bytes) while `still_fails` keeps returning true. Used to shrink every
+  // invariant-breaking input to a corpus-sized regression entry.
+  static std::string Minimize(
+      const std::string& sql,
+      const std::function<bool(const std::string&)>& still_fails);
+
+ private:
+  std::string GenerateSelect(Rng& rng, int depth) const;
+  std::string SelectItemText(Rng& rng, const std::string& table) const;
+  std::string ColumnText(Rng& rng, const std::string& table) const;
+  std::string PredicateText(Rng& rng, const std::string& table,
+                            int depth) const;
+  std::string NumberLiteral(Rng& rng) const;
+  std::string StringLiteral(Rng& rng) const;
+  std::string PickTable(Rng& rng) const;
+  std::string PickColumn(Rng& rng, const std::string& table) const;
+  std::string RandomIdentifier(Rng& rng) const;
+  // Keyword with randomly mangled case ("SeLeCt"); lexing is
+  // case-insensitive so the query stays valid.
+  std::string Kw(Rng& rng, const char* keyword) const;
+  // Pathological-but-legal whitespace between tokens.
+  std::string Ws(Rng& rng) const;
+
+  const sql::Catalog& catalog_;
+  SqlFuzzOptions options_;
+  uint64_t seed_;
+  uint64_t index_ = 0;
+};
+
+// Parses a comma/space-separated list of uint64 seeds from environment
+// variable `env_var`; returns `defaults` when the variable is unset,
+// empty, or contains no valid entry. Lets CI sweep property/fuzz tests
+// over a wider seed set without a rebuild (PREQR_PROPERTY_SEEDS,
+// PREQR_FUZZ_SEEDS).
+std::vector<uint64_t> SeedsFromEnv(const char* env_var,
+                                   std::vector<uint64_t> defaults);
+
+}  // namespace preqr::workload
+
+#endif  // PREQR_WORKLOAD_SQL_FUZZ_H_

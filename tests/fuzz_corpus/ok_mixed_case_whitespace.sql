@@ -1,0 +1,4 @@
+sElEcT   DiStInCt	id ,
+	title . production_year
+FrOm title
+WhErE production_year > 1990 AnD id < 100 oRdEr By id dEsC lImIt 5 ;

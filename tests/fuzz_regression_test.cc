@@ -1,0 +1,129 @@
+// Replays the checked-in fuzz corpus (tests/fuzz_corpus/): every minimized
+// input that ever broke the front door stays fixed. Naming convention is
+// the contract — `err_*.sql` must fail with a non-empty Status (and must
+// NOT crash), `ok_*.sql` must parse and tokenize end to end. New fuzz
+// findings are minimized with SqlFuzzer::Minimize and added here, so the
+// corpus only ever ratchets forward.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automaton/symbol.h"
+#include "automaton/template_extractor.h"
+#include "db/stats.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "text/tokenizer.h"
+#include "workload/imdb.h"
+
+#ifndef PREQR_FUZZ_CORPUS_DIR
+#error "build must define PREQR_FUZZ_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace preqr {
+namespace {
+
+struct CorpusEntry {
+  std::string name;  // file name, e.g. "err_int_literal_overflow.sql"
+  std::string sql;
+};
+
+std::vector<CorpusEntry> LoadCorpus() {
+  std::vector<CorpusEntry> entries;
+  const std::filesystem::path dir(PREQR_FUZZ_CORPUS_DIR);
+  for (const auto& file : std::filesystem::directory_iterator(dir)) {
+    if (file.path().extension() != ".sql") continue;
+    std::ifstream in(file.path());
+    std::ostringstream body;
+    body << in.rdbuf();
+    std::string sql = body.str();
+    // Strip exactly one trailing newline (editors add it); the byte content
+    // otherwise replays exactly as the fuzzer produced it.
+    if (!sql.empty() && sql.back() == '\n') sql.pop_back();
+    entries.push_back({file.path().filename().string(), std::move(sql)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.name < b.name;
+            });
+  return entries;
+}
+
+struct Env {
+  db::Database imdb = workload::MakeImdbDatabase(7, 0.02);
+  std::vector<db::TableStats> stats;
+  std::unique_ptr<text::SqlTokenizer> tokenizer;
+
+  Env() {
+    db::StatsCollector collector;
+    stats = collector.AnalyzeAll(imdb);
+    tokenizer = std::make_unique<text::SqlTokenizer>(imdb.catalog(), stats, 8);
+  }
+};
+
+Env& E() {
+  static Env* env = new Env();
+  return *env;
+}
+
+TEST(FuzzCorpusTest, CorpusIsNotEmpty) {
+  const auto entries = LoadCorpus();
+  ASSERT_FALSE(entries.empty())
+      << "no *.sql files under " << PREQR_FUZZ_CORPUS_DIR;
+  int err = 0, ok = 0;
+  for (const auto& e : entries) {
+    if (e.name.rfind("err_", 0) == 0) ++err;
+    else if (e.name.rfind("ok_", 0) == 0) ++ok;
+    else FAIL() << "corpus file '" << e.name
+                << "' must start with err_ or ok_";
+  }
+  EXPECT_GT(err, 0) << "corpus needs at least one failing input";
+  EXPECT_GT(ok, 0) << "corpus needs at least one extreme-but-valid input";
+}
+
+// Every corpus entry runs through the whole front door — lexer, structural
+// symbols, template normalizer, parser, schema-aware tokenizer — without
+// crashing, whatever its expected verdict is.
+TEST(FuzzCorpusTest, EveryEntryRunsTheFullFrontDoorWithoutCrashing) {
+  for (const auto& e : LoadCorpus()) {
+    auto lexed = sql::Lex(e.sql);
+    if (lexed.ok()) {
+      const auto symbols = automaton::StructuralSymbols(lexed.value());
+      EXPECT_EQ(symbols.size(), lexed.value().size()) << e.name;
+    } else {
+      EXPECT_FALSE(lexed.status().message().empty()) << e.name;
+    }
+    const auto norm = automaton::NormalizeForTemplate(e.sql);
+    (void)automaton::TemplateDistance(norm, norm);
+    (void)sql::Parse(e.sql);
+    (void)E().tokenizer->Tokenize(e.sql);
+  }
+}
+
+TEST(FuzzCorpusTest, ErrEntriesFailWithStatusAndOkEntriesTokenize) {
+  for (const auto& e : LoadCorpus()) {
+    auto parsed = sql::Parse(e.sql);
+    auto tokenized = E().tokenizer->Tokenize(e.sql);
+    if (e.name.rfind("err_", 0) == 0) {
+      ASSERT_FALSE(parsed.ok())
+          << e.name << ": expected a parse failure, got success";
+      EXPECT_FALSE(parsed.status().message().empty()) << e.name;
+      EXPECT_FALSE(tokenized.ok()) << e.name;
+    } else {
+      ASSERT_TRUE(parsed.ok())
+          << e.name << ": " << parsed.status().ToString();
+      ASSERT_TRUE(tokenized.ok())
+          << e.name << ": " << tokenized.status().ToString();
+      EXPECT_GT(tokenized.value().tokens.size(), 2u) << e.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace preqr

@@ -1,0 +1,505 @@
+// Grammar-driven SQL fuzzing + concurrent stress harness (ISSUE 6): the
+// deterministic fuzz stream, the 10k-query front-door drill over
+// lexer/parser/automaton/tokenizer, batch-poisoning checks, fallback metric
+// accounting, and encodes racing ReloadModel/InvalidateCache. Re-run under
+// ASan and TSan by scripts/check.sh's FUZZ stage; scripts/fuzz.sh scales
+// the same suites up via PREQR_FUZZ_QUERIES / PREQR_FUZZ_SEEDS.
+#include "workload/sql_fuzz.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automaton/template_extractor.h"
+#include "db/stats.h"
+#include "nn/serialize.h"
+#include "schema/schema_graph.h"
+#include "serving/encoder_service.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tasks/preqr_encoder.h"
+#include "text/tokenizer.h"
+#include "workload/imdb.h"
+#include "workload/query_gen.h"
+
+namespace preqr::workload {
+namespace {
+
+std::vector<uint64_t> FuzzSeeds() {
+  return SeedsFromEnv("PREQR_FUZZ_SEEDS", {101, 102, 103});
+}
+
+uint64_t FuzzQueryBudget(uint64_t default_count) {
+  const auto v = SeedsFromEnv("PREQR_FUZZ_QUERIES", {default_count});
+  return v.front() == 0 ? default_count : v.front();
+}
+
+struct Env {
+  db::Database imdb = MakeImdbDatabase(7, 0.02);
+  std::vector<db::TableStats> stats;
+  std::unique_ptr<text::SqlTokenizer> tokenizer;
+  automaton::Automaton fa;
+  schema::SchemaGraph graph;
+  std::vector<std::string> corpus;
+
+  Env() {
+    db::StatsCollector collector;
+    stats = collector.AnalyzeAll(imdb);
+    tokenizer = std::make_unique<text::SqlTokenizer>(imdb.catalog(), stats, 8);
+    ImdbQueryGenerator gen(imdb, 3);
+    std::unordered_set<std::string> seen;
+    for (const auto& q : gen.Synthetic(16, 2)) {
+      if (seen.insert(q.sql).second) corpus.push_back(q.sql);
+    }
+    automaton::TemplateExtractor extractor(0.2);
+    fa = extractor.BuildAutomaton(corpus);
+    graph = schema::SchemaGraph::Build(imdb.catalog());
+  }
+  core::PreqrModel MakeModel() {
+    core::PreqrConfig config;
+    config.d_model = 16;
+    config.num_heads = 2;
+    config.ffn_hidden = 32;
+    config.state_dim = 8;
+    config.pos_dim = 8;
+    return core::PreqrModel(config, tokenizer.get(), &fa, &graph, 17);
+  }
+  // Fuzz shapes for the encode-path tests: smaller extremes than the
+  // front-door drill so transformer forwards stay cheap.
+  SqlFuzzOptions EncodeOptions() const {
+    SqlFuzzOptions options;
+    options.max_in_list = 12;
+    options.max_join_chain = 6;
+    options.max_subquery_depth = 2;
+    options.max_union_chain = 1;
+    return options;
+  }
+};
+
+Env& E() {
+  static Env* env = new Env();
+  return *env;
+}
+
+// --- The deterministic stream --------------------------------------------
+
+TEST(SqlFuzzerTest, StreamIsBitwiseDeterministicPerSeed) {
+  for (uint64_t seed : FuzzSeeds()) {
+    SqlFuzzer a(E().imdb.catalog(), seed);
+    SqlFuzzer b(E().imdb.catalog(), seed);
+    for (int i = 0; i < 500; ++i) {
+      const FuzzCase ca = a.Next();
+      const FuzzCase cb = b.Next();
+      ASSERT_EQ(ca.sql, cb.sql) << "seed=" << seed << " index=" << i;
+      ASSERT_EQ(ca.from_grammar, cb.from_grammar)
+          << "seed=" << seed << " index=" << i;
+    }
+  }
+}
+
+TEST(SqlFuzzerTest, CaseAtIsRandomAccessIntoTheSameStream) {
+  SqlFuzzer stream(E().imdb.catalog(), 99);
+  std::vector<FuzzCase> sequential;
+  for (int i = 0; i < 64; ++i) sequential.push_back(stream.Next());
+  SqlFuzzer random(E().imdb.catalog(), 99);
+  // Access out of order: every case is a pure function of (seed, index).
+  for (int i = 63; i >= 0; --i) {
+    const FuzzCase c = random.CaseAt(static_cast<uint64_t>(i));
+    EXPECT_EQ(c.sql, sequential[static_cast<size_t>(i)].sql) << c.Describe();
+  }
+}
+
+TEST(SqlFuzzerTest, DifferentSeedsDiverge) {
+  SqlFuzzer a(E().imdb.catalog(), 1);
+  SqlFuzzer b(E().imdb.catalog(), 2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next().sql != b.Next().sql) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+// Every grammar-generated (non-mutated) case must parse: the generator
+// follows the parser's grammar exactly, including mixed-case keywords,
+// pathological whitespace, deep join chains, and huge IN lists.
+TEST(SqlFuzzerTest, GrammarCasesAlwaysParse) {
+  for (uint64_t seed : FuzzSeeds()) {
+    SqlFuzzer fuzzer(E().imdb.catalog(), seed);
+    int grammar_cases = 0;
+    for (int i = 0; i < 300; ++i) {
+      const FuzzCase c = fuzzer.Next();
+      if (!c.from_grammar) continue;
+      ++grammar_cases;
+      auto parsed = sql::Parse(c.sql);
+      ASSERT_TRUE(parsed.ok())
+          << parsed.status().ToString() << "\n  " << c.Describe();
+    }
+    EXPECT_GT(grammar_cases, 100) << "seed=" << seed;
+  }
+}
+
+// The generator reaches the extremes it promises (deep joins, huge IN
+// lists, mutated garbage) — otherwise the whole harness fuzzes a toy
+// distribution and the stress results mean nothing.
+TEST(SqlFuzzerTest, StreamCoversTheExtremes) {
+  SqlFuzzer fuzzer(E().imdb.catalog(), 7);
+  size_t max_tables = 0, max_in = 0;
+  int mutated = 0, grammar = 0, parse_failures = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const FuzzCase c = fuzzer.Next();
+    c.from_grammar ? ++grammar : ++mutated;
+    auto parsed = sql::Parse(c.sql);
+    if (!parsed.ok()) {
+      ++parse_failures;
+      continue;
+    }
+    max_tables = std::max(max_tables, parsed.value().tables.size());
+    for (const auto& p : parsed.value().predicates) {
+      max_in = std::max(max_in, p.values.size());
+    }
+  }
+  EXPECT_GE(max_tables, 8u);
+  EXPECT_GE(max_in, 40u);
+  EXPECT_GT(mutated, 500);
+  EXPECT_GT(grammar, 500);
+  // Mutations must actually break queries some of the time.
+  EXPECT_GT(parse_failures, 200);
+}
+
+// --- Front-door drill: tokenizer, parser, automaton ----------------------
+
+// The 10k-query mixed valid/mutated run (PREQR_FUZZ_QUERIES scales it up
+// for scripts/fuzz.sh long runs): lexer, parser, structural symbols,
+// template normalization, automaton match, and the schema-aware tokenizer
+// must never crash; every failure surfaces as a Status; grammar cases
+// tokenize end to end.
+TEST(FuzzFrontDoorTest, TenThousandQueriesNeverCrashThePipeline) {
+  const uint64_t budget = FuzzQueryBudget(10000);
+  const auto seeds = FuzzSeeds();
+  const uint64_t per_seed = budget / seeds.size() + 1;
+  uint64_t ran = 0, lex_errors = 0, parse_errors = 0;
+  for (uint64_t seed : seeds) {
+    SqlFuzzer fuzzer(E().imdb.catalog(), seed);
+    for (uint64_t i = 0; i < per_seed; ++i) {
+      const FuzzCase c = fuzzer.Next();
+      ++ran;
+      auto lexed = sql::Lex(c.sql);
+      auto parsed = sql::Parse(c.sql);
+      auto tokenized = E().tokenizer->Tokenize(c.sql);
+      if (!lexed.ok()) {
+        ++lex_errors;
+        // A lex failure must carry a message and imply parse/tokenize
+        // failure — never a crash, never a silent success downstream.
+        ASSERT_FALSE(lexed.status().message().empty()) << c.Describe();
+        ASSERT_FALSE(parsed.ok()) << c.Describe();
+        ASSERT_FALSE(tokenized.ok()) << c.Describe();
+      } else {
+        // Lex-ok inputs feed the automaton channel unconditionally (the
+        // serving path symbolizes before parsing).
+        const auto symbols = automaton::StructuralSymbols(lexed.value());
+        ASSERT_EQ(symbols.size(), lexed.value().size()) << c.Describe();
+        const auto match = E().fa.Match(symbols);
+        ASSERT_EQ(match.states.size(), symbols.size()) << c.Describe();
+        const auto norm = automaton::NormalizeForTemplate(c.sql);
+        const double self = automaton::TemplateDistance(norm, norm);
+        ASSERT_GE(self, 0.0) << c.Describe();
+        ASSERT_LE(self, 1.0) << c.Describe();
+      }
+      if (!parsed.ok()) {
+        ++parse_errors;
+        ASSERT_FALSE(parsed.status().message().empty()) << c.Describe();
+        ASSERT_FALSE(tokenized.ok()) << c.Describe();
+      } else {
+        ASSERT_TRUE(tokenized.ok())
+            << tokenized.status().ToString() << "\n  " << c.Describe();
+        // Aligned channels: one symbol/quantile per token, [CLS] first.
+        const auto& t = tokenized.value();
+        ASSERT_EQ(t.tokens.size(), t.ids.size()) << c.Describe();
+        ASSERT_EQ(t.tokens.size(), t.symbols.size()) << c.Describe();
+        ASSERT_EQ(t.tokens.size(), t.quantiles.size()) << c.Describe();
+        ASSERT_EQ(t.tokens.front(), "[CLS]") << c.Describe();
+      }
+      if (c.from_grammar) {
+        ASSERT_TRUE(parsed.ok())
+            << parsed.status().ToString() << "\n  " << c.Describe();
+      }
+    }
+  }
+  EXPECT_GE(ran, budget);
+  // The mix actually mixes: both healthy and broken inputs ran.
+  EXPECT_GT(parse_errors, ran / 10);
+  EXPECT_LT(parse_errors, ran);
+  EXPECT_GT(lex_errors, 0u);
+  std::printf("[fuzz] front door: %llu queries, %llu lex errors, %llu parse "
+              "errors\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(lex_errors),
+              static_cast<unsigned long long>(parse_errors));
+}
+
+// Regression shapes for the parser hardening that fuzzing motivated: deep
+// nesting is a Status (not a stack overflow), out-of-int64 literals are a
+// Status (not undefined behavior), and both keep the message actionable.
+TEST(FuzzFrontDoorTest, HostileShapesReturnStatusNotCrash) {
+  // 400 nested IN-subqueries: far past the parser's depth limit.
+  std::string deep = "SELECT a FROM t WHERE x IN (";
+  for (int i = 0; i < 399; ++i) deep += "SELECT a FROM t WHERE x IN (";
+  deep += "SELECT a FROM t";
+  for (int i = 0; i < 400; ++i) deep += ")";
+  auto nested = sql::Parse(deep);
+  ASSERT_FALSE(nested.ok());
+  EXPECT_NE(nested.status().message().find("depth"), std::string::npos);
+
+  // 400-branch UNION chain recurses just like subqueries.
+  std::string unions = "SELECT a FROM t";
+  for (int i = 0; i < 400; ++i) unions += " UNION SELECT a FROM t";
+  auto chained = sql::Parse(unions);
+  ASSERT_FALSE(chained.ok());
+  EXPECT_NE(chained.status().message().find("depth"), std::string::npos);
+
+  // Out-of-range integer literals in every literal position.
+  for (const char* sql :
+       {"SELECT a FROM t WHERE x = 99999999999999999999",
+        "SELECT a FROM t WHERE x IN (1, 99999999999999999999)",
+        "SELECT a FROM t WHERE x BETWEEN 1 AND 99999999999999999999",
+        "SELECT a FROM t LIMIT 99999999999999999999"}) {
+    auto parsed = sql::Parse(sql);
+    ASSERT_FALSE(parsed.ok()) << sql;
+    EXPECT_NE(parsed.status().message().find("int64"), std::string::npos)
+        << sql;
+  }
+  // Depth *under* the limit still parses — the cap only rejects hostile
+  // nesting, not deep-but-legal workloads.
+  std::string legal = "SELECT a FROM t";
+  for (int i = 0; i < 30; ++i) legal += " UNION SELECT a FROM t";
+  EXPECT_TRUE(sql::Parse(legal).ok());
+}
+
+// --- Minimizer ------------------------------------------------------------
+
+TEST(FuzzMinimizeTest, MinimizerShrinksWhilePreservingTheFailure) {
+  const std::string original =
+      "SELECT title.id, COUNT( * ) FROM title , movie_info WHERE "
+      "title.production_year = 99999999999999999999 AND title.id = "
+      "movie_info.movie_id ORDER BY title.id DESC LIMIT 5";
+  auto fails_int64 = [](const std::string& candidate) {
+    auto parsed = sql::Parse(candidate);
+    return !parsed.ok() &&
+           parsed.status().message().find("int64") != std::string::npos;
+  };
+  ASSERT_TRUE(fails_int64(original));
+  const std::string minimized = SqlFuzzer::Minimize(original, fails_int64);
+  EXPECT_TRUE(fails_int64(minimized));
+  EXPECT_LT(minimized.size(), original.size() / 2)
+      << "minimized to: " << minimized;
+  // A predicate nothing satisfies leaves the input untouched.
+  EXPECT_EQ(SqlFuzzer::Minimize("SELECT 1", [](const std::string&) {
+              return false;
+            }),
+            "SELECT 1");
+}
+
+// --- Encode path: batches, fallbacks, metrics -----------------------------
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (a.empty()) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << ": bitwise mismatch";
+}
+
+// Malformed batch members must never poison neighbors: every valid slot of
+// a hostile mixed batch is bitwise-identical to encoding it alone.
+TEST(FuzzEncodeTest, MixedBatchesNeverPoisonNeighbors) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder reference(&model);
+  tasks::PreqrEncoder wrapped(&model);
+  serving::EncoderService service(&wrapped);
+
+  SqlFuzzer fuzzer(E().imdb.catalog(), 11, E().EncodeOptions());
+  std::vector<FuzzCase> cases;
+  for (int i = 0; i < 48; ++i) cases.push_back(fuzzer.Next());
+  std::vector<std::string> sqls;
+  for (const auto& c : cases) sqls.push_back(c.sql);
+
+  auto batched = service.EncodeBatch(sqls);
+  ASSERT_EQ(batched.size(), sqls.size());
+  int ok_slots = 0, error_slots = 0;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    auto solo = reference.TryEncodeVector(sqls[i], /*train=*/false);
+    ASSERT_EQ(batched[i].ok(), solo.ok()) << cases[i].Describe();
+    if (solo.ok()) {
+      ++ok_slots;
+      ExpectBitwiseEqual(solo.value().vec(), batched[i].value().vec(),
+                         cases[i].Describe());
+    } else {
+      ++error_slots;
+      EXPECT_FALSE(batched[i].status().message().empty())
+          << cases[i].Describe();
+    }
+  }
+  // The stream mixed healthy and broken slots in one batch.
+  EXPECT_GT(ok_slots, 0);
+  EXPECT_GT(error_slots, 0);
+  EXPECT_EQ(service.metrics().errors.value(),
+            static_cast<uint64_t>(error_slots));
+}
+
+// encode_fallback_total accounts for every query the legacy zero-vector
+// path sheds, and the padded-batch occupancy stats keep moving.
+TEST(FuzzEncodeTest, FallbackMetricsAccountForEveryShedQuery) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder encoder(&model);
+
+  SqlFuzzer fuzzer(E().imdb.catalog(), 13, E().EncodeOptions());
+  std::vector<std::string> sqls;
+  int malformed = 0;
+  for (int i = 0; i < 40; ++i) {
+    const FuzzCase c = fuzzer.Next();
+    sqls.push_back(c.sql);
+    if (!sql::Parse(c.sql).ok()) ++malformed;
+  }
+  ASSERT_GT(malformed, 0);
+
+  const auto before = serving::GlobalEncodePathStats();
+  auto vectors = encoder.EncodeVectorBatch(sqls, /*train=*/false);
+  const auto after = serving::GlobalEncodePathStats();
+  ASSERT_EQ(vectors.size(), sqls.size());
+  // Exactly the unparseable queries fell back; each still produced a
+  // correctly-shaped vector so downstream task loops keep working.
+  EXPECT_EQ(after.fallback_total - before.fallback_total,
+            static_cast<uint64_t>(malformed));
+  for (const auto& v : vectors) {
+    EXPECT_EQ(static_cast<int>(v.size()), encoder.dim());
+  }
+  EXPECT_GT(after.padded_batches, before.padded_batches);
+  EXPECT_GE(after.valid_tokens, before.valid_tokens);
+  EXPECT_GE(after.Occupancy(), 0.0);
+  EXPECT_LE(after.Occupancy(), 1.0);
+}
+
+// --- The concurrent stress drill ------------------------------------------
+
+// Mixed valid/mutated streams fired at EncoderService from 4 threads while
+// a fifth hot-reloads the model (including failing reloads) and a sixth
+// invalidates the cache. Invariants: no crash, every failure is a Status,
+// valid grammar queries always encode, request accounting stays exact, and
+// the service still serves correct bits afterwards. scripts/check.sh runs
+// this under both ASan and TSan.
+TEST(FuzzStressTest, EncodesRacingReloadAndInvalidateStayStatusClean) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder encoder(&model);
+  serving::EncoderService service(&encoder);
+  service.AttachModel(&model);
+
+  // A reload source: the same architecture with different weights.
+  const std::string path = testing::TempDir() + "/fuzz_reload.prm1";
+  {
+    auto donor = E().MakeModel();
+    ASSERT_TRUE(nn::SaveModule(donor, path).ok());
+  }
+
+  constexpr int kEncodeThreads = 4;
+  constexpr int kCasesPerThread = 80;
+  std::atomic<uint64_t> issued{0};
+  std::atomic<uint64_t> ok_results{0};
+  std::atomic<uint64_t> error_results{0};
+  std::atomic<int> invariant_violations{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kEncodeThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Overlapping seeds across threads: duplicates force cache hits and
+      // coalesced batches alongside fresh encodes.
+      SqlFuzzer fuzzer(E().imdb.catalog(), 200 + static_cast<uint64_t>(t / 2),
+                       E().EncodeOptions());
+      for (int i = 0; i < kCasesPerThread; ++i) {
+        const FuzzCase c = fuzzer.Next();
+        if (i % 3 == 0) {
+          // Small client-side batches exercise EncodeBatch under the races.
+          std::vector<std::string> batch = {c.sql, fuzzer.Next().sql};
+          auto results = service.EncodeBatch(batch);
+          issued += batch.size();
+          for (const auto& r : results) {
+            r.ok() ? ++ok_results : ++error_results;
+            if (!r.ok() && r.status().message().empty()) {
+              ++invariant_violations;
+            }
+          }
+          continue;
+        }
+        auto result = service.Encode(c.sql);
+        ++issued;
+        result.ok() ? ++ok_results : ++error_results;
+        if (result.ok()) {
+          if (static_cast<int>(result.value().size()) != service.dim()) {
+            ++invariant_violations;
+          }
+        } else {
+          if (result.status().message().empty()) ++invariant_violations;
+          if (c.from_grammar) ++invariant_violations;  // valid must encode
+        }
+      }
+    });
+  }
+  std::thread reloader([&] {
+    int reloads = 0;
+    while (!stop.load() && reloads < 64) {
+      Status s = service.ReloadModel(path);
+      if (!s.ok()) ++invariant_violations;  // the file is always loadable
+      // A failing reload must leave serving untouched.
+      Status bad = service.ReloadModel("/nonexistent/fuzz.prc1");
+      if (bad.ok()) ++invariant_violations;
+      ++reloads;
+      std::this_thread::yield();
+    }
+  });
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      service.InvalidateCache();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  reloader.join();
+  invalidator.join();
+
+  EXPECT_EQ(invariant_violations.load(), 0);
+  // Every third iteration issues a 2-query batch instead of one encode, so
+  // the issued total exceeds the iteration count; what must hold exactly is
+  // the issued-vs-metrics accounting below.
+  EXPECT_GE(issued.load(),
+            static_cast<uint64_t>(kEncodeThreads) * kCasesPerThread);
+  const auto& m = service.metrics();
+  EXPECT_EQ(m.requests.value(), issued.load());
+  EXPECT_EQ(m.errors.value(), error_results.load());
+  EXPECT_EQ(m.cache_hits.value() + m.cache_misses.value(), m.requests.value());
+  EXPECT_GT(ok_results.load(), 0u);
+  EXPECT_GT(error_results.load(), 0u);
+  EXPECT_GT(m.reloads.value(), 0u);
+  EXPECT_GT(m.reload_failures.value(), 0u);
+  EXPECT_GT(m.invalidations.value(), 0u);
+
+  // The service survived: a clean encode still matches a fresh encoder
+  // over whatever weights the last reload installed.
+  service.InvalidateCache();
+  const std::string& probe = E().corpus.front();
+  auto after = service.Encode(probe);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  tasks::PreqrEncoder fresh(&model);
+  ExpectBitwiseEqual(fresh.EncodeVector(probe, /*train=*/false).vec(),
+                     after.value().vec(), "post-stress encode");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace preqr::workload

@@ -1,5 +1,9 @@
 // Property-based sweeps (parameterized over seeds): invariants that must
-// hold for *every* generated workload, not just hand-picked cases.
+// hold for *every* generated workload, not just hand-picked cases. The
+// seed set is overridable without a rebuild via PREQR_PROPERTY_SEEDS
+// (comma-separated), so a failing seed found by a long fuzz run replays
+// directly: PREQR_PROPERTY_SEEDS=12345 ./property_test
+#include <functional>
 #include <map>
 #include <set>
 
@@ -15,6 +19,7 @@
 #include "workload/imdb.h"
 #include "workload/query_gen.h"
 #include "workload/rewrites.h"
+#include "workload/sql_fuzz.h"
 
 namespace preqr {
 namespace {
@@ -28,18 +33,38 @@ class SeededProperty : public testing::TestWithParam<uint64_t> {
   }
 };
 
+// Failure context for property assertions: the seed to replay with, and —
+// when a failure predicate is supplied — a ddmin-minimized reproducer.
+// gtest only evaluates the streamed message on failure, so minimization
+// costs nothing on the green path.
+std::string FailingCase(uint64_t seed, const std::string& sql) {
+  return "seed=" + std::to_string(seed) + " sql=\"" + sql + "\"";
+}
+std::string FailingCase(uint64_t seed, const std::string& sql,
+                        const std::function<bool(const std::string&)>& fails) {
+  return "seed=" + std::to_string(seed) + " minimized=\"" +
+         workload::SqlFuzzer::Minimize(sql, fails) + "\" sql=\"" + sql + "\"";
+}
+
 // Property: every generated query's SQL text round-trips through the
 // parser and printer to a fixed point.
 TEST_P(SeededProperty, GeneratedSqlRoundTrips) {
   workload::ImdbQueryGenerator gen(Db(), GetParam());
+  auto not_parseable = [](const std::string& s) { return !sql::Parse(s).ok(); };
+  auto not_fixed_point = [](const std::string& s) {
+    auto p = sql::Parse(s);
+    return p.ok() && sql::ToSql(p.value()) != s;
+  };
   for (const auto& q : gen.Synthetic(15, 2)) {
     auto parsed = sql::Parse(q.sql);
-    ASSERT_TRUE(parsed.ok()) << q.sql;
+    ASSERT_TRUE(parsed.ok()) << FailingCase(GetParam(), q.sql, not_parseable);
     const std::string printed = sql::ToSql(parsed.value());
-    EXPECT_EQ(printed, q.sql);
+    EXPECT_EQ(printed, q.sql) << FailingCase(GetParam(), q.sql, not_fixed_point);
     auto reparsed = sql::Parse(printed);
-    ASSERT_TRUE(reparsed.ok());
-    EXPECT_EQ(sql::ToSql(reparsed.value()), printed);
+    ASSERT_TRUE(reparsed.ok())
+        << FailingCase(GetParam(), printed, not_parseable);
+    EXPECT_EQ(sql::ToSql(reparsed.value()), printed)
+        << FailingCase(GetParam(), printed, not_fixed_point);
   }
 }
 
@@ -56,7 +81,7 @@ TEST_P(SeededProperty, ExecutorMatchesBruteForce) {
     for (const auto& p : q.stmt.predicates) {
       if (p.IsJoin()) join = &p;
     }
-    ASSERT_NE(join, nullptr) << q.sql;
+    ASSERT_NE(join, nullptr) << FailingCase(GetParam(), q.sql);
     const db::Table* ta = Db().FindTable(q.stmt.tables[0].table);
     const db::Table* tb = Db().FindTable(q.stmt.tables[1].table);
     // Per-table filter bitmaps via single-table executor calls.
@@ -90,7 +115,7 @@ TEST_P(SeededProperty, ExecutorMatchesBruteForce) {
       auto it = counts.find(ta->column(col_a).ints[static_cast<size_t>(r)]);
       if (it != counts.end()) brute += it->second;
     }
-    EXPECT_DOUBLE_EQ(q.true_card, brute) << q.sql;
+    EXPECT_DOUBLE_EQ(q.true_card, brute) << FailingCase(GetParam(), q.sql);
     ++checked;
   }
   EXPECT_GT(checked, 0);
@@ -109,10 +134,14 @@ TEST_P(SeededProperty, RewritesPreserveResultSets) {
       const std::string rewritten =
           workload::EquivalentRewrite(base, which, rng);
       auto parsed = sql::Parse(rewritten);
-      ASSERT_TRUE(parsed.ok()) << rewritten;
+      ASSERT_TRUE(parsed.ok())
+          << FailingCase(GetParam(), rewritten, [](const std::string& s) {
+               return !sql::Parse(s).ok();
+             });
       auto res = exec.Execute(parsed.value(), true);
-      ASSERT_TRUE(res.ok()) << rewritten;
-      EXPECT_EQ(res.value().root_row_ids, base_rows) << rewritten;
+      ASSERT_TRUE(res.ok()) << FailingCase(GetParam(), rewritten);
+      EXPECT_EQ(res.value().root_row_ids, base_rows)
+          << FailingCase(GetParam(), rewritten);
     }
   }
 }
@@ -134,7 +163,7 @@ TEST_P(SeededProperty, AutomatonAcceptsOwnCorpus) {
   for (const auto& sql : corpus) {
     const auto symbols = automaton::StructuralSymbols(sql);
     auto match = fa.Match(symbols);
-    EXPECT_TRUE(match.accepted) << sql;
+    EXPECT_TRUE(match.accepted) << FailingCase(GetParam(), sql);
     EXPECT_EQ(match.states.size(), symbols.size());
     for (int s : match.states) {
       EXPECT_GE(s, 0);
@@ -164,7 +193,7 @@ TEST_P(SeededProperty, CostAccountingSane) {
   double sum_zero = 0, sum_two = 0;
   int n_zero = 0, n_two = 0;
   for (const auto& q : gen.Synthetic(20, 2)) {
-    EXPECT_GT(q.true_cost, 0) << q.sql;
+    EXPECT_GT(q.true_cost, 0) << FailingCase(GetParam(), q.sql);
     auto again = exec.Execute(q.stmt);
     ASSERT_TRUE(again.ok());
     EXPECT_DOUBLE_EQ(again.value().cost, q.true_cost);
@@ -182,7 +211,9 @@ TEST_P(SeededProperty, CostAccountingSane) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
-                         testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+                         testing::ValuesIn(workload::SeedsFromEnv(
+                             "PREQR_PROPERTY_SEEDS",
+                             {1u, 2u, 3u, 5u, 8u, 13u})));
 
 // --- Numerical gradient sweep over module compositions -------------------
 

@@ -148,6 +148,81 @@ TEST(EncoderServiceTest, EncodeBatchCollapsesDuplicatesAndHitsCache) {
   EXPECT_EQ(service.metrics().cache_hits.value(), sqls.size());
 }
 
+// Degenerate EncodeBatch inputs (found worth pinning by the fuzz harness):
+// the empty batch is a clean no-op that leaves every counter untouched.
+TEST(EncoderServiceTest, EncodeBatchEmptyInputIsANoOp) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder encoder(&model);
+  EncoderService service(&encoder);
+  auto results = service.EncodeBatch({});
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(service.metrics().requests.value(), 0u);
+  EXPECT_EQ(service.metrics().batches.value(), 0u);
+  EXPECT_EQ(service.metrics().cache_hits.value(), 0u);
+  EXPECT_EQ(service.metrics().cache_misses.value(), 0u);
+  EXPECT_EQ(service.metrics().errors.value(), 0u);
+}
+
+// An all-malformed batch (with duplicates) fails slot by slot: every slot
+// carries its own parse Status, duplicates collapse onto one encoder miss,
+// errors are counted per *slot*, nothing lands in the cache, and the
+// Status-propagating path records no legacy zero-vector fallbacks.
+TEST(EncoderServiceTest, EncodeBatchAllMalformedFailsPerSlot) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder encoder(&model);
+  EncoderService service(&encoder);
+  const std::string bad_a = "SELECT FROM WHERE ;;;";
+  const std::string bad_b = ")(*&^%$#@";
+  const std::vector<std::string> sqls = {bad_a, bad_b, bad_a, bad_a};
+  const uint64_t fallbacks_before = GlobalEncodePathStats().fallback_total;
+  auto results = service.EncodeBatch(sqls);
+  ASSERT_EQ(results.size(), sqls.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_FALSE(results[i].ok()) << "slot " << i;
+    EXPECT_FALSE(results[i].status().message().empty()) << "slot " << i;
+  }
+  // Identical inputs carry identical statuses (the collapsed miss fans its
+  // Status back out to every duplicate slot).
+  EXPECT_EQ(results[0].status().ToString(), results[2].status().ToString());
+  EXPECT_EQ(results[0].status().ToString(), results[3].status().ToString());
+  EXPECT_EQ(service.metrics().errors.value(), sqls.size());
+  EXPECT_EQ(service.metrics().requests.value(), sqls.size());
+  // 2 distinct queries reached the encoder; none produced a cache entry.
+  EXPECT_EQ(service.metrics().batched_queries.value(), 2u);
+  EXPECT_EQ(service.cached_embeddings(), 0u);
+  EXPECT_EQ(GlobalEncodePathStats().fallback_total, fallbacks_before);
+  // A retry re-encodes (errors are never cached) and fails the same way.
+  auto again = service.EncodeBatch({bad_a});
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_FALSE(again[0].ok());
+  EXPECT_EQ(service.metrics().cache_hits.value(), 0u);
+}
+
+// A batch wider than the encoder's internal chunk size (kMaxEncodeBatch =
+// 32 queries per padded forward) still returns per-slot results bitwise
+// identical to solo encodes — chunking is invisible to callers.
+TEST(EncoderServiceTest, EncodeBatchLargerThanChunkMatchesSoloBitwise) {
+  auto model = E().MakeModel();
+  tasks::PreqrEncoder reference(&model);
+  tasks::PreqrEncoder wrapped(&model);
+  EncoderService service(&wrapped);
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 40; ++i) {
+    sqls.push_back("SELECT id FROM title WHERE id < " + std::to_string(i) +
+                   " ORDER BY id LIMIT " + std::to_string(1 + i));
+  }
+  auto results = service.EncodeBatch(sqls);
+  ASSERT_EQ(results.size(), sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    nn::Tensor direct = reference.EncodeVector(sqls[i], /*train=*/false);
+    ExpectBitwiseEqual(direct.vec(), results[i].value().vec(), "wide batch");
+  }
+  EXPECT_EQ(service.metrics().requests.value(), sqls.size());
+  EXPECT_EQ(service.metrics().batched_queries.value(), sqls.size());
+  EXPECT_EQ(service.metrics().errors.value(), 0u);
+}
+
 // The satellite bugfix: a cache populated before further pre-training is
 // stale — InvalidateCache must actually drop it.
 TEST(EncoderServiceTest, StaleCacheDroppedOnInvalidate) {
