@@ -245,6 +245,24 @@ void BM_ServingCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_ServingCacheHit);
 
+// The full request path on a hit — deadline check, admission bookkeeping,
+// response metadata — vs the bare-SQL overload above: the cost of the
+// request/response contract itself.
+void BM_ServingRequestHit(benchmark::State& state) {
+  tasks::PreqrEncoder encoder(S().model.get());
+  serving::EncoderService service(&encoder);
+  (void)service.Encode(kQuery);  // warm the embedding cache
+  serving::EncodeRequest request;
+  request.sql = kQuery;
+  request.client_id = "bench";
+  for (auto _ : state) {
+    request.deadline = serving::DeadlineAfter(std::chrono::seconds(1));
+    benchmark::DoNotOptimize(service.Encode(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServingRequestHit);
+
 void BM_ServingColdEncode(benchmark::State& state) {
   // Both cache layers are sized below the rotation length, so every request
   // misses and pays the full encode.

@@ -3,6 +3,7 @@
 // semantic distances, and inspect the automaton's view of query structure.
 //
 //   ./build/examples/quickstart
+#include <chrono>
 #include <cstdio>
 
 #include "automaton/template_extractor.h"
@@ -75,17 +76,24 @@ int main() {
               baselines::CosineDistance(e1, embed(q_other)));
 
   // 6. Serve embeddings: wrap the encoder in an EncoderService to get a
-  //    thread-safe front-end with a bounded LRU cache, micro-batching, and
-  //    Status errors instead of crashes on malformed SQL.
+  //    thread-safe front-end with a bounded LRU cache, micro-batching,
+  //    per-request deadlines, admission control, and Status errors with
+  //    canonical codes instead of crashes on malformed SQL.
   tasks::PreqrEncoder encoder(&model);
   serving::EncoderService service(&encoder);
-  auto cold = service.Encode(q1);   // cache miss: full encode
-  auto warm = service.Encode(q1);   // cache hit: LRU lookup + copy
+  serving::EncodeRequest request;
+  request.sql = q1;
+  request.client_id = "quickstart";
+  request.deadline = serving::DeadlineAfter(std::chrono::seconds(5));
+  auto cold = service.Encode(request);  // cache miss: full encode
+  auto warm = service.Encode(request);  // cache hit: LRU lookup + copy
   PREQR_CHECK(cold.ok() && warm.ok());
   std::printf("\nserving: %s dim=%d, %zu cached embedding(s)\n",
               service.name().c_str(), service.dim(),
               service.cached_embeddings());
-  auto bad = service.Encode("this is not SQL at all");
+  std::printf("serving q1 twice: miss cache_hit=%d, then hit cache_hit=%d\n",
+              cold.value().cache_hit ? 1 : 0, warm.value().cache_hit ? 1 : 0);
+  auto bad = service.Encode("this is not SQL at all");  // bare-SQL overload
   std::printf("serving a malformed query: %s\n",
               bad.ok() ? "(unexpectedly ok)" : bad.status().ToString().c_str());
   // The deterministic slice of service.metrics().DumpText() (the full dump

@@ -6,6 +6,7 @@
 #   SKIP_TSAN=1 scripts/check.sh        # skip the TSAN stage
 #   SKIP_POOL_DEBUG=1 scripts/check.sh  # skip the pool-poison stage
 #   SKIP_FUZZ=1 scripts/check.sh        # skip the sanitized fuzz stage
+#   SKIP_SERVE=1 scripts/check.sh       # skip the serving front-end stage
 #
 # The TSAN stage rebuilds with -DSANITIZE=thread into build-tsan/ and runs
 # the thread-pool and parallel-determinism suites (the tests that exercise
@@ -72,6 +73,42 @@ else
   cmake --build build-tsan -j --target fuzz_stress_test
   PREQR_NUM_THREADS=8 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ./build-tsan/tests/fuzz_stress_test
+fi
+
+if [[ "${SKIP_SERVE:-0}" == "1" ]]; then
+  echo "== SERVE stage skipped (SKIP_SERVE=1) =="
+else
+  echo "== SERVE: request API + loopback server + mini load sweep under TSan =="
+  # The serving API drills (deadlines, shedding, drain) and the live-socket
+  # wire tests under TSan, then a short closed-loop sweep against a real
+  # loopback server — ending with a schema check of the emitted JSON.
+  cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target serving_api_test \
+    --target server_test --target bench_serving_load
+  PREQR_NUM_THREADS=8 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ./build-tsan/tests/serving_api_test
+  PREQR_NUM_THREADS=8 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ./build-tsan/tests/server_test
+  LOAD_SECONDS=1 LOAD_CLIENTS=4 \
+    BENCH_SERVING_JSON=build-tsan/BENCH_serving.json \
+    TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ./build-tsan/bench/bench_serving_load
+  python3 - <<'EOF'
+import json
+with open("build-tsan/BENCH_serving.json") as f:
+    doc = json.load(f)
+points = doc["points"]
+assert len(points) >= 3, f"expected >=3 load points, got {len(points)}"
+for p in points:
+    for key in ("clients", "seconds", "requests", "ok", "shed",
+                "deadline_exceeded", "errors", "qps", "p50_us", "p95_us",
+                "p99_us", "shed_rate", "cache_hit_rate"):
+        assert key in p, f"missing {key} in load point {p}"
+    assert p["requests"] == p["ok"] + p["shed"] + p["deadline_exceeded"] + \
+        p["errors"], f"request accounting off in {p}"
+    assert p["p50_us"] <= p["p95_us"] <= p["p99_us"], f"percentiles off: {p}"
+print("BENCH_serving.json schema ok:", len(points), "load points")
+EOF
 fi
 
 if [[ "${SKIP_POOL_DEBUG:-0}" != "1" ]]; then

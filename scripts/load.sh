@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Closed-loop load sweep against the serving front-end (release build).
+#
+#   scripts/load.sh                      # default sweep, BENCH_serving.json
+#   LOAD_SECONDS=5 scripts/load.sh       # longer dwell per load point
+#   LOAD_CLIENTS=64 scripts/load.sh      # push further past saturation
+#   LOAD_RING=32 LOAD_CACHE=16 scripts/load.sh
+#
+# Knobs (all forwarded to bench_serving_load):
+#   LOAD_SECONDS   wall time per load point            (default 2)
+#   LOAD_CLIENTS   peak closed-loop concurrency        (default 32)
+#   LOAD_RING      request-ring capacity               (default 16)
+#   LOAD_CACHE     embedding-cache capacity            (default 8)
+#   LOAD_TIMEOUT_US  per-request deadline, <0 = none   (default 500000)
+#   LOAD_CORPUS    distinct queries in the mix         (default 48)
+#   BENCH_SERVING_JSON  output path       (default BENCH_serving.json in cwd)
+#
+# The interesting read: q/s flattens at the saturation point, and past it
+# shed% rises while the p99 of *admitted* requests stays bounded — overload
+# is refused with kResourceExhausted, not absorbed into an unbounded queue.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_serving_load
+./build/bench/bench_serving_load

@@ -15,10 +15,45 @@ const char* CodeName(StatusCode code) {
       return "PARSE_ERROR";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
 }  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+StatusCode StatusCodeFromByte(int byte) {
+  if (byte < 0 || byte > static_cast<int>(StatusCode::kUnavailable)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(byte);
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

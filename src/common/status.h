@@ -9,13 +9,25 @@
 
 namespace preqr {
 
+// Canonical error space. The serving wire protocol transmits these as a
+// single byte, so values are append-only and must never be renumbered.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kParseError,
-  kInternal,
+  kInvalidArgument = 1,   // malformed request (bad frame, bad argument)
+  kNotFound = 2,
+  kParseError = 3,        // malformed SQL (lexer/parser rejection)
+  kInternal = 4,
+  kDeadlineExceeded = 5,  // request deadline passed before/while queued
+  kResourceExhausted = 6, // admission control shed the request
+  kUnavailable = 7,       // transient: server stopping / connection lost
 };
+
+// Stable lowercase name per code ("deadline_exceeded", ...) for metrics
+// and log lines; unknown values map to "unknown".
+const char* StatusCodeName(StatusCode code);
+// Inverse of the wire byte: out-of-range values map to kInternal so a
+// corrupt frame can never masquerade as kOk.
+StatusCode StatusCodeFromByte(int byte);
 
 // Lightweight error carrier for recoverable conditions (e.g. SQL parse
 // failures). Modeled on absl::Status.
@@ -37,6 +49,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,22 +1,25 @@
 #include "serving/encoder_service.h"
 
 #include <algorithm>
-
-#include "nn/serialize.h"
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "nn/serialize.h"
+
 namespace preqr::serving {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = DeadlineClock;
 
-double ElapsedUs(Clock::time_point since) {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                              since)
+double ElapsedUs(Clock::time_point since, Clock::time_point until) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(until - since)
              .count() /
          1000.0;
+}
+
+double ElapsedUs(Clock::time_point since) {
+  return ElapsedUs(since, Clock::now());
 }
 
 // Cached embeddings are shared across callers; hand out detached copies so
@@ -33,63 +36,199 @@ EncoderService::EncoderService(baselines::QueryEncoder* encoder,
                                EncoderServiceOptions options)
     : encoder_(encoder),
       options_(options),
-      cache_(options.cache_capacity, options.cache_shards) {}
+      cache_(options.cache_capacity, options.cache_shards),
+      ring_(options.ring_capacity) {
+  // Derived admission knobs work off the *rounded* ring capacity so the
+  // documented fractions hold for any requested size.
+  const size_t cap = ring_.capacity();
+  per_client_quota_ = options.per_client_quota > 0
+                          ? options.per_client_quota
+                          : std::max<size_t>(1, cap / 4);
+  const size_t reserve =
+      options.priority_reserve > 0 ? options.priority_reserve : cap / 4;
+  admit_watermark_ = reserve >= cap ? 0 : cap - reserve;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
 
-StatusOr<nn::Tensor> EncoderService::Encode(const std::string& sql) {
+EncoderService::~EncoderService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+}
+
+size_t EncoderService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return ring_.size();
+}
+
+std::optional<StatusOr<EncodeResponse>> EncoderService::AdmitOrResolve(
+    EncodeRequest&& request, std::future<StatusOr<EncodeResponse>>* future) {
   metrics_.requests.Increment();
   const auto t0 = Clock::now();
-  if (auto hit = cache_.Get(sql)) {
+  // A dead-on-arrival deadline never touches the cache or the ring: the
+  // caller has already given up, the cheapest correct answer is "no".
+  if (request.deadline <= t0) {
+    metrics_.deadline_rejected.Increment();
+    return Status::DeadlineExceeded("deadline expired before admission");
+  }
+  if (auto hit = cache_.Get(request.sql)) {
     metrics_.cache_hits.Increment();
+    EncodeResponse response;
+    response.embedding = DetachedCopy(*hit);
+    response.cache_hit = true;
     metrics_.hit_latency_us.Observe(ElapsedUs(t0));
-    return DetachedCopy(*hit);
+    return StatusOr<EncodeResponse>(std::move(response));
   }
   metrics_.cache_misses.Increment();
   auto pending = std::make_shared<Pending>();
-  pending->sql = sql;
-  auto future = pending->promise.get_future();
-  bool leader = false;
+  pending->sql = std::move(request.sql);
+  pending->deadline = request.deadline;
+  pending->client_id = std::move(request.client_id);
+  *future = pending->promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(pending);
-    if (!dispatching_) {
-      dispatching_ = true;
-      leader = true;
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    // A reload drain parks admissions instead of dropping them: nothing is
+    // lost, the swap just gets a quiesced ring. Deadlines keep ticking.
+    if (draining_ && !stopping_) {
+      metrics_.drain_waiters.Increment();
+      if (pending->deadline == kNoDeadline) {
+        queue_cv_.wait(lock, [&] { return !draining_ || stopping_; });
+      } else if (!queue_cv_.wait_until(lock, pending->deadline, [&] {
+                   return !draining_ || stopping_;
+                 })) {
+        metrics_.deadline_rejected.Increment();
+        return Status::DeadlineExceeded("deadline expired during reload drain");
+      }
     }
+    if (stopping_) {
+      metrics_.rejected_on_shutdown.Increment();
+      return Status::Unavailable("encoder service is shutting down");
+    }
+    // Admission control, cheapest check first. Every rejection is
+    // kResourceExhausted — distinguishable from malformed SQL (kParseError
+    // / kInvalidArgument) and from expired deadlines (kDeadlineExceeded).
+    if (ring_.full()) {
+      metrics_.shed_queue_full.Increment();
+      return Status::ResourceExhausted("request ring full");
+    }
+    if (ring_.size() >= admit_watermark_ && request.priority <= 0) {
+      metrics_.shed_low_priority.Increment();
+      return Status::ResourceExhausted(
+          "request ring past high water; slot reserved for priority > 0");
+    }
+    auto [it, inserted] = queued_per_client_.try_emplace(pending->client_id, 0);
+    if (it->second >= per_client_quota_) {
+      if (inserted) queued_per_client_.erase(it);
+      metrics_.shed_client_quota.Increment();
+      return Status::ResourceExhausted("client '" + pending->client_id +
+                                       "' exceeded its queued-request quota");
+    }
+    ++it->second;
+    pending->enqueued_at = Clock::now();
+    PREQR_CHECK(ring_.TryPush(pending));
+    metrics_.queue_depth.Increment();
   }
-  queue_cv_.notify_one();
-  if (leader) DispatchLoop();
-  auto result = future.get();
-  metrics_.encode_latency_us.Observe(ElapsedUs(t0));
-  return result;
+  queue_cv_.notify_all();
+  return std::nullopt;
+}
+
+StatusOr<EncodeResponse> EncoderService::Encode(const EncodeRequest& request) {
+  std::future<StatusOr<EncodeResponse>> future;
+  EncodeRequest copy = request;
+  if (auto resolved = AdmitOrResolve(std::move(copy), &future)) {
+    return *std::move(resolved);
+  }
+  return future.get();
+}
+
+std::future<StatusOr<EncodeResponse>> EncoderService::Submit(
+    EncodeRequest request) {
+  std::future<StatusOr<EncodeResponse>> future;
+  if (auto resolved = AdmitOrResolve(std::move(request), &future)) {
+    std::promise<StatusOr<EncodeResponse>> ready;
+    ready.set_value(*std::move(resolved));
+    return ready.get_future();
+  }
+  return future;
+}
+
+StatusOr<nn::Tensor> EncoderService::Encode(const std::string& sql) {
+  EncodeRequest request;
+  request.sql = sql;
+  auto response = Encode(request);
+  if (!response.ok()) return response.status();
+  return std::move(response.value().embedding);
 }
 
 void EncoderService::DispatchLoop() {
   for (;;) {
     std::vector<std::shared_ptr<Pending>> batch;
+    Clock::time_point popped_at;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      if (options_.batch_window.count() > 0 &&
-          queue_.size() <
-              static_cast<size_t>(options_.max_batch_size)) {
-        queue_cv_.wait_for(lock, options_.batch_window, [&] {
-          return queue_.size() >=
-                 static_cast<size_t>(options_.max_batch_size);
-        });
-      }
-      if (queue_.empty()) {
-        dispatching_ = false;
+      queue_cv_.wait(lock, [&] { return stopping_ || !ring_.empty(); });
+      if (stopping_) {
+        // Fail whatever is still queued; nobody blocks on a dead service.
+        std::shared_ptr<Pending> p;
+        while (ring_.TryPop(&p)) {
+          metrics_.queue_depth.Decrement();
+          metrics_.rejected_on_shutdown.Increment();
+          p->promise.set_value(
+              Status::Unavailable("encoder service destroyed"));
+        }
         return;
       }
-      const size_t take = std::min(
-          queue_.size(), static_cast<size_t>(options_.max_batch_size));
-      batch.assign(queue_.begin(),
-                   queue_.begin() + static_cast<long>(take));
-      queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
+      if (options_.batch_window.count() > 0 &&
+          ring_.size() < static_cast<size_t>(options_.max_batch_size)) {
+        // Wait for the batch to fill, but never past the earliest queued
+        // deadline — an expired request must be dropped, not slept over.
+        auto wake = Clock::now() + options_.batch_window;
+        for (size_t i = 0; i < ring_.size(); ++i) {
+          wake = std::min(wake, ring_.Peek(i)->deadline);
+        }
+        queue_cv_.wait_until(lock, wake, [&] {
+          return stopping_ ||
+                 ring_.size() >= static_cast<size_t>(options_.max_batch_size);
+        });
+        if (stopping_) continue;  // top of loop fails the queue
+      }
+      popped_at = Clock::now();
+      std::shared_ptr<Pending> p;
+      while (batch.size() < static_cast<size_t>(options_.max_batch_size) &&
+             ring_.TryPop(&p)) {
+        metrics_.queue_depth.Decrement();
+        auto it = queued_per_client_.find(p->client_id);
+        if (it != queued_per_client_.end() && --it->second == 0) {
+          queued_per_client_.erase(it);
+        }
+        // Deadline propagation into the micro-batcher: expired requests
+        // are dropped here, before encoding, not discovered afterwards.
+        if (p->deadline <= popped_at) {
+          metrics_.deadline_dropped.Increment();
+          p->promise.set_value(
+              Status::DeadlineExceeded("deadline expired while queued"));
+          continue;
+        }
+        batch.push_back(std::move(p));
+      }
+      if (batch.empty()) {
+        if (ring_.empty()) {
+          lock.unlock();
+          queue_cv_.notify_all();  // a drain may be waiting for empty
+        }
+        continue;
+      }
+      inflight_ = true;
     }
     std::vector<std::string> sqls;
     sqls.reserve(batch.size());
     for (const auto& p : batch) sqls.push_back(p->sql);
+    const auto encode_t0 = Clock::now();
     auto results = EncodeLocked(sqls);
+    const double encode_us = ElapsedUs(encode_t0);
     metrics_.batches.Increment();
     metrics_.batch_size.Observe(static_cast<double>(batch.size()));
     metrics_.batch_occupancy_pct.Observe(
@@ -97,9 +236,26 @@ void EncoderService::DispatchLoop() {
         static_cast<double>(options_.max_batch_size));
     metrics_.batched_queries.Increment(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
-      if (!results[i].ok()) metrics_.errors.Increment();
-      batch[i]->promise.set_value(std::move(results[i]));
+      const double queue_us = ElapsedUs(batch[i]->enqueued_at, popped_at);
+      metrics_.queue_latency_us.Observe(queue_us);
+      metrics_.encode_latency_us.Observe(ElapsedUs(batch[i]->enqueued_at));
+      if (!results[i].ok()) {
+        metrics_.errors.Increment();
+        batch[i]->promise.set_value(results[i].status());
+        continue;
+      }
+      EncodeResponse response;
+      response.embedding = std::move(results[i].value());
+      response.cache_hit = false;
+      response.queue_us = queue_us;
+      response.encode_us = encode_us;
+      batch[i]->promise.set_value(std::move(response));
     }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      inflight_ = false;
+    }
+    queue_cv_.notify_all();
   }
 }
 
@@ -119,58 +275,95 @@ std::vector<StatusOr<nn::Tensor>> EncoderService::EncodeLocked(
   return results;
 }
 
-std::vector<StatusOr<nn::Tensor>> EncoderService::EncodeBatch(
-    const std::vector<std::string>& sqls) {
+std::vector<StatusOr<EncodeResponse>> EncoderService::EncodeBatch(
+    const std::vector<EncodeRequest>& requests) {
   // Degenerate empty batch: nothing to do, and no latency observation —
   // an empty request must not skew the per-query histograms.
-  if (sqls.empty()) return {};
-  metrics_.requests.Increment(sqls.size());
+  if (requests.empty()) return {};
+  metrics_.requests.Increment(requests.size());
   const auto t0 = Clock::now();
-  const size_t n = sqls.size();
-  // Resolve hits locally; distinct misses form one encoder batch.
+  const size_t n = requests.size();
+  // Expired slots fail up front; live hits resolve locally; the distinct
+  // live misses form one encoder batch.
   std::vector<std::optional<nn::Tensor>> hit(n);
+  std::vector<bool> expired(n, false);
   std::vector<int> miss_of(n, -1);
   std::vector<std::string> miss_sqls;
   std::unordered_map<std::string, int> miss_index;
   for (size_t i = 0; i < n; ++i) {
-    if (auto h = cache_.Get(sqls[i])) {
+    if (requests[i].deadline <= t0) {
+      metrics_.deadline_rejected.Increment();
+      expired[i] = true;
+      continue;
+    }
+    if (auto h = cache_.Get(requests[i].sql)) {
       metrics_.cache_hits.Increment();
       hit[i] = std::move(h);
       continue;
     }
     metrics_.cache_misses.Increment();
     auto [it, inserted] =
-        miss_index.emplace(sqls[i], static_cast<int>(miss_sqls.size()));
-    if (inserted) miss_sqls.push_back(sqls[i]);
+        miss_index.emplace(requests[i].sql, static_cast<int>(miss_sqls.size()));
+    if (inserted) miss_sqls.push_back(requests[i].sql);
     miss_of[i] = it->second;
   }
   std::vector<StatusOr<nn::Tensor>> miss_results;
+  double encode_us = 0.0;
   if (!miss_sqls.empty()) {
+    const auto encode_t0 = Clock::now();
     miss_results = EncodeLocked(miss_sqls);
+    encode_us = ElapsedUs(encode_t0);
     metrics_.batches.Increment();
     metrics_.batch_size.Observe(static_cast<double>(miss_sqls.size()));
     metrics_.batched_queries.Increment(miss_sqls.size());
   }
-  std::vector<StatusOr<nn::Tensor>> out;
+  std::vector<StatusOr<EncodeResponse>> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
+    if (expired[i]) {
+      out.push_back(
+          Status::DeadlineExceeded("deadline expired before admission"));
+      continue;
+    }
+    EncodeResponse response;
     if (hit[i]) {
-      out.push_back(DetachedCopy(*hit[i]));
+      response.embedding = DetachedCopy(*hit[i]);
+      response.cache_hit = true;
+      out.push_back(std::move(response));
       continue;
     }
     const auto& r = miss_results[static_cast<size_t>(miss_of[i])];
     if (r.ok()) {
-      out.push_back(DetachedCopy(r.value()));
+      response.embedding = DetachedCopy(r.value());
+      response.encode_us = encode_us;
+      out.push_back(std::move(response));
     } else {
       metrics_.errors.Increment();
       out.push_back(r.status());
     }
   }
-  const double per_query_us = ElapsedUs(t0) / static_cast<double>(n == 0 ? 1 : n);
+  const double per_query_us = ElapsedUs(t0) / static_cast<double>(n);
   if (miss_sqls.empty()) {
     metrics_.hit_latency_us.Observe(per_query_us);
   } else {
     metrics_.encode_latency_us.Observe(per_query_us);
+  }
+  return out;
+}
+
+std::vector<StatusOr<nn::Tensor>> EncoderService::EncodeBatch(
+    const std::vector<std::string>& sqls) {
+  std::vector<EncodeRequest> requests(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) requests[i].sql = sqls[i];
+  auto responses = EncodeBatch(requests);
+  std::vector<StatusOr<nn::Tensor>> out;
+  out.reserve(responses.size());
+  for (auto& r : responses) {
+    if (r.ok()) {
+      out.push_back(std::move(r.value().embedding));
+    } else {
+      out.push_back(r.status());
+    }
   }
   return out;
 }
@@ -180,28 +373,52 @@ Status EncoderService::ReloadModel(const std::string& path) {
     return Status::InvalidArgument(
         "ReloadModel requires AttachModel before use");
   }
-  // encode_mu_ waits out any in-flight batch; holding it across the load
-  // AND the cache clear means every embedding served after this returns
-  // came from the new weights, and none of the old ones survive.
-  std::lock_guard<std::mutex> lock(encode_mu_);
-  Status s = nn::LoadModule(*model_, path);
-  if (!s.ok()) {
-    // LoadModule is transactional: the weights are untouched, so the
-    // cached embeddings are still correct — keep serving them.
-    metrics_.reload_failures.Increment();
-    return s;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    // One drain at a time; later reloads queue behind the current one.
+    queue_cv_.wait(lock, [&] { return !draining_ || stopping_; });
+    if (stopping_) return Status::Unavailable("encoder service destroyed");
+    draining_ = true;
+    // Everything already admitted is waited out, not dropped: the counter
+    // records how much in-flight work each reload had to let finish.
+    metrics_.drained_requests.Increment(ring_.size());
+    queue_cv_.wait(lock, [&] {
+      return (ring_.empty() && !inflight_) || stopping_;
+    });
   }
-  cache_.Clear();
-  encoder_->InvalidateCache();
-  metrics_.invalidations.Increment();
-  metrics_.reloads.Increment();
-  return Status::Ok();
+  Status s;
+  {
+    // The ring is quiesced and admissions are parked; encode_mu_ still
+    // guards against the synchronous EncodeBatch path, so no batch ever
+    // sees half-new weights and no stale result can be cached after the
+    // swap.
+    std::lock_guard<std::mutex> lock(encode_mu_);
+    s = nn::LoadModule(*model_, path);
+    if (s.ok()) {
+      metrics_.invalidated_embeddings.Increment(cache_.size());
+      cache_.Clear();
+      encoder_->InvalidateCache();
+      metrics_.invalidations.Increment();
+      metrics_.reloads.Increment();
+    } else {
+      // LoadModule is transactional: the weights are untouched, so the
+      // cached embeddings are still correct — keep serving them.
+      metrics_.reload_failures.Increment();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = false;
+  }
+  queue_cv_.notify_all();
+  return s;
 }
 
 void EncoderService::InvalidateCache() {
   // Taking encode_mu_ waits out any in-flight batch, and EncodeLocked
   // inserts before releasing it — so after Clear nothing stale can appear.
   std::lock_guard<std::mutex> lock(encode_mu_);
+  metrics_.invalidated_embeddings.Increment(cache_.size());
   cache_.Clear();
   encoder_->InvalidateCache();
   metrics_.invalidations.Increment();

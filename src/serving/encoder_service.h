@@ -3,11 +3,13 @@
 
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "baselines/encoder.h"
@@ -15,37 +17,89 @@
 #include "common/status.h"
 #include "nn/module.h"
 #include "serving/metrics.h"
+#include "serving/request_ring.h"
 
 namespace preqr::serving {
 
-// Knobs for the embedding cache and the micro-batcher.
+// Steady-clock deadline carried by every request. kNoDeadline means the
+// caller will wait as long as it takes.
+using DeadlineClock = std::chrono::steady_clock;
+inline constexpr DeadlineClock::time_point kNoDeadline =
+    DeadlineClock::time_point::max();
+// Absolute deadline `timeout` from now — the usual way callers build one.
+inline DeadlineClock::time_point DeadlineAfter(
+    std::chrono::microseconds timeout) {
+  return DeadlineClock::now() + timeout;
+}
+
+// The transport-independent request contract. Every field beyond `sql` is
+// optional; a default-constructed request behaves like the old bare
+// Encode(sql) call (no deadline, anonymous client, normal priority).
+struct EncodeRequest {
+  std::string sql;
+  // Requests whose deadline passes before encoding starts fail with
+  // kDeadlineExceeded — on arrival if already expired, or dropped by the
+  // dispatcher while queued. Work that already started is always delivered.
+  DeadlineClock::time_point deadline = kNoDeadline;
+  // Admission-control key: each client id gets an equal share of the
+  // request ring ("" is the shared anonymous bucket).
+  std::string client_id;
+  // Requests with priority > 0 may use the reserved tail of the ring when
+  // it is past its high-water mark; priority <= 0 requests are shed there.
+  int priority = 0;
+};
+
+// What a successful encode returns: the embedding plus the per-request
+// observability callers need to build latency SLOs on top.
+struct EncodeResponse {
+  nn::Tensor embedding;
+  bool cache_hit = false;
+  double queue_us = 0.0;   // admission -> dispatcher pop (0 for cache hits)
+  double encode_us = 0.0;  // micro-batch encode time (0 for cache hits)
+};
+
+// Knobs for the embedding cache, the micro-batcher, and admission control.
 struct EncoderServiceOptions {
   // Embeddings held across all cache shards.
   size_t cache_capacity = 4096;
   int cache_shards = 8;
   // Most queries one dispatched micro-batch may carry.
   int max_batch_size = 64;
-  // How long a dispatching thread waits for more requests to arrive before
+  // How long the dispatcher waits for more requests to arrive before
   // handing a non-full batch to the encoder. 0 dispatches whatever is
   // queued immediately — requests that arrive while an earlier batch is
   // encoding still coalesce, which is the common case under load.
   std::chrono::microseconds batch_window{0};
+  // Bounded request ring (rounded up to a power of two). A full ring sheds
+  // with kResourceExhausted instead of queueing without bound.
+  size_t ring_capacity = 256;
+  // Most requests one client id may have queued at once; above it the
+  // client is shed with kResourceExhausted while others keep being
+  // admitted. 0 derives capacity/4 (clamped to >= 1).
+  size_t per_client_quota = 0;
+  // Ring slots reserved for priority > 0 requests: once the ring holds
+  // capacity - priority_reserve requests, priority <= 0 arrivals are shed.
+  // 0 derives capacity/4.
+  size_t priority_reserve = 0;
 };
 
 // Thread-safe embedding-serving front-end over any baselines::QueryEncoder.
 // Learned DB components (cardinality/cost heads, clustering) issue cheap
 // repeated lookups over a frequent-query workload; this layer turns that
-// access pattern into cache hits and coalesced encoder batches.
+// access pattern into cache hits and coalesced encoder batches, and bounds
+// it: a request ring with per-client admission control sheds overload with
+// canonical codes instead of queueing without bound.
 //
 //  * Results are cached in a sharded LRU keyed by the SQL text; hits
 //    return a detached copy without touching the encoder.
-//  * Misses coalesce: concurrent callers enqueue, one becomes the
-//    dispatcher and drives QueryEncoder::TryEncodeVectorBatch over the
-//    queue. The wrapped encoder only ever sees one call at a time, so
-//    encoders that are not themselves thread-safe are safe behind the
-//    service.
-//  * Error contract: malformed SQL yields an error Status in the affected
-//    slot; other requests are unaffected and nothing crashes.
+//  * Misses are admitted onto a bounded ring and dispatched by a
+//    background thread in micro-batches through TryEncodeVectorBatch. The
+//    wrapped encoder only ever sees one call at a time, so encoders that
+//    are not themselves thread-safe are safe behind the service.
+//  * Error contract (canonical codes): malformed SQL -> kParseError /
+//    kInvalidArgument; expired deadline -> kDeadlineExceeded; shed by
+//    admission control -> kResourceExhausted; destroyed mid-flight ->
+//    kUnavailable. Callers can tell bad input from shed load.
 //  * Determinism: encodes run with train=false and each query's
 //    computation is independent, so every result — cached or not, batched
 //    or not — is bitwise-identical to EncodeVector(sql, false) on the
@@ -54,14 +108,33 @@ class EncoderService {
  public:
   explicit EncoderService(baselines::QueryEncoder* encoder,
                           EncoderServiceOptions options = {});
+  // Fails every request still queued with kUnavailable, then joins the
+  // dispatcher.
+  ~EncoderService();
 
-  // Encodes one query (blocking). Cache hit, or coalesced into the next
-  // micro-batch.
+  // Encodes one request (blocking): cache hit, or admitted onto the ring
+  // and coalesced into a micro-batch. Admission errors (shed, expired
+  // deadline) return immediately without reaching the encoder.
+  StatusOr<EncodeResponse> Encode(const EncodeRequest& request);
+
+  // Async submit: admission (cache probe, deadline check, shedding) runs
+  // synchronously so rejected requests resolve immediately; the returned
+  // future resolves when the micro-batcher delivers. During a reload drain
+  // Submit parks like Encode does (admission is the blocking part).
+  std::future<StatusOr<EncodeResponse>> Submit(EncodeRequest request);
+
+  // Encodes a workload slice synchronously: expired slots fail with
+  // kDeadlineExceeded, cache hits resolve locally, and the distinct
+  // remaining misses go to the encoder as one batch, bypassing the ring
+  // (the caller is its own admission control — the batch is bounded).
+  // Slot i corresponds to requests[i]; slots fail independently.
+  std::vector<StatusOr<EncodeResponse>> EncodeBatch(
+      const std::vector<EncodeRequest>& requests);
+
+  // Convenience overloads (explicitly kept): the request-struct calls
+  // above are the API; these wrap them for callers that want the old
+  // bare-SQL shape (no deadline, anonymous client) and just the tensor.
   StatusOr<nn::Tensor> Encode(const std::string& sql);
-
-  // Encodes a workload slice: cache hits resolve locally, the distinct
-  // misses go to the encoder as one batch. Slot i corresponds to sqls[i];
-  // slots fail independently.
   std::vector<StatusOr<nn::Tensor>> EncodeBatch(
       const std::vector<std::string>& sqls);
 
@@ -74,29 +147,39 @@ class EncoderService {
   // ReloadModel. Non-owned; must outlive the service.
   void AttachModel(nn::Module* model) { model_ = model; }
 
-  // Hot model reload (the paper's incremental-update loop, Table 5): swaps
-  // the attached module's weights from a PRM1 weight file or PRC1
-  // checkpoint at `path`, then drops every stale embedding. Runs under the
-  // encode mutex, so no batch ever sees half-new weights and no stale
-  // result can be cached after the swap. On failure (missing/corrupt
-  // file, architecture mismatch) the weights and the cache are left
-  // exactly as they were and serving continues uninterrupted.
+  // Hot model reload (the paper's incremental-update loop, Table 5) with a
+  // graceful drain: new admissions park (they are never dropped), the
+  // dispatcher finishes everything already queued, then the swap runs
+  // under the encode mutex and the stale cache is cleared before the
+  // parked requests proceed against the new weights. On failure
+  // (missing/corrupt file, architecture mismatch) the weights and the
+  // cache are left exactly as they were and serving continues.
   Status ReloadModel(const std::string& path);
 
   int dim() const { return encoder_->dim(); }
   std::string name() const { return "serving(" + encoder_->name() + ")"; }
   size_t cached_embeddings() const { return cache_.size(); }
+  size_t queue_depth() const;
   ServingMetrics& metrics() { return metrics_; }
   const ServingMetrics& metrics() const { return metrics_; }
 
  private:
   struct Pending {
     std::string sql;
-    std::promise<StatusOr<nn::Tensor>> promise;
+    DeadlineClock::time_point deadline = kNoDeadline;
+    std::string client_id;
+    DeadlineClock::time_point enqueued_at;
+    std::promise<StatusOr<EncodeResponse>> promise;
   };
 
-  // Drains the request queue in micro-batches until it is empty; run by
-  // the one caller that found `dispatching_` unset.
+  // Cache probe + deadline/shed checks + ring push. Returns an already-
+  // resolved result for hits and rejections, or nullopt after a
+  // successful enqueue — *future then delivers when the batcher does.
+  std::optional<StatusOr<EncodeResponse>> AdmitOrResolve(
+      EncodeRequest&& request,
+      std::future<StatusOr<EncodeResponse>>* future);
+  // Background thread: pops micro-batches, drops expired requests, runs
+  // the encoder, fulfills promises.
   void DispatchLoop();
   // Encodes one batch under encode_mu_ and fills the cache.
   std::vector<StatusOr<nn::Tensor>> EncodeLocked(
@@ -105,17 +188,24 @@ class EncoderService {
   baselines::QueryEncoder* encoder_;
   nn::Module* model_ = nullptr;  // optional, enables ReloadModel
   EncoderServiceOptions options_;
+  size_t per_client_quota_ = 0;
+  size_t admit_watermark_ = 0;  // ring size at which priority<=0 sheds
   ShardedLruCache<std::string, nn::Tensor> cache_;
   ServingMetrics metrics_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Pending>> queue_;
-  bool dispatching_ = false;
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  // dispatcher wakeups + drain waiters
+  RequestRing<std::shared_ptr<Pending>> ring_;
+  std::unordered_map<std::string, size_t> queued_per_client_;
+  bool draining_ = false;   // a reload is waiting the ring out
+  bool inflight_ = false;   // dispatcher is encoding a popped batch
+  bool stopping_ = false;
 
   // Serializes every call into *encoder_ (dispatch loop, EncodeBatch
-  // misses, InvalidateCache).
+  // misses, InvalidateCache, the reload swap).
   std::mutex encode_mu_;
+
+  std::thread dispatcher_;
 };
 
 }  // namespace preqr::serving

@@ -171,6 +171,25 @@ std::string ServingMetrics::DumpText() const {
   emit_counter("serving_invalidations_total", invalidations);
   emit_counter("serving_model_reloads_total", reloads);
   emit_counter("serving_model_reload_failures_total", reload_failures);
+  // Admission control: everything the service refused, by reason, plus the
+  // instantaneous ring depth.
+  emit_counter("serving_shed_queue_full_total", shed_queue_full);
+  emit_counter("serving_shed_client_quota_total", shed_client_quota);
+  emit_counter("serving_shed_low_priority_total", shed_low_priority);
+  std::snprintf(line, sizeof(line), "serving_shed_total %llu\n",
+                static_cast<unsigned long long>(ShedTotal()));
+  out += line;
+  emit_counter("serving_deadline_rejected_total", deadline_rejected);
+  emit_counter("serving_deadline_dropped_total", deadline_dropped);
+  std::snprintf(line, sizeof(line), "serving_queue_depth %lld\n",
+                static_cast<long long>(queue_depth.value()));
+  out += line;
+  // Drain accounting: what a reload waited out and what invalidation threw
+  // away — the previously-invisible cost of InvalidateCache/ReloadModel.
+  emit_counter("serving_drain_waiters_total", drain_waiters);
+  emit_counter("serving_drained_requests_total", drained_requests);
+  emit_counter("serving_invalidated_embeddings_total", invalidated_embeddings);
+  emit_counter("serving_rejected_on_shutdown_total", rejected_on_shutdown);
   emit_value("serving_batch_size_mean", batch_size.mean());
   emit_value("serving_batch_size_p99", batch_size.Percentile(0.99));
   emit_value("serving_encode_latency_us_p50",
@@ -179,9 +198,18 @@ std::string ServingMetrics::DumpText() const {
              encode_latency_us.Percentile(0.99));
   emit_value("serving_hit_latency_us_p50", hit_latency_us.Percentile(0.5));
   emit_value("serving_hit_latency_us_p99", hit_latency_us.Percentile(0.99));
+  emit_value("serving_queue_latency_us_p50", queue_latency_us.Percentile(0.5));
+  emit_value("serving_queue_latency_us_p99",
+             queue_latency_us.Percentile(0.99));
   emit_value("serving_batch_occupancy_pct_mean", batch_occupancy_pct.mean());
   emit_value("serving_batch_occupancy_pct_p99",
              batch_occupancy_pct.Percentile(0.99));
+  // Network front-end (zeros when no EncodeServer is attached).
+  emit_counter("serving_net_connections_total", net_connections);
+  emit_counter("serving_net_connections_rejected_total",
+               net_connections_rejected);
+  emit_counter("serving_net_requests_total", net_requests);
+  emit_counter("serving_net_bad_frames_total", net_bad_frames);
   // Tensor-storage recycling behind the no-grad encode path (process-wide).
   const nn::BufferPoolStats pool = nn::BufferPool::TotalStats();
   auto emit_u64 = [&](const char* name, uint64_t v) {

@@ -22,6 +22,23 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// Instantaneous level (queue depth, live connections): goes up and down,
+// unlike a Counter. Same relaxed-ordering contract.
+class Gauge {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 // Lock-free histogram over exponential buckets: bucket b covers
 // [scale * growth^(b-1), scale * growth^b), bucket 0 covers [0, scale),
 // the last bucket is unbounded. Percentiles interpolate linearly inside
@@ -57,12 +74,41 @@ struct ServingMetrics {
   Counter reloads;          // successful hot model reloads
   Counter reload_failures;  // rejected reloads (weights kept, cache intact)
 
+  // --- Admission control / deadlines (request ring front of the service) --
+  Counter shed_queue_full;     // kResourceExhausted: ring at capacity
+  Counter shed_client_quota;   // kResourceExhausted: client over its share
+  Counter shed_low_priority;   // kResourceExhausted: ring past high water,
+                               // priority <= 0
+  Counter deadline_rejected;   // kDeadlineExceeded on arrival (never queued)
+  Counter deadline_dropped;    // kDeadlineExceeded while queued — dropped by
+                               // the dispatcher before encoding
+  uint64_t ShedTotal() const {
+    return shed_queue_full.value() + shed_client_quota.value() +
+           shed_low_priority.value();
+  }
+
+  // --- Drain / invalidation (dropped or waited-out in-flight work) --------
+  Counter drain_waiters;           // admissions parked while a reload drained
+  Counter drained_requests;        // queued requests a drain waited out
+  Counter invalidated_embeddings;  // cached embeddings dropped by
+                                   // InvalidateCache/ReloadModel
+  Counter rejected_on_shutdown;    // kUnavailable: queued at destruction
+
+  Gauge queue_depth;  // requests in the ring right now
+
   Histogram batch_size{1.0, 2.0, 12};
   Histogram encode_latency_us{1.0, 4.0, 16};  // cold path, per request
   Histogram hit_latency_us{1.0, 4.0, 16};     // cache-hit path, per request
+  Histogram queue_latency_us{1.0, 4.0, 16};   // admission -> dispatch pop
   // Percent of max_batch_size capacity each dispatched micro-batch used —
   // low means the batch window closes before the queue fills.
   Histogram batch_occupancy_pct{1.0, 2.0, 9};
+
+  // --- Network front-end (EncodeServer) -----------------------------------
+  Counter net_connections;           // accepted connections
+  Counter net_connections_rejected;  // closed at accept: over the cap
+  Counter net_requests;              // frames dispatched to a handler
+  Counter net_bad_frames;            // unparseable/oversized frames
 
   double CacheHitRate() const;
   std::string DumpText() const;

@@ -1,0 +1,156 @@
+#ifndef PREQR_SERVING_WIRE_H_
+#define PREQR_SERVING_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace preqr::serving::wire {
+
+// Length-prefixed binary protocol spoken between EncodeClient and
+// EncodeServer over a TCP stream. Everything is little-endian.
+//
+//   frame   := u32 payload_len, payload
+//   request := u8 opcode, body
+//   reply   := u8 status_code, body          (code 0 = ok, else u32+msg)
+//
+// Request bodies:
+//   kEncode      := u32+client_id, i32 priority, i64 timeout_us,
+//                   u32+sql
+//   kEncodeBatch := u32+client_id, i32 priority, i64 timeout_us,
+//                   u32 count, count x (u32+sql)
+//   kMetrics     := (empty)
+//   kReload      := u32+path
+//
+// Ok reply bodies:
+//   kEncode      := u8 flags (bit0 = cache hit), f64 queue_us,
+//                   f64 encode_us, u32 dim, dim x f32
+//   kEncodeBatch := u32 count, count x (u8 code, then the kEncode ok body
+//                   or u32+msg)  — slots fail independently
+//   kMetrics     := u32+text
+//   kReload      := (empty)
+//
+// Deadlines cross the wire as a *relative* timeout in microseconds
+// (client and server clocks need not agree); the server converts to an
+// absolute steady-clock deadline the moment the frame is parsed.
+// timeout_us < 0 means no deadline.
+
+enum Opcode : uint8_t {
+  kEncode = 1,
+  kEncodeBatch = 2,
+  kMetrics = 3,
+  kReload = 4,
+};
+
+// Frames above this are rejected with kInvalidArgument before parsing —
+// an accidental (or hostile) length prefix must not allocate gigabytes.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+inline constexpr uint8_t kFlagCacheHit = 1u << 0;
+
+// --- Little-endian append/read helpers over std::string buffers ----------
+
+inline void PutU8(std::string* buf, uint8_t v) {
+  buf->push_back(static_cast<char>(v));
+}
+inline void PutU32(std::string* buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+inline void PutU64(std::string* buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+inline void PutI64(std::string* buf, int64_t v) {
+  PutU64(buf, static_cast<uint64_t>(v));
+}
+inline void PutF64(std::string* buf, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(buf, bits);
+}
+inline void PutF32(std::string* buf, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(buf, bits);
+}
+inline void PutString(std::string* buf, const std::string& s) {
+  PutU32(buf, static_cast<uint32_t>(s.size()));
+  buf->append(s);
+}
+
+// Cursor-based reader; every Get* returns false on underrun instead of
+// reading past the end, so a truncated frame degrades to a clean
+// kInvalidArgument reply.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::string& buf) : Reader(buf.data(), buf.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool GetU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+  bool GetI64(int64_t* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    *v = static_cast<int64_t>(bits);
+    return true;
+  }
+  bool GetF64(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool GetF32(float* v) {
+    uint32_t bits;
+    if (!GetU32(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool GetString(std::string* s) {
+    uint32_t len;
+    if (!GetU32(&len)) return false;
+    if (remaining() < len) return false;
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace preqr::serving::wire
+
+#endif  // PREQR_SERVING_WIRE_H_

@@ -430,8 +430,15 @@ TEST(FuzzStressTest, EncodesRacingReloadAndInvalidateStayStatusClean) {
           issued += batch.size();
           for (const auto& r : results) {
             r.ok() ? ++ok_results : ++error_results;
-            if (!r.ok() && r.status().message().empty()) {
-              ++invariant_violations;
+            if (!r.ok()) {
+              if (r.status().message().empty()) ++invariant_violations;
+              // The drill configures no deadlines and never fills the
+              // ring, so the only legal failures are input rejections —
+              // a shed/deadline/unavailable code here is a mis-coding.
+              if (r.status().code() != StatusCode::kParseError &&
+                  r.status().code() != StatusCode::kInvalidArgument) {
+                ++invariant_violations;
+              }
             }
           }
           continue;
@@ -446,6 +453,10 @@ TEST(FuzzStressTest, EncodesRacingReloadAndInvalidateStayStatusClean) {
         } else {
           if (result.status().message().empty()) ++invariant_violations;
           if (c.from_grammar) ++invariant_violations;  // valid must encode
+          if (result.status().code() != StatusCode::kParseError &&
+              result.status().code() != StatusCode::kInvalidArgument) {
+            ++invariant_violations;  // exact canonical code or bust
+          }
         }
       }
     });

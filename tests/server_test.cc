@@ -1,0 +1,394 @@
+// EncodeServer + EncodeClient over a live loopback socket: remote encodes
+// bitwise-identical to in-process ones, canonical status codes preserved
+// across the wire (parse errors, expired deadlines), encode-batch slot
+// independence, the metrics and reload endpoints, hostile frames, the
+// connection cap, and concurrent clients hammering one server.
+#include "serving/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automaton/template_extractor.h"
+#include "core/pretrain.h"
+#include "db/stats.h"
+#include "nn/serialize.h"
+#include "schema/schema_graph.h"
+#include "serving/client.h"
+#include "serving/wire.h"
+#include "tasks/preqr_encoder.h"
+#include "workload/imdb.h"
+#include "workload/query_gen.h"
+
+namespace preqr::serving {
+namespace {
+
+struct Env {
+  db::Database imdb = workload::MakeImdbDatabase(7, 0.02);
+  std::vector<db::TableStats> stats;
+  std::unique_ptr<text::SqlTokenizer> tokenizer;
+  automaton::Automaton fa;
+  schema::SchemaGraph graph;
+  std::vector<std::string> corpus;
+
+  Env() {
+    db::StatsCollector collector;
+    stats = collector.AnalyzeAll(imdb);
+    tokenizer = std::make_unique<text::SqlTokenizer>(imdb.catalog(), stats, 8);
+    workload::ImdbQueryGenerator gen(imdb, 3);
+    std::unordered_set<std::string> seen;
+    for (const auto& q : gen.Synthetic(16, 2)) {
+      if (seen.insert(q.sql).second) corpus.push_back(q.sql);
+    }
+    automaton::TemplateExtractor extractor(0.2);
+    fa = extractor.BuildAutomaton(corpus);
+    graph = schema::SchemaGraph::Build(imdb.catalog());
+  }
+  core::PreqrModel MakeModel() {
+    core::PreqrConfig config;
+    config.d_model = 32;
+    config.ffn_hidden = 64;
+    return core::PreqrModel(config, tokenizer.get(), &fa, &graph, 17);
+  }
+};
+
+Env& E() {
+  static Env* env = new Env();
+  return *env;
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (a.empty()) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << ": bitwise mismatch";
+}
+
+// One model + service + running server + connected client per fixture use.
+struct Loopback {
+  core::PreqrModel model;
+  tasks::PreqrEncoder encoder;
+  EncoderService service;
+  EncodeServer server;
+  EncodeClient client;
+
+  explicit Loopback(ServerOptions server_options = {},
+                    EncoderServiceOptions service_options = {})
+      : model(E().MakeModel()),
+        encoder(&model),
+        service(&encoder, service_options),
+        server(&service, server_options) {
+    auto started = server.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    auto connected = client.Connect(server.port());
+    EXPECT_TRUE(connected.ok()) << connected.ToString();
+  }
+};
+
+TEST(EncodeServerTest, WireEncodeMatchesDirectEncoderBitwise) {
+  Loopback lb;
+  tasks::PreqrEncoder reference(&lb.model);
+  for (const auto& sql : E().corpus) {
+    auto remote = lb.client.Encode(sql);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    EXPECT_FALSE(remote.value().cache_hit);
+    nn::Tensor direct = reference.EncodeVector(sql, /*train=*/false);
+    ExpectBitwiseEqual(direct.vec(), remote.value().embedding, "wire serve");
+  }
+  // Second pass: every query is a cache hit, still the same bits, and the
+  // per-request observability says so.
+  for (const auto& sql : E().corpus) {
+    auto remote = lb.client.Encode(sql);
+    ASSERT_TRUE(remote.ok());
+    EXPECT_TRUE(remote.value().cache_hit);
+    nn::Tensor direct = reference.EncodeVector(sql, /*train=*/false);
+    ExpectBitwiseEqual(direct.vec(), remote.value().embedding, "wire hit");
+  }
+  EXPECT_EQ(lb.service.metrics().net_requests.value(),
+            2 * E().corpus.size());
+}
+
+TEST(EncodeServerTest, CanonicalCodesSurviveTheWire) {
+  Loopback lb;
+  // Malformed SQL: the lexer/parser rejection code crosses intact.
+  auto bad = lb.client.Encode("SELECT FROM WHERE ;;;");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(bad.status().message().empty());
+  // A zero timeout is expired by the time admission runs: the deadline
+  // code crosses intact too, distinguishable from shed load.
+  WireRequestOptions expired;
+  expired.timeout_us = 0;
+  auto late = lb.client.Encode(E().corpus[0], expired);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(lb.service.metrics().deadline_rejected.value(), 1u);
+  // The connection survived both errors.
+  auto ok = lb.client.Encode(E().corpus[0]);
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(EncodeServerTest, WireBatchSlotsFailIndependently) {
+  Loopback lb;
+  std::vector<std::string> sqls = {E().corpus[0], "not a query !!",
+                                   E().corpus[1], E().corpus[0]};
+  auto results = lb.client.EncodeBatch(sqls);
+  ASSERT_EQ(results.size(), 4u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kParseError);
+  ASSERT_TRUE(results[2].ok());
+  ASSERT_TRUE(results[3].ok());
+  ExpectBitwiseEqual(results[0].value().embedding,
+                     results[3].value().embedding, "duplicate slots");
+  tasks::PreqrEncoder reference(&lb.model);
+  nn::Tensor direct = reference.EncodeVector(sqls[0], /*train=*/false);
+  ExpectBitwiseEqual(direct.vec(), results[0].value().embedding,
+                     "wire batch slot");
+}
+
+TEST(EncodeServerTest, MetricsEndpointServesTextDump) {
+  Loopback lb;
+  ASSERT_TRUE(lb.client.Encode(E().corpus[0]).ok());
+  auto metrics = lb.client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  const std::string& text = metrics.value();
+  for (const char* key :
+       {"serving_requests_total", "serving_cache_misses_total",
+        "serving_queue_depth", "serving_shed_total",
+        "serving_drained_requests_total", "serving_net_requests_total",
+        "serving_net_connections_total"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(EncodeServerTest, ReloadEndpointSwapsWeightsAndClearsCache) {
+  Loopback lb;
+  lb.service.AttachModel(&lb.model);
+  const std::string path = testing::TempDir() + "/server_test_reload.prc1";
+  ASSERT_TRUE(nn::SaveModule(lb.model, path).ok());
+  ASSERT_TRUE(lb.client.Encode(E().corpus[0]).ok());
+  EXPECT_GE(lb.service.cached_embeddings(), 1u);
+  ASSERT_TRUE(lb.client.ReloadModel(path).ok());
+  EXPECT_EQ(lb.service.cached_embeddings(), 0u);
+  EXPECT_EQ(lb.service.metrics().reloads.value(), 1u);
+  // Same weights were reloaded: the post-reload encode is bitwise stable.
+  auto again = lb.client.Encode(E().corpus[0]);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().cache_hit);
+  // A failing reload reports the same canonical code remotely as locally,
+  // and serving continues on the old weights.
+  auto remote = lb.client.ReloadModel("/nonexistent/ckpt.prc1");
+  auto local = lb.service.ReloadModel("/nonexistent/ckpt.prc1");
+  ASSERT_FALSE(remote.ok());
+  ASSERT_FALSE(local.ok());
+  EXPECT_EQ(remote.code(), local.code());
+  EXPECT_TRUE(lb.client.Encode(E().corpus[1]).ok());
+}
+
+// Raw-socket probe for frames EncodeClient refuses to produce.
+class RawConn {
+ public:
+  explicit RawConn(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  void Send(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  // Reads one framed reply; returns the leading status byte or -1 on EOF.
+  int ReadReplyCode() {
+    std::string header(4, '\0');
+    if (!ReadFull(header.data(), 4)) return -1;
+    wire::Reader hr(header.data(), 4);
+    uint32_t len = 0;
+    hr.GetU32(&len);
+    if (len == 0 || len > wire::kMaxFrameBytes) return -1;
+    std::string body(len, '\0');
+    if (!ReadFull(body.data(), len)) return -1;
+    return static_cast<unsigned char>(body[0]);
+  }
+  bool PeerClosed() {
+    char c;
+    return ::recv(fd_, &c, 1, 0) == 0;
+  }
+
+ private:
+  bool ReadFull(char* buf, size_t n) {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, buf + got, n - got, 0);
+      if (r <= 0) return false;
+      got += static_cast<size_t>(r);
+    }
+    return true;
+  }
+  int fd_ = -1;
+};
+
+TEST(EncodeServerTest, HostileFramesGetInvalidArgumentNotACrash) {
+  Loopback lb;
+  {
+    // Unknown opcode: answered with kInvalidArgument, connection stays up.
+    RawConn raw(lb.server.port());
+    std::string payload;
+    wire::PutU8(&payload, 99);
+    std::string frame;
+    wire::PutU32(&frame, static_cast<uint32_t>(payload.size()));
+    frame.append(payload);
+    raw.Send(frame);
+    EXPECT_EQ(raw.ReadReplyCode(),
+              static_cast<int>(StatusCode::kInvalidArgument));
+  }
+  {
+    // Truncated body: a kEncode frame that ends mid-header.
+    RawConn raw(lb.server.port());
+    std::string payload;
+    wire::PutU8(&payload, wire::kEncode);
+    wire::PutU32(&payload, 1000);  // claims a 1000-byte client id, has none
+    std::string frame;
+    wire::PutU32(&frame, static_cast<uint32_t>(payload.size()));
+    frame.append(payload);
+    raw.Send(frame);
+    EXPECT_EQ(raw.ReadReplyCode(),
+              static_cast<int>(StatusCode::kInvalidArgument));
+  }
+  {
+    // Hostile batch count: huge count in a tiny frame must be rejected
+    // before any allocation happens.
+    RawConn raw(lb.server.port());
+    std::string payload;
+    wire::PutU8(&payload, wire::kEncodeBatch);
+    wire::PutString(&payload, "");          // client id
+    wire::PutU32(&payload, 0);              // priority
+    wire::PutI64(&payload, -1);             // no deadline
+    wire::PutU32(&payload, 0xFFFFFFFFu);    // 4 billion slots, zero bytes
+    std::string frame;
+    wire::PutU32(&frame, static_cast<uint32_t>(payload.size()));
+    frame.append(payload);
+    raw.Send(frame);
+    EXPECT_EQ(raw.ReadReplyCode(),
+              static_cast<int>(StatusCode::kInvalidArgument));
+  }
+  {
+    // Oversized frame length: answered, then the server hangs up.
+    RawConn raw(lb.server.port());
+    std::string frame;
+    wire::PutU32(&frame, wire::kMaxFrameBytes + 1);
+    raw.Send(frame);
+    EXPECT_EQ(raw.ReadReplyCode(),
+              static_cast<int>(StatusCode::kInvalidArgument));
+    EXPECT_TRUE(raw.PeerClosed());
+  }
+  EXPECT_GE(lb.service.metrics().net_bad_frames.value(), 4u);
+  // The server is still perfectly healthy for well-formed clients.
+  EXPECT_TRUE(lb.client.Encode(E().corpus[0]).ok());
+}
+
+TEST(EncodeServerTest, ConnectionCapRejectsExtraClients) {
+  ServerOptions options;
+  options.max_connections = 1;
+  Loopback lb(options);
+  ASSERT_TRUE(lb.client.Encode(E().corpus[0]).ok());  // holds the one slot
+  EncodeClient second;
+  ASSERT_TRUE(second.Connect(lb.server.port()).ok());  // backlog accepts...
+  auto result = second.Encode(E().corpus[1]);          // ...server hangs up
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(lb.service.metrics().net_connections_rejected.value(), 1u);
+  // The admitted client is unaffected.
+  EXPECT_TRUE(lb.client.Encode(E().corpus[1]).ok());
+  // Dropping the admitted client frees the slot for the next arrival.
+  lb.client.Close();
+  EncodeClient third;
+  ASSERT_TRUE(third.Connect(lb.server.port()).ok());
+  StatusOr<WireEncodeResult> retried = third.Encode(E().corpus[0]);
+  for (int i = 0; i < 50 && !retried.ok(); ++i) {
+    // The reap of the closed connection races our reconnect; retry briefly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    third.Close();
+    ASSERT_TRUE(third.Connect(lb.server.port()).ok());
+    retried = third.Encode(E().corpus[0]);
+  }
+  EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+}
+
+TEST(EncodeServerTest, ConcurrentClientsAllGetCorrectBits) {
+  Loopback lb;
+  tasks::PreqrEncoder reference(&lb.model);
+  std::vector<std::vector<float>> expected;
+  for (const auto& sql : E().corpus) {
+    expected.push_back(reference.EncodeVector(sql, /*train=*/false).vec());
+  }
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> workers;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      EncodeClient client;
+      auto connected = client.Connect(lb.server.port());
+      if (!connected.ok()) {
+        failures[t] = connected.ToString();
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < E().corpus.size(); ++i) {
+          auto r = client.Encode(E().corpus[(i + t) % E().corpus.size()]);
+          if (!r.ok()) {
+            failures[t] = r.status().ToString();
+            return;
+          }
+          const auto& want = expected[(i + t) % expected.size()];
+          if (r.value().embedding != want) {
+            failures[t] = "bitwise mismatch on thread " + std::to_string(t);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& f : failures) EXPECT_TRUE(f.empty()) << f;
+  EXPECT_EQ(lb.service.metrics().errors.value(), 0u);
+  EXPECT_EQ(lb.service.metrics().ShedTotal(), 0u);
+}
+
+TEST(EncodeServerTest, StopUnblocksClientsAndRestarts) {
+  ServerOptions options;
+  Loopback lb(options);
+  ASSERT_TRUE(lb.client.Encode(E().corpus[0]).ok());
+  lb.server.Stop();
+  EXPECT_FALSE(lb.server.running());
+  auto dead = lb.client.Encode(E().corpus[1]);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable);
+  // Same server object restarts on a fresh ephemeral port.
+  ASSERT_TRUE(lb.server.Start().ok());
+  EncodeClient again;
+  ASSERT_TRUE(again.Connect(lb.server.port()).ok());
+  EXPECT_TRUE(again.Encode(E().corpus[1]).ok());
+}
+
+}  // namespace
+}  // namespace preqr::serving

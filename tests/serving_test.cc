@@ -111,6 +111,13 @@ TEST(EncoderServiceTest, MalformedSqlReturnsStatusEndToEnd) {
     auto served = service.Encode(sql);
     ASSERT_FALSE(served.ok()) << sql;
     EXPECT_FALSE(served.status().message().empty());
+    // The exact canonical code crosses the serving layer untouched: input
+    // rejections stay kParseError/kInvalidArgument, never mistakable for
+    // shed load (kResourceExhausted) or an expired deadline.
+    EXPECT_EQ(served.status().code(), direct.status().code()) << sql;
+    EXPECT_TRUE(served.status().code() == StatusCode::kParseError ||
+                served.status().code() == StatusCode::kInvalidArgument)
+        << sql << ": " << served.status().ToString();
   }
   EXPECT_EQ(service.metrics().errors.value(), garbage.size());
   // Mixed batch: bad slots fail, good slots still encode.
@@ -154,7 +161,7 @@ TEST(EncoderServiceTest, EncodeBatchEmptyInputIsANoOp) {
   auto model = E().MakeModel();
   tasks::PreqrEncoder encoder(&model);
   EncoderService service(&encoder);
-  auto results = service.EncodeBatch({});
+  auto results = service.EncodeBatch(std::vector<std::string>{});
   EXPECT_TRUE(results.empty());
   EXPECT_EQ(service.metrics().requests.value(), 0u);
   EXPECT_EQ(service.metrics().batches.value(), 0u);
