@@ -13,7 +13,14 @@
 //   LOAD_TIMEOUT_US     per-request deadline, <0 = none   (default 500000)
 //   LOAD_CORPUS         distinct SQL queries in the mix   (default 48)
 //   LOAD_CACHE          embedding-cache capacity          (default 8)
+//   TENANTS             hosted databases, round-robin     (default 1)
 //   BENCH_SERVING_JSON  output path                (default BENCH_serving.json)
+//
+// TENANTS=N registers N TenantContexts (same IMDB catalog, independently
+// seeded weights — the serving layer is what is being measured, and
+// identical catalogs make the per-tenant rows comparable) and assigns
+// client threads round-robin, so every load point reports both the
+// aggregate and a per-tenant breakdown in BENCH_serving.json.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -27,14 +34,12 @@
 #include <unordered_set>
 #include <vector>
 
-#include "automaton/template_extractor.h"
 #include "core/pretrain.h"
 #include "db/stats.h"
-#include "schema/schema_graph.h"
 #include "serving/client.h"
 #include "serving/encoder_service.h"
 #include "serving/server.h"
-#include "tasks/preqr_encoder.h"
+#include "serving/tenant_registry.h"
 #include "workload/imdb.h"
 #include "workload/query_gen.h"
 
@@ -70,12 +75,22 @@ struct ThreadStats {
   uint64_t ok = 0, hits = 0, shed = 0, deadline = 0, errors = 0;
 };
 
+// Client-side per-tenant slice of one load point (threads are assigned to
+// tenants round-robin, so a load point below TENANTS clients legitimately
+// leaves some tenants at zero).
+struct TenantPoint {
+  std::string tenant;
+  uint64_t ok = 0, hits = 0, shed = 0, deadline = 0, errors = 0;
+  double qps = 0.0;
+};
+
 struct LoadPoint {
   int clients = 0;
   double seconds = 0.0;
   uint64_t requests = 0, ok = 0, hits = 0, shed = 0, deadline = 0, errors = 0;
   double qps = 0.0, p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
   double shed_rate = 0.0, cache_hit_rate = 0.0;
+  std::vector<TenantPoint> per_tenant;
 };
 
 double Percentile(std::vector<double>& sorted, double p) {
@@ -96,6 +111,7 @@ int main() {
   const long timeout_us = EnvLong("LOAD_TIMEOUT_US", 500000);
   const long corpus_size = EnvLong("LOAD_CORPUS", 48);
   const long cache_capacity = EnvLong("LOAD_CACHE", 8);
+  const long tenants = std::max(1L, EnvLong("TENANTS", 1));
   const std::string json_path =
       EnvStr("BENCH_SERVING_JSON", "BENCH_serving.json");
 
@@ -104,33 +120,56 @@ int main() {
   auto imdb = preqr::workload::MakeImdbDatabase(7, 0.02);
   preqr::db::StatsCollector collector;
   auto stats = collector.AnalyzeAll(imdb);
-  preqr::text::SqlTokenizer tokenizer(imdb.catalog(), stats, 8);
   preqr::workload::ImdbQueryGenerator gen(imdb, 3);
   std::vector<std::string> corpus;
   std::unordered_set<std::string> seen;
   for (const auto& q : gen.Synthetic(static_cast<int>(corpus_size), 2)) {
     if (seen.insert(q.sql).second) corpus.push_back(q.sql);
   }
-  preqr::automaton::TemplateExtractor extractor(0.2);
-  auto fa = extractor.BuildAutomaton(corpus);
-  auto graph = preqr::schema::SchemaGraph::Build(imdb.catalog());
   preqr::core::PreqrConfig config;
   config.d_model = 32;
   config.ffn_hidden = 64;
-  preqr::core::PreqrModel model(config, &tokenizer, &fa, &graph, 17);
-  preqr::tasks::PreqrEncoder encoder(&model);
 
   preqr::serving::EncoderServiceOptions service_options;
   service_options.ring_capacity = static_cast<size_t>(ring_capacity);
   // A cache smaller than the corpus keeps the encoder the bottleneck: the
   // hot head of the skewed mix still hits, the tail forces real encodes —
   // otherwise the whole sweep degenerates into an LRU-lookup benchmark.
+  // Each tenant owns its own partition of this size.
   service_options.cache_capacity = static_cast<size_t>(cache_capacity);
   // Each load thread is its own client: the fairness quota must not be
   // what sheds a uniform workload, only the ring bound should.
   service_options.per_client_quota = static_cast<size_t>(ring_capacity);
   service_options.batch_window = std::chrono::microseconds(200);
-  preqr::serving::EncoderService service(&encoder, service_options);
+  preqr::serving::EncoderService service(service_options);
+  preqr::serving::TenantRegistry registry(&service);
+  std::vector<std::string> tenant_ids;
+  for (long t = 0; t < tenants; ++t) {
+    preqr::serving::TenantContext::Options tenant_options;
+    tenant_options.catalog = imdb.catalog();
+    tenant_options.stats = stats;
+    tenant_options.corpus = corpus;
+    tenant_options.config = config;
+    tenant_options.seed = 17 + static_cast<uint64_t>(t);
+    auto context =
+        preqr::serving::TenantContext::Create(std::move(tenant_options));
+    if (!context.ok()) {
+      std::fprintf(stderr, "tenant context failed: %s\n",
+                   context.status().ToString().c_str());
+      return 1;
+    }
+    const std::string id = "t" + std::to_string(t);
+    std::shared_ptr<preqr::serving::TenantContext> shared(
+        std::move(context.value()));
+    auto registered = registry.Register(id, shared);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "tenant register failed: %s\n",
+                   registered.ToString().c_str());
+      return 1;
+    }
+    std::printf("tenant %s: %s\n", id.c_str(), shared->Describe().c_str());
+    tenant_ids.push_back(id);
+  }
   preqr::serving::ServerOptions server_options;
   server_options.max_connections = static_cast<int>(max_clients) + 4;
   preqr::serving::EncodeServer server(&service, server_options);
@@ -145,9 +184,9 @@ int main() {
   for (int c = 1; c <= max_clients; c *= 2) points.push_back(c);
 
   std::printf("serving load sweep: ring=%ld cache=%ld window=200us "
-              "timeout=%ldus corpus=%zu model=d%d\n",
+              "timeout=%ldus corpus=%zu model=d%d tenants=%ld\n",
               ring_capacity, cache_capacity, timeout_us, corpus.size(),
-              config.d_model);
+              config.d_model, tenants);
   std::printf("%8s %10s %10s %10s %10s %9s %9s %9s\n", "clients", "q/s",
               "p50_us", "p95_us", "p99_us", "shed%", "hit%", "dlx");
 
@@ -164,6 +203,9 @@ int main() {
         preqr::serving::WireRequestOptions options;
         options.timeout_us = timeout_us;
         options.client_id = "client-" + std::to_string(t);
+        // Round-robin tenant assignment: thread t drives tenant t mod N.
+        options.tenant_id = tenant_ids[static_cast<size_t>(t) %
+                                       tenant_ids.size()];
         Rng rng(static_cast<uint64_t>(t) + 1);
         ThreadStats& s = stats_per_thread[t];
         while (!stop.load(std::memory_order_relaxed)) {
@@ -230,6 +272,22 @@ int main() {
     p.cache_hit_rate =
         p.ok > 0 ? static_cast<double>(p.hits) / static_cast<double>(p.ok)
                  : 0.0;
+    // Per-tenant slice of the same run: thread t drove tenant t mod N.
+    for (size_t ti = 0; ti < tenant_ids.size(); ++ti) {
+      TenantPoint tp;
+      tp.tenant = tenant_ids[ti];
+      for (size_t t = ti; t < stats_per_thread.size();
+           t += tenant_ids.size()) {
+        const ThreadStats& s = stats_per_thread[t];
+        tp.ok += s.ok;
+        tp.hits += s.hits;
+        tp.shed += s.shed;
+        tp.deadline += s.deadline;
+        tp.errors += s.errors;
+      }
+      tp.qps = elapsed > 0 ? static_cast<double>(tp.ok) / elapsed : 0.0;
+      p.per_tenant.push_back(tp);
+    }
     results.push_back(p);
     std::printf("%8d %10.1f %10.0f %10.0f %10.0f %8.1f%% %8.1f%% %9llu\n",
                 p.clients, p.qps, p.p50_us, p.p95_us, p.p99_us,
@@ -247,6 +305,7 @@ int main() {
   out << "  \"ring_capacity\": " << ring_capacity << ",\n";
   out << "  \"timeout_us\": " << timeout_us << ",\n";
   out << "  \"corpus\": " << corpus.size() << ",\n";
+  out << "  \"tenants\": " << tenants << ",\n";
   out << "  \"points\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const LoadPoint& p = results[i];
@@ -256,22 +315,37 @@ int main() {
         << ", \"errors\": " << p.errors << ", \"qps\": " << p.qps
         << ", \"p50_us\": " << p.p50_us << ", \"p95_us\": " << p.p95_us
         << ", \"p99_us\": " << p.p99_us << ", \"shed_rate\": " << p.shed_rate
-        << ", \"cache_hit_rate\": " << p.cache_hit_rate << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"cache_hit_rate\": " << p.cache_hit_rate
+        << ", \"per_tenant\": [";
+    for (size_t ti = 0; ti < p.per_tenant.size(); ++ti) {
+      const TenantPoint& tp = p.per_tenant[ti];
+      out << "{\"tenant\": \"" << tp.tenant << "\", \"ok\": " << tp.ok
+          << ", \"hits\": " << tp.hits << ", \"shed\": " << tp.shed
+          << ", \"deadline_exceeded\": " << tp.deadline
+          << ", \"errors\": " << tp.errors << ", \"qps\": " << tp.qps << "}"
+          << (ti + 1 < p.per_tenant.size() ? ", " : "");
+    }
+    out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   out.close();
   std::printf("wrote %s (%zu load points)\n", json_path.c_str(),
               results.size());
 
-  // Final server-side picture: queue depth back to zero, sheds accounted.
+  // Final server-side picture: queue depth back to zero, sheds accounted,
+  // every tenant's cache partition populated independently.
   const auto& m = service.metrics();
   std::printf("server: requests=%llu sheds=%llu deadline_drops=%llu "
-              "errors=%llu\n",
+              "errors=%llu tenant_not_found=%llu\n",
               static_cast<unsigned long long>(m.requests.value()),
               static_cast<unsigned long long>(m.ShedTotal()),
               static_cast<unsigned long long>(m.deadline_dropped.value() +
                                               m.deadline_rejected.value()),
-              static_cast<unsigned long long>(m.errors.value()));
+              static_cast<unsigned long long>(m.errors.value()),
+              static_cast<unsigned long long>(m.tenant_not_found.value()));
+  for (const auto& id : tenant_ids) {
+    std::printf("server: tenant %s cached_embeddings=%zu\n", id.c_str(),
+                service.cached_embeddings(id));
+  }
   return 0;
 }

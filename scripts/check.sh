@@ -67,8 +67,9 @@ else
     ./build-asan/tests/fuzz_regression_test
   ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
     ./build-asan/tests/fuzz_stress_test
-  # The concurrent drill again under TSan: encodes racing
-  # ReloadModel/InvalidateCache with the fuzz stream as input.
+  # The concurrent drills again under TSan: encodes racing
+  # ReloadModel/InvalidateCache, and three tenants racing per-tenant
+  # reloads plus a mid-drill deregistration, with the fuzz stream as input.
   cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target fuzz_stress_test
   PREQR_NUM_THREADS=8 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
@@ -78,18 +79,22 @@ fi
 if [[ "${SKIP_SERVE:-0}" == "1" ]]; then
   echo "== SERVE stage skipped (SKIP_SERVE=1) =="
 else
-  echo "== SERVE: request API + loopback server + mini load sweep under TSan =="
-  # The serving API drills (deadlines, shedding, drain) and the live-socket
-  # wire tests under TSan, then a short closed-loop sweep against a real
-  # loopback server — ending with a schema check of the emitted JSON.
+  echo "== SERVE: request API + tenancy + loopback server + mini load sweep under TSan =="
+  # The serving API drills (deadlines, shedding, drain), the multi-tenant
+  # suite (registry lifecycle, isolation, per-tenant reload/deregister) and
+  # the live-socket wire tests under TSan, then a short multi-tenant
+  # closed-loop sweep against a real loopback server — ending with a schema
+  # check of the emitted JSON, per-tenant rows included.
   cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target serving_api_test \
-    --target server_test --target bench_serving_load
+    --target tenant_test --target server_test --target bench_serving_load
   PREQR_NUM_THREADS=8 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ./build-tsan/tests/serving_api_test
   PREQR_NUM_THREADS=8 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    ./build-tsan/tests/tenant_test
+  PREQR_NUM_THREADS=8 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ./build-tsan/tests/server_test
-  LOAD_SECONDS=1 LOAD_CLIENTS=4 \
+  LOAD_SECONDS=1 LOAD_CLIENTS=4 TENANTS=2 \
     BENCH_SERVING_JSON=build-tsan/BENCH_serving.json \
     TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     ./build-tsan/bench/bench_serving_load
@@ -99,15 +104,24 @@ with open("build-tsan/BENCH_serving.json") as f:
     doc = json.load(f)
 points = doc["points"]
 assert len(points) >= 3, f"expected >=3 load points, got {len(points)}"
+assert doc["tenants"] == 2, f"expected tenants=2, got {doc.get('tenants')}"
 for p in points:
     for key in ("clients", "seconds", "requests", "ok", "shed",
                 "deadline_exceeded", "errors", "qps", "p50_us", "p95_us",
-                "p99_us", "shed_rate", "cache_hit_rate"):
+                "p99_us", "shed_rate", "cache_hit_rate", "per_tenant"):
         assert key in p, f"missing {key} in load point {p}"
     assert p["requests"] == p["ok"] + p["shed"] + p["deadline_exceeded"] + \
         p["errors"], f"request accounting off in {p}"
     assert p["p50_us"] <= p["p95_us"] <= p["p99_us"], f"percentiles off: {p}"
-print("BENCH_serving.json schema ok:", len(points), "load points")
+    rows = p["per_tenant"]
+    assert [r["tenant"] for r in rows] == ["t0", "t1"], f"tenant rows: {rows}"
+    for key in ("ok", "hits", "shed", "deadline_exceeded", "errors", "qps"):
+        assert all(key in r for r in rows), f"missing {key} in {rows}"
+    # The tenant slices partition the aggregate exactly.
+    assert sum(r["ok"] for r in rows) == p["ok"], f"ok split off in {p}"
+    assert sum(r["shed"] for r in rows) == p["shed"], f"shed split off in {p}"
+print("BENCH_serving.json schema ok:", len(points),
+      "load points with per-tenant rows")
 EOF
 fi
 

@@ -5,6 +5,7 @@
 #   LOAD_SECONDS=5 scripts/load.sh       # longer dwell per load point
 #   LOAD_CLIENTS=64 scripts/load.sh      # push further past saturation
 #   LOAD_RING=32 LOAD_CACHE=16 scripts/load.sh
+#   TENANTS=3 scripts/load.sh            # multi-tenant sweep, per-tenant rows
 #
 # Knobs (all forwarded to bench_serving_load):
 #   LOAD_SECONDS   wall time per load point            (default 2)
@@ -13,6 +14,8 @@
 #   LOAD_CACHE     embedding-cache capacity            (default 8)
 #   LOAD_TIMEOUT_US  per-request deadline, <0 = none   (default 500000)
 #   LOAD_CORPUS    distinct queries in the mix         (default 48)
+#   TENANTS        hosted databases, threads assigned round-robin (default 1)
+#                  each load point gains a per_tenant breakdown in the JSON
 #   BENCH_SERVING_JSON  output path       (default BENCH_serving.json in cwd)
 #
 # The interesting read: q/s flattens at the saturation point, and past it

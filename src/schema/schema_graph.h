@@ -56,6 +56,7 @@ class SchemaGraph {
   const std::vector<SchemaNode>& nodes() const { return nodes_; }
   const std::vector<Edge>& edges() const { return edges_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
 
   // Node index of a table / column; -1 when absent.
   int TableNode(const std::string& table) const;

@@ -41,6 +41,7 @@ bool WriteFull(int fd, const char* buf, size_t n) {
 }
 
 void AppendRequestHeader(std::string* out, const WireRequestOptions& options) {
+  wire::PutString(out, options.tenant_id);
   wire::PutString(out, options.client_id);
   wire::PutU32(out, static_cast<uint32_t>(options.priority));
   wire::PutI64(out, options.timeout_us);
@@ -139,6 +140,7 @@ StatusOr<std::string> EncodeClient::RoundTrip(const std::string& payload) {
 StatusOr<WireEncodeResult> EncodeClient::Encode(
     const std::string& sql, const WireRequestOptions& options) {
   std::string payload;
+  wire::PutU8(&payload, wire::kProtocolVersion);
   wire::PutU8(&payload, wire::kEncode);
   AppendRequestHeader(&payload, options);
   wire::PutString(&payload, sql);
@@ -151,6 +153,7 @@ StatusOr<WireEncodeResult> EncodeClient::Encode(
 std::vector<StatusOr<WireEncodeResult>> EncodeClient::EncodeBatch(
     const std::vector<std::string>& sqls, const WireRequestOptions& options) {
   std::string payload;
+  wire::PutU8(&payload, wire::kProtocolVersion);
   wire::PutU8(&payload, wire::kEncodeBatch);
   AppendRequestHeader(&payload, options);
   wire::PutU32(&payload, static_cast<uint32_t>(sqls.size()));
@@ -189,6 +192,7 @@ std::vector<StatusOr<WireEncodeResult>> EncodeClient::EncodeBatch(
 
 StatusOr<std::string> EncodeClient::Metrics() {
   std::string payload;
+  wire::PutU8(&payload, wire::kProtocolVersion);
   wire::PutU8(&payload, wire::kMetrics);
   auto reply = RoundTrip(payload);
   if (!reply.ok()) return reply.status();
@@ -201,9 +205,12 @@ StatusOr<std::string> EncodeClient::Metrics() {
   return text;
 }
 
-Status EncodeClient::ReloadModel(const std::string& path) {
+Status EncodeClient::ReloadModel(const std::string& tenant_id,
+                                 const std::string& path) {
   std::string payload;
+  wire::PutU8(&payload, wire::kProtocolVersion);
   wire::PutU8(&payload, wire::kReload);
+  wire::PutString(&payload, tenant_id);
   wire::PutString(&payload, path);
   auto reply = RoundTrip(payload);
   if (!reply.ok()) return reply.status();

@@ -9,9 +9,13 @@
 
 namespace preqr::serving {
 
-// Per-request knobs mirrored onto the wire (serving/wire.h): the relative
-// deadline, the admission-control identity, and the priority class.
+// Per-request knobs mirrored onto the wire (serving/wire.h): tenant
+// routing, the relative deadline, the admission-control identity, and the
+// priority class.
 struct WireRequestOptions {
+  // Which hosted database serves this query; "" = the default tenant.
+  // Unknown ids come back as kNotFound.
+  std::string tenant_id;
   int64_t timeout_us = -1;  // < 0 = no deadline
   std::string client_id;
   int priority = 0;
@@ -55,9 +59,12 @@ class EncodeClient {
       const WireRequestOptions& options = {});
   // The server's Prometheus-style metrics snapshot.
   StatusOr<std::string> Metrics();
-  // Hot-reloads the server's model from a checkpoint path *on the server's
-  // filesystem*.
-  Status ReloadModel(const std::string& path);
+  // Hot-reloads one tenant's model from a checkpoint path *on the server's
+  // filesystem*. The default overload reloads the default tenant.
+  Status ReloadModel(const std::string& path) {
+    return ReloadModel("", path);
+  }
+  Status ReloadModel(const std::string& tenant_id, const std::string& path);
 
  private:
   // Sends one framed request payload and reads one framed reply.

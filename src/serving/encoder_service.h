@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -32,11 +33,20 @@ inline DeadlineClock::time_point DeadlineAfter(
   return DeadlineClock::now() + timeout;
 }
 
+// The tenant every tenant-less request routes to: the encoder the service
+// was constructed with. Single-tenant callers never mention tenants at all.
+inline constexpr const char kDefaultTenantId[] = "";
+
 // The transport-independent request contract. Every field beyond `sql` is
 // optional; a default-constructed request behaves like the old bare
-// Encode(sql) call (no deadline, anonymous client, normal priority).
+// Encode(sql) call (default tenant, no deadline, anonymous client, normal
+// priority).
 struct EncodeRequest {
   std::string sql;
+  // Which tenant's schema/model/cache serves this query. "" is the default
+  // tenant; an id with no registered tenant fails with kNotFound before
+  // any cache partition is probed.
+  std::string tenant_id;
   // Requests whose deadline passes before encoding starts fail with
   // kDeadlineExceeded — on arrival if already expired, or dropped by the
   // dispatcher while queued. Work that already started is always delivered.
@@ -53,6 +63,7 @@ struct EncodeRequest {
 // observability callers need to build latency SLOs on top.
 struct EncodeResponse {
   nn::Tensor embedding;
+  std::string tenant_id;   // the tenant that served it ("" = default)
   bool cache_hit = false;
   double queue_us = 0.0;   // admission -> dispatcher pop (0 for cache hits)
   double encode_us = 0.0;  // micro-batch encode time (0 for cache hits)
@@ -60,7 +71,8 @@ struct EncodeResponse {
 
 // Knobs for the embedding cache, the micro-batcher, and admission control.
 struct EncoderServiceOptions {
-  // Embeddings held across all cache shards.
+  // Embeddings held across all cache shards, per tenant (each tenant owns
+  // its own cache partition of this size).
   size_t cache_capacity = 4096;
   int cache_shards = 8;
   // Most queries one dispatched micro-batch may carry.
@@ -70,8 +82,9 @@ struct EncoderServiceOptions {
   // queued immediately — requests that arrive while an earlier batch is
   // encoding still coalesce, which is the common case under load.
   std::chrono::microseconds batch_window{0};
-  // Bounded request ring (rounded up to a power of two). A full ring sheds
-  // with kResourceExhausted instead of queueing without bound.
+  // Bounded request ring (rounded up to a power of two), shared by all
+  // tenants. A full ring sheds with kResourceExhausted instead of queueing
+  // without bound.
   size_t ring_capacity = 256;
   // Most requests one client id may have queued at once; above it the
   // client is shed with kResourceExhausted while others keep being
@@ -90,31 +103,66 @@ struct EncoderServiceOptions {
 // it: a request ring with per-client admission control sheds overload with
 // canonical codes instead of queueing without bound.
 //
-//  * Results are cached in a sharded LRU keyed by the SQL text; hits
-//    return a detached copy without touching the encoder.
-//  * Misses are admitted onto a bounded ring and dispatched by a
-//    background thread in micro-batches through TryEncodeVectorBatch. The
-//    wrapped encoder only ever sees one call at a time, so encoders that
-//    are not themselves thread-safe are safe behind the service.
+// The service hosts N *tenants*: each tenant is one database's encoder (its
+// own schema graph, vocabulary, automaton, and model behind the
+// QueryEncoder interface) with its own cache partition, encode mutex, and
+// per-tenant metrics. The encoder passed at construction becomes the
+// default tenant (""), so single-tenant callers are unchanged; more tenants
+// register and deregister at runtime under load.
+//
+//  * Results are cached per tenant in a sharded LRU keyed by the SQL text —
+//    the effective cache key is (tenant, sql), so identical SQL under two
+//    tenants never shares an entry; hits return a detached copy without
+//    touching the encoder.
+//  * Misses are admitted onto a bounded ring (shared across tenants) and
+//    dispatched by a background thread in micro-batches through
+//    TryEncodeVectorBatch, grouped by tenant — one tenant's batch only ever
+//    contains that tenant's queries. A tenant's encoder only ever sees one
+//    call at a time, so encoders that are not themselves thread-safe are
+//    safe behind the service.
 //  * Error contract (canonical codes): malformed SQL -> kParseError /
-//    kInvalidArgument; expired deadline -> kDeadlineExceeded; shed by
-//    admission control -> kResourceExhausted; destroyed mid-flight ->
-//    kUnavailable. Callers can tell bad input from shed load.
+//    kInvalidArgument; unknown tenant -> kNotFound (before the cache
+//    probe); expired deadline -> kDeadlineExceeded; shed by admission
+//    control -> kResourceExhausted; destroyed mid-flight -> kUnavailable.
 //  * Determinism: encodes run with train=false and each query's
 //    computation is independent, so every result — cached or not, batched
-//    or not — is bitwise-identical to EncodeVector(sql, false) on the
-//    wrapped encoder (pinned by parallel_determinism_test).
+//    or not, under any tenant interleaving — is bitwise-identical to
+//    EncodeVector(sql, false) on that tenant's encoder alone (pinned by
+//    parallel_determinism_test and tenant_test).
 class EncoderService {
  public:
+  // Registers `encoder` as the default tenant ("").
   explicit EncoderService(baselines::QueryEncoder* encoder,
                           EncoderServiceOptions options = {});
+  // Starts with no tenants at all (registry-driven multi-tenant serving):
+  // every request is kNotFound until RegisterTenant is called.
+  explicit EncoderService(EncoderServiceOptions options);
   // Fails every request still queued with kUnavailable, then joins the
   // dispatcher.
   ~EncoderService();
 
+  // --- Tenant lifecycle (safe under concurrent traffic) -------------------
+  // Registers a tenant: its own cache partition, metrics block, and encode
+  // mutex. `encoder` (and `model`, when given — it enables per-tenant
+  // ReloadModel) are non-owned and must outlive the tenant's registration.
+  // Fails with kInvalidArgument on a duplicate id.
+  Status RegisterTenant(const std::string& tenant_id,
+                        baselines::QueryEncoder* encoder,
+                        nn::Module* model = nullptr);
+  // Deregisters a tenant with a reload-style drain: new work for the
+  // tenant is refused with kNotFound immediately, everything already
+  // admitted is encoded and delivered (never dropped), then exactly this
+  // tenant's cache partition is dropped and its metrics lines disappear.
+  // Other tenants are not disturbed. The default tenant cannot be
+  // deregistered.
+  Status DeregisterTenant(const std::string& tenant_id);
+  bool HasTenant(const std::string& tenant_id) const;
+  std::vector<std::string> TenantIds() const;
+
   // Encodes one request (blocking): cache hit, or admitted onto the ring
-  // and coalesced into a micro-batch. Admission errors (shed, expired
-  // deadline) return immediately without reaching the encoder.
+  // and coalesced into a micro-batch. Admission errors (unknown tenant,
+  // shed, expired deadline) return immediately without reaching the
+  // encoder.
   StatusOr<EncodeResponse> Encode(const EncodeRequest& request);
 
   // Async submit: admission (cache probe, deadline check, shedding) runs
@@ -125,85 +173,130 @@ class EncoderService {
 
   // Encodes a workload slice synchronously: expired slots fail with
   // kDeadlineExceeded, cache hits resolve locally, and the distinct
-  // remaining misses go to the encoder as one batch, bypassing the ring
-  // (the caller is its own admission control — the batch is bounded).
-  // Slot i corresponds to requests[i]; slots fail independently.
+  // remaining misses go to the encoder as one batch per tenant, bypassing
+  // the ring (the caller is its own admission control — the batch is
+  // bounded). Slot i corresponds to requests[i]; slots fail independently,
+  // so a malformed query for tenant A cannot poison tenant B's slot.
   std::vector<StatusOr<EncodeResponse>> EncodeBatch(
       const std::vector<EncodeRequest>& requests);
 
   // Convenience overloads (explicitly kept): the request-struct calls
   // above are the API; these wrap them for callers that want the old
-  // bare-SQL shape (no deadline, anonymous client) and just the tensor.
+  // bare-SQL shape (default tenant, no deadline, anonymous client) and
+  // just the tensor.
   StatusOr<nn::Tensor> Encode(const std::string& sql);
   std::vector<StatusOr<nn::Tensor>> EncodeBatch(
       const std::vector<std::string>& sqls);
 
-  // Drops every cached embedding and the encoder's own memoized state.
-  // Call after the wrapped model's parameters changed (further
+  // Drops every tenant's cached embeddings and each encoder's own memoized
+  // state. Call after the wrapped models' parameters changed (further
   // pre-training, incremental updates); waits for any in-flight batch.
   void InvalidateCache();
+  // Same, for one tenant only. kNotFound for unknown ids.
+  Status InvalidateCache(const std::string& tenant_id);
 
-  // Registers the module whose weights back the wrapped encoder, enabling
-  // ReloadModel. Non-owned; must outlive the service.
-  void AttachModel(nn::Module* model) { model_ = model; }
+  // Registers the module whose weights back the default tenant's encoder,
+  // enabling ReloadModel. Non-owned; must outlive the service.
+  void AttachModel(nn::Module* model);
+  // Same, for any tenant (RegisterTenant's `model` argument is the usual
+  // way; this re-points it). kNotFound for unknown ids.
+  Status AttachModel(const std::string& tenant_id, nn::Module* model);
 
-  // Hot model reload (the paper's incremental-update loop, Table 5) with a
-  // graceful drain: new admissions park (they are never dropped), the
-  // dispatcher finishes everything already queued, then the swap runs
-  // under the encode mutex and the stale cache is cleared before the
-  // parked requests proceed against the new weights. On failure
-  // (missing/corrupt file, architecture mismatch) the weights and the
-  // cache are left exactly as they were and serving continues.
+  // Hot model reload for the default tenant — see the tenant overload.
   Status ReloadModel(const std::string& path);
+  // Hot model reload (the paper's incremental-update loop, Table 5) for
+  // one tenant, with a graceful per-tenant drain: new admissions for this
+  // tenant park (they are never dropped), the dispatcher finishes
+  // everything the tenant already queued, then the swap runs under the
+  // tenant's encode mutex and its stale cache partition is cleared before
+  // the parked requests proceed against the new weights. Other tenants
+  // keep encoding throughout. On failure (missing/corrupt file,
+  // architecture mismatch) the weights and the cache are left exactly as
+  // they were and serving continues.
+  Status ReloadModel(const std::string& tenant_id, const std::string& path);
 
-  int dim() const { return encoder_->dim(); }
-  std::string name() const { return "serving(" + encoder_->name() + ")"; }
-  size_t cached_embeddings() const { return cache_.size(); }
+  // The default tenant's encoder dim/name (0 / "serving(multi-tenant)"
+  // when the service was constructed without one).
+  int dim() const;
+  std::string name() const;
+  // Cached embeddings summed over all tenants / for one tenant (0 for
+  // unknown ids).
+  size_t cached_embeddings() const;
+  size_t cached_embeddings(const std::string& tenant_id) const;
   size_t queue_depth() const;
   ServingMetrics& metrics() { return metrics_; }
   const ServingMetrics& metrics() const { return metrics_; }
 
  private:
+  // One hosted database: its encoder, optional model (for reloads), cache
+  // partition, and serialization point. `queued`, `inflight`, `draining`
+  // and `closing` are guarded by queue_mu_ — they drive the per-tenant
+  // drain conditions on queue_cv_.
+  struct Tenant {
+    Tenant(std::string tenant_id, baselines::QueryEncoder* enc,
+           nn::Module* mod, const EncoderServiceOptions& options,
+           std::shared_ptr<TenantMetrics> tenant_metrics)
+        : id(std::move(tenant_id)),
+          encoder(enc),
+          model(mod),
+          cache(options.cache_capacity, options.cache_shards),
+          metrics(std::move(tenant_metrics)) {}
+
+    const std::string id;
+    baselines::QueryEncoder* const encoder;  // non-owned
+    nn::Module* model;                       // non-owned; guarded by encode_mu
+    ShardedLruCache<std::string, nn::Tensor> cache;
+    std::shared_ptr<TenantMetrics> metrics;
+    // Serializes every call into *encoder (dispatch loop, EncodeBatch
+    // misses, InvalidateCache, the reload swap) — per tenant, so one
+    // tenant's reload never blocks another tenant's encodes.
+    std::mutex encode_mu;
+    // --- guarded by queue_mu_ ---
+    size_t queued = 0;     // this tenant's requests sitting in the ring
+    int inflight = 0;      // batches being encoded right now (ring + sync)
+    bool draining = false; // a reload is waiting this tenant's work out
+    bool closing = false;  // deregistration: refuse new work, drain the rest
+  };
+  using TenantPtr = std::shared_ptr<Tenant>;
+
   struct Pending {
     std::string sql;
+    TenantPtr tenant;
     DeadlineClock::time_point deadline = kNoDeadline;
     std::string client_id;
     DeadlineClock::time_point enqueued_at;
     std::promise<StatusOr<EncodeResponse>> promise;
   };
 
-  // Cache probe + deadline/shed checks + ring push. Returns an already-
-  // resolved result for hits and rejections, or nullopt after a
+  TenantPtr FindTenant(const std::string& tenant_id) const;
+  // Cache probe + tenant/deadline/shed checks + ring push. Returns an
+  // already-resolved result for hits and rejections, or nullopt after a
   // successful enqueue — *future then delivers when the batcher does.
   std::optional<StatusOr<EncodeResponse>> AdmitOrResolve(
       EncodeRequest&& request,
       std::future<StatusOr<EncodeResponse>>* future);
-  // Background thread: pops micro-batches, drops expired requests, runs
-  // the encoder, fulfills promises.
+  // Background thread: pops micro-batches, drops expired requests, groups
+  // by tenant, runs each tenant's encoder, fulfills promises.
   void DispatchLoop();
-  // Encodes one batch under encode_mu_ and fills the cache.
+  // Encodes one single-tenant batch under the tenant's encode mutex and
+  // fills that tenant's cache partition. Installs the service's encode-path
+  // sink for the duration.
   std::vector<StatusOr<nn::Tensor>> EncodeLocked(
-      const std::vector<std::string>& sqls);
+      Tenant& tenant, const std::vector<std::string>& sqls);
 
-  baselines::QueryEncoder* encoder_;
-  nn::Module* model_ = nullptr;  // optional, enables ReloadModel
   EncoderServiceOptions options_;
   size_t per_client_quota_ = 0;
   size_t admit_watermark_ = 0;  // ring size at which priority<=0 sheds
-  ShardedLruCache<std::string, nn::Tensor> cache_;
   ServingMetrics metrics_;
+
+  mutable std::mutex tenants_mu_;  // guards the map only, not tenant state
+  std::map<std::string, TenantPtr> tenants_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;  // dispatcher wakeups + drain waiters
   RequestRing<std::shared_ptr<Pending>> ring_;
   std::unordered_map<std::string, size_t> queued_per_client_;
-  bool draining_ = false;   // a reload is waiting the ring out
-  bool inflight_ = false;   // dispatcher is encoding a popped batch
   bool stopping_ = false;
-
-  // Serializes every call into *encoder_ (dispatch loop, EncodeBatch
-  // misses, InvalidateCache, the reload swap).
-  std::mutex encode_mu_;
 
   std::thread dispatcher_;
 };

@@ -13,14 +13,12 @@ namespace preqr::serving {
 
 namespace {
 
-// Process-global encode-path registry (cf. BufferPool::TotalStats): the
-// tasks-layer encoder records here without owning a ServingMetrics.
+// Process-global encode-path sink (cf. BufferPool::TotalStats): catches
+// records made outside any service scope (training loops, direct encoder
+// use in benches and tests). Once-per-distinct-error logging stays here —
+// it is process-level hygiene regardless of which sink counts the event.
 struct EncodePathRegistry {
-  Counter fallbacks;
-  Counter padded_batches;
-  Counter padded_slots;
-  Counter valid_tokens;
-  Histogram padded_waste_pct{1.0, 2.0, 9};
+  EncodePathSink sink;
   std::mutex log_mu;
   std::unordered_set<std::string> logged_errors;
 };
@@ -30,6 +28,11 @@ EncodePathRegistry& Registry() {
   return *r;
 }
 
+// The thread's active sink; null means "record into the global registry".
+// Thread-local (not an argument) so the tasks-layer encoder keeps its
+// metrics-free signature while still reporting to the service driving it.
+thread_local EncodePathSink* t_encode_sink = nullptr;
+
 }  // namespace
 
 double EncodePathStats::Occupancy() const {
@@ -38,9 +41,40 @@ double EncodePathStats::Occupancy() const {
                                  static_cast<double>(padded_slots);
 }
 
+void EncodePathSink::RecordPaddedBatch(int batch_size, int t_max,
+                                       uint64_t valid_tokens) {
+  const uint64_t slots =
+      static_cast<uint64_t>(batch_size) * static_cast<uint64_t>(t_max);
+  padded_batches_.Increment();
+  padded_slots_.Increment(slots);
+  valid_tokens_.Increment(valid_tokens);
+  if (slots > 0) {
+    padded_waste_pct_.Observe(100.0 *
+                              static_cast<double>(slots - valid_tokens) /
+                              static_cast<double>(slots));
+  }
+}
+
+EncodePathStats EncodePathSink::Stats() const {
+  EncodePathStats s;
+  s.fallback_total = fallbacks_.value();
+  s.padded_batches = padded_batches_.value();
+  s.padded_slots = padded_slots_.value();
+  s.valid_tokens = valid_tokens_.value();
+  return s;
+}
+
+ScopedEncodePathSink::ScopedEncodePathSink(EncodePathSink* sink)
+    : previous_(t_encode_sink) {
+  t_encode_sink = sink;
+}
+
+ScopedEncodePathSink::~ScopedEncodePathSink() { t_encode_sink = previous_; }
+
 void RecordEncodeFallback(const std::string& error) {
   auto& r = Registry();
-  r.fallbacks.Increment();
+  EncodePathSink* sink = t_encode_sink != nullptr ? t_encode_sink : &r.sink;
+  sink->RecordFallback();
   bool first = false;
   {
     std::lock_guard<std::mutex> lock(r.log_mu);
@@ -52,31 +86,28 @@ void RecordEncodeFallback(const std::string& error) {
 }
 
 void RecordPaddedBatch(int batch_size, int t_max, uint64_t valid_tokens) {
-  auto& r = Registry();
-  const uint64_t slots =
-      static_cast<uint64_t>(batch_size) * static_cast<uint64_t>(t_max);
-  r.padded_batches.Increment();
-  r.padded_slots.Increment(slots);
-  r.valid_tokens.Increment(valid_tokens);
-  if (slots > 0) {
-    r.padded_waste_pct.Observe(
-        100.0 * static_cast<double>(slots - valid_tokens) /
-        static_cast<double>(slots));
-  }
+  EncodePathSink* sink =
+      t_encode_sink != nullptr ? t_encode_sink : &Registry().sink;
+  sink->RecordPaddedBatch(batch_size, t_max, valid_tokens);
 }
 
-EncodePathStats GlobalEncodePathStats() {
-  auto& r = Registry();
-  EncodePathStats s;
-  s.fallback_total = r.fallbacks.value();
-  s.padded_batches = r.padded_batches.value();
-  s.padded_slots = r.padded_slots.value();
-  s.valid_tokens = r.valid_tokens.value();
-  return s;
-}
+EncodePathStats GlobalEncodePathStats() { return Registry().sink.Stats(); }
 
 const Histogram& GlobalPaddedWasteHistogram() {
-  return Registry().padded_waste_pct;
+  return Registry().sink.padded_waste_pct();
+}
+
+std::shared_ptr<TenantMetrics> ServingMetrics::Tenant(
+    const std::string& tenant_id) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto& slot = tenants_[tenant_id];
+  if (slot == nullptr) slot = std::make_shared<TenantMetrics>();
+  return slot;
+}
+
+void ServingMetrics::DropTenant(const std::string& tenant_id) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  tenants_.erase(tenant_id);
 }
 
 Histogram::Histogram(double scale, double growth, int num_buckets) {
@@ -190,6 +221,33 @@ std::string ServingMetrics::DumpText() const {
   emit_counter("serving_drained_requests_total", drained_requests);
   emit_counter("serving_invalidated_embeddings_total", invalidated_embeddings);
   emit_counter("serving_rejected_on_shutdown_total", rejected_on_shutdown);
+  // Tenancy: registry lifecycle plus unknown-id rejections (which happen
+  // before the cache probe, so they appear in no hit/miss counter).
+  emit_counter("serving_tenant_not_found_total", tenant_not_found);
+  emit_counter("serving_tenant_registrations_total", tenant_registrations);
+  emit_counter("serving_tenant_deregistrations_total", tenant_deregistrations);
+  {
+    // Per-tenant dimension: the same events as the aggregate counters,
+    // labeled. The default tenant ("") renders as tenant="default".
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    auto emit_tenant = [&](const char* name, const std::string& id,
+                           const Counter& c) {
+      std::snprintf(line, sizeof(line), "%s{tenant=\"%s\"} %llu\n", name,
+                    id.empty() ? "default" : id.c_str(),
+                    static_cast<unsigned long long>(c.value()));
+      out += line;
+    };
+    for (const auto& [id, tm] : tenants_) {
+      emit_tenant("serving_tenant_requests_total", id, tm->requests);
+      emit_tenant("serving_tenant_cache_hits_total", id, tm->cache_hits);
+      emit_tenant("serving_tenant_cache_misses_total", id, tm->cache_misses);
+      emit_tenant("serving_tenant_errors_total", id, tm->errors);
+      emit_tenant("serving_tenant_shed_total", id, tm->shed);
+      emit_tenant("serving_tenant_reloads_total", id, tm->reloads);
+      emit_tenant("serving_tenant_drained_requests_total", id,
+                  tm->drained_requests);
+    }
+  }
   emit_value("serving_batch_size_mean", batch_size.mean());
   emit_value("serving_batch_size_p99", batch_size.Percentile(0.99));
   emit_value("serving_encode_latency_us_p50",
@@ -222,14 +280,15 @@ std::string ServingMetrics::DumpText() const {
   emit_u64("nn_buffer_pool_releases_total", pool.releases);
   emit_u64("nn_buffer_pool_discards_total", pool.discards);
   emit_u64("nn_buffer_pool_live_bytes", pool.live_bytes);
-  // Process-global encode path: fallbacks + padded-batch shape.
-  const EncodePathStats enc = GlobalEncodePathStats();
+  // This service's own encode path: fallbacks + padded-batch shape from the
+  // per-service sink — two live services no longer interleave these.
+  const EncodePathStats enc = encode_path.Stats();
   emit_u64("encode_fallback_total", enc.fallback_total);
   emit_u64("encode_padded_batches_total", enc.padded_batches);
   emit_u64("encode_padded_slots_total", enc.padded_slots);
   emit_u64("encode_valid_tokens_total", enc.valid_tokens);
   emit_value("encode_batch_occupancy", enc.Occupancy());
-  const Histogram& waste = GlobalPaddedWasteHistogram();
+  const Histogram& waste = encode_path.padded_waste_pct();
   emit_value("encode_padded_waste_pct_mean", waste.mean());
   emit_value("encode_padded_waste_pct_p99", waste.Percentile(0.99));
   return out;

@@ -68,12 +68,14 @@ void AppendResponse(std::string* reply, const EncodeResponse& response) {
   for (float f : vec) wire::PutF32(reply, f);
 }
 
-// The request header shared by kEncode and kEncodeBatch: client identity,
-// priority, and the relative timeout, converted here — at parse time — to
-// the absolute steady-clock deadline the service works with.
+// The request header shared by kEncode and kEncodeBatch: tenant routing,
+// client identity, priority, and the relative timeout, converted here — at
+// parse time — to the absolute steady-clock deadline the service works
+// with.
 bool ParseRequestHeader(wire::Reader* r, EncodeRequest* request) {
   uint32_t priority;
   int64_t timeout_us;
+  if (!r->GetString(&request->tenant_id)) return false;
   if (!r->GetString(&request->client_id)) return false;
   if (!r->GetU32(&priority)) return false;
   if (!r->GetI64(&timeout_us)) return false;
@@ -218,10 +220,27 @@ void EncodeServer::ServeConnection(Connection* conn) {
 std::string EncodeServer::HandleFrame(const std::string& payload) {
   std::string reply;
   wire::Reader r(payload);
+  uint8_t version = 0;
+  if (!r.GetU8(&version)) {
+    service_->metrics().net_bad_frames.Increment();
+    AppendError(&reply, Status::InvalidArgument("empty request frame"));
+    return reply;
+  }
+  // The version gate runs before the opcode is even read: a stale peer must
+  // get an explicit rejection, never a silent misparse of shifted fields.
+  if (version != wire::kProtocolVersion) {
+    service_->metrics().net_bad_frames.Increment();
+    AppendError(&reply,
+                Status::InvalidArgument(
+                    "protocol version mismatch: got " +
+                    std::to_string(version) + ", server speaks " +
+                    std::to_string(wire::kProtocolVersion)));
+    return reply;
+  }
   uint8_t opcode = 0;
   if (!r.GetU8(&opcode)) {
     service_->metrics().net_bad_frames.Increment();
-    AppendError(&reply, Status::InvalidArgument("empty request frame"));
+    AppendError(&reply, Status::InvalidArgument("missing opcode"));
     return reply;
   }
   switch (opcode) {
@@ -273,9 +292,10 @@ std::string EncodeServer::HandleFrame(const std::string& payload) {
       return reply;
     }
     case wire::kReload: {
+      std::string tenant_id;
       std::string path;
-      if (!r.GetString(&path)) break;
-      const Status s = service_->ReloadModel(path);
+      if (!r.GetString(&tenant_id) || !r.GetString(&path)) break;
+      const Status s = service_->ReloadModel(tenant_id, path);
       if (s.ok()) {
         wire::PutU8(&reply, 0);
       } else {

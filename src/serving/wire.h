@@ -11,16 +11,23 @@ namespace preqr::serving::wire {
 // EncodeServer over a TCP stream. Everything is little-endian.
 //
 //   frame   := u32 payload_len, payload
-//   request := u8 opcode, body
+//   request := u8 version, u8 opcode, body
 //   reply   := u8 status_code, body          (code 0 = ok, else u32+msg)
 //
+// Every request leads with the protocol version byte; a mismatch is
+// rejected with kInvalidArgument before the opcode is even read, so the
+// request layout can evolve (v1 -> v2 added the tenant id) without a stale
+// peer silently misparsing fields. Replies carry no version: the server
+// always answers in the version the client just spoke.
+//
+// Request header (kEncode / kEncodeBatch):
+//   header := u32+tenant_id, u32+client_id, i32 priority, i64 timeout_us
+//
 // Request bodies:
-//   kEncode      := u32+client_id, i32 priority, i64 timeout_us,
-//                   u32+sql
-//   kEncodeBatch := u32+client_id, i32 priority, i64 timeout_us,
-//                   u32 count, count x (u32+sql)
+//   kEncode      := header, u32+sql
+//   kEncodeBatch := header, u32 count, count x (u32+sql)
 //   kMetrics     := (empty)
-//   kReload      := u32+path
+//   kReload      := u32+tenant_id, u32+path
 //
 // Ok reply bodies:
 //   kEncode      := u8 flags (bit0 = cache hit), f64 queue_us,
@@ -30,10 +37,18 @@ namespace preqr::serving::wire {
 //   kMetrics     := u32+text
 //   kReload      := (empty)
 //
+// An empty tenant_id is the default tenant, so v2 clients that never
+// mention tenants behave exactly like v1 did. Unknown tenant ids come back
+// as kNotFound.
+//
 // Deadlines cross the wire as a *relative* timeout in microseconds
 // (client and server clocks need not agree); the server converts to an
 // absolute steady-clock deadline the moment the frame is parsed.
 // timeout_us < 0 means no deadline.
+
+// v1 had no version byte and no tenant id; v2 frames are not parseable as
+// v1 (and vice versa), which is exactly why the version byte leads.
+inline constexpr uint8_t kProtocolVersion = 2;
 
 enum Opcode : uint8_t {
   kEncode = 1,

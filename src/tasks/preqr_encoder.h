@@ -54,6 +54,9 @@ class PreqrEncoder : public baselines::QueryEncoder,
   int dim() const override { return 5 * model_->config().d_model; }
   int sequence_dim() const override { return model_->config().d_model; }
   std::string name() const override { return "PreQR"; }
+  // The wrapped model (non-owned) — what AttachModel/RegisterTenant want
+  // when this encoder backs a serving tenant.
+  core::PreqrModel* model() const { return model_; }
   void BeginStep(bool train) override;
 
   // Drops cached prefixes and re-encodes the frozen schema nodes (call

@@ -69,6 +69,10 @@ class SqlTokenizer {
   static TokenizedBatch Collate(const std::vector<Tokenized>& items,
                                 int max_len);
 
+  // The catalog this tokenizer was built against (non-owned reference:
+  // whoever bundles a tokenizer must keep its catalog alive, which is
+  // exactly what serving::TenantContext checks).
+  const sql::Catalog& catalog() const { return catalog_; }
   const Vocab& vocab() const { return vocab_; }
   int num_value_buckets() const { return num_value_buckets_; }
 

@@ -512,5 +512,210 @@ TEST(FuzzStressTest, EncodesRacingReloadAndInvalidateStayStatusClean) {
   std::remove(path.c_str());
 }
 
+// --- The multi-tenant stress drill ----------------------------------------
+
+// Fuzz streams race across three tenants of one service while a reloader
+// hot-swaps each tenant's weights independently and a churner
+// deregisters/re-registers the third tenant mid-drill. Invariants: no
+// crash, every failure carries a canonical Status, steady tenants never
+// see a kNotFound, request accounting stays exact
+// (requests == hits + misses + tenant_not_found), every response names
+// its tenant, and each tenant still serves solo-encoder bits afterwards.
+// scripts/check.sh runs this under both ASan and TSan.
+TEST(FuzzStressTest, MultiTenantEncodesRacingReloadAndDeregisterStayIsolated) {
+  core::PreqrConfig config;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.ffn_hidden = 32;
+  config.state_dim = 8;
+  config.pos_dim = 8;
+  auto make_model = [&](uint64_t seed) {
+    return core::PreqrModel(config, E().tokenizer.get(), &E().fa, &E().graph,
+                            seed);
+  };
+  // Distinct seeds give distinct weights: a cross-tenant cache or weight
+  // leak shows up as a bitwise mismatch in the post-drill probes.
+  auto model_a = make_model(31);
+  auto model_b = make_model(32);
+  auto model_c = make_model(33);
+  tasks::PreqrEncoder enc_a(&model_a);
+  tasks::PreqrEncoder enc_b(&model_b);
+  tasks::PreqrEncoder enc_c(&model_c);
+
+  serving::EncoderServiceOptions options;
+  options.ring_capacity = 1024;
+  options.per_client_quota = 1024;
+  serving::EncoderService service(options);
+  ASSERT_TRUE(service.RegisterTenant("a", &enc_a, &model_a).ok());
+  ASSERT_TRUE(service.RegisterTenant("b", &enc_b, &model_b).ok());
+  ASSERT_TRUE(service.RegisterTenant("c", &enc_c, &model_c).ok());
+  const int expected_dim = enc_a.dim();
+
+  // Per-tenant reload donors: same architecture, fresh weights.
+  const std::string path_a = testing::TempDir() + "/fuzz_tenant_a.prm1";
+  const std::string path_b = testing::TempDir() + "/fuzz_tenant_b.prm1";
+  {
+    auto donor_a = make_model(41);
+    auto donor_b = make_model(42);
+    ASSERT_TRUE(nn::SaveModule(donor_a, path_a).ok());
+    ASSERT_TRUE(nn::SaveModule(donor_b, path_b).ok());
+  }
+
+  constexpr int kCasesPerTenant = 70;
+  std::atomic<uint64_t> issued{0};
+  std::atomic<uint64_t> ok_results{0};
+  std::atomic<uint64_t> error_results{0};      // kParseError / kInvalidArgument
+  std::atomic<uint64_t> not_found_results{0};  // churn-tenant kNotFound only
+  std::atomic<int> invariant_violations{0};
+  std::atomic<bool> stop{false};
+
+  auto account = [&](const StatusOr<serving::EncodeResponse>& r,
+                     const std::string& tenant, bool churn,
+                     bool from_grammar) {
+    if (r.ok()) {
+      ++ok_results;
+      if (r.value().tenant_id != tenant) ++invariant_violations;
+      if (static_cast<int>(r.value().embedding.size()) != expected_dim) {
+        ++invariant_violations;
+      }
+      return;
+    }
+    if (r.status().message().empty()) ++invariant_violations;
+    if (r.status().code() == StatusCode::kNotFound) {
+      // Only the churn tenant may be mid-deregistration; a kNotFound for a
+      // steady tenant is an isolation breach.
+      ++not_found_results;
+      if (!churn) ++invariant_violations;
+      return;
+    }
+    ++error_results;
+    // Grammar-valid SQL must encode whenever the tenant exists; malformed
+    // SQL must fail with an input-rejection code, never a shed/deadline
+    // mis-code (the drill configures no deadlines and never fills the
+    // ring).
+    if (from_grammar) ++invariant_violations;
+    if (r.status().code() != StatusCode::kParseError &&
+        r.status().code() != StatusCode::kInvalidArgument) {
+      ++invariant_violations;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  const std::vector<std::string> tenants = {"a", "b", "c"};
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    threads.emplace_back([&, t] {
+      const std::string tenant = tenants[t];
+      const bool churn = tenant == "c";
+      // Overlapping seeds across tenants: the same SQL lands in several
+      // partitions, so any cross-tenant cache sharing gets exercised hard.
+      SqlFuzzer fuzzer(E().imdb.catalog(), 300 + static_cast<uint64_t>(t / 2),
+                       E().EncodeOptions());
+      for (int i = 0; i < kCasesPerTenant; ++i) {
+        const FuzzCase c = fuzzer.Next();
+        serving::EncodeRequest request;
+        request.tenant_id = tenant;
+        request.sql = c.sql;
+        if (i % 3 == 0) {
+          // The synchronous batch path groups per tenant internally.
+          const FuzzCase c2 = fuzzer.Next();
+          serving::EncodeRequest second;
+          second.tenant_id = tenant;
+          second.sql = c2.sql;
+          auto results = service.EncodeBatch(
+              std::vector<serving::EncodeRequest>{request, second});
+          issued += results.size();
+          account(results[0], tenant, churn, c.from_grammar);
+          account(results[1], tenant, churn, c2.from_grammar);
+          continue;
+        }
+        auto result = service.Encode(request);
+        ++issued;
+        account(result, tenant, churn, c.from_grammar);
+      }
+    });
+  }
+  std::thread reloader([&] {
+    int reloads = 0;
+    while (!stop.load() && reloads < 48) {
+      // Steady tenants reload independently; each drain must park only its
+      // own tenant's admissions.
+      Status sa = service.ReloadModel("a", path_a);
+      if (!sa.ok()) ++invariant_violations;
+      Status sb = service.ReloadModel("b", path_b);
+      if (!sb.ok()) ++invariant_violations;
+      // The churn tenant may be deregistered at this instant: ok and
+      // kNotFound are the only legal outcomes.
+      Status sc = service.ReloadModel("c", path_a);
+      if (!sc.ok() && sc.code() != StatusCode::kNotFound) {
+        ++invariant_violations;
+      }
+      // Failing reloads and ghost tenants must not disturb serving.
+      if (service.ReloadModel("a", "/nonexistent/fuzz.prc1").ok()) {
+        ++invariant_violations;
+      }
+      if (service.ReloadModel("ghost", path_a).code() !=
+          StatusCode::kNotFound) {
+        ++invariant_violations;
+      }
+      ++reloads;
+      std::this_thread::yield();
+    }
+  });
+  std::thread churner([&] {
+    while (!stop.load()) {
+      Status out = service.DeregisterTenant("c");
+      if (!out.ok()) ++invariant_violations;
+      std::this_thread::yield();
+      Status in = service.RegisterTenant("c", &enc_c, &model_c);
+      if (!in.ok()) ++invariant_violations;
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  reloader.join();
+  churner.join();
+  ASSERT_TRUE(service.HasTenant("c"));  // the churner always re-registers
+
+  EXPECT_EQ(invariant_violations.load(), 0);
+  const auto& m = service.metrics();
+  EXPECT_EQ(m.requests.value(), issued.load());
+  // Exact admission accounting: every request resolved as a hit, a miss,
+  // or a pre-probe unknown-tenant rejection. (Closing-window rejections
+  // count as misses, so tenant_not_found alone undercounts kNotFound.)
+  EXPECT_EQ(m.requests.value(), m.cache_hits.value() +
+                                    m.cache_misses.value() +
+                                    m.tenant_not_found.value());
+  EXPECT_LE(m.tenant_not_found.value(), not_found_results.load());
+  EXPECT_EQ(issued.load(),
+            ok_results.load() + error_results.load() + not_found_results.load());
+  EXPECT_EQ(m.errors.value(), error_results.load());
+  EXPECT_GT(ok_results.load(), 0u);
+  EXPECT_GT(error_results.load(), 0u);
+  EXPECT_GT(m.reloads.value(), 0u);
+  EXPECT_GT(m.reload_failures.value(), 0u);
+  EXPECT_GE(m.tenant_registrations.value(), 4u);  // 3 initial + churn cycles
+  EXPECT_GT(m.tenant_deregistrations.value(), 0u);
+
+  // Every tenant still serves bits identical to a fresh solo encoder over
+  // whatever weights its last reload installed.
+  service.InvalidateCache();
+  const std::string& probe = E().corpus.front();
+  core::PreqrModel* models[] = {&model_a, &model_b, &model_c};
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    serving::EncodeRequest request;
+    request.tenant_id = tenants[t];
+    request.sql = probe;
+    auto after = service.Encode(request);
+    ASSERT_TRUE(after.ok()) << tenants[t] << ": " << after.status().ToString();
+    tasks::PreqrEncoder fresh(models[t]);
+    ExpectBitwiseEqual(fresh.EncodeVector(probe, /*train=*/false).vec(),
+                       after.value().embedding.vec(),
+                       "post-stress tenant " + tenants[t]);
+  }
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
 }  // namespace
 }  // namespace preqr::workload

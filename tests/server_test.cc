@@ -252,6 +252,7 @@ TEST(EncodeServerTest, HostileFramesGetInvalidArgumentNotACrash) {
     // Unknown opcode: answered with kInvalidArgument, connection stays up.
     RawConn raw(lb.server.port());
     std::string payload;
+    wire::PutU8(&payload, wire::kProtocolVersion);
     wire::PutU8(&payload, 99);
     std::string frame;
     wire::PutU32(&frame, static_cast<uint32_t>(payload.size()));
@@ -264,8 +265,9 @@ TEST(EncodeServerTest, HostileFramesGetInvalidArgumentNotACrash) {
     // Truncated body: a kEncode frame that ends mid-header.
     RawConn raw(lb.server.port());
     std::string payload;
+    wire::PutU8(&payload, wire::kProtocolVersion);
     wire::PutU8(&payload, wire::kEncode);
-    wire::PutU32(&payload, 1000);  // claims a 1000-byte client id, has none
+    wire::PutU32(&payload, 1000);  // claims a 1000-byte tenant id, has none
     std::string frame;
     wire::PutU32(&frame, static_cast<uint32_t>(payload.size()));
     frame.append(payload);
@@ -278,7 +280,9 @@ TEST(EncodeServerTest, HostileFramesGetInvalidArgumentNotACrash) {
     // before any allocation happens.
     RawConn raw(lb.server.port());
     std::string payload;
+    wire::PutU8(&payload, wire::kProtocolVersion);
     wire::PutU8(&payload, wire::kEncodeBatch);
+    wire::PutString(&payload, "");          // tenant id (default)
     wire::PutString(&payload, "");          // client id
     wire::PutU32(&payload, 0);              // priority
     wire::PutI64(&payload, -1);             // no deadline
@@ -303,6 +307,76 @@ TEST(EncodeServerTest, HostileFramesGetInvalidArgumentNotACrash) {
   EXPECT_GE(lb.service.metrics().net_bad_frames.value(), 4u);
   // The server is still perfectly healthy for well-formed clients.
   EXPECT_TRUE(lb.client.Encode(E().corpus[0]).ok());
+}
+
+TEST(EncodeServerTest, ProtocolVersionMismatchRejectedBeforeOpcode) {
+  Loopback lb;
+  // A v1 peer (no version byte) would lead with its opcode byte; any value
+  // other than kProtocolVersion must be rejected up front, before field
+  // layouts can silently diverge.
+  for (uint8_t stale : {uint8_t{1}, uint8_t{0},
+                        static_cast<uint8_t>(wire::kProtocolVersion + 1)}) {
+    RawConn raw(lb.server.port());
+    std::string payload;
+    wire::PutU8(&payload, stale);
+    wire::PutU8(&payload, wire::kEncode);
+    std::string frame;
+    wire::PutU32(&frame, static_cast<uint32_t>(payload.size()));
+    frame.append(payload);
+    raw.Send(frame);
+    EXPECT_EQ(raw.ReadReplyCode(),
+              static_cast<int>(StatusCode::kInvalidArgument))
+        << "version byte " << static_cast<int>(stale);
+  }
+  EXPECT_GE(lb.service.metrics().net_bad_frames.value(), 3u);
+  // A current-version client on the same server is untouched.
+  EXPECT_TRUE(lb.client.Encode(E().corpus[0]).ok());
+}
+
+TEST(EncodeServerTest, UnknownTenantIsNotFoundAcrossTheWire) {
+  Loopback lb;
+  WireRequestOptions options;
+  options.tenant_id = "no-such-db";
+  auto result = lb.client.Encode(E().corpus[0], options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // Rejected before the cache probe: the miss counter never moved.
+  EXPECT_EQ(lb.service.metrics().cache_misses.value(), 0u);
+  EXPECT_EQ(lb.service.metrics().tenant_not_found.value(), 1u);
+  // Batch slots carry the same code independently.
+  auto slots = lb.client.EncodeBatch({E().corpus[0], E().corpus[1]}, options);
+  ASSERT_EQ(slots.size(), 2u);
+  for (const auto& slot : slots) {
+    ASSERT_FALSE(slot.ok());
+    EXPECT_EQ(slot.status().code(), StatusCode::kNotFound);
+  }
+  // The connection survives, and the default tenant still serves.
+  EXPECT_TRUE(lb.client.Encode(E().corpus[0]).ok());
+}
+
+TEST(EncodeServerTest, PerTenantReloadOverTheWire) {
+  Loopback lb;
+  core::PreqrModel model_b = E().MakeModel();
+  tasks::PreqrEncoder encoder_b(&model_b);
+  ASSERT_TRUE(lb.service.RegisterTenant("b", &encoder_b, &model_b).ok());
+  const std::string path = testing::TempDir() + "/server_test_tenant_b.prc1";
+  ASSERT_TRUE(nn::SaveModule(model_b, path).ok());
+  WireRequestOptions options_b;
+  options_b.tenant_id = "b";
+  ASSERT_TRUE(lb.client.Encode(E().corpus[0], options_b).ok());
+  ASSERT_TRUE(lb.client.Encode(E().corpus[0]).ok());  // default tenant
+  EXPECT_EQ(lb.service.cached_embeddings("b"), 1u);
+  // Reloading tenant b clears exactly b's partition; the default tenant's
+  // cache (and its next hit) are untouched.
+  ASSERT_TRUE(lb.client.ReloadModel("b", path).ok());
+  EXPECT_EQ(lb.service.cached_embeddings("b"), 0u);
+  EXPECT_EQ(lb.service.cached_embeddings(kDefaultTenantId), 1u);
+  auto hit = lb.client.Encode(E().corpus[0]);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().cache_hit);
+  // Unknown tenant reloads come back kNotFound over the wire.
+  EXPECT_EQ(lb.client.ReloadModel("ghost", path).code(),
+            StatusCode::kNotFound);
 }
 
 TEST(EncodeServerTest, ConnectionCapRejectsExtraClients) {

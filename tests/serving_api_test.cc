@@ -420,6 +420,118 @@ TEST(ServingApiTest, ParkedArrivalHonorsDeadlineDuringDrain) {
   EXPECT_EQ(service.metrics().ShedTotal(), 0u);
 }
 
+TEST(ServingApiTest, PerTenantReloadParksOnlyThatTenant) {
+  StubEncoder stub_a, stub_b;
+  EncoderServiceOptions options;
+  options.per_client_quota = 100;
+  EncoderService service(&stub_a, options);  // "a" work rides the default
+  TinyModule model_a;
+  service.AttachModel(&model_a);
+  ASSERT_TRUE(service.RegisterTenant("b", &stub_b).ok());
+  const std::string path = testing::TempDir() + "/serving_api_tenant.prm1";
+  ASSERT_TRUE(nn::SaveModule(model_a, path).ok());
+
+  stub_a.CloseGate();
+  auto a1 = service.Submit(Req("a1"));
+  stub_a.WaitForCallsStarted(1);
+  auto a2 = service.Submit(Req("a2"));  // queued, so the drain counts it
+  std::thread reloader(
+      [&] { ASSERT_TRUE(service.ReloadModel(kDefaultTenantId, path).ok()); });
+  while (service.metrics().drained_requests.value() < 1u) {
+    std::this_thread::sleep_for(microseconds(200));
+  }
+  // The default tenant is draining (its encoder still gated shut) — but
+  // tenant b keeps encoding throughout via the synchronous batch path,
+  // which runs under b's own encode mutex and never touches a's.
+  for (int i = 0; i < 3; ++i) {
+    EncodeRequest rb;
+    rb.sql = "b" + std::to_string(i);
+    rb.tenant_id = "b";
+    auto slots = service.EncodeBatch(std::vector<EncodeRequest>{rb});
+    ASSERT_EQ(slots.size(), 1u);
+    ASSERT_TRUE(slots[0].ok()) << slots[0].status().ToString();
+    EXPECT_EQ(slots[0].value().tenant_id, "b");
+  }
+  // An arrival for the draining tenant parks instead.
+  std::thread late([&] {
+    auto r = service.Encode(Req("a3"));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  });
+  while (service.metrics().drain_waiters.value() < 1u) {
+    std::this_thread::sleep_for(microseconds(200));
+  }
+  stub_a.OpenGate();
+  reloader.join();
+  late.join();
+  ASSERT_TRUE(a1.get().ok());
+  ASSERT_TRUE(a2.get().ok());
+  // Only the default tenant's partition was cleared by the reload; b kept
+  // its three embeddings.
+  EXPECT_EQ(service.cached_embeddings("b"), 3u);
+  EXPECT_EQ(service.metrics().reloads.value(), 1u);
+  EXPECT_EQ(service.metrics().ShedTotal(), 0u);
+  EXPECT_EQ(service.metrics().errors.value(), 0u);
+}
+
+TEST(ServingApiTest, DeregisterRefusesNewWorkAndDeliversEverythingAdmitted) {
+  StubEncoder stub_default, stub_t;
+  EncoderServiceOptions options;
+  options.ring_capacity = 1024;  // the probe loop must never shed
+  options.per_client_quota = 1024;
+  EncoderService service(&stub_default, options);
+  ASSERT_TRUE(service.RegisterTenant("t", &stub_t).ok());
+  stub_t.CloseGate();
+  EncodeRequest first;
+  first.sql = "t-0";
+  first.tenant_id = "t";
+  auto f0 = service.Submit(std::move(first));
+  stub_t.WaitForCallsStarted(1);  // t-0 is mid-encode behind the gate
+  std::thread closer([&] { ASSERT_TRUE(service.DeregisterTenant("t").ok()); });
+  // Race admissions against the deregistration: every one either gets in
+  // (and must be delivered ok) or is refused kNotFound — never dropped,
+  // never mis-coded, never kResourceExhausted.
+  std::vector<std::future<StatusOr<EncodeResponse>>> admitted;
+  admitted.push_back(std::move(f0));
+  bool saw_not_found = false;
+  for (int i = 1; i < 200 && !saw_not_found; ++i) {
+    EncodeRequest r;
+    r.sql = "t-" + std::to_string(i);
+    r.tenant_id = "t";
+    auto f = service.Submit(std::move(r));
+    if (f.wait_for(milliseconds(0)) == std::future_status::ready) {
+      auto resolved = f.get();
+      ASSERT_FALSE(resolved.ok());
+      ASSERT_EQ(resolved.status().code(), StatusCode::kNotFound);
+      saw_not_found = true;
+    } else {
+      admitted.push_back(std::move(f));
+    }
+    std::this_thread::sleep_for(microseconds(100));
+  }
+  EXPECT_TRUE(saw_not_found);
+  // The default tenant keeps serving mid-deregistration (sync batch path:
+  // the dispatcher is busy behind tenant t's gate, the default tenant's
+  // encoder is not).
+  auto untouched =
+      service.EncodeBatch(std::vector<EncodeRequest>{Req("untouched")});
+  ASSERT_EQ(untouched.size(), 1u);
+  EXPECT_TRUE(untouched[0].ok()) << untouched[0].status().ToString();
+  stub_t.OpenGate();
+  closer.join();
+  for (auto& f : admitted) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().tenant_id, "t");
+  }
+  EXPECT_FALSE(service.HasTenant("t"));
+  EXPECT_EQ(service.cached_embeddings("t"), 0u);
+  // Lifecycle guard rails: the default tenant is not deregisterable, and
+  // unknown ids are kNotFound.
+  EXPECT_EQ(service.DeregisterTenant(kDefaultTenantId).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.DeregisterTenant("ghost").code(), StatusCode::kNotFound);
+}
+
 TEST(ServingApiTest, DestructionFailsQueuedRequestsWithUnavailable) {
   StubEncoder stub;
   std::future<StatusOr<EncodeResponse>> f1, f2;

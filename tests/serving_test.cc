@@ -363,6 +363,52 @@ TEST(EncoderServiceTest, MetricsDumpExposesCountersAndLatencies) {
 
 // The PreqrEncoder's own prefix cache is LRU-bounded now; hammer it past
 // capacity and verify the bound plus hit/miss accounting.
+TEST(EncoderServiceTest, TwoServicesNeverInterleaveEncodePathCounters) {
+  // Regression pin for the process-global EncodePathRegistry: each service
+  // installs its own sink around encoder calls, so two live services (or
+  // tenants) keep disjoint padded-batch counters, and direct encoder use
+  // outside any service still lands in the global registry.
+  auto model_a = E().MakeModel();
+  auto model_b = E().MakeModel();
+  tasks::PreqrEncoder encoder_a(&model_a);
+  tasks::PreqrEncoder encoder_b(&model_b);
+  EncoderService service_a(&encoder_a);
+  EncoderService service_b(&encoder_b);
+  const auto global_before = GlobalEncodePathStats();
+  // Three distinct misses through A, one through B: every padded batch a
+  // service triggers is attributed to that service alone.
+  ASSERT_TRUE(service_a
+                  .EncodeBatch(std::vector<std::string>{
+                      E().corpus[0], E().corpus[1], E().corpus[2]})[0]
+                  .ok());
+  ASSERT_TRUE(service_b.Encode(E().corpus[0]).ok());
+  const auto stats_a = service_a.metrics().encode_path.Stats();
+  const auto stats_b = service_b.metrics().encode_path.Stats();
+  EXPECT_GE(stats_a.padded_batches, 1u);
+  EXPECT_GE(stats_b.padded_batches, 1u);
+  // A's batch carried three queries, B's one — with a shared registry the
+  // slot counts would blur together.
+  EXPECT_GT(stats_a.padded_slots, stats_b.padded_slots);
+  // Neither service leaked into the process-global registry...
+  EXPECT_EQ(GlobalEncodePathStats().padded_batches,
+            global_before.padded_batches);
+  // ...and a direct encoder call (no service in sight) still lands there,
+  // not in either service's sink.
+  tasks::PreqrEncoder solo(&model_a);
+  ASSERT_TRUE(solo.TryEncodeVectorBatch(
+                      std::vector<std::string>{E().corpus[2], E().corpus[3]},
+                      /*train=*/false)[0]
+                  .ok());
+  EXPECT_GE(GlobalEncodePathStats().padded_batches,
+            global_before.padded_batches + 1);
+  EXPECT_EQ(service_a.metrics().encode_path.Stats().padded_batches,
+            stats_a.padded_batches);
+  // The per-service dump renders the per-service numbers.
+  const std::string dump_a = service_a.metrics().DumpText();
+  EXPECT_NE(dump_a.find("encode_padded_batches_total"), std::string::npos)
+      << dump_a;
+}
+
 TEST(PreqrEncoderCacheTest, PrefixCacheBoundedAndCounted) {
   auto model = E().MakeModel();
   tasks::PreqrEncoder::Options options;
