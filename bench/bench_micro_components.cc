@@ -13,7 +13,9 @@
 #include "db/stats.h"
 #include "nn/buffer_pool.h"
 #include "nn/kernels.h"
+#include "nn/kernels_dispatch.h"
 #include "nn/module.h"
+#include "nn/quant.h"
 #include "nn/ops.h"
 #include "schema/schema_graph.h"
 #include "serving/encoder_service.h"
@@ -309,6 +311,100 @@ void BM_MatMulKernel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
 BENCHMARK(BM_MatMulKernel)->Arg(96)->Arg(192);
+
+// --- Kernel dispatch backends (scalar vs AVX2 vs int8) -------------------
+// The same square GEMM through each kernel table directly, so the ISSUE's
+// AVX2-over-scalar speedup is measured at the kernel floor with no
+// dispatch-table indirection in the loop body.
+
+void MatMulImplBench(benchmark::State& state,
+                     const nn::kernels::KernelTable& table) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(10);
+  const size_t elems = static_cast<size_t>(n) * static_cast<size_t>(n);
+  std::vector<float> a(elems), b(elems), out(elems, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : b) v = static_cast<float>(rng.NextGaussian());
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    table.MatMulForward(a.data(), b.data(), out.data(), n, n, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+
+void BM_MatMulKernelScalar(benchmark::State& state) {
+  MatMulImplBench(state, nn::kernels::ScalarTable());
+}
+BENCHMARK(BM_MatMulKernelScalar)->Arg(96)->Arg(192);
+
+void BM_MatMulKernelAvx2(benchmark::State& state) {
+  if (!nn::kernels::Avx2Supported()) {
+    state.SkipWithError("AVX2+FMA unavailable on this host");
+    return;
+  }
+  MatMulImplBench(state, *nn::kernels::Avx2Table());
+}
+BENCHMARK(BM_MatMulKernelAvx2)->Arg(96)->Arg(192);
+
+// The int8 path pays per-row activation quantization inside the loop, as
+// the encode path does.
+void BM_MatMulKernelInt8(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(10);
+  nn::Tensor w = nn::Tensor::Randn({n, n}, rng, 1.0f);
+  auto qw = nn::quant::QuantizeWeight(w);
+  const size_t elems = static_cast<size_t>(n) * static_cast<size_t>(n);
+  std::vector<float> a(elems), out(elems, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.NextGaussian());
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    nn::quant::Int8MatMulForward(a.data(), *qw, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulKernelInt8)->Arg(96)->Arg(192);
+
+// End-to-end no-grad encode under a forced kernel impl / the int8 path:
+// the serving-visible form of the same speedup.
+void EncodeNoGradImplBench(benchmark::State& state, const char* impl,
+                           bool use_int8) {
+  const char* entry_impl = nn::kernels::ActiveImplName();
+  if (!nn::kernels::SetActiveImpl(impl)) {
+    state.SkipWithError("kernel impl unavailable on this host");
+    return;
+  }
+  {
+    tasks::PreqrEncoder::Options options;
+    options.cache_capacity = 1;
+    options.cache_shards = 1;
+    options.use_int8 = use_int8;
+    tasks::PreqrEncoder encoder(S().model.get(), options);
+    for (auto _ : state) {
+      encoder.InvalidateCache();
+      EncodeForwardOnce(encoder);
+    }
+  }
+  nn::kernels::SetActiveImpl(entry_impl);
+}
+
+void BM_EncodeNoGradScalar(benchmark::State& state) {
+  EncodeNoGradImplBench(state, "scalar", /*use_int8=*/false);
+}
+BENCHMARK(BM_EncodeNoGradScalar);
+
+void BM_EncodeNoGradAvx2(benchmark::State& state) {
+  EncodeNoGradImplBench(state, "avx2", /*use_int8=*/false);
+}
+BENCHMARK(BM_EncodeNoGradAvx2);
+
+void BM_EncodeNoGradInt8(benchmark::State& state) {
+  EncodeNoGradImplBench(
+      state, nn::kernels::Avx2Supported() ? "avx2" : "scalar",
+      /*use_int8=*/true);
+}
+BENCHMARK(BM_EncodeNoGradInt8);
 
 void BM_MatMulForward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -36,6 +36,7 @@
 
 #include "core/pretrain.h"
 #include "db/stats.h"
+#include "nn/kernels_dispatch.h"
 #include "serving/client.h"
 #include "serving/encoder_service.h"
 #include "serving/server.h"
@@ -302,6 +303,8 @@ int main() {
     return 1;
   }
   out << "{\n  \"bench\": \"serving_load\",\n";
+  out << "  \"kernel_impl\": \"" << preqr::nn::kernels::ActiveImplName()
+      << "\",\n";
   out << "  \"ring_capacity\": " << ring_capacity << ",\n";
   out << "  \"timeout_us\": " << timeout_us << ",\n";
   out << "  \"corpus\": " << corpus.size() << ",\n";

@@ -7,6 +7,7 @@
 #   SKIP_POOL_DEBUG=1 scripts/check.sh  # skip the pool-poison stage
 #   SKIP_FUZZ=1 scripts/check.sh        # skip the sanitized fuzz stage
 #   SKIP_SERVE=1 scripts/check.sh       # skip the serving front-end stage
+#   SKIP_SIMD=1 scripts/check.sh        # skip the SIMD/quantization stage
 #
 # The TSAN stage rebuilds with -DSANITIZE=thread into build-tsan/ and runs
 # the thread-pool and parallel-determinism suites (the tests that exercise
@@ -103,6 +104,8 @@ import json
 with open("build-tsan/BENCH_serving.json") as f:
     doc = json.load(f)
 points = doc["points"]
+assert doc.get("kernel_impl") in ("scalar", "avx2"), \
+    f"bad kernel_impl: {doc.get('kernel_impl')!r}"
 assert len(points) >= 3, f"expected >=3 load points, got {len(points)}"
 assert doc["tenants"] == 2, f"expected tenants=2, got {doc.get('tenants')}"
 for p in points:
@@ -123,6 +126,32 @@ for p in points:
 print("BENCH_serving.json schema ok:", len(points),
       "load points with per-tenant rows")
 EOF
+fi
+
+if [[ "${SKIP_SIMD:-0}" == "1" ]]; then
+  echo "== SIMD stage skipped (SKIP_SIMD=1) =="
+else
+  echo "== SIMD: kernel dispatch parity under both impls + UBSan on the quant path =="
+  # The kernel-parity suite under each forced impl: PREQR_KERNEL_IMPL must
+  # actually steer dispatch, and the per-impl determinism contract must
+  # hold whichever table is active. The encode suites re-run under the
+  # scalar table to prove the fallback serves identical Status behavior.
+  PREQR_KERNEL_IMPL=scalar ./build/tests/kernel_dispatch_test
+  PREQR_KERNEL_IMPL=avx2 ./build/tests/kernel_dispatch_test
+  PREQR_KERNEL_IMPL=scalar ./build/tests/nn_ops_grad_test
+  # UBSan over the int8 quantization path and the dispatch plumbing:
+  # rounding, packing, and the saturating deadline math must be UB-free.
+  cmake -B build-ubsan -S . -DSANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j --target kernel_dispatch_test \
+    --target serving_test --target fuzz_stress_test
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    ./build-ubsan/tests/kernel_dispatch_test
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    ./build-ubsan/tests/serving_test \
+    --gtest_filter='HistogramTest.*:DeadlineTest.*'
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    PREQR_FUZZ_QUERIES=300 ./build-ubsan/tests/fuzz_stress_test \
+    --gtest_filter='FuzzKernelPathTest.*'
 fi
 
 if [[ "${SKIP_POOL_DEBUG:-0}" != "1" ]]; then

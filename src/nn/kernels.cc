@@ -111,8 +111,18 @@ void GeluBackward(const float* x, const float* g, float* dx, size_t n) {
     const float v = x[i];
     const float u = kGeluC * (v + 0.044715f * v * v * v);
     const float t = std::tanh(u);
-    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
-    dx[i] += g[i] * (0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du);
+    const float sech2 = 1.0f - t * t;
+    float local = 0.5f * (1.0f + t);
+    // Once tanh saturates to exactly ±1 (|v| ≳ 10) sech² is exactly 0 while
+    // v²·du keeps growing and eventually overflows to inf; the saturated
+    // term's true limit is 0, but evaluating 0·inf would poison dx with
+    // NaN. Skipping the term when sech² == 0 is bitwise-identical for every
+    // non-saturated input (the product is a plain 0.0f there).
+    if (sech2 != 0.0f) {
+      const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+      local += 0.5f * v * sech2 * du;
+    }
+    dx[i] += g[i] * local;
   }
 }
 
@@ -178,6 +188,31 @@ void MatMulBackwardB(const float* a, const float* g, float* db, int m, int k,
                     if (av == 0.0f) continue;
                     const float* grow = g + static_cast<size_t>(i) * n;
                     for (int j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+                  }
+                }
+              });
+}
+
+void Int8GemmForward(const int8_t* aq, const float* a_scale, const int8_t* wt,
+                     float w_scale, float* out, int m, int k, int n) {
+  // Rows are independent and the inner dot product is exact integer math,
+  // so any partition is bitwise-identical to the serial pass.
+  ParallelFor(0, m, GrainForCost(static_cast<int64_t>(k) * n),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t i = r0; i < r1; ++i) {
+                  const float sa = a_scale[static_cast<size_t>(i)];
+                  if (sa == 0.0f) continue;  // all-zero row stays zero
+                  const float scale = sa * w_scale;
+                  const int8_t* arow = aq + static_cast<size_t>(i) * k;
+                  float* orow = out + static_cast<size_t>(i) * n;
+                  for (int j = 0; j < n; ++j) {
+                    const int8_t* wrow = wt + static_cast<size_t>(j) * k;
+                    int32_t acc = 0;
+                    for (int kk = 0; kk < k; ++kk) {
+                      acc += static_cast<int32_t>(arow[kk]) *
+                             static_cast<int32_t>(wrow[kk]);
+                    }
+                    orow[j] = static_cast<float>(acc) * scale;
                   }
                 }
               });

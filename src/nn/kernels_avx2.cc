@@ -1,0 +1,475 @@
+// AVX2/FMA backend for the hot forward kernels. Compiled with -mavx2 -mfma
+// (see src/nn/CMakeLists.txt); selected at runtime by kernels_dispatch.cc
+// only when CPUID reports avx2+fma.
+//
+// Determinism contract (see kernels_dispatch.h): results are bitwise-stable
+// across runs, thread counts, and batch compositions *within this backend*.
+// Three rules enforce that:
+//   1. Row routines are shared. The batched kernels call the exact per-row
+//      routine the single-query kernels use (BatchedMatMulNT materializes
+//      the same kᵀ operand the solo Transpose+MatMul path feeds the GEMM),
+//      so a row's bits depend only on its own values and its logical width.
+//   2. Elementwise tails go through the same vector routine as full lanes
+//      (copied through a zero-padded stack block), and GEMM tail columns
+//      use std::fmaf — the scalar twin of the vector fmadd — so an
+//      element's bits never depend on its alignment within a buffer.
+//   3. Reductions (softmax sum, layer-norm moments) use one fixed
+//      horizontal order per row width.
+// Bits intentionally differ from the scalar backend (FMA contraction and a
+// polynomial exp); cross-impl comparisons belong in tolerance tests.
+#if defined(PREQR_HAVE_AVX2)
+
+#include "nn/kernels_avx2.h"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace preqr::nn::kernels::avx2 {
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+// Cephes-style vectorized expf (max error ~1 ulp over the clamped range).
+// Inputs are clamped to ±88.376 so the result never overflows to inf; the
+// underflow side flushes to +0, which every caller tolerates.
+inline __m256 Exp8(__m256 x) {
+  x = _mm256_min_ps(_mm256_max_ps(x, _mm256_set1_ps(-88.3762626647949f)),
+                    _mm256_set1_ps(88.3762626647949f));
+  __m256 fx = _mm256_fmadd_ps(x, _mm256_set1_ps(1.44269504088896341f),
+                              _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), x);
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, _mm256_set1_ps(1.0f));
+  __m256i imm = _mm256_cvttps_epi32(fx);
+  imm = _mm256_add_epi32(imm, _mm256_set1_epi32(0x7f));
+  imm = _mm256_slli_epi32(imm, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(imm));
+}
+
+// tanh via exp(2|x|): saturates to exactly ±1 once 2/(e+1) underflows past
+// the float ulp at 1 — the same saturation point std::tanh exhibits.
+inline __m256 Tanh8(__m256 x) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  const __m256 sign = _mm256_and_ps(x, sign_mask);
+  const __m256 ax = _mm256_andnot_ps(sign_mask, x);
+  const __m256 e = Exp8(_mm256_add_ps(ax, ax));
+  const __m256 t = _mm256_sub_ps(
+      _mm256_set1_ps(1.0f),
+      _mm256_div_ps(_mm256_set1_ps(2.0f),
+                    _mm256_add_ps(e, _mm256_set1_ps(1.0f))));
+  return _mm256_or_ps(t, sign);
+}
+
+inline __m256 Sigmoid8(__m256 x) {
+  const __m256 e = Exp8(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(_mm256_set1_ps(1.0f),
+                       _mm256_add_ps(e, _mm256_set1_ps(1.0f)));
+}
+
+inline __m256 Gelu8(__m256 v) {
+  const __m256 v2 = _mm256_mul_ps(v, v);
+  const __m256 v3 = _mm256_mul_ps(v2, v);
+  const __m256 inner = _mm256_fmadd_ps(_mm256_set1_ps(0.044715f), v3, v);
+  const __m256 u = _mm256_mul_ps(_mm256_set1_ps(kGeluC), inner);
+  const __m256 t = Tanh8(u);
+  return _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.5f), v),
+                       _mm256_add_ps(_mm256_set1_ps(1.0f), t));
+}
+
+// Applies a lanewise __m256 -> __m256 function over a flat array. The tail
+// runs through the *same* vector routine via a zero-padded stack block, so
+// an element's bits are a pure function of its value — independent of its
+// offset, which differs between the solo [S, d] and batched [B, T, d]
+// layouts of the same logical row.
+template <typename F>
+inline void Map8(const float* x, float* out, size_t n, F f) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, f(_mm256_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    alignas(32) float buf[8] = {0};
+    std::memcpy(buf, x + i, (n - i) * sizeof(float));
+    const __m256 r = f(_mm256_load_ps(buf));
+    _mm256_store_ps(buf, r);
+    std::memcpy(out + i, buf, (n - i) * sizeof(float));
+  }
+}
+
+inline float HSum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+inline float HMax8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_max_ps(lo, hi);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+// One GEMM output row: orow[j] (+)= sum_kk arow[kk] * b[kk*n + j], j < n.
+// Register-blocked over 32 output columns so the accumulators stay in
+// registers across the whole kk sweep. Per output element the operation
+// sequence is an fma chain over the nonzero kk in ascending order — the
+// 8-wide and fmaf tail paths run the identical chain, so an element's bits
+// depend only on (arow, column of b, prior orow value), never on n's
+// divisibility or the blocking boundaries. The av == 0.0f skip preserves
+// the scalar kernel's guarantee that all-zero (pad) rows leave orow
+// untouched even when b carries inf/NaN garbage in pad positions.
+inline void MatMulRowFma(const float* arow, const float* b, float* orow,
+                         int k, int n) {
+  int j0 = 0;
+  for (; j0 + 32 <= n; j0 += 32) {
+    float* o = orow + j0;
+    __m256 o0 = _mm256_loadu_ps(o);
+    __m256 o1 = _mm256_loadu_ps(o + 8);
+    __m256 o2 = _mm256_loadu_ps(o + 16);
+    __m256 o3 = _mm256_loadu_ps(o + 24);
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const __m256 a8 = _mm256_set1_ps(av);
+      const float* brow = b + static_cast<size_t>(kk) * n + j0;
+      o0 = _mm256_fmadd_ps(a8, _mm256_loadu_ps(brow), o0);
+      o1 = _mm256_fmadd_ps(a8, _mm256_loadu_ps(brow + 8), o1);
+      o2 = _mm256_fmadd_ps(a8, _mm256_loadu_ps(brow + 16), o2);
+      o3 = _mm256_fmadd_ps(a8, _mm256_loadu_ps(brow + 24), o3);
+    }
+    _mm256_storeu_ps(o, o0);
+    _mm256_storeu_ps(o + 8, o1);
+    _mm256_storeu_ps(o + 16, o2);
+    _mm256_storeu_ps(o + 24, o3);
+  }
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256 o = _mm256_loadu_ps(orow + j0);
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      o = _mm256_fmadd_ps(_mm256_set1_ps(av),
+                          _mm256_loadu_ps(b + static_cast<size_t>(kk) * n + j0),
+                          o);
+    }
+    _mm256_storeu_ps(orow + j0, o);
+  }
+  for (; j0 < n; ++j0) {
+    float o = orow[j0];
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      o = std::fmaf(av, b[static_cast<size_t>(kk) * n + j0], o);
+    }
+    orow[j0] = o;
+  }
+}
+
+// One softmax row of width d: vector max (exact, order-free), per-element
+// Exp8 through Map8, then a sequential j-order sum — one fixed reduction
+// order per width, shared by SoftmaxForward and MaskedSoftmaxForward.
+inline void SoftmaxRow(const float* in, float* o, int d) {
+  float mx;
+  if (d >= 8) {
+    __m256 m8 = _mm256_loadu_ps(in);
+    int j = 8;
+    for (; j + 8 <= d; j += 8) {
+      m8 = _mm256_max_ps(m8, _mm256_loadu_ps(in + j));
+    }
+    mx = HMax8(m8);
+    for (; j < d; ++j) mx = std::max(mx, in[j]);
+  } else {
+    mx = in[0];
+    for (int j = 1; j < d; ++j) mx = std::max(mx, in[j]);
+  }
+  const __m256 mx8 = _mm256_set1_ps(mx);
+  Map8(in, o, static_cast<size_t>(d),
+       [mx8](__m256 v) { return Exp8(_mm256_sub_ps(v, mx8)); });
+  float sum = 0.0f;
+  for (int j = 0; j < d; ++j) sum += o[j];
+  const float inv = 1.0f / sum;
+  const __m256 inv8 = _mm256_set1_ps(inv);
+  int j = 0;
+  for (; j + 8 <= d; j += 8) {
+    _mm256_storeu_ps(o + j, _mm256_mul_ps(_mm256_loadu_ps(o + j), inv8));
+  }
+  for (; j < d; ++j) o[j] *= inv;
+}
+
+// One layer-norm row of width d. Moments use the fixed 8-lane partial-sum +
+// HSum8 + sequential-tail order; the normalization itself is per-element.
+// Shared by LayerNormForward and MaskedLayerNormForward.
+inline void LayerNormRow(const float* row, const float* gamma,
+                         const float* beta, float eps, float* o, float* xh,
+                         float* istd_out, int d) {
+  const int d8 = d & ~7;
+  __m256 acc = _mm256_setzero_ps();
+  for (int j = 0; j < d8; j += 8) {
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(row + j));
+  }
+  float sum = HSum8(acc);
+  for (int j = d8; j < d; ++j) sum += row[j];
+  const float mean = sum / static_cast<float>(d);
+  const __m256 mean8 = _mm256_set1_ps(mean);
+  acc = _mm256_setzero_ps();
+  for (int j = 0; j < d8; j += 8) {
+    const __m256 c = _mm256_sub_ps(_mm256_loadu_ps(row + j), mean8);
+    acc = _mm256_fmadd_ps(c, c, acc);
+  }
+  float var = HSum8(acc);
+  for (int j = d8; j < d; ++j) {
+    const float c = row[j] - mean;
+    var = std::fmaf(c, c, var);
+  }
+  var /= static_cast<float>(d);
+  const float istd = 1.0f / std::sqrt(var + eps);
+  if (istd_out != nullptr) *istd_out = istd;
+  const __m256 istd8 = _mm256_set1_ps(istd);
+  int j = 0;
+  for (; j + 8 <= d; j += 8) {
+    const __m256 xv = _mm256_mul_ps(
+        _mm256_sub_ps(_mm256_loadu_ps(row + j), mean8), istd8);
+    if (xh != nullptr) _mm256_storeu_ps(xh + j, xv);
+    const __m256 ov = _mm256_add_ps(
+        _mm256_mul_ps(xv, _mm256_loadu_ps(gamma + j)),
+        _mm256_loadu_ps(beta + j));
+    _mm256_storeu_ps(o + j, ov);
+  }
+  for (; j < d; ++j) {
+    const float xv = (row[j] - mean) * istd;
+    if (xh != nullptr) xh[j] = xv;
+    o[j] = xv * gamma[j] + beta[j];
+  }
+}
+
+inline int32_t HSumEpi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 1));
+  return _mm_cvtsi128_si32(s);
+}
+
+}  // namespace
+
+void MatMulForward(const float* a, const float* b, float* out, int m, int k,
+                   int n) {
+  ParallelFor(0, m, GrainForCost(static_cast<int64_t>(k) * n),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t i = r0; i < r1; ++i) {
+                  MatMulRowFma(a + static_cast<size_t>(i) * k, b,
+                               out + static_cast<size_t>(i) * n, k, n);
+                }
+              });
+}
+
+void AddBiasForward(const float* x, const float* bias, float* out,
+                    size_t rows, int d) {
+  // Lane-exact: vector add == scalar add per element.
+  const int d8 = d & ~7;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* in = x + r * static_cast<size_t>(d);
+    float* row = out + r * static_cast<size_t>(d);
+    int j = 0;
+    for (; j < d8; j += 8) {
+      _mm256_storeu_ps(row + j, _mm256_add_ps(_mm256_loadu_ps(in + j),
+                                              _mm256_loadu_ps(bias + j)));
+    }
+    for (; j < d; ++j) row[j] = in[j] + bias[j];
+  }
+}
+
+void ReluForward(const float* x, float* out, size_t n) {
+  // max(x, +0) matches the scalar x > 0 ? x : 0 for every input incl. -0.
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void GeluForward(const float* x, float* out, size_t n) {
+  Map8(x, out, n, [](__m256 v) { return Gelu8(v); });
+}
+
+void TanhForward(const float* x, float* out, size_t n) {
+  Map8(x, out, n, [](__m256 v) { return Tanh8(v); });
+}
+
+void SigmoidForward(const float* x, float* out, size_t n) {
+  Map8(x, out, n, [](__m256 v) { return Sigmoid8(v); });
+}
+
+void SoftmaxForward(const float* x, float* out, size_t rows, int d) {
+  ParallelFor(0, static_cast<int64_t>(rows), GrainForCost(d),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  SoftmaxRow(x + static_cast<size_t>(r) * d,
+                             out + static_cast<size_t>(r) * d, d);
+                }
+              });
+}
+
+void LayerNormForward(const float* x, const float* gamma, const float* beta,
+                      float eps, float* out, float* xhat, float* inv_std,
+                      int n, int d) {
+  ParallelFor(0, n, GrainForCost(d), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      LayerNormRow(x + static_cast<size_t>(i) * d, gamma, beta, eps,
+                   out + static_cast<size_t>(i) * d,
+                   xhat != nullptr ? xhat + static_cast<size_t>(i) * d
+                                   : nullptr,
+                   inv_std != nullptr ? inv_std + static_cast<size_t>(i)
+                                      : nullptr,
+                   d);
+    }
+  });
+}
+
+void BatchedMatMulNTForward(const float* a, const float* bt, float* out,
+                            int bsz, int t, int k, const int* lengths) {
+  // Per example: materialize kᵀ exactly as the solo path's Transpose does
+  // (a pure copy — no float ops), then run the shared GEMM row routine. A
+  // valid row's bits therefore equal the solo MatMul(q, Transpose(kh)) row
+  // under this backend. Partitioning per example keeps the scratch local.
+  ParallelFor(0, bsz, 1, [&](int64_t b0, int64_t b1) {
+    std::vector<float> kt;
+    for (int64_t b = b0; b < b1; ++b) {
+      const int len = lengths[b];
+      if (len <= 0) continue;
+      const float* ab = a + static_cast<size_t>(b) * t * k;
+      const float* btb = bt + static_cast<size_t>(b) * t * k;
+      kt.resize(static_cast<size_t>(k) * static_cast<size_t>(len));
+      for (int j = 0; j < len; ++j) {
+        for (int kk = 0; kk < k; ++kk) {
+          kt[static_cast<size_t>(kk) * len + j] =
+              btb[static_cast<size_t>(j) * k + kk];
+        }
+      }
+      for (int i = 0; i < len; ++i) {
+        MatMulRowFma(ab + static_cast<size_t>(i) * k, kt.data(),
+                     out + (static_cast<size_t>(b) * t +
+                            static_cast<size_t>(i)) *
+                               t,
+                     k, len);
+      }
+    }
+  });
+}
+
+void BatchedMatMulNNForward(const float* w, const float* v, float* out,
+                            int bsz, int t, int dv, const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(static_cast<int64_t>(t) * dv),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const int b = static_cast<int>(r / t);
+                  const int i = static_cast<int>(r % t);
+                  const int len = lengths[b];
+                  if (i >= len) continue;  // pad row: stays zero
+                  MatMulRowFma(w + static_cast<size_t>(r) * t,
+                               v + static_cast<size_t>(b) * t * dv,
+                               out + static_cast<size_t>(r) * dv, len, dv);
+                }
+              });
+}
+
+void MaskedSoftmaxForward(const float* x, float* out, int bsz, int t,
+                          const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(t), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int b = static_cast<int>(r / t);
+      const int i = static_cast<int>(r % t);
+      const int len = lengths[b];
+      if (i >= len) continue;  // pad row: stays zero
+      SoftmaxRow(x + static_cast<size_t>(r) * t,
+                 out + static_cast<size_t>(r) * t, len);
+    }
+  });
+}
+
+void MaskedLayerNormForward(const float* x, const float* gamma,
+                            const float* beta, float eps, float* out,
+                            float* xhat, float* inv_std, int bsz, int t,
+                            int d, const int* lengths) {
+  const int64_t rows = static_cast<int64_t>(bsz) * t;
+  ParallelFor(0, rows, GrainForCost(d), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int b = static_cast<int>(r / t);
+      const int i = static_cast<int>(r % t);
+      if (i >= lengths[b]) continue;  // pad row: out/xhat stay zero
+      LayerNormRow(x + static_cast<size_t>(r) * d, gamma, beta, eps,
+                   out + static_cast<size_t>(r) * d,
+                   xhat != nullptr ? xhat + static_cast<size_t>(r) * d
+                                   : nullptr,
+                   inv_std != nullptr ? inv_std + static_cast<size_t>(r)
+                                      : nullptr,
+                   d);
+    }
+  });
+}
+
+void Int8GemmForward(const int8_t* aq, const float* a_scale, const int8_t* wt,
+                     float w_scale, float* out, int m, int k, int n) {
+  // Integer accumulation is exact and order-free, so this is bitwise
+  // identical to the scalar Int8GemmForward — the dequantization applies
+  // the same two float ops to the same int32.
+  const int k16 = k & ~15;
+  ParallelFor(0, m, GrainForCost(static_cast<int64_t>(k) * n),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t i = r0; i < r1; ++i) {
+                  const float sa = a_scale[static_cast<size_t>(i)];
+                  if (sa == 0.0f) continue;  // all-zero row stays zero
+                  const float scale = sa * w_scale;
+                  const int8_t* arow = aq + static_cast<size_t>(i) * k;
+                  float* orow = out + static_cast<size_t>(i) * n;
+                  for (int j = 0; j < n; ++j) {
+                    const int8_t* wrow = wt + static_cast<size_t>(j) * k;
+                    __m256i acc8 = _mm256_setzero_si256();
+                    int kk = 0;
+                    for (; kk < k16; kk += 16) {
+                      const __m256i a16 = _mm256_cvtepi8_epi16(
+                          _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                              arow + kk)));
+                      const __m256i w16 = _mm256_cvtepi8_epi16(
+                          _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                              wrow + kk)));
+                      acc8 = _mm256_add_epi32(acc8,
+                                              _mm256_madd_epi16(a16, w16));
+                    }
+                    int32_t acc = HSumEpi32(acc8);
+                    for (; kk < k; ++kk) {
+                      acc += static_cast<int32_t>(arow[kk]) *
+                             static_cast<int32_t>(wrow[kk]);
+                    }
+                    orow[j] = static_cast<float>(acc) * scale;
+                  }
+                }
+              });
+}
+
+}  // namespace preqr::nn::kernels::avx2
+
+#endif  // PREQR_HAVE_AVX2

@@ -1,0 +1,87 @@
+#ifndef PREQR_NN_KERNELS_DISPATCH_H_
+#define PREQR_NN_KERNELS_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace preqr::nn::kernels {
+
+// Runtime dispatch over the hot *forward* compute kernels. Exactly the
+// kernels that dominate the no-grad encode path have more than one
+// implementation: the portable scalar loops in kernels.cc (the mandatory
+// fallback, bitwise-identical to the pre-dispatch code) and the AVX2/FMA
+// backend in kernels_avx2.cc (compiled only when the toolchain supports
+// -mavx2 -mfma, selected only when CPUID reports both).
+//
+// Every backward kernel stays scalar and is called directly — training,
+// exact checkpoint resume, and the pinned grad-path determinism tests never
+// see a SIMD float. Forward dispatch is grad-agnostic (the tape-on forward
+// uses the same table), which keeps the grad-on/grad-off bitwise pin intact
+// because both sides of that comparison run under one implementation.
+//
+// Determinism contract per implementation:
+//   * scalar — bitwise-identical to the historical kernels at any thread
+//     count and batch composition (unchanged code).
+//   * avx2 — bitwise-stable across runs, thread counts, and batch
+//     compositions *under avx2*: the batched kernels reuse the exact
+//     per-row routines of the single-query kernels (NT materializes the
+//     same kᵀ operand the solo Transpose+MatMul path feeds the GEMM), and
+//     elementwise tails run through the same vector routine as full lanes,
+//     so a row's bits depend only on its own values. Scalar and avx2
+//     *differ* from each other in float low bits (FMA contraction and a
+//     polynomial exp); mixed-impl comparisons get tolerances, same-impl
+//     comparisons stay memcmp-exact.
+//   * int8 GEMM — exact int32 accumulation; identical bits from every
+//     implementation.
+struct KernelTable {
+  const char* name;
+  void (*MatMulForward)(const float* a, const float* b, float* out, int m,
+                        int k, int n);
+  void (*AddBiasForward)(const float* x, const float* bias, float* out,
+                         size_t rows, int d);
+  void (*ReluForward)(const float* x, float* out, size_t n);
+  void (*GeluForward)(const float* x, float* out, size_t n);
+  void (*TanhForward)(const float* x, float* out, size_t n);
+  void (*SigmoidForward)(const float* x, float* out, size_t n);
+  void (*SoftmaxForward)(const float* x, float* out, size_t rows, int d);
+  void (*LayerNormForward)(const float* x, const float* gamma,
+                           const float* beta, float eps, float* out,
+                           float* xhat, float* inv_std, int n, int d);
+  void (*BatchedMatMulNTForward)(const float* a, const float* bt, float* out,
+                                 int bsz, int t, int k, const int* lengths);
+  void (*BatchedMatMulNNForward)(const float* w, const float* v, float* out,
+                                 int bsz, int t, int dv, const int* lengths);
+  void (*MaskedSoftmaxForward)(const float* x, float* out, int bsz, int t,
+                               const int* lengths);
+  void (*MaskedLayerNormForward)(const float* x, const float* gamma,
+                                 const float* beta, float eps, float* out,
+                                 float* xhat, float* inv_std, int bsz, int t,
+                                 int d, const int* lengths);
+  void (*Int8GemmForward)(const int8_t* aq, const float* a_scale,
+                          const int8_t* wt, float w_scale, float* out, int m,
+                          int k, int n);
+};
+
+// The two candidate tables. Avx2Table() is null when the backend was not
+// compiled in (PREQR_ENABLE_AVX2=OFF or no toolchain support) or the CPU
+// lacks avx2/fma.
+const KernelTable& ScalarTable();
+const KernelTable* Avx2Table();
+
+// True when the AVX2 backend is compiled in AND the CPU reports avx2+fma.
+bool Avx2Supported();
+
+// The active table. First use selects via PREQR_KERNEL_IMPL=scalar|avx2
+// (an unsupported request falls back to scalar with a stderr note), else
+// CPUID: avx2 when supported, scalar otherwise.
+const KernelTable& Active();
+const char* ActiveImplName();
+
+// Test/bench hook: re-point the active table by name ("scalar" | "avx2").
+// Returns false (and leaves the table alone) for an unknown or unsupported
+// name. Not safe to call while kernels are executing on other threads.
+bool SetActiveImpl(const char* name);
+
+}  // namespace preqr::nn::kernels
+
+#endif  // PREQR_NN_KERNELS_DISPATCH_H_

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "nn/kernels.h"
+#include "nn/kernels_dispatch.h"
+#include "nn/quant.h"
 
 // Tape-wiring layer: every op here (1) validates shapes, (2) calls its
 // compute kernel from nn/kernels.h, and (3) — only when grad mode is on
@@ -12,6 +14,10 @@
 // calls the matching backward kernels. Under NoGradGuard step (3) is
 // skipped entirely: no closure, no parent references, and the output's
 // storage comes from the thread-local BufferPool (see tensor.cc).
+//
+// The hot forward kernels go through kernels::Active() (runtime-dispatched
+// scalar/AVX2, see kernels_dispatch.h). Every backward kernel is called
+// directly — the grad path stays scalar and bitwise-unchanged.
 
 namespace preqr::nn {
 
@@ -140,7 +146,7 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
   PREQR_CHECK_EQ(x.dim(x.ndim() - 1), d);
   const size_t rows = x.vec().size() / static_cast<size_t>(d);
   Tensor out = Tensor::Zeros(x.shape());
-  kernels::AddBiasForward(x.data(), bias.data(), out.data(), rows, d);
+  kernels::Active().AddBiasForward(x.data(), bias.data(), out.data(), rows, d);
   if (!NeedsTape(x, bias)) return out;
   auto xi = x.impl(), bi = bias.impl();
   Wire(out, {xi, bi}, [xi, bi, d](TensorImpl* self) {
@@ -155,7 +161,7 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
 
 Tensor Relu(const Tensor& x) {
   Tensor out = Tensor::Zeros(x.shape());
-  kernels::ReluForward(x.data(), out.data(), out.vec().size());
+  kernels::Active().ReluForward(x.data(), out.data(), out.vec().size());
   if (!NeedsTape(x)) return out;
   auto xi = x.impl();
   Wire(out, {xi}, [xi](TensorImpl* self) {
@@ -169,7 +175,7 @@ Tensor Relu(const Tensor& x) {
 
 Tensor Gelu(const Tensor& x) {
   Tensor out = Tensor::Zeros(x.shape());
-  kernels::GeluForward(x.data(), out.data(), out.vec().size());
+  kernels::Active().GeluForward(x.data(), out.data(), out.vec().size());
   if (!NeedsTape(x)) return out;
   auto xi = x.impl();
   Wire(out, {xi}, [xi](TensorImpl* self) {
@@ -183,7 +189,7 @@ Tensor Gelu(const Tensor& x) {
 
 Tensor Tanh(const Tensor& x) {
   Tensor out = Tensor::Zeros(x.shape());
-  kernels::TanhForward(x.data(), out.data(), out.vec().size());
+  kernels::Active().TanhForward(x.data(), out.data(), out.vec().size());
   if (!NeedsTape(x)) return out;
   auto xi = x.impl();
   Wire(out, {xi}, [xi](TensorImpl* self) {
@@ -197,7 +203,7 @@ Tensor Tanh(const Tensor& x) {
 
 Tensor Sigmoid(const Tensor& x) {
   Tensor out = Tensor::Zeros(x.shape());
-  kernels::SigmoidForward(x.data(), out.data(), out.vec().size());
+  kernels::Active().SigmoidForward(x.data(), out.data(), out.vec().size());
   if (!NeedsTape(x)) return out;
   auto xi = x.impl();
   Wire(out, {xi}, [xi](TensorImpl* self) {
@@ -220,7 +226,18 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Shape shape = a.shape();
   shape[static_cast<size_t>(a.ndim() - 1)] = n;
   Tensor out = Tensor::Zeros(std::move(shape));
-  kernels::MatMulForward(a.data(), b.data(), out.data(), m, k, n);
+  // Int8 fast path: inference-only (tape off), thread-opted-in via
+  // Int8Guard, and only for weights carrying a calibrated shadow whose
+  // shape still matches (a reloaded model swaps shadows atomically with
+  // the float data under the service's encode lock).
+  if (!GradMode::enabled() && quant::Int8Enabled()) {
+    const auto& qw = b.impl()->quant;
+    if (qw != nullptr && qw->k == k && qw->n == n) {
+      quant::Int8MatMulForward(a.data(), *qw, out.data(), m);
+      return out;
+    }
+  }
+  kernels::Active().MatMulForward(a.data(), b.data(), out.data(), m, k, n);
   if (!NeedsTape(a, b)) return out;
   auto ai = a.impl(), bi = b.impl();
   Wire(out, {ai, bi}, [ai, bi, m, k, n](TensorImpl* self) {
@@ -256,7 +273,7 @@ Tensor SoftmaxLastDim(const Tensor& x) {
   const int d = x.dim(x.ndim() - 1);
   const size_t rows = x.vec().size() / static_cast<size_t>(d);
   Tensor out = Tensor::Zeros(x.shape());
-  kernels::SoftmaxForward(x.data(), out.data(), rows, d);
+  kernels::Active().SoftmaxForward(x.data(), out.data(), rows, d);
   if (!NeedsTape(x)) return out;
   auto xi = x.impl();
   Wire(out, {xi}, [xi, d](TensorImpl* self) {
@@ -285,9 +302,9 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         static_cast<size_t>(n) * static_cast<size_t>(d));
     istd_s = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
   }
-  kernels::LayerNormForward(x.data(), gamma.data(), beta.data(), eps,
-                            out.data(), tape ? xhat_s->data() : nullptr,
-                            tape ? istd_s->data() : nullptr, n, d);
+  kernels::Active().LayerNormForward(x.data(), gamma.data(), beta.data(), eps,
+                                     out.data(), tape ? xhat_s->data() : nullptr,
+                                     tape ? istd_s->data() : nullptr, n, d);
   if (!tape) return out;
   auto xi = x.impl(), gi = gamma.impl(), bi = beta.impl();
   Wire(out, {xi, gi, bi}, [xi, gi, bi, xhat_s, istd_s, n, d](TensorImpl* self) {
@@ -653,8 +670,8 @@ Tensor BatchedMatMulNT(const Tensor& a, const Tensor& b,
   PREQR_CHECK(a.shape() == b.shape());
   const int bsz = a.dim(0), t = a.dim(1), k = a.dim(2);
   Tensor out = Tensor::Zeros({bsz, t, t});
-  kernels::BatchedMatMulNTForward(a.data(), b.data(), out.data(), bsz, t, k,
-                                  lengths.data());
+  kernels::Active().BatchedMatMulNTForward(a.data(), b.data(), out.data(), bsz,
+                                           t, k, lengths.data());
   if (!NeedsTape(a, b)) return out;
   auto ai = a.impl(), bi = b.impl();
   Wire(out, {ai, bi}, [ai, bi, bsz, t, k, lengths](TensorImpl* self) {
@@ -682,8 +699,8 @@ Tensor BatchedMatMulNN(const Tensor& w, const Tensor& v,
   PREQR_CHECK_EQ(w.dim(2), v.dim(1));
   const int bsz = v.dim(0), t = v.dim(1), dv = v.dim(2);
   Tensor out = Tensor::Zeros({bsz, t, dv});
-  kernels::BatchedMatMulNNForward(w.data(), v.data(), out.data(), bsz, t, dv,
-                                  lengths.data());
+  kernels::Active().BatchedMatMulNNForward(w.data(), v.data(), out.data(), bsz,
+                                           t, dv, lengths.data());
   if (!NeedsTape(w, v)) return out;
   auto wi = w.impl(), vi = v.impl();
   Wire(out, {wi, vi}, [wi, vi, bsz, t, dv, lengths](TensorImpl* self) {
@@ -707,7 +724,8 @@ Tensor MaskedSoftmaxLastDim(const Tensor& x, const std::vector<int>& lengths) {
   PREQR_CHECK_EQ(x.dim(1), x.dim(2));
   const int bsz = x.dim(0), t = x.dim(1);
   Tensor out = Tensor::Zeros(x.shape());
-  kernels::MaskedSoftmaxForward(x.data(), out.data(), bsz, t, lengths.data());
+  kernels::Active().MaskedSoftmaxForward(x.data(), out.data(), bsz, t,
+                                         lengths.data());
   if (!NeedsTape(x)) return out;
   auto xi = x.impl();
   Wire(out, {xi}, [xi, bsz, t, lengths](TensorImpl* self) {
@@ -734,7 +752,7 @@ Tensor MaskedLayerNorm(const Tensor& x, const Tensor& gamma,
     istd_s = std::make_shared<std::vector<float>>(
         static_cast<size_t>(bsz) * static_cast<size_t>(t));
   }
-  kernels::MaskedLayerNormForward(
+  kernels::Active().MaskedLayerNormForward(
       x.data(), gamma.data(), beta.data(), eps, out.data(),
       tape ? xhat_s->data() : nullptr, tape ? istd_s->data() : nullptr, bsz,
       t, d, lengths.data());

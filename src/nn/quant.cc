@@ -1,0 +1,113 @@
+#include "nn/quant.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/kernels_dispatch.h"
+#include "nn/module.h"
+
+namespace preqr::nn::quant {
+namespace {
+
+thread_local bool t_int8_enabled = false;
+
+// Per-thread scratch for the dynamically quantized activations. Reused
+// across calls so the steady-state encode path stays allocation-free.
+struct RowQuantScratch {
+  std::vector<int8_t> aq;
+  std::vector<float> scales;
+};
+
+thread_local RowQuantScratch t_scratch;
+
+// Quantizes one activation row symmetrically. Row-local by construction:
+// the bits depend only on the row's own values, never on batch neighbors.
+// Returns the scale (0 for an all-zero row, which the GEMM skips).
+float QuantizeRow(const float* row, int8_t* q, int k) {
+  float amax = 0.0f;
+  for (int i = 0; i < k; ++i) {
+    const float a = std::fabs(row[i]);
+    if (a > amax) amax = a;
+  }
+  if (amax == 0.0f) return 0.0f;
+  const float scale = amax / 127.0f;
+  const float inv = 127.0f / amax;
+  for (int i = 0; i < k; ++i) {
+    // lrintf rounds to nearest-even under the default FP environment — one
+    // deterministic rounding rule for every backend and batch shape.
+    q[i] = static_cast<int8_t>(std::lrintf(row[i] * inv));
+  }
+  return scale;
+}
+
+}  // namespace
+
+bool Int8Enabled() { return t_int8_enabled; }
+
+Int8Guard::Int8Guard(bool enable) : prev_(t_int8_enabled) {
+  t_int8_enabled = enable;
+}
+
+Int8Guard::~Int8Guard() { t_int8_enabled = prev_; }
+
+std::shared_ptr<QuantizedWeight> QuantizeWeight(const Tensor& w) {
+  PREQR_CHECK_EQ(w.ndim(), 2);
+  const int k = w.dim(0);
+  const int n = w.dim(1);
+  auto qw = std::make_shared<QuantizedWeight>();
+  qw->k = k;
+  qw->n = n;
+  qw->wt.assign(static_cast<size_t>(k) * n, 0);
+  const float* data = w.data();
+  float amax = 0.0f;
+  for (Index i = 0; i < w.size(); ++i) {
+    const float a = std::fabs(data[i]);
+    if (a > amax) amax = a;
+  }
+  if (amax == 0.0f) return qw;  // scale 0: GEMM would produce exact zeros
+  qw->scale = amax / 127.0f;
+  const float inv = 127.0f / amax;
+  for (int kk = 0; kk < k; ++kk) {
+    for (int j = 0; j < n; ++j) {
+      qw->wt[static_cast<size_t>(j) * k + kk] = static_cast<int8_t>(
+          std::lrintf(data[static_cast<size_t>(kk) * n + j] * inv));
+    }
+  }
+  return qw;
+}
+
+int CalibrateModule(const Module& m) {
+  int quantized = 0;
+  for (const auto& [name, p] : m.NamedParameters()) {
+    if (!p.defined() || p.ndim() != 2) continue;
+    p.impl()->quant = QuantizeWeight(p);
+    ++quantized;
+  }
+  return quantized;
+}
+
+void ClearCalibration(const Module& m) {
+  for (const auto& [name, p] : m.NamedParameters()) {
+    if (p.defined()) p.impl()->quant.reset();
+  }
+}
+
+void Int8MatMulForward(const float* a, const QuantizedWeight& qw, float* out,
+                       int m) {
+  const int k = qw.k;
+  const int n = qw.n;
+  auto& scratch = t_scratch;
+  scratch.aq.resize(static_cast<size_t>(m) * k);
+  scratch.scales.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    scratch.scales[static_cast<size_t>(i)] = QuantizeRow(
+        a + static_cast<size_t>(i) * k,
+        scratch.aq.data() + static_cast<size_t>(i) * k, k);
+  }
+  kernels::Active().Int8GemmForward(scratch.aq.data(), scratch.scales.data(),
+                                    qw.wt.data(), qw.scale, out, m, k, n);
+}
+
+}  // namespace preqr::nn::quant

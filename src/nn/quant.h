@@ -1,0 +1,79 @@
+#ifndef PREQR_NN_QUANT_H_
+#define PREQR_NN_QUANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+// Int8 quantized inference path for Linear weights.
+//
+// Scheme: per-tensor symmetric weight quantization (scale = max|w| / 127,
+// round-to-nearest-even, no zero point) packed as the transposed int8
+// matrix Wᵀ [n, k] so the GEMM reads both operands along k contiguously.
+// Activations are quantized dynamically per row with row-local symmetric
+// scales — a row's quantized bits depend only on that row, which keeps the
+// int8 path batch-composition invariant like the float kernels. The GEMM
+// accumulates in exact int32 and dequantizes with two float multiplies, so
+// every kernel backend produces bitwise-identical int8 results.
+//
+// The path is opt-in per encoder (PreqrEncoder::Options::use_int8) and
+// engages only when (a) the tape is off, (b) an Int8Guard is installed on
+// the current thread, and (c) the weight carries a calibrated shadow.
+// Training, gradients, and serialized checkpoints never see int8 state.
+namespace preqr::nn {
+class Module;  // module.h includes tensor.h; forward-declare to avoid a cycle
+}
+
+namespace preqr::nn::quant {
+
+// Immutable int8 shadow of one 2-D weight [k, n], attached to
+// TensorImpl::quant by CalibrateModule. `wt` is the packed transposed
+// matrix: wt[j * k + kk] = round(w[kk * n + j] / scale).
+struct QuantizedWeight {
+  std::vector<int8_t> wt;  // [n, k]
+  float scale = 0.0f;      // max|w| / 127; 0 for an all-zero weight
+  int k = 0;
+  int n = 0;
+};
+
+// Thread-local opt-in switch, mirroring GradMode: ops consult it via
+// Int8Enabled(). Default off; guards nest and restore on exit.
+bool Int8Enabled();
+
+class Int8Guard {
+ public:
+  explicit Int8Guard(bool enable);
+  ~Int8Guard();
+  Int8Guard(const Int8Guard&) = delete;
+  Int8Guard& operator=(const Int8Guard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// Quantizes one 2-D weight [k, n] into a fresh shadow.
+std::shared_ptr<QuantizedWeight> QuantizeWeight(const Tensor& w);
+
+// Attaches int8 shadows to every 2-D parameter of `m` (re-quantizing from
+// the current float values, so call again after any weight mutation —
+// PreqrEncoder does this from its ctor and InvalidateCache). Non-matrix
+// params are skipped; shadows on never-multiplied matrices (embeddings,
+// LSTM/GRU gate weights fed through the same Linear path) are inert.
+// Returns the number of parameters quantized.
+int CalibrateModule(const Module& m);
+
+// Drops all int8 shadows from `m`'s parameters.
+void ClearCalibration(const Module& m);
+
+// y [m, n] = dequant(rowquant(a) [m, k] · qw) using the active kernel
+// backend's Int8GemmForward. `out` must be zero-filled; all-zero activation
+// rows are skipped and stay zero, matching the float kernel's pad-row
+// behavior.
+void Int8MatMulForward(const float* a, const QuantizedWeight& qw, float* out,
+                       int m);
+
+}  // namespace preqr::nn::quant
+
+#endif  // PREQR_NN_QUANT_H_

@@ -605,6 +605,11 @@ void EncoderService::AttachModel(nn::Module* model) {
   PREQR_CHECK(tenant != nullptr);
   std::lock_guard<std::mutex> lock(tenant->encode_mu);
   tenant->model = model;
+  // The attached module may not be the weights the encoder was built
+  // against; dropping the encoder's memoized state (and, for int8
+  // encoders, re-running weight calibration) keeps it consistent with
+  // whatever is now behind it.
+  tenant->encoder->InvalidateCache();
 }
 
 Status EncoderService::AttachModel(const std::string& tenant_id,
@@ -613,6 +618,7 @@ Status EncoderService::AttachModel(const std::string& tenant_id,
   if (tenant == nullptr) return UnknownTenant(tenant_id);
   std::lock_guard<std::mutex> lock(tenant->encode_mu);
   tenant->model = model;
+  tenant->encoder->InvalidateCache();
   return Status::Ok();
 }
 

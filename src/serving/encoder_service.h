@@ -28,9 +28,26 @@ using DeadlineClock = std::chrono::steady_clock;
 inline constexpr DeadlineClock::time_point kNoDeadline =
     DeadlineClock::time_point::max();
 // Absolute deadline `timeout` from now — the usual way callers build one.
-inline DeadlineClock::time_point DeadlineAfter(
-    std::chrono::microseconds timeout) {
-  return DeadlineClock::now() + timeout;
+// Saturating: a timeout so large that now + timeout would overflow the
+// clock's (nanosecond int64) representation — e.g. a hostile timeout_us of
+// INT64_MAX off the wire — becomes kNoDeadline instead of signed-overflow
+// UB that wraps the deadline into the past and fails the request with
+// kDeadlineExceeded on arrival.
+template <typename Rep, typename Period>
+DeadlineClock::time_point DeadlineAfter(
+    std::chrono::duration<Rep, Period> timeout) {
+  const DeadlineClock::time_point now = DeadlineClock::now();
+  // Compare in double seconds: converting the timeout into the clock's
+  // duration first could itself overflow before the comparison runs. The
+  // 1 s margin absorbs the double rounding; nobody can tell kNoDeadline
+  // from a deadline ~292 years out.
+  using DSec = std::chrono::duration<double>;
+  const double timeout_s = std::chrono::duration_cast<DSec>(timeout).count();
+  const double headroom_s =
+      std::chrono::duration_cast<DSec>(DeadlineClock::time_point::max() - now)
+          .count();
+  if (timeout_s >= headroom_s - 1.0) return kNoDeadline;
+  return now + std::chrono::duration_cast<DeadlineClock::duration>(timeout);
 }
 
 // The tenant every tenant-less request routes to: the encoder the service

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "nn/buffer_pool.h"
+#include "nn/kernels_dispatch.h"
 
 namespace preqr::serving {
 
@@ -61,6 +62,7 @@ EncodePathStats EncodePathSink::Stats() const {
   s.padded_batches = padded_batches_.value();
   s.padded_slots = padded_slots_.value();
   s.valid_tokens = valid_tokens_.value();
+  s.int8_encodes = int8_encodes_.value();
   return s;
 }
 
@@ -89,6 +91,12 @@ void RecordPaddedBatch(int batch_size, int t_max, uint64_t valid_tokens) {
   EncodePathSink* sink =
       t_encode_sink != nullptr ? t_encode_sink : &Registry().sink;
   sink->RecordPaddedBatch(batch_size, t_max, valid_tokens);
+}
+
+void RecordInt8Encode() {
+  EncodePathSink* sink =
+      t_encode_sink != nullptr ? t_encode_sink : &Registry().sink;
+  sink->RecordInt8Encode();
 }
 
 EncodePathStats GlobalEncodePathStats() { return Registry().sink.Stats(); }
@@ -151,7 +159,7 @@ double Histogram::mean() const {
 
 double Histogram::Percentile(double p) const {
   const uint64_t n = count();
-  if (n == 0) return 0.0;
+  if (n == 0) return 0.0;  // defined: an empty histogram reports 0
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
   const double target = p * static_cast<double>(n);
@@ -159,10 +167,22 @@ double Histogram::Percentile(double p) const {
   uint64_t seen = 0;
   for (size_t b = 0; b < bounds_.size(); ++b) {
     const uint64_t in_bucket = counts_[b].load(std::memory_order_relaxed);
-    if (static_cast<double>(seen + in_bucket) >= target) {
-      const double upper = std::isinf(bounds_[b]) ? lower * 2.0 + 1.0
-                                                  : bounds_[b];
-      if (in_bucket == 0) return upper;
+    // Only a non-empty bucket can hold the target rank. The old code
+    // stopped at the first bucket whose cumulative count crossed target —
+    // including empty leading buckets when target rounds to 0 — and
+    // reported that bucket's upper bound, so a histogram whose samples
+    // all sat in bucket 3 answered p50 with bucket 0's edge.
+    if (in_bucket > 0 &&
+        static_cast<double>(seen) + static_cast<double>(in_bucket) >= target) {
+      if (std::isinf(bounds_[b])) {
+        // The unbounded last bucket has no width to interpolate in; the
+        // previous finite bound is the largest value the samples are known
+        // to exceed (the old code invented `2 * lower + 1` here).
+        return lower;
+      }
+      const double upper = bounds_[b];
+      // A rank exactly on the boundary (target == seen + in_bucket) gives
+      // frac == 1 and returns exactly `upper`.
       const double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
       return lower + (upper - lower) * frac;
@@ -170,7 +190,10 @@ double Histogram::Percentile(double p) const {
     seen += in_bucket;
     lower = bounds_[b];
   }
-  return lower;
+  // Only reachable when a racing Observe bumped count_ after our bucket
+  // scan started; the largest finite bound is the only defined answer
+  // (`lower` here would be +inf).
+  return bounds_.size() >= 2 ? bounds_[bounds_.size() - 2] : 0.0;
 }
 
 double ServingMetrics::CacheHitRate() const {
@@ -291,6 +314,13 @@ std::string ServingMetrics::DumpText() const {
   const Histogram& waste = encode_path.padded_waste_pct();
   emit_value("encode_padded_waste_pct_mean", waste.mean());
   emit_value("encode_padded_waste_pct_p99", waste.Percentile(0.99));
+  // Which kernel backend the process is running (info-style metric: the
+  // value is always 1, the label carries the answer) and how many of this
+  // service's encoder calls took the int8 quantized GEMM path.
+  std::snprintf(line, sizeof(line), "serving_kernel_impl_info{impl=\"%s\"} 1\n",
+                nn::kernels::ActiveImplName());
+  out += line;
+  emit_u64("encode_int8_encodes_total", enc.int8_encodes);
   return out;
 }
 

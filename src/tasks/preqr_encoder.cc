@@ -7,6 +7,7 @@
 
 #include "automaton/symbol.h"
 #include "nn/ops.h"
+#include "nn/quant.h"
 #include "serving/metrics.h"
 
 namespace preqr::tasks {
@@ -16,7 +17,11 @@ PreqrEncoder::PreqrEncoder(core::PreqrModel* model)
 
 PreqrEncoder::PreqrEncoder(core::PreqrModel* model, Options options)
     : model_(model),
+      use_int8_(options.use_int8),
       prefix_cache_(options.cache_capacity, options.cache_shards) {
+  // Calibrate before anything encodes: shadows are inert until a thread
+  // installs an Int8Guard, so the schema encoding below stays float.
+  if (use_int8_) nn::quant::CalibrateModule(*model_);
   if (model_->config().use_schema) {
     schema_ = model_->EncodeSchemaNodes(/*with_grad=*/false);
   }
@@ -33,6 +38,9 @@ void PreqrEncoder::InvalidateCache() {
   // after a weight change (further pre-training or a hot reload) that
   // cache is stale too — drop it alongside ours.
   model_->InvalidateSchemaCache();
+  // Re-quantize from the new float weights so the int8 shadows never serve
+  // stale values after a reload / further pre-training.
+  if (use_int8_) nn::quant::CalibrateModule(*model_);
   if (model_->config().use_schema) {
     schema_ = model_->EncodeSchemaNodes(/*with_grad=*/false);
   }
@@ -162,7 +170,11 @@ nn::Tensor PreqrEncoder::EncodeVector(const std::string& sql, bool train) {
   // No longer silent — counted process-wide, logged once per distinct error.
   serving::RecordEncodeFallback(result.status().ToString());
   std::optional<nn::NoGradGuard> no_grad;
-  if (!train) no_grad.emplace();
+  std::optional<nn::quant::Int8Guard> int8;
+  if (!train) {
+    no_grad.emplace();
+    if (use_int8_) int8.emplace(true);
+  }
   model_->set_train(train);
   nn::Tensor v = ReadOut(ZeroEntry());
   model_->set_train(false);
@@ -174,7 +186,14 @@ StatusOr<nn::Tensor> PreqrEncoder::TryEncodeVector(const std::string& sql,
   // Inference encodes never take gradients; only fine-tuning (train=true)
   // needs the tape through the last layer's read-out.
   std::optional<nn::NoGradGuard> no_grad;
-  if (!train) no_grad.emplace();
+  std::optional<nn::quant::Int8Guard> int8;
+  if (!train) {
+    no_grad.emplace();
+    if (use_int8_) {
+      int8.emplace(true);
+      serving::RecordInt8Encode();
+    }
+  }
   model_->set_train(train);
   auto cached = Prefix(sql);
   if (!cached.ok()) {
@@ -226,6 +245,15 @@ nn::Tensor PreqrEncoder::PoolReadOut(const nn::Tensor& tokens,
 
 std::vector<StatusOr<nn::Tensor>> PreqrEncoder::TryEncodeVectorBatch(
     const std::vector<std::string>& sqls, bool train) {
+  // Inference batches opt the whole encode (frozen prefix computation and
+  // the read-out below) into the int8 path. The guard is thread-local and
+  // every op dispatches on this thread — kernels only fan *loops* out to
+  // the pool — so the switch cannot leak into unrelated work.
+  std::optional<nn::quant::Int8Guard> int8;
+  if (!train && use_int8_) {
+    int8.emplace(true);
+    serving::RecordInt8Encode();
+  }
   model_->set_train(train);
   const size_t n = sqls.size();
   // Serial cache probe; duplicate misses collapse onto one computation.
@@ -323,7 +351,11 @@ std::vector<nn::Tensor> PreqrEncoder::EncodeVectorBatch(
     } else {
       serving::RecordEncodeFallback(r.status().ToString());
       std::optional<nn::NoGradGuard> no_grad;
-      if (!train) no_grad.emplace();
+      std::optional<nn::quant::Int8Guard> int8;
+      if (!train) {
+        no_grad.emplace();
+        if (use_int8_) int8.emplace(true);
+      }
       model_->set_train(train);
       out.push_back(ReadOut(ZeroEntry()));
       model_->set_train(false);
@@ -334,7 +366,14 @@ std::vector<nn::Tensor> PreqrEncoder::EncodeVectorBatch(
 
 nn::Tensor PreqrEncoder::EncodeSequence(const std::string& sql, bool train) {
   std::optional<nn::NoGradGuard> no_grad;
-  if (!train) no_grad.emplace();
+  std::optional<nn::quant::Int8Guard> int8;
+  if (!train) {
+    no_grad.emplace();
+    if (use_int8_) {
+      int8.emplace(true);
+      serving::RecordInt8Encode();
+    }
+  }
   model_->set_train(train);
   auto cached = Prefix(sql);
   if (!cached.ok()) serving::RecordEncodeFallback(cached.status().ToString());

@@ -25,6 +25,12 @@ class PreqrEncoder : public baselines::QueryEncoder,
     // Total frozen-prefix entries held across all shards.
     size_t cache_capacity = 4096;
     int cache_shards = 8;
+    // Run inference (train=false) encodes through the int8 quantized GEMM
+    // path: Linear weights get per-tensor symmetric int8 shadows at
+    // construction and on every InvalidateCache (i.e. after each model
+    // reload), activations quantize dynamically per row. Training and the
+    // one-time schema encoding stay float. See nn/quant.h.
+    bool use_int8 = false;
   };
 
   explicit PreqrEncoder(core::PreqrModel* model);
@@ -57,6 +63,8 @@ class PreqrEncoder : public baselines::QueryEncoder,
   // The wrapped model (non-owned) — what AttachModel/RegisterTenant want
   // when this encoder backs a serving tenant.
   core::PreqrModel* model() const { return model_; }
+  // Whether inference encodes run through the int8 quantized GEMM path.
+  bool use_int8() const { return use_int8_; }
   void BeginStep(bool train) override;
 
   // Drops cached prefixes and re-encodes the frozen schema nodes (call
@@ -105,6 +113,7 @@ class PreqrEncoder : public baselines::QueryEncoder,
   CachedQuery ZeroEntry() const;
 
   core::PreqrModel* model_;
+  bool use_int8_ = false;
   nn::Tensor schema_;  // detached schema node encodings
   ShardedLruCache<std::string, CachedQuery> prefix_cache_;
 };

@@ -6,9 +6,14 @@
 // the same suites up via PREQR_FUZZ_QUERIES / PREQR_FUZZ_SEEDS.
 #include "workload/sql_fuzz.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <unordered_set>
@@ -17,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "automaton/template_extractor.h"
+#include "nn/kernels_dispatch.h"
 #include "db/stats.h"
 #include "nn/serialize.h"
 #include "schema/schema_graph.h"
@@ -383,6 +389,140 @@ TEST(FuzzEncodeTest, FallbackMetricsAccountForEveryShedQuery) {
   EXPECT_GE(after.valid_tokens, before.valid_tokens);
   EXPECT_GE(after.Occupancy(), 0.0);
   EXPECT_LE(after.Occupancy(), 1.0);
+}
+
+// --- Kernel-path drill: scalar vs AVX2 vs int8 -----------------------------
+
+// Replays the checked-in fuzz corpus plus a deterministic fuzz stream
+// through every kernel path the encoder can take: the scalar table, the
+// AVX2 table (when the host supports it), and the int8 quantized GEMM.
+// Invariants: per-slot Status parity across paths (the accept/reject
+// decision must not depend on the kernel impl), same-impl reruns are
+// bitwise identical (the determinism contract), and int8 embeddings stay
+// within an L2 drift bound of the float path.
+TEST(FuzzKernelPathTest, CorpusAndFuzzStreamAgreeAcrossKernelPaths) {
+  const char* entry_impl = nn::kernels::ActiveImplName();
+
+  // Inputs: every corpus file + a capped fuzz stream (PREQR_FUZZ_QUERIES
+  // scales it; scripts/fuzz.sh long runs push it to the full 2k+).
+  std::vector<std::string> sqls;
+  {
+    const std::filesystem::path dir(PREQR_FUZZ_CORPUS_DIR);
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() != ".sql") continue;
+      std::ifstream in(entry.path());
+      std::string sql((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+      while (!sql.empty() && (sql.back() == '\n' || sql.back() == '\r')) {
+        sql.pop_back();
+      }
+      if (!sql.empty()) sqls.push_back(std::move(sql));
+    }
+    ASSERT_GT(sqls.size(), 5u) << "corpus missing under "
+                               << PREQR_FUZZ_CORPUS_DIR;
+    SqlFuzzer fuzzer(E().imdb.catalog(), 77, E().EncodeOptions());
+    const uint64_t budget = FuzzQueryBudget(2000);
+    for (uint64_t i = 0; i < budget; ++i) sqls.push_back(fuzzer.Next().sql);
+  }
+
+  auto model = E().MakeModel();
+  // Encodes the whole input set in padded batches under the *current*
+  // kernel impl with a fresh encoder (fresh cache) and returns per-slot
+  // results.
+  auto encode_all = [&](bool use_int8) {
+    tasks::PreqrEncoder::Options options;
+    options.use_int8 = use_int8;
+    tasks::PreqrEncoder encoder(&model, options);
+    std::vector<StatusOr<nn::Tensor>> results;
+    results.reserve(sqls.size());
+    constexpr size_t kBatch = 32;
+    for (size_t at = 0; at < sqls.size(); at += kBatch) {
+      const size_t n = std::min(kBatch, sqls.size() - at);
+      std::vector<std::string> chunk(sqls.begin() + at,
+                                     sqls.begin() + at + n);
+      auto part = encoder.TryEncodeVectorBatch(chunk, /*train=*/false);
+      for (auto& r : part) results.push_back(std::move(r));
+    }
+    return results;
+  };
+
+  ASSERT_TRUE(nn::kernels::SetActiveImpl("scalar"));
+  const auto scalar_a = encode_all(/*use_int8=*/false);
+  const auto scalar_b = encode_all(/*use_int8=*/false);
+  const auto int8_run = encode_all(/*use_int8=*/true);
+  ASSERT_EQ(scalar_a.size(), sqls.size());
+
+  int ok_slots = 0, error_slots = 0;
+  double worst_drift = 0.0;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    // Same impl, fresh cache: bitwise identical, slot by slot.
+    ASSERT_EQ(scalar_a[i].ok(), scalar_b[i].ok()) << sqls[i];
+    if (scalar_a[i].ok()) {
+      ++ok_slots;
+      ExpectBitwiseEqual(scalar_a[i].value().vec(), scalar_b[i].value().vec(),
+                         "scalar rerun: " + sqls[i]);
+    } else {
+      ++error_slots;
+      EXPECT_EQ(scalar_a[i].status().code(), scalar_b[i].status().code())
+          << sqls[i];
+    }
+    // Int8 path: identical accept/reject decision, bounded value drift.
+    ASSERT_EQ(int8_run[i].ok(), scalar_a[i].ok())
+        << "int8 Status parity: " << sqls[i];
+    if (scalar_a[i].ok()) {
+      const auto& f = scalar_a[i].value().vec();
+      const auto& q = int8_run[i].value().vec();
+      ASSERT_EQ(f.size(), q.size());
+      double num = 0.0, den = 0.0;
+      for (size_t j = 0; j < f.size(); ++j) {
+        const double d = double(q[j]) - double(f[j]);
+        num += d * d;
+        den += double(f[j]) * double(f[j]);
+      }
+      const double drift = std::sqrt(num / std::max(den, 1e-12));
+      worst_drift = std::max(worst_drift, drift);
+    } else {
+      EXPECT_EQ(int8_run[i].status().code(), scalar_a[i].status().code())
+          << sqls[i];
+    }
+  }
+  // The drill actually mixed healthy and broken inputs.
+  EXPECT_GT(ok_slots, 0);
+  EXPECT_GT(error_slots, 0);
+  EXPECT_LT(worst_drift, 0.25) << "int8 embedding drifted too far from float";
+
+  if (nn::kernels::Avx2Supported()) {
+    ASSERT_TRUE(nn::kernels::SetActiveImpl("avx2"));
+    const auto avx_a = encode_all(/*use_int8=*/false);
+    const auto avx_b = encode_all(/*use_int8=*/false);
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      // The accept/reject decision is impl-independent...
+      ASSERT_EQ(avx_a[i].ok(), scalar_a[i].ok())
+          << "avx2 Status parity: " << sqls[i];
+      if (!avx_a[i].ok()) {
+        EXPECT_EQ(avx_a[i].status().code(), scalar_a[i].status().code())
+            << sqls[i];
+        continue;
+      }
+      // ...avx2 is bitwise self-consistent across reruns...
+      ExpectBitwiseEqual(avx_a[i].value().vec(), avx_b[i].value().vec(),
+                         "avx2 rerun: " + sqls[i]);
+      // ...and tracks scalar within float low-bit tolerance (FMA
+      // contraction + the polynomial exp differ legitimately).
+      const auto& s = scalar_a[i].value().vec();
+      const auto& v = avx_a[i].value().vec();
+      ASSERT_EQ(s.size(), v.size());
+      for (size_t j = 0; j < s.size(); ++j) {
+        EXPECT_NEAR(v[j], s[j], 1e-3 * std::max(1.0f, std::abs(s[j])))
+            << "slot " << i << " dim " << j << ": " << sqls[i];
+      }
+    }
+  }
+  std::printf("[fuzz] kernel paths: %zu queries (%d ok, %d rejected), worst "
+              "int8 drift %.4f, avx2 %s\n",
+              sqls.size(), ok_slots, error_slots, worst_drift,
+              nn::kernels::Avx2Supported() ? "exercised" : "unavailable");
+  ASSERT_TRUE(nn::kernels::SetActiveImpl(entry_impl));
 }
 
 // --- The concurrent stress drill ------------------------------------------

@@ -1,0 +1,503 @@
+// Runtime kernel-dispatch tests: impl selection, scalar-vs-AVX2 parity,
+// the per-impl determinism contract (same impl => bitwise-stable across
+// batch compositions), and the int8 quantized GEMM path.
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/kernels.h"
+#include "nn/kernels_dispatch.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/quant.h"
+#include "nn/tensor.h"
+
+namespace preqr::nn {
+namespace {
+
+using kernels::Avx2Supported;
+using kernels::Avx2Table;
+using kernels::KernelTable;
+using kernels::ScalarTable;
+
+// Restores whatever impl was active on entry, so these tests cannot leak a
+// forced impl into other tests in the binary.
+class ImplRestorer {
+ public:
+  ImplRestorer() : name_(kernels::ActiveImplName()) {}
+  ~ImplRestorer() { kernels::SetActiveImpl(name_); }
+
+ private:
+  const char* name_;
+};
+
+std::vector<float> RandVec(size_t n, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = scale * (rng.NextFloat() * 2.0f - 1.0f);
+  return v;
+}
+
+// Max |a-b| / max(1, |b|) over two equal-length buffers.
+float MaxRelDiff(const std::vector<float>& a, const std::vector<float>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  float worst = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float d =
+        std::abs(a[i] - b[i]) / std::max(1.0f, std::abs(b[i]));
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// Declared first so no earlier test has re-pointed the table: when the
+// launcher sets PREQR_KERNEL_IMPL (scripts/check.sh's SIMD stage does),
+// startup selection must honor it.
+TEST(KernelDispatchTest, EnvSelectionHonored) {
+  const char* want = std::getenv("PREQR_KERNEL_IMPL");
+  if (want == nullptr) GTEST_SKIP() << "PREQR_KERNEL_IMPL not set";
+  std::string expected(want);
+  if (expected != "scalar" && !(expected == "avx2" && Avx2Supported())) {
+    expected = Avx2Supported() ? "avx2" : "scalar";  // fallback note case
+  }
+  EXPECT_EQ(std::string(kernels::ActiveImplName()), expected);
+}
+
+TEST(KernelDispatchTest, ScalarTableAlwaysPresent) {
+  ASSERT_STREQ(ScalarTable().name, "scalar");
+  ASSERT_NE(ScalarTable().MatMulForward, nullptr);
+  ASSERT_NE(ScalarTable().Int8GemmForward, nullptr);
+}
+
+TEST(KernelDispatchTest, SetActiveImplRoundTrips) {
+  ImplRestorer restore;
+  ASSERT_TRUE(kernels::SetActiveImpl("scalar"));
+  EXPECT_STREQ(kernels::ActiveImplName(), "scalar");
+  if (Avx2Supported()) {
+    ASSERT_TRUE(kernels::SetActiveImpl("avx2"));
+    EXPECT_STREQ(kernels::ActiveImplName(), "avx2");
+  } else {
+    EXPECT_FALSE(kernels::SetActiveImpl("avx2"));
+    EXPECT_STREQ(kernels::ActiveImplName(), "scalar");
+  }
+}
+
+TEST(KernelDispatchTest, UnknownImplRejectedAndTableUnchanged) {
+  ImplRestorer restore;
+  ASSERT_TRUE(kernels::SetActiveImpl("scalar"));
+  EXPECT_FALSE(kernels::SetActiveImpl("neon"));
+  EXPECT_FALSE(kernels::SetActiveImpl(""));
+  EXPECT_STREQ(kernels::ActiveImplName(), "scalar");
+}
+
+TEST(KernelDispatchTest, Avx2TablePresenceMatchesSupport) {
+  if (Avx2Supported()) {
+    ASSERT_NE(Avx2Table(), nullptr);
+    EXPECT_STREQ(Avx2Table()->name, "avx2");
+  }
+}
+
+// --- scalar vs avx2 parity (tolerance; impls legitimately differ in low
+// bits through FMA contraction and the polynomial exp) --------------------
+
+class ParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Avx2Supported()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  }
+};
+
+TEST_F(ParityTest, MatMul) {
+  const int m = 7, k = 37, n = 53;  // odd sizes exercise every tail path
+  const auto a = RandVec(size_t(m) * k, 1);
+  const auto b = RandVec(size_t(k) * n, 2);
+  std::vector<float> s(size_t(m) * n, 0.0f), v(size_t(m) * n, 0.0f);
+  ScalarTable().MatMulForward(a.data(), b.data(), s.data(), m, k, n);
+  Avx2Table()->MatMulForward(a.data(), b.data(), v.data(), m, k, n);
+  EXPECT_LT(MaxRelDiff(v, s), 1e-4f);
+}
+
+TEST_F(ParityTest, AddBiasIsBitwiseExact) {
+  // One add per lane in both impls: identical rounding, identical bits.
+  const size_t rows = 5;
+  const int d = 19;
+  const auto x = RandVec(rows * d, 3);
+  const auto bias = RandVec(d, 4);
+  std::vector<float> s(rows * d), v(rows * d);
+  ScalarTable().AddBiasForward(x.data(), bias.data(), s.data(), rows, d);
+  Avx2Table()->AddBiasForward(x.data(), bias.data(), v.data(), rows, d);
+  EXPECT_TRUE(BitwiseEqual(v, s));
+}
+
+TEST_F(ParityTest, ReluIsBitwiseExact) {
+  const auto x = RandVec(101, 5, 3.0f);
+  std::vector<float> s(x.size()), v(x.size());
+  ScalarTable().ReluForward(x.data(), s.data(), x.size());
+  Avx2Table()->ReluForward(x.data(), v.data(), x.size());
+  EXPECT_TRUE(BitwiseEqual(v, s));
+}
+
+TEST_F(ParityTest, Transcendentals) {
+  // Spread over the interesting range plus saturation territory.
+  std::vector<float> x;
+  for (float t = -12.0f; t <= 12.0f; t += 0.37f) x.push_back(t);
+  x.push_back(-88.0f);
+  x.push_back(88.0f);
+  x.push_back(0.0f);
+  std::vector<float> s(x.size()), v(x.size());
+  ScalarTable().GeluForward(x.data(), s.data(), x.size());
+  Avx2Table()->GeluForward(x.data(), v.data(), x.size());
+  for (size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(v[i], s[i], 2e-5f * std::max(1.0f, std::abs(s[i])))
+        << "Gelu at x=" << x[i];
+  ScalarTable().TanhForward(x.data(), s.data(), x.size());
+  Avx2Table()->TanhForward(x.data(), v.data(), x.size());
+  for (size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(v[i], s[i], 2e-5f) << "Tanh at x=" << x[i];
+  ScalarTable().SigmoidForward(x.data(), s.data(), x.size());
+  Avx2Table()->SigmoidForward(x.data(), v.data(), x.size());
+  for (size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(v[i], s[i], 2e-5f) << "Sigmoid at x=" << x[i];
+}
+
+TEST_F(ParityTest, TanhSaturatesToExactlyOne) {
+  const float xs[] = {20.0f, 50.0f, 88.0f, 1e6f, -20.0f, -1e6f};
+  float out[6];
+  Avx2Table()->TanhForward(xs, out, 6);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(out[i], xs[i] > 0 ? 1.0f : -1.0f) << "at x=" << xs[i];
+}
+
+TEST_F(ParityTest, Softmax) {
+  const size_t rows = 6;
+  const int d = 29;
+  const auto x = RandVec(rows * d, 6, 8.0f);
+  std::vector<float> s(rows * d), v(rows * d);
+  ScalarTable().SoftmaxForward(x.data(), s.data(), rows, d);
+  Avx2Table()->SoftmaxForward(x.data(), v.data(), rows, d);
+  EXPECT_LT(MaxRelDiff(v, s), 1e-4f);
+  for (size_t r = 0; r < rows; ++r) {  // rows still normalize
+    float sum = 0.0f;
+    for (int j = 0; j < d; ++j) sum += v[r * d + j];
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST_F(ParityTest, LayerNorm) {
+  const int n = 5, d = 43;
+  const auto x = RandVec(size_t(n) * d, 7, 2.0f);
+  const auto gamma = RandVec(d, 8);
+  const auto beta = RandVec(d, 9);
+  std::vector<float> s(size_t(n) * d), v(size_t(n) * d);
+  std::vector<float> sxh(size_t(n) * d), vxh(size_t(n) * d);
+  std::vector<float> sistd(n), vistd(n);
+  ScalarTable().LayerNormForward(x.data(), gamma.data(), beta.data(), 1e-5f,
+                                 s.data(), sxh.data(), sistd.data(), n, d);
+  Avx2Table()->LayerNormForward(x.data(), gamma.data(), beta.data(), 1e-5f,
+                                v.data(), vxh.data(), vistd.data(), n, d);
+  EXPECT_LT(MaxRelDiff(v, s), 1e-4f);
+  EXPECT_LT(MaxRelDiff(vxh, sxh), 1e-4f);
+  EXPECT_LT(MaxRelDiff(vistd, sistd), 1e-4f);
+}
+
+// --- avx2 self-consistency: the determinism contract ----------------------
+
+// BatchedMatMulNT valid rows must be bitwise equal to the solo
+// Transpose+MatMul path *under the same impl*.
+TEST_F(ParityTest, BatchedNTMatchesSoloBitwise) {
+  ImplRestorer restore;
+  const int bsz = 3, t = 11, k = 16;
+  std::vector<int> lengths = {11, 4, 7};
+  const auto a = RandVec(size_t(bsz) * t * k, 10);
+  const auto bt = RandVec(size_t(bsz) * t * k, 11);
+  for (const KernelTable* tab : {&ScalarTable(), Avx2Table()}) {
+    std::vector<float> batched(size_t(bsz) * t * t, 0.0f);
+    tab->BatchedMatMulNTForward(a.data(), bt.data(), batched.data(), bsz, t,
+                                k, lengths.data());
+    for (int b = 0; b < bsz; ++b) {
+      const int len = lengths[b];
+      // Solo path: out = a_b[0:len] * transpose(bt_b[0:len]).
+      std::vector<float> ktr(size_t(k) * len);
+      kernels::TransposeForward(bt.data() + size_t(b) * t * k, ktr.data(),
+                                len, k);
+      std::vector<float> solo(size_t(len) * len, 0.0f);
+      tab->MatMulForward(a.data() + size_t(b) * t * k, ktr.data(),
+                         solo.data(), len, k, len);
+      for (int i = 0; i < len; ++i) {
+        EXPECT_EQ(0, std::memcmp(
+                         batched.data() + (size_t(b) * t + i) * t,
+                         solo.data() + size_t(i) * len,
+                         size_t(len) * sizeof(float)))
+            << tab->name << " example " << b << " row " << i;
+      }
+    }
+  }
+}
+
+// Under one impl, a row's bits must not depend on what else is in the
+// batch: encode the same example alone and inside a mixed batch.
+TEST_F(ParityTest, BatchCompositionInvariance) {
+  const int t = 9, k = 24;
+  const auto probe = RandVec(size_t(t) * k, 12);
+  for (const KernelTable* tab : {&ScalarTable(), Avx2Table()}) {
+    // Alone.
+    std::vector<int> len1 = {6};
+    std::vector<float> out1(size_t(t) * t, 0.0f);
+    tab->BatchedMatMulNTForward(probe.data(), probe.data(), out1.data(), 1,
+                                t, k, len1.data());
+    // Same example as slot 1 of a 3-example batch with junk neighbors.
+    const int bsz = 3;
+    std::vector<float> a(size_t(bsz) * t * k);
+    auto junk0 = RandVec(size_t(t) * k, 13, 5.0f);
+    auto junk2 = RandVec(size_t(t) * k, 14, 5.0f);
+    std::memcpy(a.data(), junk0.data(), junk0.size() * sizeof(float));
+    std::memcpy(a.data() + size_t(t) * k, probe.data(),
+                probe.size() * sizeof(float));
+    std::memcpy(a.data() + 2 * size_t(t) * k, junk2.data(),
+                junk2.size() * sizeof(float));
+    std::vector<int> len3 = {9, 6, 3};
+    std::vector<float> out3(size_t(bsz) * t * t, 0.0f);
+    tab->BatchedMatMulNTForward(a.data(), a.data(), out3.data(), bsz, t, k,
+                                len3.data());
+    for (int i = 0; i < 6; ++i)
+      EXPECT_EQ(0, std::memcmp(out1.data() + size_t(i) * t,
+                               out3.data() + (size_t(1) * t + i) * t,
+                               6 * sizeof(float)))
+          << tab->name << " row " << i;
+  }
+}
+
+// Pad rows stay exactly zero even when the pad region carries garbage
+// (NaN/inf), because the batched kernels never read or write past lengths.
+TEST_F(ParityTest, PadRowsStayZeroWithPoisonedPadding) {
+  const int bsz = 2, t = 8, k = 16, dv = 12;
+  std::vector<int> lengths = {5, 3};
+  auto a = RandVec(size_t(bsz) * t * k, 15);
+  auto w = RandVec(size_t(bsz) * t * t, 16);
+  auto v = RandVec(size_t(bsz) * t * dv, 17);
+  // Poison every pad row.
+  const float inf = std::numeric_limits<float>::infinity();
+  for (int b = 0; b < bsz; ++b)
+    for (int i = lengths[b]; i < t; ++i) {
+      for (int c = 0; c < k; ++c) a[(size_t(b) * t + i) * k + c] = NAN;
+      for (int c = 0; c < t; ++c) w[(size_t(b) * t + i) * t + c] = inf;
+      for (int c = 0; c < dv; ++c) v[(size_t(b) * t + i) * dv + c] = NAN;
+    }
+  for (const KernelTable* tab : {&ScalarTable(), Avx2Table()}) {
+    std::vector<float> nt(size_t(bsz) * t * t, 0.0f);
+    tab->BatchedMatMulNTForward(a.data(), a.data(), nt.data(), bsz, t, k,
+                                lengths.data());
+    std::vector<float> sm(size_t(bsz) * t * t, 0.0f);
+    tab->MaskedSoftmaxForward(nt.data(), sm.data(), bsz, t, lengths.data());
+    std::vector<float> nn(size_t(bsz) * t * dv, 0.0f);
+    tab->BatchedMatMulNNForward(sm.data(), v.data(), nn.data(), bsz, t, dv,
+                                lengths.data());
+    for (int b = 0; b < bsz; ++b)
+      for (int i = 0; i < t; ++i) {
+        const bool pad = i >= lengths[b];
+        for (int c = 0; c < dv; ++c) {
+          const float val = nn[(size_t(b) * t + i) * dv + c];
+          if (pad) {
+            EXPECT_EQ(val, 0.0f) << tab->name << " pad leak at b=" << b
+                                 << " i=" << i << " c=" << c;
+          } else {
+            EXPECT_TRUE(std::isfinite(val))
+                << tab->name << " poisoned valid row b=" << b << " i=" << i;
+          }
+        }
+      }
+  }
+}
+
+TEST_F(ParityTest, MaskedKernelsMatchScalarWithinTolerance) {
+  const int bsz = 2, t = 10, d = 21;
+  std::vector<int> lengths = {10, 6};
+  const auto x = RandVec(size_t(bsz) * t * t, 18, 4.0f);
+  const auto xs = RandVec(size_t(bsz) * t * d, 19);
+  const auto gamma = RandVec(d, 20);
+  const auto beta = RandVec(d, 21);
+  std::vector<float> ssm(size_t(bsz) * t * t, 0.0f),
+      vsm(size_t(bsz) * t * t, 0.0f);
+  ScalarTable().MaskedSoftmaxForward(x.data(), ssm.data(), bsz, t,
+                                     lengths.data());
+  Avx2Table()->MaskedSoftmaxForward(x.data(), vsm.data(), bsz, t,
+                                    lengths.data());
+  EXPECT_LT(MaxRelDiff(vsm, ssm), 1e-4f);
+  std::vector<float> sln(size_t(bsz) * t * d, 0.0f),
+      vln(size_t(bsz) * t * d, 0.0f);
+  ScalarTable().MaskedLayerNormForward(xs.data(), gamma.data(), beta.data(),
+                                       1e-5f, sln.data(), nullptr, nullptr,
+                                       bsz, t, d, lengths.data());
+  Avx2Table()->MaskedLayerNormForward(xs.data(), gamma.data(), beta.data(),
+                                      1e-5f, vln.data(), nullptr, nullptr,
+                                      bsz, t, d, lengths.data());
+  EXPECT_LT(MaxRelDiff(vln, sln), 1e-4f);
+}
+
+// --- int8 path -------------------------------------------------------------
+
+TEST(Int8QuantTest, GuardNestsAndRestores) {
+  EXPECT_FALSE(quant::Int8Enabled());
+  {
+    quant::Int8Guard outer(true);
+    EXPECT_TRUE(quant::Int8Enabled());
+    {
+      quant::Int8Guard inner(false);
+      EXPECT_FALSE(quant::Int8Enabled());
+    }
+    EXPECT_TRUE(quant::Int8Enabled());
+  }
+  EXPECT_FALSE(quant::Int8Enabled());
+}
+
+TEST(Int8QuantTest, QuantizeWeightRoundTripsWithinOneStep) {
+  Rng rng(31);
+  Tensor w = Tensor::Randn({24, 16}, rng, 0.5f, false);
+  auto qw = quant::QuantizeWeight(w);
+  ASSERT_EQ(qw->k, 24);
+  ASSERT_EQ(qw->n, 16);
+  ASSERT_GT(qw->scale, 0.0f);
+  // Dequantized entries differ from the float weight by at most half a step.
+  for (int kk = 0; kk < qw->k; ++kk)
+    for (int j = 0; j < qw->n; ++j) {
+      const float deq = float(qw->wt[size_t(j) * qw->k + kk]) * qw->scale;
+      EXPECT_NEAR(deq, w.at(kk * qw->n + j), 0.5f * qw->scale + 1e-7f);
+    }
+}
+
+TEST(Int8QuantTest, AllZeroWeightGetsZeroScale) {
+  Tensor w = Tensor::Zeros({8, 8});
+  auto qw = quant::QuantizeWeight(w);
+  EXPECT_EQ(qw->scale, 0.0f);
+  std::vector<float> a = RandVec(3 * 8, 32);
+  std::vector<float> out(3 * 8, 0.0f);
+  quant::Int8MatMulForward(a.data(), *qw, out.data(), 3);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Int8QuantTest, Int8GemmBitwiseIdenticalAcrossImpls) {
+  if (!Avx2Supported()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  const int m = 6, k = 41, n = 23;  // odd k exercises the madd tail
+  Rng rng(33);
+  std::vector<int8_t> aq(size_t(m) * k), wt(size_t(n) * k);
+  for (auto& x : aq) x = int8_t(rng.NextInt(-127, 128));
+  for (auto& x : wt) x = int8_t(rng.NextInt(-127, 128));
+  auto a_scale = RandVec(m, 34, 0.01f);
+  a_scale[2] = 0.0f;  // a skipped (all-zero activation) row
+  for (auto& s : a_scale) s = std::abs(s);
+  std::vector<float> s(size_t(m) * n, 0.0f), v(size_t(m) * n, 0.0f);
+  ScalarTable().Int8GemmForward(aq.data(), a_scale.data(), wt.data(), 0.004f,
+                                s.data(), m, k, n);
+  Avx2Table()->Int8GemmForward(aq.data(), a_scale.data(), wt.data(), 0.004f,
+                               v.data(), m, k, n);
+  EXPECT_TRUE(BitwiseEqual(v, s));
+  for (int j = 0; j < n; ++j) EXPECT_EQ(s[size_t(2) * n + j], 0.0f);
+}
+
+TEST(Int8QuantTest, Int8MatMulTracksFloatWithinQuantError) {
+  const int m = 8, k = 64, n = 32;
+  Rng rng(35);
+  Tensor w = Tensor::Randn({k, n}, rng, 0.3f, false);
+  auto qw = quant::QuantizeWeight(w);
+  auto a = RandVec(size_t(m) * k, 36, 1.5f);
+  std::vector<float> fref(size_t(m) * n, 0.0f), qout(size_t(m) * n, 0.0f);
+  ScalarTable().MatMulForward(a.data(), w.data(), fref.data(), m, k, n);
+  quant::Int8MatMulForward(a.data(), *qw, qout.data(), m);
+  // Relative L2 drift bound — int8 symmetric quant at these shapes lands
+  // well under 2%.
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < fref.size(); ++i) {
+    const double d = double(qout[i]) - double(fref[i]);
+    num += d * d;
+    den += double(fref[i]) * double(fref[i]);
+  }
+  ASSERT_GT(den, 0.0);
+  EXPECT_LT(std::sqrt(num / den), 0.02);
+}
+
+TEST(Int8QuantTest, ZeroActivationRowsStayExactlyZero) {
+  const int m = 4, k = 32, n = 16;
+  Rng rng(37);
+  Tensor w = Tensor::Randn({k, n}, rng, 0.4f, false);
+  auto qw = quant::QuantizeWeight(w);
+  auto a = RandVec(size_t(m) * k, 38);
+  std::fill(a.begin() + 1 * k, a.begin() + 2 * k, 0.0f);  // pad row
+  std::vector<float> out(size_t(m) * n, 0.0f);
+  quant::Int8MatMulForward(a.data(), *qw, out.data(), m);
+  for (int j = 0; j < n; ++j) EXPECT_EQ(out[size_t(1) * n + j], 0.0f);
+  for (int j = 0; j < n; ++j) EXPECT_NE(out[size_t(0) * n + j], 0.0f);
+}
+
+TEST(Int8QuantTest, CalibrateModuleAttachesAndClearsShadows) {
+  Rng rng(39);
+  Linear lin(24, 12, rng);
+  const int attached = quant::CalibrateModule(lin);
+  EXPECT_GE(attached, 1);
+  bool found = false;
+  for (const auto& [name, p] : lin.NamedParameters())
+    if (p.ndim() == 2) {
+      EXPECT_NE(p.impl()->quant, nullptr) << name;
+      found = true;
+    }
+  EXPECT_TRUE(found);
+  quant::ClearCalibration(lin);
+  for (const auto& [name, p] : lin.NamedParameters())
+    EXPECT_EQ(p.impl()->quant, nullptr) << name;
+}
+
+// End to end through the op layer: MatMul under Int8Guard + no-grad takes
+// the quantized path; with the tape on it must NOT (gradients never see
+// int8 state).
+TEST(Int8QuantTest, OpsMatMulUsesInt8OnlyWhenEligible) {
+  Rng rng(40);
+  const int m = 5, k = 48, n = 24;
+  Tensor a = Tensor::Randn({m, k}, rng, 1.0f, false);
+  Tensor w = Tensor::Randn({k, n}, rng, 0.3f, false);
+  std::vector<float> fref;
+  {
+    NoGradGuard ng;
+    fref = MatMul(a, w).vec();
+  }
+  w.impl()->quant = quant::QuantizeWeight(w);
+  std::vector<float> qvec;
+  {
+    NoGradGuard ng;
+    quant::Int8Guard q(true);
+    qvec = MatMul(a, w).vec();
+  }
+  // Quantized result differs from float (proves the path switched) but
+  // stays close.
+  EXPECT_FALSE(BitwiseEqual(qvec, fref));
+  EXPECT_LT(MaxRelDiff(qvec, fref), 0.05f);
+  // Direct Int8MatMulForward must agree bitwise with the op-layer path.
+  std::vector<float> direct(size_t(m) * n, 0.0f);
+  quant::Int8MatMulForward(a.data(), *w.impl()->quant, direct.data(), m);
+  EXPECT_TRUE(BitwiseEqual(qvec, direct));
+  // Tape on: the float path runs even with the guard installed.
+  Tensor wg = Tensor::Randn({k, n}, rng, 0.3f, true);
+  wg.impl()->quant = quant::QuantizeWeight(wg);
+  quant::Int8Guard q(true);
+  Tensor out = MatMul(a, wg);
+  std::vector<float> fref2(size_t(m) * n, 0.0f);
+  ScalarTable().MatMulForward(a.data(), wg.data(), fref2.data(), m, k, n);
+  if (Avx2Supported() &&
+      std::string(kernels::ActiveImplName()) == "avx2") {
+    std::fill(fref2.begin(), fref2.end(), 0.0f);
+    Avx2Table()->MatMulForward(a.data(), wg.data(), fref2.data(), m, k, n);
+  }
+  EXPECT_TRUE(BitwiseEqual(out.vec(), fref2));
+}
+
+}  // namespace
+}  // namespace preqr::nn

@@ -82,6 +82,32 @@ TEST(OpsGradTest, Gelu) {
   CheckGrad(x, [&] { return Sum(Gelu(x)); });
 }
 
+// Regression: once tanh(u) saturates to exactly ±1 (|x| ≳ 10), the sech²
+// factor is exactly 0 while the cubic term overflows to inf; the old
+// backward evaluated 0·inf and poisoned the gradient with NaN. Finite
+// differences are useless at these magnitudes, so assert the analytic
+// limits directly: dGelu/dx → 1 for large +x, → 0 for large −x, finite
+// everywhere.
+TEST(OpsGradTest, GeluExtremeInputsKeepFiniteGrad) {
+  const std::vector<float> xs = {20.0f,  -20.0f, 1e4f,  -1e4f,
+                                 1e19f,  -1e19f, 3e38f, -3e38f};
+  Tensor x = Tensor::Zeros({static_cast<Index>(xs.size())}, true);
+  for (size_t i = 0; i < xs.size(); ++i) x.at(static_cast<Index>(i)) = xs[i];
+  Tensor loss = Sum(Gelu(x));
+  x.ZeroGrad();
+  loss.Backward();
+  const std::vector<float>& g = x.grad_vec();
+  ASSERT_EQ(g.size(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(g[i])) << "NaN/inf grad at x=" << xs[i];
+    if (xs[i] > 0.0f) {
+      EXPECT_NEAR(g[i], 1.0f, 1e-4f) << "at x=" << xs[i];
+    } else {
+      EXPECT_NEAR(g[i], 0.0f, 1e-4f) << "at x=" << xs[i];
+    }
+  }
+}
+
 TEST(OpsGradTest, TanhOp) {
   Tensor x = MakeInput({8});
   CheckGrad(x, [&] { return Sum(Tanh(x)); });

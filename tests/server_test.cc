@@ -10,7 +10,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -137,6 +139,39 @@ TEST(EncodeServerTest, CanonicalCodesSurviveTheWire) {
   // The connection survived both errors.
   auto ok = lb.client.Encode(E().corpus[0]);
   EXPECT_TRUE(ok.ok());
+}
+
+// Hostile-timeout drill: timeouts near INT64_MAX used to overflow the
+// steady_clock addition in DeadlineAfter into a deadline in the past, so a
+// request that asked for "effectively forever" died instantly with
+// kDeadlineExceeded. Saturation must map them to no-deadline instead.
+TEST(EncodeServerTest, HostileTimeoutsSaturateInsteadOfExpiring) {
+  Loopback lb;
+  const int64_t hostile[] = {
+      std::numeric_limits<int64_t>::max(),
+      std::numeric_limits<int64_t>::max() - 1,
+      std::numeric_limits<int64_t>::max() / 1000,  // still ~292k years
+      int64_t{1} << 60,
+  };
+  for (const int64_t timeout_us : hostile) {
+    WireRequestOptions opts;
+    opts.timeout_us = timeout_us;
+    auto r = lb.client.Encode(E().corpus[0], opts);
+    ASSERT_TRUE(r.ok()) << "timeout_us=" << timeout_us << ": "
+                        << r.status().ToString();
+  }
+  EXPECT_EQ(lb.service.metrics().deadline_rejected.value(), 0u);
+  EXPECT_EQ(lb.service.metrics().deadline_dropped.value(), 0u);
+  // An ordinary generous timeout still works and a zero timeout still
+  // expires — saturation didn't blunt real deadlines.
+  WireRequestOptions generous;
+  generous.timeout_us = 5'000'000;
+  EXPECT_TRUE(lb.client.Encode(E().corpus[1], generous).ok());
+  WireRequestOptions expired;
+  expired.timeout_us = 0;
+  auto late = lb.client.Encode(E().corpus[1], expired);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(EncodeServerTest, WireBatchSlotsFailIndependently) {

@@ -6,7 +6,10 @@
 #include "serving/encoder_service.h"
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <unordered_set>
@@ -15,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "automaton/template_extractor.h"
+#include "serving/metrics.h"
 #include "core/pretrain.h"
 #include "db/stats.h"
 #include "schema/schema_graph.h"
@@ -422,6 +426,94 @@ TEST(PreqrEncoderCacheTest, PrefixCacheBoundedAndCounted) {
   const auto stats = encoder.cache_stats();
   EXPECT_GT(stats.evictions, 0u);
   EXPECT_GE(stats.misses, E().corpus.size());
+}
+
+// --- Histogram percentile edge cases (regression for the rank/bucket
+// walk: empty histograms, empty leading buckets, boundary ranks, and the
+// unbounded last bucket) ----------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram h(1.0, 2.0, 6);
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.Percentile(0.99), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleBucketInterpolatesWithinBounds) {
+  // Buckets: [0,1), [1,2), [2,4), [4,8), [8,+inf). All samples in [0,1).
+  Histogram h(1.0, 2.0, 5);
+  for (int i = 0; i < 10; ++i) h.Observe(0.5);
+  const double p50 = h.Percentile(0.5);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+  // The boundary rank p100 returns exactly the bucket's upper edge.
+  EXPECT_EQ(h.Percentile(1.0), 1.0);
+}
+
+TEST(HistogramTest, EmptyLeadingBucketsAreSkipped) {
+  // All samples land in [4,8): every percentile must answer from that
+  // bucket, never from the empty leading buckets. (The old walk returned
+  // bucket 0's edge for small p because `seen + 0 >= 0` matched.)
+  Histogram h(1.0, 2.0, 5);
+  for (int i = 0; i < 8; ++i) h.Observe(5.0);
+  EXPECT_EQ(h.Percentile(0.0), 4.0);  // frac 0 -> the bucket's lower edge
+  const double p50 = h.Percentile(0.5);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 8.0);
+  EXPECT_EQ(h.Percentile(1.0), 8.0);
+}
+
+TEST(HistogramTest, RankOnBucketBoundaryReturnsExactBound) {
+  // 4 samples in [0,1), 4 in [1,2): p50's target rank (4) sits exactly on
+  // the first bucket's cumulative boundary -> frac 1 -> exactly 1.0.
+  Histogram h(1.0, 2.0, 5);
+  for (int i = 0; i < 4; ++i) h.Observe(0.5);
+  for (int i = 0; i < 4; ++i) h.Observe(1.5);
+  EXPECT_EQ(h.Percentile(0.5), 1.0);
+}
+
+TEST(HistogramTest, UnboundedBucketReportsLastFiniteBound) {
+  // Samples beyond every finite bound: the unbounded bucket has no width
+  // to interpolate in, so percentiles report the largest value the
+  // samples are known to exceed — never +inf, never an invented bound.
+  Histogram h(1.0, 2.0, 5);  // finite bounds end at 8
+  for (int i = 0; i < 5; ++i) h.Observe(1e9);
+  EXPECT_EQ(h.Percentile(0.5), 8.0);
+  EXPECT_EQ(h.Percentile(0.99), 8.0);
+  EXPECT_TRUE(std::isfinite(h.Percentile(1.0)));
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeP) {
+  Histogram h(1.0, 2.0, 5);
+  for (int i = 0; i < 4; ++i) h.Observe(0.25);
+  EXPECT_EQ(h.Percentile(-3.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(7.0), h.Percentile(1.0));
+}
+
+// --- DeadlineAfter saturation (regression: timeout_us near INT64_MAX
+// overflowed the steady_clock addition into a deadline in the past, so
+// "effectively no timeout" requests died with kDeadlineExceeded) ------------
+
+TEST(DeadlineTest, HugeTimeoutSaturatesToNoDeadline) {
+  using std::chrono::microseconds;
+  EXPECT_EQ(DeadlineAfter(microseconds(std::numeric_limits<int64_t>::max())),
+            kNoDeadline);
+  EXPECT_EQ(DeadlineAfter(std::chrono::hours(24 * 365 * 1000)), kNoDeadline);
+}
+
+TEST(DeadlineTest, OrdinaryTimeoutStaysFinite) {
+  const auto d = DeadlineAfter(std::chrono::milliseconds(50));
+  EXPECT_NE(d, kNoDeadline);
+  EXPECT_GT(d, DeadlineClock::now() - std::chrono::seconds(1));
+  EXPECT_LT(d, DeadlineClock::now() + std::chrono::seconds(10));
+}
+
+TEST(DeadlineTest, ZeroTimeoutIsAlreadyExpired) {
+  const auto d = DeadlineAfter(std::chrono::microseconds(0));
+  EXPECT_NE(d, kNoDeadline);
+  EXPECT_LE(d, DeadlineClock::now());
 }
 
 }  // namespace
