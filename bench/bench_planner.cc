@@ -1,0 +1,162 @@
+// Closes the paper's loop: each cardinality estimator (true counts, PG
+// statistics, PreQR) drives the DP join-order planner, and every chosen
+// order is then *executed* so plans are scored by real work units, not by
+// the estimator's own opinion. The true-count estimator's plan is the
+// executed-cost optimum among left-deep orders (same cost formula, exact
+// cardinalities), so each estimator's plan-quality ratio is
+// executed(chosen) / executed(optimal) >= 1. PG's independence assumption
+// misestimates the correlated intermediates and picks provably worse
+// orders; PreQR's learned estimates should land closer to optimal.
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/feature_encoders.h"
+#include "db/executor.h"
+#include "pg/pg_estimator.h"
+#include "planner/cardinality.h"
+#include "planner/join_planner.h"
+#include "tasks/estimator.h"
+#include "tasks/planner_adapter.h"
+#include "tasks/preqr_encoder.h"
+
+namespace preqr::bench {
+namespace {
+
+struct EstimatorRun {
+  std::string name;
+  double ratio_sum = 0;
+  double ratio_max = 0;
+  double executed_units = 0;
+  int picked_optimal = 0;
+  int planned = 0;
+};
+
+void Run() {
+  PrintHeader("Planner",
+              "cost-based join ordering per estimator (closing the loop)");
+  EstimationSetup s = BuildEstimationSetup(BenchConfig());
+  db::Executor exec(s.imdb);
+  pg::PgEstimator pg_est(s.imdb);
+
+  // PreQR estimator head on the 0-2-join synthetic plus the multi-join
+  // training workload (Table 8's recipe); the mix matters because the
+  // planner also asks about induced sub-queries down to single tables.
+  db::BitmapSampler sampler(s.imdb, 64);
+  baselines::BitmapFeatureEncoder bitmap(&sampler);
+  tasks::PreqrEncoder preqr_enc(s.model.get());
+  baselines::ConcatEncoder preqr_bm(&preqr_enc, &bitmap);
+  tasks::EstimatorModel::Options popt;
+  popt.epochs = Sized(8, 2);
+  popt.hidden = 128;
+  popt.lr = 7e-4f;
+  tasks::EstimatorModel preqr_model(&preqr_bm, popt);
+  {
+    std::vector<std::string> sqls = Sqls(s.synthetic_train);
+    std::vector<double> cards = Cards(s.synthetic_train);
+    const auto jl_sqls = Sqls(s.joblight_train);
+    const auto jl_cards = Cards(s.joblight_train);
+    sqls.insert(sqls.end(), jl_sqls.begin(), jl_sqls.end());
+    cards.insert(cards.end(), jl_cards.begin(), jl_cards.end());
+    preqr_model.Fit(sqls, cards);
+  }
+
+  planner::TrueCardinalityEstimator true_est(s.imdb);
+  planner::PgCardinalityEstimator pg_card(s.imdb, pg_est);
+  auto preqr_card =
+      tasks::MakePlannerEstimator(s.imdb, "preqr", &preqr_model);
+  planner::CardinalityEstimator* estimators[] = {&true_est, &pg_card,
+                                                 &preqr_card};
+
+  // The correlated multi-join planning workload: anchored predicates make
+  // intermediate sizes diverge from the independence assumption.
+  workload::ImdbQueryGenerator gen(s.imdb, 99);
+  std::vector<workload::BenchQuery> queries;
+  for (const auto& q : gen.Synthetic(Sized(120, 40), 4)) {
+    if (q.stmt.tables.size() >= 3) queries.push_back(q);
+  }
+  for (const auto& q : gen.JobLightTrain(Sized(80, 25))) {
+    if (q.stmt.tables.size() >= 3) queries.push_back(q);
+  }
+  const size_t max_queries = static_cast<size_t>(Sized(40, 12));
+  if (queries.size() > max_queries) queries.resize(max_queries);
+
+  EstimatorRun runs[3] = {{"true"}, {"pg"}, {"preqr"}};
+  int pg_worse_than_true = 0;
+  const db::CostModel cm;
+
+  std::printf("\nplanning %zu multi-join queries (3+ tables)\n",
+              queries.size());
+  for (const auto& q : queries) {
+    double executed[3] = {0, 0, 0};
+    bool ok_all = true;
+    for (int e = 0; e < 3 && ok_all; ++e) {
+      auto choice =
+          planner::PlanJoinOrder(s.imdb, q.stmt, *estimators[e], cm);
+      if (!choice.ok()) {
+        ok_all = false;
+        break;
+      }
+      auto res = exec.ExecuteOrder(q.stmt, choice.value().order, cm);
+      if (!res.ok()) {
+        ok_all = false;
+        break;
+      }
+      executed[e] = res.value().cost;
+    }
+    if (!ok_all) continue;
+    for (int e = 0; e < 3; ++e) {
+      const double ratio = executed[e] / executed[0];
+      runs[e].ratio_sum += ratio;
+      runs[e].ratio_max = std::max(runs[e].ratio_max, ratio);
+      runs[e].executed_units += executed[e];
+      if (ratio <= 1.0 + 1e-9) ++runs[e].picked_optimal;
+      ++runs[e].planned;
+    }
+    if (executed[1] > executed[0] * (1.0 + 1e-9)) ++pg_worse_than_true;
+  }
+
+  std::printf("\n%-10s %12s %12s %16s %18s\n", "estimator", "mean_ratio",
+              "max_ratio", "picked_optimal", "executed_units");
+  for (const auto& r : runs) {
+    std::printf("%-10s %12.4f %12.4f %13d/%-2d %18.0f\n", r.name.c_str(),
+                r.ratio_sum / std::max(1, r.planned), r.ratio_max,
+                r.picked_optimal, r.planned, r.executed_units);
+  }
+  std::printf("\nPG picked a strictly worse plan than true on %d/%d "
+              "queries\n",
+              pg_worse_than_true, runs[0].planned);
+
+  const char* path = std::getenv("PREQR_BENCH_PLANNER_JSON");
+  if (path == nullptr) path = "BENCH_planner.json";
+  FILE* f = std::fopen(path, "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"scale\": %.3f,\n  \"queries\": %d,\n", DbScale(),
+                 runs[0].planned);
+    std::fprintf(f, "  \"estimators\": [\n");
+    for (int e = 0; e < 3; ++e) {
+      const EstimatorRun& r = runs[e];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"mean_ratio\": %.6f, "
+                   "\"max_ratio\": %.6f, \"picked_optimal\": %d, "
+                   "\"executed_units\": %.1f}%s\n",
+                   r.name.c_str(), r.ratio_sum / std::max(1, r.planned),
+                   r.ratio_max, r.picked_optimal, r.executed_units,
+                   e + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"pg_worse_than_true\": %d\n}\n",
+                 pg_worse_than_true);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
+}
+
+}  // namespace
+}  // namespace preqr::bench
+
+int main() {
+  preqr::bench::Run();
+  return 0;
+}

@@ -8,6 +8,7 @@
 #   SKIP_FUZZ=1 scripts/check.sh        # skip the sanitized fuzz stage
 #   SKIP_SERVE=1 scripts/check.sh       # skip the serving front-end stage
 #   SKIP_SIMD=1 scripts/check.sh        # skip the SIMD/quantization stage
+#   SKIP_PLAN=1 scripts/check.sh        # skip the planner/executor stage
 #
 # The TSAN stage rebuilds with -DSANITIZE=thread into build-tsan/ and runs
 # the thread-pool and parallel-determinism suites (the tests that exercise
@@ -152,6 +153,53 @@ else
   UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
     PREQR_FUZZ_QUERIES=300 ./build-ubsan/tests/fuzz_stress_test \
     --gtest_filter='FuzzKernelPathTest.*'
+fi
+
+if [[ "${SKIP_PLAN:-0}" == "1" ]]; then
+  echo "== PLAN stage skipped (SKIP_PLAN=1) =="
+else
+  echo "== PLAN: planner + executor-golden + db suites under ASan, bench_planner smoke =="
+  # The plan-node refactor's safety net under ASan: the golden bitwise
+  # regression against the pre-refactor executor, the DP-vs-exhaustive
+  # planner suite (join-graph validation statuses included), and the db
+  # suite the executor split must not disturb.
+  cmake -B build-asan -S . -DSANITIZE=address >/dev/null
+  cmake --build build-asan -j --target planner_test \
+    --target executor_golden_test --target db_test
+  ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+    ./build-asan/tests/executor_golden_test
+  ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+    ./build-asan/tests/planner_test
+  ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+    ./build-asan/tests/db_test
+  # Close-the-loop smoke: every estimator plans, every plan executes, and
+  # the emitted JSON must show true pinned at ratio 1.0 with PG strictly
+  # worse somewhere on the correlated workload.
+  PREQR_BENCH_FAST=1 PREQR_BENCH_PLANNER_JSON=build/BENCH_planner.json \
+    ./build/bench/bench_planner
+  python3 - <<'EOF'
+import json
+with open("build/BENCH_planner.json") as f:
+    doc = json.load(f)
+rows = doc["estimators"]
+assert doc["queries"] >= 5, f"too few planned queries: {doc['queries']}"
+assert [r["name"] for r in rows] == ["true", "pg", "preqr"], \
+    f"estimator rows: {[r['name'] for r in rows]}"
+for r in rows:
+    for key in ("mean_ratio", "max_ratio", "picked_optimal",
+                "executed_units"):
+        assert key in r, f"missing {key} in {r}"
+    assert r["mean_ratio"] >= 1.0 - 1e-9, f"ratio below optimal: {r}"
+true_row = rows[0]
+assert true_row["mean_ratio"] <= 1.0 + 1e-6, \
+    f"true estimator not executed-optimal: {true_row}"
+assert true_row["picked_optimal"] == doc["queries"], \
+    f"true estimator missed an optimum: {true_row}"
+assert doc["pg_worse_than_true"] >= 1, \
+    "PG never picked a worse plan than true on the correlated workload"
+print("BENCH_planner.json schema ok:", doc["queries"], "queries,",
+      f"pg worse on {doc['pg_worse_than_true']}")
+EOF
 fi
 
 if [[ "${SKIP_POOL_DEBUG:-0}" != "1" ]]; then

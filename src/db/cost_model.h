@@ -1,0 +1,49 @@
+#ifndef PREQR_DB_COST_MODEL_H_
+#define PREQR_DB_COST_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace preqr::db {
+
+// The work-unit cost model shared by the executor (executed cost), the PG
+// baseline (estimated cost) and the join planner (plan cost). A left-deep
+// hash-join pipeline over tables t0..tk costs
+//
+//   sum_i scan_weight * |t_i|                        (base-table scans)
+// + sum_{i>=1} build_weight * |sigma(t_i)|           (hash builds)
+// + sum_{i>=1} intermediate_weight * |join(t0..t_i)| (intermediate results)
+// + emit_weight * |join(t0..tk)|                     (output emission)
+//
+// Feeding the same formula with true vs estimated cardinalities is what
+// makes planner cost and executed cost directly comparable.
+struct CostModel {
+  double scan_weight = 1.0;
+  double build_weight = 1.0;
+  double intermediate_weight = 1.0;
+  double emit_weight = 0.1;
+};
+
+// Evaluates the pipeline formula above. `build_rows[i]` and
+// `intermediate_rows[i]` describe the (i+1)-th joined table; both vectors
+// have one entry per join step (tables - 1 for a full pipeline).
+inline double LeftDeepPipelineCost(const CostModel& cm,
+                                   const std::vector<double>& scan_rows,
+                                   const std::vector<double>& build_rows,
+                                   const std::vector<double>& intermediate_rows,
+                                   double out_cardinality) {
+  double cost = 0;
+  for (double rows : scan_rows) cost += cm.scan_weight * rows;
+  for (size_t i = 0; i < build_rows.size(); ++i) {
+    cost += cm.build_weight * build_rows[i];
+  }
+  for (size_t i = 0; i < intermediate_rows.size(); ++i) {
+    cost += cm.intermediate_weight * intermediate_rows[i];
+  }
+  cost += cm.emit_weight * out_cardinality;
+  return cost;
+}
+
+}  // namespace preqr::db
+
+#endif  // PREQR_DB_COST_MODEL_H_

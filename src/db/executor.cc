@@ -1,175 +1,25 @@
 #include "db/executor.h"
 
 #include <algorithm>
-#include <functional>
-#include <unordered_map>
+#include <memory>
 #include <unordered_set>
 
 namespace preqr::db {
 
-namespace {
-
-using sql::ColumnRef;
-using sql::ColumnType;
-using sql::CompareOp;
-using sql::Literal;
-using sql::Predicate;
 using sql::SelectStatement;
 
-// One table occurrence in the query.
-struct Binding {
-  std::string name;   // alias or table name
-  const Table* table = nullptr;
-  std::vector<const Predicate*> filters;
-  std::vector<char> pass;  // per-row filter bitmap
-};
-
-struct JoinEdge {
-  int a = -1, b = -1;    // binding indices
-  int col_a = -1, col_b = -1;  // column indices in respective tables
-};
-
-// Resolves a column reference to (binding index, column index).
-bool ResolveColumn(const std::vector<Binding>& bindings, const ColumnRef& ref,
-                   int* binding_idx, int* col_idx) {
-  if (!ref.qualifier.empty()) {
-    for (size_t i = 0; i < bindings.size(); ++i) {
-      if (bindings[i].name == ref.qualifier ||
-          bindings[i].table->name() == ref.qualifier) {
-        const int c = bindings[i].table->def().ColumnIndex(ref.column);
-        if (c < 0) return false;
-        *binding_idx = static_cast<int>(i);
-        *col_idx = c;
-        return true;
-      }
-    }
-    return false;
-  }
-  // Unqualified: unique table containing the column.
-  int found = -1, found_col = -1;
-  for (size_t i = 0; i < bindings.size(); ++i) {
-    const int c = bindings[i].table->def().ColumnIndex(ref.column);
-    if (c >= 0) {
-      if (found >= 0) return false;  // ambiguous
-      found = static_cast<int>(i);
-      found_col = c;
-    }
-  }
-  if (found < 0) return false;
-  *binding_idx = found;
-  *col_idx = found_col;
-  return true;
-}
-
-bool CompareNumeric(double lhs, CompareOp op, double rhs) {
-  switch (op) {
-    case CompareOp::kEq:
-      return lhs == rhs;
-    case CompareOp::kNe:
-      return lhs != rhs;
-    case CompareOp::kLt:
-      return lhs < rhs;
-    case CompareOp::kLe:
-      return lhs <= rhs;
-    case CompareOp::kGt:
-      return lhs > rhs;
-    case CompareOp::kGe:
-      return lhs >= rhs;
-    default:
-      return false;
-  }
-}
-
-bool CompareString(const std::string& lhs, CompareOp op,
-                   const std::string& rhs) {
-  switch (op) {
-    case CompareOp::kEq:
-      return lhs == rhs;
-    case CompareOp::kNe:
-      return lhs != rhs;
-    case CompareOp::kLt:
-      return lhs < rhs;
-    case CompareOp::kLe:
-      return lhs <= rhs;
-    case CompareOp::kGt:
-      return lhs > rhs;
-    case CompareOp::kGe:
-      return lhs >= rhs;
-    case CompareOp::kLike:
-      return Executor::LikeMatch(lhs, rhs);
-    default:
-      return false;
-  }
-}
-
-// Evaluates one filter predicate against one row.
-bool RowPasses(const Table& table, int col, const Predicate& pred, size_t row,
-               const std::unordered_set<int64_t>* subquery_ints) {
-  const Column& column = table.column(col);
-  if (column.type == ColumnType::kString) {
-    const std::string& v = column.strings[row];
-    switch (pred.op) {
-      case CompareOp::kIn: {
-        for (const auto& lit : pred.values) {
-          if (lit.kind == Literal::Kind::kString && v == lit.string_value) {
-            return true;
-          }
-        }
-        return false;
-      }
-      case CompareOp::kBetween:
-        return v >= pred.values[0].string_value &&
-               v <= pred.values[1].string_value;
-      default:
-        return CompareString(v, pred.op, pred.values[0].string_value);
-    }
-  }
-  const double v = column.AsDouble(row);
-  switch (pred.op) {
-    case CompareOp::kIn: {
-      if (subquery_ints != nullptr) {
-        return subquery_ints->count(static_cast<int64_t>(v)) > 0;
-      }
-      for (const auto& lit : pred.values) {
-        if (v == lit.AsDouble()) return true;
-      }
-      return false;
-    }
-    case CompareOp::kBetween:
-      return v >= pred.values[0].AsDouble() && v <= pred.values[1].AsDouble();
-    default:
-      return CompareNumeric(v, pred.op, pred.values[0].AsDouble());
-  }
-}
-
-}  // namespace
-
-bool PredicatePasses(const Table& table, int col, const Predicate& pred,
-                     size_t row) {
-  return RowPasses(table, col, pred, row, nullptr);
-}
-
 bool Executor::LikeMatch(const std::string& text, const std::string& pattern) {
-  // Iterative wildcard matching with % (any run) and _ (any single char).
-  size_t t = 0, p = 0;
-  size_t star_p = std::string::npos, star_t = 0;
-  while (t < text.size()) {
-    if (p < pattern.size() && pattern[p] == '%') {
-      star_p = p++;
-      star_t = t;
-    } else if (p < pattern.size() &&
-               (pattern[p] == '_' || pattern[p] == text[t])) {
-      ++t;
-      ++p;
-    } else if (star_p != std::string::npos) {
-      p = star_p + 1;
-      t = ++star_t;
-    } else {
-      return false;
-    }
+  return db::LikeMatch(text, pattern);
+}
+
+Result<BoundQuery> Executor::Bind(const SelectStatement& stmt) const {
+  if (stmt.union_next) {
+    return Status::InvalidArgument(
+        "UNION statements bind per branch, not as one join query");
   }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
-  return p == pattern.size();
+  return BindQuery(db_, stmt, [this](const SelectStatement& sub) {
+    return Execute(sub, /*collect_root_rows=*/true);
+  });
 }
 
 Result<ExecResult> Executor::Execute(const SelectStatement& stmt,
@@ -199,244 +49,25 @@ Result<ExecResult> Executor::Execute(const SelectStatement& stmt,
     return merged;
   }
 
-  // Bind tables.
-  std::vector<Binding> bindings;
-  for (const auto& tref : stmt.tables) {
-    const Table* table = db_.FindTable(tref.table);
-    if (table == nullptr) {
-      return Status::NotFound("unknown table: " + tref.table);
-    }
-    Binding b;
-    b.name = tref.BindingName();
-    b.table = table;
-    bindings.push_back(std::move(b));
-  }
-  if (bindings.empty()) return Status::InvalidArgument("no tables");
-
+  auto bound = Bind(stmt);
+  if (!bound.ok()) return bound.status();
+  std::unique_ptr<PlanNode> plan = BuildDefaultPlan(bound.value());
   ExecResult result;
-
-  // Classify predicates; evaluate IN-subqueries up front.
-  std::vector<JoinEdge> joins;
-  std::vector<std::unordered_set<int64_t>> subquery_sets;
-  std::vector<const std::unordered_set<int64_t>*> pred_subquery(
-      stmt.predicates.size(), nullptr);
-  for (size_t pi = 0; pi < stmt.predicates.size(); ++pi) {
-    const Predicate& pred = stmt.predicates[pi];
-    if (pred.IsJoin()) {
-      JoinEdge e;
-      if (!ResolveColumn(bindings, pred.lhs, &e.a, &e.col_a) ||
-          !ResolveColumn(bindings, pred.rhs_column, &e.b, &e.col_b)) {
-        return Status::NotFound("cannot resolve join columns for " +
-                                pred.lhs.ToString());
-      }
-      if (pred.op != CompareOp::kEq) {
-        return Status::InvalidArgument("only equi-joins are supported");
-      }
-      joins.push_back(e);
-      continue;
-    }
-    int bi = -1, ci = -1;
-    if (!ResolveColumn(bindings, pred.lhs, &bi, &ci)) {
-      return Status::NotFound("cannot resolve column " + pred.lhs.ToString());
-    }
-    if (pred.subquery) {
-      // Evaluate the subquery: collect the projected column's values over
-      // the subquery root table's qualifying rows.
-      auto sub = Execute(*pred.subquery, /*collect_root_rows=*/true);
-      if (!sub.ok()) return sub.status();
-      result.cost += sub.value().cost;
-      if (pred.subquery->items.empty() || pred.subquery->items[0].star) {
-        return Status::InvalidArgument("subquery must project one column");
-      }
-      const Table* sub_root =
-          db_.FindTable(pred.subquery->tables[0].table);
-      const int sub_col = sub_root->def().ColumnIndex(
-          pred.subquery->items[0].column.column);
-      if (sub_col < 0) {
-        return Status::NotFound("unknown subquery projection column");
-      }
-      const Column& scol = sub_root->column(sub_col);
-      if (scol.type == ColumnType::kString) {
-        return Status::InvalidArgument("string IN-subqueries unsupported");
-      }
-      std::unordered_set<int64_t> values;
-      for (int row : sub.value().root_row_ids) {
-        values.insert(scol.type == ColumnType::kInt
-                          ? scol.ints[static_cast<size_t>(row)]
-                          : static_cast<int64_t>(
-                                scol.floats[static_cast<size_t>(row)]));
-      }
-      subquery_sets.push_back(std::move(values));
-    }
-    bindings[static_cast<size_t>(bi)].filters.push_back(&pred);
-  }
-
-  // Wire subquery value sets to their predicates (after the vector is
-  // fully built, so the pointers are stable).
-  {
-    size_t k = 0;
-    for (size_t pi = 0; pi < stmt.predicates.size(); ++pi) {
-      if (stmt.predicates[pi].subquery && !stmt.predicates[pi].IsJoin()) {
-        pred_subquery[pi] = &subquery_sets[k++];
-      }
-    }
-  }
-
-  // Per-table filter bitmaps; scanning cost.
-  for (auto& b : bindings) {
-    const size_t n = b.table->num_rows();
-    result.cost += static_cast<double>(n);
-    b.pass.assign(n, 1);
-    for (const Predicate* pred : b.filters) {
-      int bi = -1, ci = -1;
-      ResolveColumn(bindings, pred->lhs, &bi, &ci);
-      const std::unordered_set<int64_t>* sub = nullptr;
-      for (size_t pi = 0; pi < stmt.predicates.size(); ++pi) {
-        if (&stmt.predicates[pi] == pred) sub = pred_subquery[pi];
-      }
-      for (size_t row = 0; row < n; ++row) {
-        if (b.pass[row] != 0 &&
-            !RowPasses(*b.table, ci, *pred, row, sub)) {
-          b.pass[row] = 0;
-        }
-      }
-    }
-  }
-
-  // Single table: count the bitmap.
-  if (bindings.size() == 1) {
-    double count = 0;
-    for (size_t row = 0; row < bindings[0].pass.size(); ++row) {
-      if (bindings[0].pass[row] != 0) {
-        count += 1;
-        if (collect_root_rows) {
-          result.root_row_ids.push_back(static_cast<int>(row));
-        }
-      }
-    }
-    result.cardinality = count;
-    result.cost += count * 0.1;
-    return result;
-  }
-
-  // Join tree check: connected with exactly n-1 edges.
-  const size_t n_bind = bindings.size();
-  if (joins.size() != n_bind - 1) {
-    return Status::InvalidArgument("join graph is not a tree");
-  }
-  std::vector<std::vector<int>> adj(n_bind);  // edge indices per node
-  for (size_t e = 0; e < joins.size(); ++e) {
-    adj[static_cast<size_t>(joins[e].a)].push_back(static_cast<int>(e));
-    adj[static_cast<size_t>(joins[e].b)].push_back(static_cast<int>(e));
-  }
-
-  // Bottom-up weight computation from the root (binding 0).
-  // weights[node] is only materialized as key->sum maps for children.
-  std::vector<char> visited(n_bind, 0);
-
-  // Returns, for `node` (entered via `via_col` from its parent), the map
-  // join_key -> total weight of qualifying subtree combinations.
-  struct Frame {
-    int node;
-    int via_col;
-  };
-  // Recursive lambda via explicit function.
-  std::function<std::unordered_map<int64_t, double>(int, int)> subtree_weights =
-      [&](int node, int via_col) -> std::unordered_map<int64_t, double> {
-    visited[static_cast<size_t>(node)] = 1;
-    const Binding& b = bindings[static_cast<size_t>(node)];
-    // Gather child maps first.
-    struct ChildMap {
-      int col;  // this node's join column toward the child
-      std::unordered_map<int64_t, double> weights;
-    };
-    std::vector<ChildMap> children;
-    for (int ei : adj[static_cast<size_t>(node)]) {
-      const JoinEdge& e = joins[static_cast<size_t>(ei)];
-      const int other = e.a == node ? e.b : e.a;
-      if (visited[static_cast<size_t>(other)] != 0) continue;
-      ChildMap cm;
-      cm.col = e.a == node ? e.col_a : e.col_b;
-      cm.weights = subtree_weights(other, e.a == node ? e.col_b : e.col_a);
-      children.push_back(std::move(cm));
-    }
-    // Aggregate this node's rows by its parent-join column.
-    std::unordered_map<int64_t, double> out;
-    const Column& key_col = b.table->column(via_col);
-    PREQR_CHECK(key_col.type == ColumnType::kInt);
-    double subtree_size = 0;
-    for (size_t row = 0; row < b.pass.size(); ++row) {
-      if (b.pass[row] == 0) continue;
-      double w = 1.0;
-      for (const auto& cm : children) {
-        const Column& ccol = b.table->column(cm.col);
-        const int64_t key = ccol.type == ColumnType::kInt
-                                ? ccol.ints[row]
-                                : static_cast<int64_t>(ccol.AsDouble(row));
-        auto it = cm.weights.find(key);
-        if (it == cm.weights.end()) {
-          w = 0.0;
-          break;
-        }
-        w *= it->second;
-      }
-      if (w > 0.0) {
-        out[key_col.ints[row]] += w;
-        subtree_size += w;
-      }
-    }
-    // Hash build + intermediate size contribute to cost.
-    result.cost += static_cast<double>(out.size()) + subtree_size;
-    return out;
-  };
-
-  // Root: combine children directly.
-  visited[0] = 1;
-  const Binding& root = bindings[0];
-  struct RootChild {
-    int col;
-    std::unordered_map<int64_t, double> weights;
-  };
-  std::vector<RootChild> root_children;
-  for (int ei : adj[0]) {
-    const JoinEdge& e = joins[static_cast<size_t>(ei)];
-    const int other = e.a == 0 ? e.b : e.a;
-    if (visited[static_cast<size_t>(other)] != 0) continue;
-    RootChild rc;
-    rc.col = e.a == 0 ? e.col_a : e.col_b;
-    rc.weights = subtree_weights(other, e.a == 0 ? e.col_b : e.col_a);
-    root_children.push_back(std::move(rc));
-  }
-  // If some node was unreachable, the join graph was disconnected.
-  for (char v : visited) {
-    if (v == 0) return Status::InvalidArgument("join graph is disconnected");
-  }
-  double total = 0;
-  for (size_t row = 0; row < root.pass.size(); ++row) {
-    if (root.pass[row] == 0) continue;
-    double w = 1.0;
-    for (const auto& rc : root_children) {
-      const Column& ccol = root.table->column(rc.col);
-      const int64_t key = ccol.type == ColumnType::kInt
-                              ? ccol.ints[row]
-                              : static_cast<int64_t>(ccol.AsDouble(row));
-      auto it = rc.weights.find(key);
-      if (it == rc.weights.end()) {
-        w = 0.0;
-        break;
-      }
-      w *= it->second;
-    }
-    if (w > 0.0) {
-      total += w;
-      if (collect_root_rows) {
-        result.root_row_ids.push_back(static_cast<int>(row));
-      }
-    }
-  }
-  result.cardinality = total;
-  result.cost += total * 0.1;
+  result.cost = bound.value().bind_cost;
+  plan->ExecuteRoot(bound.value(), collect_root_rows, &result);
   return result;
+}
+
+StatusOr<PlannedExecResult> Executor::ExecuteOrder(
+    const SelectStatement& stmt, const std::vector<int>& order,
+    const CostModel& cm) const {
+  if (stmt.union_next) {
+    return Status::InvalidArgument(
+        "explicit join orders do not apply to UNION statements");
+  }
+  auto bound = Bind(stmt);
+  if (!bound.ok()) return bound.status();
+  return ExecuteLeftDeep(bound.value(), order, cm);
 }
 
 }  // namespace preqr::db

@@ -7,29 +7,21 @@
 
 #include "common/status.h"
 #include "db/database.h"
+#include "db/plan.h"
 #include "sql/ast.h"
 
 namespace preqr::db {
-
-// Result of executing a (COUNT-style) query.
-struct ExecResult {
-  // Exact number of joined rows satisfying all predicates.
-  double cardinality = 0;
-  // Deterministic work units: tuples scanned + hash build entries +
-  // per-subtree intermediate join sizes + output emission. Serves as the
-  // ground-truth "cost" the cost-estimation task predicts.
-  double cost = 0;
-  // Row ids of the first (root) table that contribute at least one join
-  // result; populated when `collect_root_rows` is set. Used as the
-  // result-set identity for the CH similarity ground truth.
-  std::vector<int> root_row_ids;
-};
 
 // Executes SELECT statements against the in-memory database. Joins must be
 // acyclic (tree-shaped), which holds for all generated workloads; join
 // columns must be integers (FK ids). Counting is performed bottom-up over
 // the join tree (weights per key), so cardinalities in the billions are
 // computed without materialization.
+//
+// Execution is organized as a plan-node tree (db/plan.h): Execute binds the
+// statement, builds the default plan (rooted at the first FROM table) and
+// runs it; ExecuteOrder runs an explicit caller-chosen left-deep join order
+// and reports per-step cardinalities, which is what the join planner costs.
 class Executor {
  public:
   explicit Executor(const Database& db) : db_(db) {}
@@ -37,18 +29,24 @@ class Executor {
   Result<ExecResult> Execute(const sql::SelectStatement& stmt,
                              bool collect_root_rows = false) const;
 
+  // Binds a non-UNION statement: resolves tables and predicates, evaluates
+  // IN-subqueries, materializes filter bitmaps, validates the join graph.
+  Result<BoundQuery> Bind(const sql::SelectStatement& stmt) const;
+
+  // Executes `stmt` in the explicit left-deep join order `order` (indices
+  // into stmt.tables; every prefix must stay connected in the join tree).
+  // The returned cardinality equals Execute()'s; the cost follows `cm`
+  // over the exact per-prefix intermediate cardinalities.
+  StatusOr<PlannedExecResult> ExecuteOrder(const sql::SelectStatement& stmt,
+                                           const std::vector<int>& order,
+                                           const CostModel& cm = {}) const;
+
   // True if the pattern (SQL LIKE with % and _) matches the text.
   static bool LikeMatch(const std::string& text, const std::string& pattern);
 
  private:
   const Database& db_;
 };
-
-// Evaluates one filter predicate (no join, no subquery) against row `row`
-// of `table`, where `col` is the index of the predicate's column. Exposed
-// for samplers/estimators that scan rows directly.
-bool PredicatePasses(const Table& table, int col, const sql::Predicate& pred,
-                     size_t row);
 
 }  // namespace preqr::db
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "db/cost_model.h"
+
 namespace preqr::pg {
 
 namespace {
@@ -150,14 +152,18 @@ double PgEstimator::EstimateCost(const SelectStatement& stmt) const {
     head.union_next = nullptr;
     return EstimateCost(head) + EstimateCost(*stmt.union_next);
   }
-  // Scan cost.
-  double cost = 0;
+  // The shared work-unit cost model (db/cost_model.h): a left-deep
+  // hash-join pipeline over the FROM order, fed with estimated instead of
+  // exact cardinalities — the same formula the executor and the join
+  // planner charge, which is what makes estimated and executed cost
+  // directly comparable.
+  const db::CostModel cm;
+  std::vector<double> scan_rows, build_rows, intermediate_rows;
   for (const auto& tref : stmt.tables) {
     const db::TableStats* ts = StatsFor(tref.table);
-    cost += ts != nullptr ? static_cast<double>(ts->row_count) : 1000.0;
+    scan_rows.push_back(ts != nullptr ? static_cast<double>(ts->row_count)
+                                      : 1000.0);
   }
-  // Left-deep hash-join pipeline over the FROM order: accumulate estimated
-  // intermediate cardinalities.
   SelectStatement prefix;
   prefix.items = stmt.items;
   for (size_t i = 0; i < stmt.tables.size(); ++i) {
@@ -180,10 +186,23 @@ double PgEstimator::EstimateCost(const SelectStatement& stmt) const {
         prefix.predicates.push_back(pred);
       }
     }
-    if (i > 0) cost += EstimateCardinality(prefix);
+    if (i > 0) {
+      // Hash-build input: the added table alone under its own filters.
+      SelectStatement single;
+      single.items = stmt.items;
+      single.tables = {stmt.tables[i]};
+      for (const auto& pred : stmt.predicates) {
+        if (pred.IsJoin()) continue;
+        const auto [t, c] = Resolve(db_.catalog(), stmt, pred.lhs);
+        if (t == stmt.tables[i].table) single.predicates.push_back(pred);
+      }
+      build_rows.push_back(EstimateCardinality(single));
+      intermediate_rows.push_back(EstimateCardinality(prefix));
+    }
   }
-  cost += EstimateCardinality(stmt) * 0.1;
-  return cost;
+  return db::LeftDeepPipelineCost(cm, scan_rows, build_rows,
+                                  intermediate_rows,
+                                  EstimateCardinality(stmt));
 }
 
 }  // namespace preqr::pg

@@ -1,0 +1,89 @@
+#include "planner/cardinality.h"
+
+#include <algorithm>
+
+#include "sql/printer.h"
+
+namespace preqr::planner {
+
+namespace {
+
+// Resolves a column reference to the index of its table occurrence in
+// stmt.tables (alias first, then table name, then unique unqualified
+// match); -1 if unresolved or ambiguous. Mirrors the executor's binding
+// rules so induced sub-statements keep exactly the predicates the executor
+// would apply to the subset.
+int TableIndexOf(const db::Database& db, const sql::SelectStatement& stmt,
+                 const sql::ColumnRef& ref) {
+  if (!ref.qualifier.empty()) {
+    for (size_t i = 0; i < stmt.tables.size(); ++i) {
+      if (stmt.tables[i].BindingName() == ref.qualifier ||
+          stmt.tables[i].table == ref.qualifier) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+  int found = -1;
+  for (size_t i = 0; i < stmt.tables.size(); ++i) {
+    const db::Table* table = db.FindTable(stmt.tables[i].table);
+    if (table != nullptr && table->def().ColumnIndex(ref.column) >= 0) {
+      if (found >= 0) return -1;  // ambiguous
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+sql::SelectStatement InduceSubsetStatement(const db::Database& db,
+                                           const sql::SelectStatement& stmt,
+                                           const std::vector<int>& subset) {
+  sql::SelectStatement out;
+  out.items = stmt.items;
+  std::vector<char> in(stmt.tables.size(), 0);
+  for (int t : subset) {
+    out.tables.push_back(stmt.tables[static_cast<size_t>(t)]);
+    in[static_cast<size_t>(t)] = 1;
+  }
+  for (const auto& pred : stmt.predicates) {
+    if (pred.IsJoin()) {
+      const int a = TableIndexOf(db, stmt, pred.lhs);
+      const int b = TableIndexOf(db, stmt, pred.rhs_column);
+      if (a >= 0 && b >= 0 && in[static_cast<size_t>(a)] != 0 &&
+          in[static_cast<size_t>(b)] != 0) {
+        out.predicates.push_back(pred);
+      }
+    } else {
+      const int a = TableIndexOf(db, stmt, pred.lhs);
+      if (a >= 0 && in[static_cast<size_t>(a)] != 0) {
+        out.predicates.push_back(pred);
+      }
+    }
+  }
+  return out;
+}
+
+double CardinalityEstimator::EstimateSubsetCardinality(
+    const sql::SelectStatement& stmt, const std::vector<int>& subset) {
+  return EstimateCardinality(InduceSubsetStatement(db_, stmt, subset));
+}
+
+double TrueCardinalityEstimator::EstimateCardinality(
+    const sql::SelectStatement& stmt) {
+  const std::string key = sql::ToSql(stmt);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  auto r = exec_.Execute(stmt);
+  const double card = r.ok() ? r.value().cardinality : 0.0;
+  memo_.emplace(key, card);
+  return card;
+}
+
+double CallbackCardinalityEstimator::EstimateCardinality(
+    const sql::SelectStatement& stmt) {
+  return std::max(1.0, fn_(sql::ToSql(stmt)));
+}
+
+}  // namespace preqr::planner

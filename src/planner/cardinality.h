@@ -1,0 +1,97 @@
+#ifndef PREQR_PLANNER_CARDINALITY_H_
+#define PREQR_PLANNER_CARDINALITY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "db/executor.h"
+#include "pg/pg_estimator.h"
+#include "sql/ast.h"
+
+namespace preqr::planner {
+
+// Builds the sub-statement induced by `subset` (indices into stmt.tables):
+// those table references, every filter predicate that resolves into the
+// subset, and every join predicate with both sides inside it. This is the
+// unit the planner asks estimators about.
+sql::SelectStatement InduceSubsetStatement(const db::Database& db,
+                                           const sql::SelectStatement& stmt,
+                                           const std::vector<int>& subset);
+
+// The unified cardinality-estimator interface the join planner costs plans
+// with. True counts, PG statistics and learned models (PreQR/baselines) all
+// sit behind it, so plans are costed by the same formula fed by different
+// cardinalities.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::string name() const = 0;
+
+  // Estimated COUNT(*) of the full statement.
+  virtual double EstimateCardinality(const sql::SelectStatement& stmt) = 0;
+
+  // Estimated cardinality of the join over `subset` (indices into
+  // stmt.tables) with every predicate that resolves inside the subset
+  // applied. Default: induce the sub-statement and estimate it.
+  virtual double EstimateSubsetCardinality(const sql::SelectStatement& stmt,
+                                           const std::vector<int>& subset);
+
+ protected:
+  explicit CardinalityEstimator(const db::Database& db) : db_(db) {}
+  const db::Database& db_;
+};
+
+// Exact cardinalities from the executor, memoized by the induced SQL text.
+// Planning with this estimator yields the true-optimal left-deep plan.
+class TrueCardinalityEstimator : public CardinalityEstimator {
+ public:
+  explicit TrueCardinalityEstimator(const db::Database& db)
+      : CardinalityEstimator(db), exec_(db) {}
+  std::string name() const override { return "true"; }
+  double EstimateCardinality(const sql::SelectStatement& stmt) override;
+
+ private:
+  db::Executor exec_;
+  std::unordered_map<std::string, double> memo_;
+};
+
+// PostgreSQL-style histogram/MCV statistics under the independence
+// assumption (pg::PgEstimator).
+class PgCardinalityEstimator : public CardinalityEstimator {
+ public:
+  PgCardinalityEstimator(const db::Database& db, const pg::PgEstimator& pg)
+      : CardinalityEstimator(db), pg_(pg) {}
+  std::string name() const override { return "pg"; }
+  double EstimateCardinality(const sql::SelectStatement& stmt) override {
+    return pg_.EstimateCardinality(stmt);
+  }
+
+ private:
+  const pg::PgEstimator& pg_;
+};
+
+// Adapts any SQL-text predictor — e.g. a tasks::EstimatorModel trained on a
+// PreQR encoding — behind the interface without a planner->tasks
+// dependency. Estimates are floored at 1 row.
+class CallbackCardinalityEstimator : public CardinalityEstimator {
+ public:
+  using PredictFn = std::function<double(const std::string& sql)>;
+
+  CallbackCardinalityEstimator(const db::Database& db, std::string name,
+                               PredictFn fn)
+      : CardinalityEstimator(db), name_(std::move(name)), fn_(std::move(fn)) {}
+  std::string name() const override { return name_; }
+  double EstimateCardinality(const sql::SelectStatement& stmt) override;
+
+ private:
+  std::string name_;
+  PredictFn fn_;
+};
+
+}  // namespace preqr::planner
+
+#endif  // PREQR_PLANNER_CARDINALITY_H_

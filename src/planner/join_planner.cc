@@ -1,0 +1,201 @@
+#include "planner/join_planner.h"
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+namespace preqr::planner {
+
+namespace {
+
+constexpr int kMaxTables = 16;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shared context for one planning problem: the validated join graph plus a
+// per-subset cardinality memo (keyed by bitmask over table indices).
+struct PlanContext {
+  const db::Database& db;
+  const sql::SelectStatement& stmt;
+  CardinalityEstimator& est;
+  const db::CostModel& cm;
+  int n = 0;
+  std::vector<db::JoinEdge> edges;
+  // Adjacency as bitmasks: neighbors[i] = tables sharing a join edge with i.
+  std::vector<uint32_t> neighbors;
+  std::unordered_map<uint32_t, double> card_memo;
+
+  double SubsetCard(uint32_t mask) {
+    auto it = card_memo.find(mask);
+    if (it != card_memo.end()) return it->second;
+    std::vector<int> subset;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) subset.push_back(i);
+    }
+    const double card = est.EstimateSubsetCardinality(stmt, subset);
+    card_memo.emplace(mask, card);
+    return card;
+  }
+
+  // Join-order-independent scan work over the physical base tables.
+  double ScanCost() const {
+    double cost = 0;
+    for (const auto& tref : stmt.tables) {
+      const db::Table* table = db.FindTable(tref.table);
+      cost += cm.scan_weight *
+              static_cast<double>(table != nullptr ? table->num_rows() : 0);
+    }
+    return cost;
+  }
+};
+
+StatusOr<PlanContext> MakeContext(const db::Database& db,
+                                  const sql::SelectStatement& stmt,
+                                  CardinalityEstimator& est,
+                                  const db::CostModel& cm) {
+  if (stmt.union_next) {
+    return Status::InvalidArgument("cannot plan a UNION statement");
+  }
+  auto graph = db::ResolveJoinGraph(db, stmt);
+  if (!graph.ok()) return graph.status();
+  if (graph.value().num_tables > kMaxTables) {
+    return Status::InvalidArgument("join planner supports at most 16 tables");
+  }
+  PlanContext ctx{db, stmt, est, cm};
+  ctx.n = static_cast<int>(graph.value().num_tables);
+  ctx.edges = std::move(graph.value().edges);
+  ctx.neighbors.assign(static_cast<size_t>(ctx.n), 0);
+  for (const auto& e : ctx.edges) {
+    ctx.neighbors[static_cast<size_t>(e.a)] |= 1u << e.b;
+    ctx.neighbors[static_cast<size_t>(e.b)] |= 1u << e.a;
+  }
+  return ctx;
+}
+
+}  // namespace
+
+StatusOr<PlanChoice> PlanJoinOrder(const db::Database& db,
+                                   const sql::SelectStatement& stmt,
+                                   CardinalityEstimator& est,
+                                   const db::CostModel& cm) {
+  auto ctx_or = MakeContext(db, stmt, est, cm);
+  if (!ctx_or.ok()) return ctx_or.status();
+  PlanContext& ctx = ctx_or.value();
+  const int n = ctx.n;
+  const uint32_t full = (1u << n) - 1u;
+
+  PlanChoice choice;
+  if (n == 1) {
+    choice.order = {0};
+    choice.estimated_cost =
+        ctx.ScanCost() + cm.emit_weight * ctx.SubsetCard(full);
+    return choice;
+  }
+
+  // best[mask] = cheapest accumulated join work (builds + intermediates)
+  // of any connected left-deep prefix covering exactly `mask`; kInf marks
+  // subsets no connected prefix can reach. A subset is reachable iff some
+  // member is adjacent to the connected remainder, so reachability and
+  // optimality propagate together — no separate connectivity precompute.
+  std::vector<double> best(full + 1u, kInf);
+  std::vector<int> last(full + 1u, -1);
+  for (int i = 0; i < n; ++i) {
+    best[1u << i] = 0;
+    last[1u << i] = i;
+  }
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1u)) == 0u) continue;  // singletons seeded above
+    double mask_card = -1;  // lazy: only subsets with a valid split pay
+    for (int t = 0; t < n; ++t) {
+      if (((mask >> t) & 1u) == 0u) continue;
+      const uint32_t prev = mask & ~(1u << t);
+      if (best[prev] == kInf) continue;  // remainder not connected
+      if ((ctx.neighbors[static_cast<size_t>(t)] & prev) == 0u) continue;
+      if (mask_card < 0) mask_card = ctx.SubsetCard(mask);
+      const double cost = best[prev] +
+                          cm.build_weight * ctx.SubsetCard(1u << t) +
+                          cm.intermediate_weight * mask_card;
+      if (cost < best[mask]) {
+        best[mask] = cost;
+        last[mask] = t;
+      }
+    }
+  }
+  if (best[full] == kInf) {
+    // Unreachable for a validated join tree; defensive.
+    return Status::InvalidArgument("join graph admits no connected order");
+  }
+
+  choice.order.assign(static_cast<size_t>(n), -1);
+  uint32_t mask = full;
+  for (int i = n - 1; i >= 0; --i) {
+    choice.order[static_cast<size_t>(i)] = last[mask];
+    mask &= ~(1u << last[mask]);
+  }
+  choice.estimated_cost = ctx.ScanCost() + best[full] +
+                          cm.emit_weight * ctx.SubsetCard(full);
+  return choice;
+}
+
+StatusOr<PlanChoice> ExhaustivePlanJoinOrder(const db::Database& db,
+                                             const sql::SelectStatement& stmt,
+                                             CardinalityEstimator& est,
+                                             const db::CostModel& cm) {
+  auto ctx_or = MakeContext(db, stmt, est, cm);
+  if (!ctx_or.ok()) return ctx_or.status();
+  PlanContext& ctx = ctx_or.value();
+  const int n = ctx.n;
+  const uint32_t full = (1u << n) - 1u;
+
+  PlanChoice choice;
+  if (n == 1) {
+    choice.order = {0};
+    choice.estimated_cost =
+        ctx.ScanCost() + cm.emit_weight * ctx.SubsetCard(full);
+    return choice;
+  }
+
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  double best_cost = kInf;
+  std::vector<int> best_order;
+  // Depth-first over permutations in lexicographic order; `acc` mirrors the
+  // DP's left-to-right (build + intermediate) accumulation exactly.
+  std::function<void(uint32_t, double)> recurse = [&](uint32_t mask,
+                                                      double acc) {
+    if (mask == full) {
+      const double total =
+          ctx.ScanCost() + acc + cm.emit_weight * ctx.SubsetCard(full);
+      if (total < best_cost) {
+        best_cost = total;
+        best_order = order;
+      }
+      return;
+    }
+    for (int t = 0; t < n; ++t) {
+      if ((mask >> t) & 1u) continue;
+      if (mask != 0u &&
+          (ctx.neighbors[static_cast<size_t>(t)] & mask) == 0u) {
+        continue;
+      }
+      const uint32_t next = mask | (1u << t);
+      double next_acc = acc;
+      if (mask != 0u) {
+        next_acc = acc + cm.build_weight * ctx.SubsetCard(1u << t) +
+                   cm.intermediate_weight * ctx.SubsetCard(next);
+      }
+      order.push_back(t);
+      recurse(next, next_acc);
+      order.pop_back();
+    }
+  };
+  recurse(0u, 0.0);
+  if (best_order.empty()) {
+    return Status::InvalidArgument("join graph admits no connected order");
+  }
+  choice.order = best_order;
+  choice.estimated_cost = best_cost;
+  return choice;
+}
+
+}  // namespace preqr::planner

@@ -1,0 +1,46 @@
+#ifndef PREQR_PLANNER_JOIN_PLANNER_H_
+#define PREQR_PLANNER_JOIN_PLANNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "db/cost_model.h"
+#include "db/plan.h"
+#include "planner/cardinality.h"
+#include "sql/ast.h"
+
+namespace preqr::planner {
+
+// A chosen left-deep join order together with the estimator's view of its
+// pipeline cost (scan + build + intermediates + emission, per CostModel).
+struct PlanChoice {
+  std::vector<int> order;     // indices into stmt.tables
+  double estimated_cost = 0;  // cost under the estimator's cardinalities
+};
+
+// Cost-based join-order selection: DP over connected subsets of the
+// (acyclic, validated) join graph — DPsize specialized to left-deep
+// pipelines. Every join order whose prefixes stay connected is costed with
+// the shared CostModel fed by `est`'s subset cardinalities; the cheapest
+// order wins. Deterministic: subsets are enumerated in increasing mask
+// order, candidate last-tables in increasing index order, and only a
+// strictly cheaper candidate replaces the incumbent. Supports up to 16
+// table occurrences (kInvalidArgument beyond; cyclic or disconnected join
+// graphs are rejected by the same validation as the executor).
+StatusOr<PlanChoice> PlanJoinOrder(const db::Database& db,
+                                   const sql::SelectStatement& stmt,
+                                   CardinalityEstimator& est,
+                                   const db::CostModel& cm = {});
+
+// Brute-force oracle for tests: enumerates every connected-prefix
+// permutation in lexicographic order and keeps the strictly cheapest, with
+// the same cost-accumulation association as the DP (so equal orders yield
+// bitwise-equal costs). O(n!) — intended for <= 5-table joins.
+StatusOr<PlanChoice> ExhaustivePlanJoinOrder(const db::Database& db,
+                                             const sql::SelectStatement& stmt,
+                                             CardinalityEstimator& est,
+                                             const db::CostModel& cm = {});
+
+}  // namespace preqr::planner
+
+#endif  // PREQR_PLANNER_JOIN_PLANNER_H_

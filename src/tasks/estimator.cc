@@ -35,13 +35,23 @@ EstimatorModel::EstimatorModel(baselines::QueryEncoder* encoder,
 
 nn::Tensor EstimatorModel::Features(const std::string& sql, bool train) {
   if (encoder_static_) {
-    auto it = feature_cache_.find(sql);
-    if (it != feature_cache_.end()) return it->second;
-    nn::Tensor f = encoder_->EncodeVector(sql, /*train=*/false);
-    feature_cache_.emplace(sql, f);
-    return f;
+    auto f = TryFeatures(sql);
+    // Unencodable SQL rides the encoder's fallback features, computed
+    // outside the success-only cache.
+    return f.ok() ? f.value() : encoder_->EncodeVector(sql, /*train=*/false);
   }
   return encoder_->EncodeVector(sql, train);
+}
+
+StatusOr<nn::Tensor> EstimatorModel::TryFeatures(const std::string& sql) {
+  if (encoder_static_) {
+    auto it = feature_cache_.find(sql);
+    if (it != feature_cache_.end()) return it->second;
+    auto f = encoder_->TryEncodeVector(sql, /*train=*/false);
+    if (f.ok()) feature_cache_.emplace(sql, f.value());
+    return f;
+  }
+  return encoder_->TryEncodeVector(sql, /*train=*/false);
 }
 
 double EstimatorModel::Fit(const std::vector<std::string>& sqls,
@@ -117,8 +127,20 @@ double EstimatorModel::ClampedExpm1(float log_pred) const {
 
 double EstimatorModel::Predict(const std::string& sql) {
   encoder_->BeginStep(/*train=*/false);
-  nn::Tensor pred = head_->Forward(Features(sql, false));
-  return ClampedExpm1(pred.item());
+  auto features = TryFeatures(sql);
+  if (!features.ok()) {
+    ++predict_fallback_total_;
+    return ClampedExpm1(
+        head_->Forward(encoder_->EncodeVector(sql, /*train=*/false)).item());
+  }
+  return ClampedExpm1(head_->Forward(features.value()).item());
+}
+
+StatusOr<double> EstimatorModel::TryPredict(const std::string& sql) {
+  encoder_->BeginStep(/*train=*/false);
+  auto features = TryFeatures(sql);
+  if (!features.ok()) return features.status();
+  return ClampedExpm1(head_->Forward(features.value()).item());
 }
 
 std::vector<double> EstimatorModel::PredictAll(

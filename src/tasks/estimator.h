@@ -54,8 +54,19 @@ class EstimatorModel {
   double Predict(const std::string& sql);
   std::vector<double> PredictAll(const std::vector<std::string>& sqls);
 
+  // Status-returning prediction: unencodable SQL (e.g. unparseable text)
+  // surfaces the encoder's error instead of silently riding its zero-vector
+  // fallback the way Predict does.
+  StatusOr<double> TryPredict(const std::string& sql);
+
+  // Number of Predict() calls that rode the encoder's fallback features —
+  // the model-level counterpart of the serving layer's
+  // encode_fallback_total counter.
+  uint64_t predict_fallback_total() const { return predict_fallback_total_; }
+
  private:
   nn::Tensor Features(const std::string& sql, bool train);
+  StatusOr<nn::Tensor> TryFeatures(const std::string& sql);
   double ClampedExpm1(float log_pred) const;
 
   baselines::QueryEncoder* encoder_;
@@ -69,6 +80,10 @@ class EstimatorModel {
   // this range (+margin) so out-of-distribution extrapolation cannot
   // dominate the tail statistics.
   float max_log_target_ = 25.0f;
+  uint64_t predict_fallback_total_ = 0;
+  // Per-query feature memo for static encoders. Holds successful encodes
+  // only, so a cache hit proves the SQL is encodable (TryFeatures relies
+  // on this); fallback features are recomputed per call.
   std::unordered_map<std::string, nn::Tensor> feature_cache_;
 };
 

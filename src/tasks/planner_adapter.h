@@ -1,0 +1,25 @@
+#ifndef PREQR_TASKS_PLANNER_ADAPTER_H_
+#define PREQR_TASKS_PLANNER_ADAPTER_H_
+
+#include <string>
+#include <utility>
+
+#include "planner/cardinality.h"
+#include "tasks/estimator.h"
+
+namespace preqr::tasks {
+
+// Adapts a trained EstimatorModel (e.g. PreQR encoding + MLP head) to the
+// planner's CardinalityEstimator interface: the planner's induced subset
+// statements are printed back to SQL and predicted like any workload query.
+// The model must outlive the returned estimator.
+inline planner::CallbackCardinalityEstimator MakePlannerEstimator(
+    const db::Database& db, std::string name, EstimatorModel* model) {
+  return planner::CallbackCardinalityEstimator(
+      db, std::move(name),
+      [model](const std::string& sql) { return model->Predict(sql); });
+}
+
+}  // namespace preqr::tasks
+
+#endif  // PREQR_TASKS_PLANNER_ADAPTER_H_

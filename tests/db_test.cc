@@ -226,6 +226,73 @@ TEST(ExecutorTest, LikeMatcher) {
   EXPECT_TRUE(Executor::LikeMatch("a%c-literal", "a%l"));
 }
 
+TEST(ExecutorTest, LikeMatcherEdgeCases) {
+  // Empty pattern matches only empty text.
+  EXPECT_TRUE(Executor::LikeMatch("", ""));
+  EXPECT_FALSE(Executor::LikeMatch("a", ""));
+  // Runs of % collapse; % alone matches anything, including empty text.
+  EXPECT_TRUE(Executor::LikeMatch("", "%%"));
+  EXPECT_TRUE(Executor::LikeMatch("anything", "%%%"));
+  // _ consumes exactly one byte: empty text never matches it, and a
+  // two-byte UTF-8 character needs two underscores (byte semantics).
+  EXPECT_FALSE(Executor::LikeMatch("", "_"));
+  EXPECT_FALSE(Executor::LikeMatch("", "_%"));
+  EXPECT_FALSE(Executor::LikeMatch("\xc3\xa9", "_"));  // U+00E9, 2 bytes
+  EXPECT_TRUE(Executor::LikeMatch("\xc3\xa9", "__"));
+  EXPECT_TRUE(Executor::LikeMatch("\xc3\xa9", "%"));
+  // Backtracking across repeated prefixes.
+  EXPECT_TRUE(Executor::LikeMatch("aaab", "%ab"));
+  EXPECT_FALSE(Executor::LikeMatch("aaa", "%ab"));
+  EXPECT_TRUE(Executor::LikeMatch("abcabc", "%abc"));
+  // Pattern longer than text.
+  EXPECT_FALSE(Executor::LikeMatch("ab", "abc"));
+  EXPECT_FALSE(Executor::LikeMatch("ab", "ab_"));
+}
+
+TEST(ExecutorTest, PredicateBoundaryNumerics) {
+  Database db = MakeDb();
+  // BETWEEN is inclusive on both ends; reversed bounds select nothing.
+  EXPECT_DOUBLE_EQ(Card(db,
+                        "SELECT COUNT(*) FROM title WHERE production_year "
+                        "BETWEEN 2000 AND 2000"),
+                   1);
+  EXPECT_DOUBLE_EQ(Card(db,
+                        "SELECT COUNT(*) FROM title WHERE production_year "
+                        "BETWEEN 2005 AND 2001"),
+                   0);
+  // Strict vs inclusive comparisons at the column extremes.
+  EXPECT_DOUBLE_EQ(
+      Card(db, "SELECT COUNT(*) FROM title WHERE production_year >= 2009"),
+      1);
+  EXPECT_DOUBLE_EQ(
+      Card(db, "SELECT COUNT(*) FROM title WHERE production_year > 2009"), 0);
+  EXPECT_DOUBLE_EQ(
+      Card(db, "SELECT COUNT(*) FROM title WHERE production_year < 2000"), 0);
+  EXPECT_DOUBLE_EQ(
+      Card(db, "SELECT COUNT(*) FROM title WHERE production_year <= 2000"),
+      1);
+  // Single-element and all-miss IN lists; equality misses.
+  EXPECT_DOUBLE_EQ(Card(db, "SELECT COUNT(*) FROM title WHERE kind_id IN (2)"),
+                   3);
+  EXPECT_DOUBLE_EQ(
+      Card(db, "SELECT COUNT(*) FROM title WHERE kind_id IN (7, 9)"), 0);
+  EXPECT_DOUBLE_EQ(Card(db, "SELECT COUNT(*) FROM title WHERE kind_id = 42"),
+                   0);
+}
+
+TEST(ExecutorTest, PredicatePassesDirect) {
+  Database db = MakeDb();
+  auto stmt =
+      sql::Parse("SELECT COUNT(*) FROM title WHERE production_year >= 2005");
+  ASSERT_TRUE(stmt.ok());
+  const sql::Predicate& pred = stmt.value().predicates[0];
+  const Table& title = *db.FindTable("title");
+  // production_year is column 1 and holds 2000 + row.
+  EXPECT_FALSE(PredicatePasses(title, 1, pred, 4));  // 2004
+  EXPECT_TRUE(PredicatePasses(title, 1, pred, 5));   // 2005, inclusive
+  EXPECT_TRUE(PredicatePasses(title, 1, pred, 9));   // 2009
+}
+
 // --- Stats --------------------------------------------------------------
 
 TEST(StatsTest, NumericColumnBasics) {

@@ -1,0 +1,181 @@
+// Golden pin for the plan-node executor refactor: ~50 generated queries
+// (plus handcrafted UNION / IN-subquery cases) were executed against the
+// pre-refactor monolithic executor and their ExecResults recorded bitwise
+// (doubles as raw bit patterns, root_row_ids as count + FNV-1a hash). The
+// suite asserts the plan-node wrapper reproduces every one of them exactly,
+// in both plain and collect_root_rows modes.
+//
+// The query set itself is pinned transitively: ImdbQueryGenerator calls the
+// executor while generating (retry-until-nonempty), so any behavioral drift
+// in Execute would also change which queries get generated and show up as a
+// sql_hash mismatch.
+//
+// Regenerate (only legitimate after an intentional semantics change):
+//   PREQR_GOLDEN_REGEN=1 ./build/tests/executor_golden_test
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "db/executor.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/imdb.h"
+#include "workload/query_gen.h"
+
+#ifndef PREQR_GOLDEN_FILE
+#define PREQR_GOLDEN_FILE "executor_golden.txt"
+#endif
+
+namespace preqr::db {
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashString(const std::string& s) { return Fnv1a(s.data(), s.size()); }
+
+uint64_t HashIds(const std::vector<int>& ids) {
+  return Fnv1a(ids.data(), ids.size() * sizeof(int));
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// One query's pinned execution record.
+struct GoldenRow {
+  uint64_t sql_hash = 0;
+  uint64_t card_bits = 0;   // Execute(stmt).cardinality
+  uint64_t cost_bits = 0;   // Execute(stmt).cost
+  uint64_t rcard_bits = 0;  // Execute(stmt, collect_root_rows=true)
+  uint64_t rcost_bits = 0;
+  uint64_t rows_n = 0;      // root_row_ids.size()
+  uint64_t rows_hash = 0;   // FNV-1a over the id array bytes
+};
+
+const db::Database& GoldenDb() {
+  static const db::Database* db =
+      new db::Database(workload::MakeImdbDatabase(7, 0.05));
+  return *db;
+}
+
+// The pinned workload: deterministic generator streams spanning 0-6 joins,
+// numeric + string predicates, plus handcrafted UNION and IN-subquery
+// statements (shapes the generator never emits).
+std::vector<sql::SelectStatement> GoldenQueries() {
+  std::vector<sql::SelectStatement> out;
+  workload::ImdbQueryGenerator gen(GoldenDb(), 11);
+  for (const auto& q : gen.Synthetic(20, 2)) out.push_back(q.stmt);
+  for (const auto& q : gen.JobLightTrain(20)) out.push_back(q.stmt);
+  for (const auto& q : gen.JobStrings(6, 4, 6)) out.push_back(q.stmt);
+  const char* handcrafted[] = {
+      "SELECT COUNT(*) FROM title WHERE production_year > 1990 UNION "
+      "SELECT COUNT(*) FROM title WHERE kind_id = 1",
+      "SELECT COUNT(*) FROM title WHERE id IN (SELECT movie_id FROM "
+      "movie_companies WHERE company_id < 20) AND production_year > 1985",
+      "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn "
+      "WHERE t.id = mc.movie_id AND cn.id = mc.company_id AND "
+      "cn.country_code = 'us'",
+      "SELECT COUNT(*) FROM title t, cast_info ci, name n, role_type rt "
+      "WHERE t.id = ci.movie_id AND n.id = ci.person_id AND "
+      "rt.id = ci.role_id AND t.production_year BETWEEN 1980 AND 2000",
+  };
+  for (const char* sql : handcrafted) {
+    auto stmt = sql::Parse(sql);
+    EXPECT_TRUE(stmt.ok()) << sql;
+    out.push_back(stmt.value());
+  }
+  return out;
+}
+
+GoldenRow RowFor(const Executor& exec, const sql::SelectStatement& stmt) {
+  GoldenRow row;
+  row.sql_hash = HashString(sql::ToSql(stmt));
+  auto plain = exec.Execute(stmt);
+  EXPECT_TRUE(plain.ok()) << plain.status().ToString();
+  row.card_bits = DoubleBits(plain.value().cardinality);
+  row.cost_bits = DoubleBits(plain.value().cost);
+  auto collected = exec.Execute(stmt, /*collect_root_rows=*/true);
+  EXPECT_TRUE(collected.ok()) << collected.status().ToString();
+  row.rcard_bits = DoubleBits(collected.value().cardinality);
+  row.rcost_bits = DoubleBits(collected.value().cost);
+  row.rows_n = collected.value().root_row_ids.size();
+  row.rows_hash = HashIds(collected.value().root_row_ids);
+  return row;
+}
+
+std::vector<GoldenRow> LoadGolden() {
+  std::vector<GoldenRow> rows;
+  FILE* f = std::fopen(PREQR_GOLDEN_FILE, "r");
+  if (f == nullptr) return rows;
+  GoldenRow r;
+  while (std::fscanf(f,
+                     "%" SCNx64 " %" SCNx64 " %" SCNx64 " %" SCNx64
+                     " %" SCNx64 " %" SCNu64 " %" SCNx64,
+                     &r.sql_hash, &r.card_bits, &r.cost_bits, &r.rcard_bits,
+                     &r.rcost_bits, &r.rows_n, &r.rows_hash) == 7) {
+    rows.push_back(r);
+  }
+  std::fclose(f);
+  return rows;
+}
+
+TEST(ExecutorGoldenTest, PlanNodePathReproducesPreRefactorResultsBitwise) {
+  const Executor exec(GoldenDb());
+  const auto queries = GoldenQueries();
+  ASSERT_GE(queries.size(), 50u);
+
+  if (const char* regen = std::getenv("PREQR_GOLDEN_REGEN");
+      regen != nullptr && regen[0] == '1') {
+    FILE* f = std::fopen(PREQR_GOLDEN_FILE, "w");
+    ASSERT_NE(f, nullptr) << "cannot write " << PREQR_GOLDEN_FILE;
+    for (const auto& stmt : queries) {
+      const GoldenRow r = RowFor(exec, stmt);
+      std::fprintf(f,
+                   "%016" PRIx64 " %016" PRIx64 " %016" PRIx64 " %016" PRIx64
+                   " %016" PRIx64 " %" PRIu64 " %016" PRIx64 "\n",
+                   r.sql_hash, r.card_bits, r.cost_bits, r.rcard_bits,
+                   r.rcost_bits, r.rows_n, r.rows_hash);
+    }
+    std::fclose(f);
+    GTEST_SKIP() << "regenerated " << PREQR_GOLDEN_FILE;
+  }
+
+  const auto golden = LoadGolden();
+  ASSERT_EQ(golden.size(), queries.size())
+      << "golden file " << PREQR_GOLDEN_FILE
+      << " missing or stale; regenerate with PREQR_GOLDEN_REGEN=1 only if "
+         "the executor's semantics changed intentionally";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i) + ": " +
+                 sql::ToSql(queries[i]));
+    const GoldenRow got = RowFor(exec, queries[i]);
+    EXPECT_EQ(got.sql_hash, golden[i].sql_hash)
+        << "generated query drifted — Execute changed behavior inside the "
+           "generator's retry loop";
+    EXPECT_EQ(got.card_bits, golden[i].card_bits);
+    EXPECT_EQ(got.cost_bits, golden[i].cost_bits);
+    EXPECT_EQ(got.rcard_bits, golden[i].rcard_bits);
+    EXPECT_EQ(got.rcost_bits, golden[i].rcost_bits);
+    EXPECT_EQ(got.rows_n, golden[i].rows_n);
+    EXPECT_EQ(got.rows_hash, golden[i].rows_hash);
+  }
+}
+
+}  // namespace
+}  // namespace preqr::db

@@ -4,6 +4,7 @@
 #include "baselines/tree2seq.h"
 #include "db/stats.h"
 #include "eval/metrics.h"
+#include "sql/parser.h"
 #include "tasks/clustering.h"
 #include "tasks/correction.h"
 #include "tasks/estimator.h"
@@ -14,6 +15,31 @@
 
 namespace preqr::tasks {
 namespace {
+
+// Static featurizer whose Try path rejects SQL that does not parse — a
+// stand-in for the parse-path encoders (PreQR, tree2seq) that lets the
+// TryPredict contract be tested without training one.
+class ParseGateEncoder : public baselines::QueryEncoder {
+ public:
+  nn::Tensor EncodeVector(const std::string& sql, bool) override {
+    auto stmt = sql::Parse(sql);
+    if (!stmt.ok()) return nn::Tensor::Zeros({1, 4});  // fallback features
+    std::vector<float> v = {1.0f,
+                            static_cast<float>(stmt.value().tables.size()),
+                            static_cast<float>(stmt.value().predicates.size()),
+                            1.0f};
+    return nn::Tensor::FromData({1, 4}, std::move(v));
+  }
+  StatusOr<nn::Tensor> TryEncodeVector(const std::string& sql,
+                                       bool train) override {
+    auto stmt = sql::Parse(sql);
+    if (!stmt.ok()) return stmt.status();
+    return EncodeVector(sql, train);
+  }
+  std::vector<nn::Tensor> TrainableParameters() override { return {}; }
+  int dim() const override { return 4; }
+  std::string name() const override { return "ParseGate"; }
+};
 
 const db::Database& TestDb() {
   static const db::Database* db =
@@ -75,6 +101,48 @@ TEST(EstimatorTest, PredictionsClampedToTrainingRange) {
   // Whatever the model outputs, the clamp bounds it near the target range.
   const double pred = model.Predict("SELECT COUNT(*) FROM title");
   EXPECT_LE(pred, std::exp(std::log1p(100.0) + 2.1));
+}
+
+TEST(EstimatorTest, TryPredictPropagatesEncodeErrors) {
+  ParseGateEncoder encoder;
+  EstimatorModel::Options opt;
+  opt.epochs = 1;
+  EstimatorModel model(&encoder, opt);
+  model.Fit({"SELECT COUNT(*) FROM title"}, {50.0});
+
+  const std::string bad = "not sql at all ((";
+  auto r = model.TryPredict(bad);
+  ASSERT_FALSE(r.ok());
+  // The Try path surfaces the error instead of falling back.
+  EXPECT_EQ(model.predict_fallback_total(), 0u);
+
+  // Predict answers anyway through the encoder's fallback features and
+  // counts the event, mirroring serving's encode_fallback_total.
+  const double pred = model.Predict(bad);
+  EXPECT_GE(pred, 0.0);
+  EXPECT_EQ(model.predict_fallback_total(), 1u);
+
+  // The fallback must not poison the feature cache: after a fallback
+  // Predict, the same SQL still fails the Try path.
+  auto again = model.TryPredict(bad);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(model.predict_fallback_total(), 1u);
+}
+
+TEST(EstimatorTest, TryPredictMatchesPredictOnValidSql) {
+  ParseGateEncoder encoder;
+  EstimatorModel::Options opt;
+  opt.epochs = 2;
+  EstimatorModel model(&encoder, opt);
+  model.Fit({"SELECT COUNT(*) FROM title",
+             "SELECT COUNT(*) FROM title WHERE production_year > 2000"},
+            {100.0, 40.0});
+  const std::string sql =
+      "SELECT COUNT(*) FROM title WHERE production_year > 2005";
+  auto r = model.TryPredict(sql);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), model.Predict(sql));
+  EXPECT_EQ(model.predict_fallback_total(), 0u);
 }
 
 TEST(CorrectionTest, ImprovesBiasedBaseEstimates) {
